@@ -1,0 +1,106 @@
+package nwhy
+
+import (
+	"math"
+	"testing"
+)
+
+// starHypergraph: hyperedge 0 contains every node; edges 1..4 contain one
+// node each (the node they share with e0). In the adjoin graph, e0 is the
+// center of everything.
+func starHypergraph() *NWHypergraph {
+	return FromSets([][]uint32{
+		{0, 1, 2, 3},
+		{0},
+		{1},
+		{2},
+		{3},
+	}, 4)
+}
+
+func TestAdjoinBetweennessCenter(t *testing.T) {
+	hg := starHypergraph()
+	edgeBC, nodeBC := hg.AdjoinBetweenness(false)
+	if len(edgeBC) != 5 || len(nodeBC) != 4 {
+		t.Fatalf("lengths %d/%d", len(edgeBC), len(nodeBC))
+	}
+	// The big hyperedge lies on almost every shortest path: highest score.
+	for e := 1; e < 5; e++ {
+		if edgeBC[0] <= edgeBC[e] {
+			t.Fatalf("hub hyperedge BC %v not above leaf %v", edgeBC[0], edgeBC[e])
+		}
+	}
+	for v := 0; v < 4; v++ {
+		if edgeBC[0] <= nodeBC[v] {
+			t.Fatalf("hub hyperedge BC %v not above node %v", edgeBC[0], nodeBC[v])
+		}
+	}
+}
+
+func TestAdjoinClosenessCenter(t *testing.T) {
+	hg := starHypergraph()
+	edgeC, nodeC := hg.AdjoinCloseness()
+	for e := 1; e < 5; e++ {
+		if edgeC[0] <= edgeC[e] {
+			t.Fatalf("hub closeness %v not above leaf %v", edgeC[0], edgeC[e])
+		}
+	}
+	// All four nodes are symmetric.
+	for v := 1; v < 4; v++ {
+		if math.Abs(nodeC[v]-nodeC[0]) > 1e-12 {
+			t.Fatalf("symmetric nodes differ: %v", nodeC)
+		}
+	}
+}
+
+func TestAdjoinEccentricityLevels(t *testing.T) {
+	hg := starHypergraph()
+	edgeEcc, nodeEcc := hg.AdjoinEccentricity()
+	// Hub: nodes at 1, leaf edges at 2 -> ecc 2. Nodes: hub at 1, other
+	// nodes at 2, leaf edges at 3 -> ecc 3. Leaf edges: ecc 4.
+	if edgeEcc[0] != 2 {
+		t.Fatalf("hub ecc = %v", edgeEcc[0])
+	}
+	if nodeEcc[0] != 3 {
+		t.Fatalf("node ecc = %v", nodeEcc[0])
+	}
+	if edgeEcc[1] != 4 {
+		t.Fatalf("leaf edge ecc = %v", edgeEcc[1])
+	}
+}
+
+func TestAdjoinPageRankConservation(t *testing.T) {
+	hg := paperExample()
+	edgePR, nodePR := hg.AdjoinPageRank(0.85, 1e-10, 300)
+	sum := 0.0
+	for _, v := range edgePR {
+		sum += v
+	}
+	for _, v := range nodePR {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("adjoin PageRank sums to %v", sum)
+	}
+}
+
+func TestAdjoinMetricsMatchBFSLevels(t *testing.T) {
+	// Eccentricity of the source side must equal the max BFS level.
+	hg := paperExample()
+	edgeEcc, _ := hg.AdjoinEccentricity()
+	r := hg.BFS(0, BFSTopDown)
+	var maxLvl int32
+	for _, l := range r.EdgeLevel {
+		if l > maxLvl {
+			maxLvl = l
+		}
+	}
+	for _, l := range r.NodeLevel {
+		if l > maxLvl {
+			maxLvl = l
+		}
+	}
+	if edgeEcc[0] != float64(maxLvl) {
+		t.Fatalf("ecc(e0) = %v, max BFS level = %d", edgeEcc[0], maxLvl)
+	}
+}

@@ -1,0 +1,145 @@
+package nwhy
+
+import (
+	"nwhy/internal/core"
+	"nwhy/internal/graph"
+	"nwhy/internal/hygra"
+)
+
+// BFSVariant selects a hypergraph BFS implementation.
+type BFSVariant int
+
+const (
+	// BFSTopDown expands frontiers outward on the bipartite representation
+	// (HyperBFS top-down).
+	BFSTopDown BFSVariant = iota
+	// BFSBottomUp has unvisited entities scan backward for frontier members
+	// (HyperBFS bottom-up).
+	BFSBottomUp
+	// BFSAdjoin runs direction-optimizing BFS on the adjoin representation
+	// (AdjoinBFS).
+	BFSAdjoin
+	// BFSHygraBaseline runs the Hygra-style top-down baseline.
+	BFSHygraBaseline
+	// BFSDirectionOptimizing runs the hybrid top-down/bottom-up BFS on the
+	// bipartite representation.
+	BFSDirectionOptimizing
+)
+
+// BFS traverses the hypergraph from hyperedge srcEdge, returning bipartite
+// hop levels for hyperedges and hypernodes (-1 = unreachable). All variants
+// produce identical levels; they differ in traversal strategy and
+// representation, which is what Figure 8 benchmarks.
+func (g *NWHypergraph) BFS(srcEdge int, variant BFSVariant) *core.HyperBFSResult {
+	switch variant {
+	case BFSBottomUp:
+		return core.HyperBFSBottomUp(g.h, srcEdge)
+	case BFSAdjoin:
+		return core.AdjoinBFS(g.Adjoin(), srcEdge)
+	case BFSHygraBaseline:
+		el, nl := hygra.BFS(g.h, srcEdge)
+		return &core.HyperBFSResult{EdgeLevel: el, NodeLevel: nl}
+	case BFSDirectionOptimizing:
+		return core.HyperBFSDirectionOptimizing(g.h, srcEdge)
+	default:
+		return core.HyperBFSTopDown(g.h, srcEdge)
+	}
+}
+
+// CCVariant selects a hypergraph connected-components implementation.
+type CCVariant int
+
+const (
+	// CCHyper is label propagation on the bipartite representation
+	// (HyperCC).
+	CCHyper CCVariant = iota
+	// CCAdjoinAfforest runs Afforest on the adjoin representation
+	// (AdjoinCC, the paper's default).
+	CCAdjoinAfforest
+	// CCAdjoinLabelProp runs label propagation on the adjoin
+	// representation.
+	CCAdjoinLabelProp
+	// CCHygraBaseline runs the Hygra-style label-propagation baseline.
+	CCHygraBaseline
+)
+
+// HyperTree builds the BFS forest (hypertree) rooted at hyperedge srcEdge,
+// recording discovery parents on both sides; hyperpaths between entities
+// are read off its parent links.
+func (g *NWHypergraph) HyperTree(srcEdge int) *core.HyperTree {
+	return core.BuildHyperTree(g.h, srcEdge)
+}
+
+// AdjoinBetweenness computes exact betweenness centrality of every
+// hyperedge and hypernode under the bipartite-walk metric by running
+// Brandes' algorithm on the adjoin representation and splitting the scores
+// — the paper's "any graph algorithm can be used to compute hypergraph
+// metrics" claim, applied to a metric no bespoke hypergraph kernel exists
+// for here.
+func (g *NWHypergraph) AdjoinBetweenness(normalized bool) (edgeBC, nodeBC []float64) {
+	a := g.Adjoin()
+	scores := graph.BetweennessCentrality(a.G, normalized)
+	e, n := core.SplitResult(a, scores)
+	return append([]float64(nil), e...), append([]float64(nil), n...)
+}
+
+// AdjoinCloseness computes closeness centrality over the adjoin
+// representation, split into the hyperedge and hypernode index spaces.
+func (g *NWHypergraph) AdjoinCloseness() (edgeC, nodeC []float64) {
+	a := g.Adjoin()
+	scores := graph.ClosenessCentrality(a.G)
+	e, n := core.SplitResult(a, scores)
+	return append([]float64(nil), e...), append([]float64(nil), n...)
+}
+
+// AdjoinEccentricity computes bipartite-hop eccentricities over the adjoin
+// representation, split into the two index spaces.
+func (g *NWHypergraph) AdjoinEccentricity() (edgeEcc, nodeEcc []float64) {
+	a := g.Adjoin()
+	scores := graph.Eccentricity(a.G)
+	e, n := core.SplitResult(a, scores)
+	return append([]float64(nil), e...), append([]float64(nil), n...)
+}
+
+// AdjoinPageRank computes PageRank on the adjoin representation and splits
+// the mass into hyperedge and hypernode scores. Note the random walk here
+// alternates sides every step (the adjoin graph is bipartite), so hypernode
+// scores differ from HyperPageRank's two-step walk by the mass parked on
+// hyperedges.
+func (g *NWHypergraph) AdjoinPageRank(damping, tol float64, maxIter int) (edgePR, nodePR []float64) {
+	a := g.Adjoin()
+	scores := graph.PageRank(a.G, damping, tol, maxIter)
+	e, n := core.SplitResult(a, scores)
+	return append([]float64(nil), e...), append([]float64(nil), n...)
+}
+
+// HyperPageRank computes PageRank over hypernodes via the two-step random
+// walk on the bipartite structure (node -> uniform hyperedge -> uniform
+// member), without materializing any projection.
+func (g *NWHypergraph) HyperPageRank(damping, tol float64, maxIter int) []float64 {
+	return core.HyperPageRank(g.h, damping, tol, maxIter)
+}
+
+// HyperCoreness computes each hypernode's hypergraph core number under
+// peeling semantics: removing a hypernode kills every hyperedge containing
+// it; v's core number is the largest k it survives to.
+func (g *NWHypergraph) HyperCoreness() []int {
+	return core.HyperCoreness(g.h)
+}
+
+// ConnectedComponents labels every hyperedge and hypernode with its
+// component (canonical shared-space labels). All variants produce identical
+// labels; Figure 7 benchmarks their runtime differences.
+func (g *NWHypergraph) ConnectedComponents(variant CCVariant) *core.HyperCCResult {
+	switch variant {
+	case CCAdjoinAfforest:
+		return core.AdjoinCC(g.Adjoin(), core.AdjoinAfforest)
+	case CCAdjoinLabelProp:
+		return core.AdjoinCC(g.Adjoin(), core.AdjoinLabelPropagation)
+	case CCHygraBaseline:
+		ec, nc := hygra.CC(g.h)
+		return &core.HyperCCResult{EdgeComp: ec, NodeComp: nc}
+	default:
+		return core.HyperCC(g.h)
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSlinegraphAllAlgorithmsAgreeOnEdgeCount(t *testing.T) {
+	counts := map[string]string{}
+	for _, algo := range []string{"naive", "intersection", "hashmap", "queue-hashmap", "queue-intersection"} {
+		var out bytes.Buffer
+		err := run([]string{"-preset", "rand1-mini", "-scale", "0.01", "-s", "2", "-algo", algo, "-reps", "1"}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		// Extract "N edges in".
+		s := out.String()
+		idx := strings.Index(s, " edges in")
+		if idx < 0 {
+			t.Fatalf("%s: no edge count in %q", algo, s)
+		}
+		start := strings.LastIndexByte(s[:idx], ' ')
+		counts[algo] = s[start+1 : idx]
+	}
+	want := counts["naive"]
+	for algo, c := range counts {
+		if c != want {
+			t.Fatalf("%s edge count %s != naive %s (%v)", algo, c, want, counts)
+		}
+	}
+}
+
+func TestSlinegraphOptionsAndComponents(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-preset", "com-orkut-mini", "-scale", "0.02", "-s", "2",
+		"-algo", "queue-hashmap", "-cyclic", "-relabel", "desc", "-adjoin",
+		"-threads", "2", "-reps", "1", "-components",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "partition=cyclic relabel=descending adjoin=true") {
+		t.Fatalf("options not echoed: %q", s)
+	}
+	if !strings.Contains(s, "2-connected components (direct union-find):") {
+		t.Fatalf("components line missing: %q", s)
+	}
+}
+
+func TestSlinegraphErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-algo", "nope", "-preset", "rand1-mini"},
+		{"-relabel", "nope", "-preset", "rand1-mini"},
+		{"-preset", "nope"},
+		{"-in", "/nonexistent.mtx"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestSlinegraphSSweep(t *testing.T) {
+	prev := -1
+	for _, s := range []int{1, 2, 4} {
+		var out bytes.Buffer
+		if err := run([]string{"-preset", "livejournal-mini", "-scale", "0.02", "-s", fmt.Sprint(s), "-reps", "1"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		str := out.String()
+		idx := strings.Index(str, " edges in")
+		start := strings.LastIndexByte(str[:idx], ' ')
+		var n int
+		fmt.Sscanf(str[start+1:idx], "%d", &n)
+		if prev >= 0 && n > prev {
+			t.Fatalf("edge count grew with s: %d -> %d", prev, n)
+		}
+		prev = n
+	}
+}

@@ -1,0 +1,59 @@
+// Command quickstart reproduces the paper's Listing 5 — the minimal working
+// example of the nwhy Python API — in Go: build a small hypergraph, take its
+// 2-line graph, and run every s-metric query.
+package main
+
+import (
+	"fmt"
+
+	"nwhy"
+)
+
+func main() {
+	// Two hyperedges (communities) 0 and 1, both containing members 0, 1, 2.
+	col := []uint32{0, 0, 0, 1, 1, 1}
+	row := []uint32{0, 1, 2, 0, 1, 2}
+	weight := []float64{1, 1, 1, 1, 1, 1}
+
+	// hg = nwhy.NWHypergraph(row, col, weight)
+	hg, err := nwhy.New(col, row, weight)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("hypergraph: %d hyperedges, %d hypernodes, %d incidences\n",
+		hg.NumEdges(), hg.NumNodes(), hg.NumIncidences())
+
+	// s2lg = hg.s_linegraph(s=2, edges=True)
+	s2lg := hg.SLineGraph(2, true)
+	fmt.Printf("2-line graph: %d vertices, %d edges\n", s2lg.NumVertices(), s2lg.NumEdges())
+
+	// tmp = s2lg.is_s_connected()
+	fmt.Println("is 2-connected:", s2lg.IsSConnected())
+
+	// sn = s2lg.s_neighbors(v=0)
+	fmt.Println("2-neighbors of hyperedge 0:", s2lg.SNeighbors(0))
+
+	// sd = s2lg.s_degree(v=0)
+	fmt.Println("2-degree of hyperedge 0:", s2lg.SDegree(0))
+
+	// scc = s2lg.s_connected_components()
+	fmt.Println("2-connected components:", s2lg.SConnectedComponents())
+
+	// sdist = s2lg.s_distance(src=0, dest=1)
+	fmt.Println("2-distance 0 -> 1:", s2lg.SDistance(0, 1))
+
+	// sp = s2lg.s_path(src=0, dest=1)
+	fmt.Println("2-path 0 -> 1:", s2lg.SPath(0, 1))
+
+	// sbc = s2lg.s_betweenness_centrality(normalized=True)
+	fmt.Println("2-betweenness:", s2lg.SBetweennessCentrality(true))
+
+	// sc = s2lg.s_closeness_centrality(v=None)
+	fmt.Println("2-closeness:", s2lg.SClosenessCentrality())
+
+	// shc = s2lg.s_harmonic_closeness_centrality(v=None)
+	fmt.Println("2-harmonic closeness:", s2lg.SHarmonicClosenessCentrality())
+
+	// se = s2lg.s_eccentricity(v=None)
+	fmt.Println("2-eccentricity:", s2lg.SEccentricity())
+}

@@ -1,0 +1,93 @@
+// Command scaling runs a miniature of the paper's Figure 7/8 strong-scaling
+// experiment on one preset: hypergraph CC and BFS at 1, 2, 4, ... workers,
+// printing per-thread-count runtimes for every algorithm variant so the
+// scaling shape (and the NWHy-vs-Hygra comparison) is visible on a laptop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"time"
+
+	"nwhy"
+	"nwhy/internal/gen"
+)
+
+func main() {
+	presetName := flag.String("preset", "rand1-mini", "dataset preset (see internal/gen)")
+	scale := flag.Float64("scale", 0.25, "dataset scale factor")
+	reps := flag.Int("reps", 3, "repetitions per measurement (min is reported)")
+	flag.Parse()
+
+	preset, err := gen.ByName(*presetName)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	g := nwhy.Wrap(preset.Build(*scale))
+	fmt.Printf("%s at scale %.2f: |E|=%d |V|=%d incidences=%d\n",
+		*presetName, *scale, g.NumEdges(), g.NumNodes(), g.NumIncidences())
+
+	ccVariants := []struct {
+		name string
+		v    nwhy.CCVariant
+	}{
+		{"HyperCC", nwhy.CCHyper},
+		{"AdjoinCC", nwhy.CCAdjoinAfforest},
+		{"HygraCC", nwhy.CCHygraBaseline},
+	}
+	bfsVariants := []struct {
+		name string
+		v    nwhy.BFSVariant
+	}{
+		{"HyperBFS", nwhy.BFSTopDown},
+		{"AdjoinBFS", nwhy.BFSAdjoin},
+		{"HygraBFS", nwhy.BFSHygraBaseline},
+	}
+
+	g.Adjoin() // build once, outside timing
+
+	fmt.Printf("\n%-10s", "threads")
+	for _, c := range ccVariants {
+		fmt.Printf("%12s", c.name)
+	}
+	for _, b := range bfsVariants {
+		fmt.Printf("%12s", b.name)
+	}
+	fmt.Println()
+
+	maxThreads := runtime.GOMAXPROCS(0)
+	if maxThreads < 4 {
+		// On few-core machines still sweep to 4 workers so the scaling
+		// machinery is exercised (speedups need real cores, of course).
+		maxThreads = 4
+	}
+	for threads := 1; threads <= maxThreads; threads *= 2 {
+		nwhy.SetNumThreads(threads)
+		fmt.Printf("%-10d", threads)
+		for _, c := range ccVariants {
+			best := time.Duration(1 << 62)
+			for r := 0; r < *reps; r++ {
+				t0 := time.Now()
+				g.ConnectedComponents(c.v)
+				if d := time.Since(t0); d < best {
+					best = d
+				}
+			}
+			fmt.Printf("%12s", best.Round(time.Microsecond))
+		}
+		for _, b := range bfsVariants {
+			best := time.Duration(1 << 62)
+			for r := 0; r < *reps; r++ {
+				t0 := time.Now()
+				g.BFS(0, b.v)
+				if d := time.Since(t0); d < best {
+					best = d
+				}
+			}
+			fmt.Printf("%12s", best.Round(time.Microsecond))
+		}
+		fmt.Println()
+	}
+}

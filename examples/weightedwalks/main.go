@@ -1,0 +1,59 @@
+// Command weightedwalks demonstrates strength-weighted s-analytics: the
+// s-line edges of Figure 5 carry the exact overlap |e ∩ f| as a strength,
+// and distances/betweenness over s-walks can prefer strongly-overlapping
+// hyperedge chains instead of treating every s-line edge alike.
+//
+// The scenario: collaboration cliques (hyperedges) where two "bridge"
+// cliques connect the same pair of clusters — one sharing many members,
+// one sharing a single member. Hop-count s-metrics cannot tell the bridges
+// apart; strength-weighted ones route through the strong bridge.
+package main
+
+import (
+	"fmt"
+
+	"nwhy"
+)
+
+func main() {
+	// Cluster A: hyperedges 0-1 strongly overlapping.
+	// Cluster B: hyperedges 4-5 strongly overlapping.
+	// Bridge "strong" (e2) shares 3 members with each cluster.
+	// Bridge "weak" (e3) shares 1 member with each cluster.
+	hg := nwhy.FromSets([][]uint32{
+		{0, 1, 2, 3, 4},       // e0  cluster A
+		{1, 2, 3, 4, 5},       // e1  cluster A
+		{3, 4, 5, 10, 11, 12}, // e2  strong bridge (3 with A, 3 with B)
+		{0, 20, 10},           // e3  weak bridge (1 with A, 1 with B)
+		{10, 11, 12, 13, 14},  // e4  cluster B
+		{11, 12, 13, 14, 15},  // e5  cluster B
+	}, 21)
+
+	wl := hg.SLineGraphWeighted(1)
+	fmt.Printf("1-line graph: %d hyperedges, %d s-line edges\n", wl.NumVertices(), wl.NumEdges())
+	fmt.Println("\noverlap strengths:")
+	for _, pair := range [][2]int{{0, 1}, {1, 2}, {2, 4}, {0, 3}, {3, 4}} {
+		fmt.Printf("  |e%d ∩ e%d| = %d\n", pair[0], pair[1], wl.Strength(pair[0], pair[1]))
+	}
+
+	// Hop distance treats both bridges alike; strength weighting does not.
+	fmt.Printf("\nhop s-distance   e1 -> e5: %d\n", wl.SDistance(1, 5))
+	fmt.Printf("weighted s-dist  e1 -> e5: %.3f (sum of 1/overlap)\n", wl.SDistanceWeighted(1, 5))
+	fmt.Printf("weighted s-path  e1 -> e5: %v (via the strong bridge e2)\n", wl.SPathWeighted(1, 5))
+
+	// Betweenness: under hop counting the bridges can split traffic; under
+	// strength weighting the strong bridge carries it.
+	plain := wl.SBetweennessCentrality(false)
+	weighted := wl.SBetweennessCentralityWeighted(false)
+	fmt.Println("\nbetweenness over s-walks (hop vs strength-weighted):")
+	for e := 0; e < wl.NumVertices(); e++ {
+		marker := ""
+		switch e {
+		case 2:
+			marker = "  <- strong bridge"
+		case 3:
+			marker = "  <- weak bridge"
+		}
+		fmt.Printf("  e%d: %6.2f   %6.2f%s\n", e, plain[e], weighted[e], marker)
+	}
+}

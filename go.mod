@@ -1,0 +1,3 @@
+module nwhy
+
+go 1.23

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"nwhy/internal/graph"
+	"nwhy/internal/parallel"
+	"nwhy/internal/sparse"
+)
+
+// AdjoinGraph is the paper's adjoin representation of a hypergraph: the two
+// separate index spaces are consolidated into one shared index space, making
+// the hypergraph an ordinary (general) graph that any graph algorithm can
+// process. Hyperedges occupy IDs [0, NumRealEdges); hypernodes occupy
+// [NumRealEdges, NumRealEdges+NumRealNodes). Its adjacency matrix has the
+// block anti-diagonal form [[0, Bᵗ], [B, 0]] where B is the incidence matrix
+// of the hypergraph (Figure 4).
+//
+// Algorithms consuming an AdjoinGraph must be range-aware: they need
+// NumRealEdges/NumRealNodes to know which part of the shared index set is
+// which, and results are split back with SplitResult.
+type AdjoinGraph struct {
+	G            *graph.Graph
+	NumRealEdges int
+	NumRealNodes int
+}
+
+// Adjoin converts the bipartite representation into an adjoin graph: the
+// vertex set is the direct sum of the hyperedge and hypernode index sets,
+// and each incidence (e, v) becomes the undirected pair {e, NumRealEdges+v}.
+func Adjoin(h *Hypergraph) *AdjoinGraph {
+	ne, nv := h.NumEdges(), h.NumNodes()
+	m := h.NumIncidences()
+	pairs := make([]sparse.Edge, 2*m)
+	parallel.For(ne, func(_, lo, hi int) {
+		for e := lo; e < hi; e++ {
+			base := h.Edges.RowPtr[e]
+			for k, v := range h.Edges.Row(e) {
+				i := base + int64(k)
+				pairs[2*i] = sparse.Edge{U: uint32(e), V: uint32(ne) + v}
+				pairs[2*i+1] = sparse.Edge{U: uint32(ne) + v, V: uint32(e)}
+			}
+		}
+	})
+	csr := sparse.FromPairs(ne+nv, ne+nv, pairs, nil)
+	g, err := graph.FromCSR(csr)
+	if err != nil {
+		panic("core: adjoin CSR not square: " + err.Error()) // impossible by construction
+	}
+	return &AdjoinGraph{G: g, NumRealEdges: ne, NumRealNodes: nv}
+}
+
+// FromAdjoinEdgeList wraps an already-adjoined edge list (e.g. read by
+// mmio.GraphReaderAdjoin) whose vertex IDs are in the shared index space.
+// The list must already contain both directions of every incidence.
+func FromAdjoinEdgeList(el *sparse.EdgeList, numRealEdges, numRealNodes int) (*AdjoinGraph, error) {
+	if numRealEdges+numRealNodes != el.NumVertices {
+		return nil, fmt.Errorf("core: adjoin vertex count %d != %d edges + %d nodes",
+			el.NumVertices, numRealEdges, numRealNodes)
+	}
+	g := graph.FromEdgeList(el, false)
+	return &AdjoinGraph{G: g, NumRealEdges: numRealEdges, NumRealNodes: numRealNodes}, nil
+}
+
+// NumVertices reports the size of the shared index space.
+func (a *AdjoinGraph) NumVertices() int { return a.NumRealEdges + a.NumRealNodes }
+
+// IsHyperedge reports whether shared-space ID id denotes a hyperedge.
+func (a *AdjoinGraph) IsHyperedge(id int) bool { return id < a.NumRealEdges }
+
+// EdgeID maps hyperedge e into the shared index space.
+func (a *AdjoinGraph) EdgeID(e int) int { return e }
+
+// NodeID maps hypernode v into the shared index space.
+func (a *AdjoinGraph) NodeID(v int) int { return a.NumRealEdges + v }
+
+// SplitResult splits a per-vertex result array computed on the adjoin graph
+// back into the hyperedge part and the hypernode part.
+func SplitResult[T any](a *AdjoinGraph, result []T) (edges, nodes []T) {
+	return result[:a.NumRealEdges], result[a.NumRealEdges:]
+}
+
+// ToHypergraph converts the adjoin graph back to the bipartite
+// representation (the inverse of Adjoin).
+func (a *AdjoinGraph) ToHypergraph() *Hypergraph {
+	bel := sparse.NewBiEdgeList(a.NumRealEdges, a.NumRealNodes)
+	for e := 0; e < a.NumRealEdges; e++ {
+		for _, x := range a.G.Row(e) {
+			if int(x) >= a.NumRealEdges {
+				bel.Add(uint32(e), x-uint32(a.NumRealEdges))
+			}
+		}
+	}
+	return FromBiEdgeList(bel)
+}
+
+// Validate checks the structural invariants of the adjoin form: the
+// adjacency is symmetric and strictly bipartite between the hyperedge range
+// and the hypernode range (the zero diagonal blocks of Figure 4).
+func (a *AdjoinGraph) Validate() error {
+	n := a.NumVertices()
+	if a.G.NumVertices() != n {
+		return fmt.Errorf("core: adjoin graph has %d vertices, expected %d", a.G.NumVertices(), n)
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range a.G.Row(u) {
+			if a.IsHyperedge(u) == a.IsHyperedge(int(v)) {
+				return fmt.Errorf("core: adjoin edge (%d,%d) inside one partition", u, v)
+			}
+		}
+	}
+	if !a.G.IsSymmetric() {
+		return fmt.Errorf("core: adjoin graph not symmetric")
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"nwhy/internal/sparse"
+)
+
+func TestAdjoinPaperExample(t *testing.T) {
+	h := paperHypergraph()
+	a := Adjoin(h)
+	if a.NumVertices() != 13 || a.NumRealEdges != 4 || a.NumRealNodes != 9 {
+		t.Fatalf("adjoin shape: %d vertices, %d edges, %d nodes", a.NumVertices(), a.NumRealEdges, a.NumRealNodes)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Figure 3: hyperedge IDs 0..3, hypernode IDs 4..12. Hyperedge 0 = {0,1,2}
+	// connects to shared IDs 4,5,6.
+	if got := a.G.Row(0); !reflect.DeepEqual(got, []uint32{4, 5, 6}) {
+		t.Fatalf("adjoin row 0 = %v", got)
+	}
+	// Hypernode 0 (shared ID 4) is in hyperedges 0 and 3.
+	if got := a.G.Row(4); !reflect.DeepEqual(got, []uint32{0, 3}) {
+		t.Fatalf("adjoin row 4 = %v", got)
+	}
+}
+
+func TestAdjoinBlockStructure(t *testing.T) {
+	// Figure 4: A_G = [[0, B^t],[B, 0]] — no edge stays within one partition.
+	h := randomHypergraph(20, 30, 6, 1)
+	a := Adjoin(h)
+	for u := 0; u < a.NumVertices(); u++ {
+		for _, v := range a.G.Row(u) {
+			if a.IsHyperedge(u) == a.IsHyperedge(int(v)) {
+				t.Fatalf("edge (%d,%d) violates block anti-diagonal structure", u, v)
+			}
+		}
+	}
+	if !a.G.IsSymmetric() {
+		t.Fatal("adjoin adjacency not symmetric")
+	}
+}
+
+func TestAdjoinIDMapping(t *testing.T) {
+	a := Adjoin(paperHypergraph())
+	if a.EdgeID(2) != 2 || a.NodeID(0) != 4 || a.NodeID(8) != 12 {
+		t.Fatal("ID mapping wrong")
+	}
+	if !a.IsHyperedge(3) || a.IsHyperedge(4) {
+		t.Fatal("IsHyperedge wrong at the boundary")
+	}
+}
+
+func TestSplitResult(t *testing.T) {
+	a := Adjoin(paperHypergraph())
+	all := make([]int, 13)
+	for i := range all {
+		all[i] = i * 10
+	}
+	edges, nodes := SplitResult(a, all)
+	if len(edges) != 4 || len(nodes) != 9 {
+		t.Fatalf("split lengths %d/%d", len(edges), len(nodes))
+	}
+	if edges[3] != 30 || nodes[0] != 40 || nodes[8] != 120 {
+		t.Fatal("split contents wrong")
+	}
+}
+
+func TestAdjoinRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		h := randomHypergraph(15, 25, 5, seed)
+		back := Adjoin(h).ToHypergraph()
+		return back.Edges.Equal(h.Edges) && back.Nodes.Equal(h.Nodes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromAdjoinEdgeList(t *testing.T) {
+	// Manually adjoin the paper example: incidence (e, v) -> {e, 4+v}.
+	h := paperHypergraph()
+	el := sparse.NewEdgeList(13)
+	for e, nbrs := range h.EdgeRange() {
+		for _, v := range nbrs {
+			el.Add(uint32(e), 4+v)
+			el.Add(4+v, uint32(e))
+		}
+	}
+	a, err := FromAdjoinEdgeList(el, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.ToHypergraph().Edges.Equal(h.Edges) {
+		t.Fatal("FromAdjoinEdgeList round trip failed")
+	}
+}
+
+func TestFromAdjoinEdgeListRejectsBadCounts(t *testing.T) {
+	el := sparse.NewEdgeList(5)
+	if _, err := FromAdjoinEdgeList(el, 2, 2); err == nil {
+		t.Fatal("accepted mismatched vertex count")
+	}
+}
+
+func TestAdjoinEmptyHypergraph(t *testing.T) {
+	a := Adjoin(FromSets(nil, 0))
+	if a.NumVertices() != 0 {
+		t.Fatal("empty adjoin not empty")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHyperPageRankSumsToOne(t *testing.T) {
+	h := randomHypergraph(50, 80, 6, 3)
+	pr := HyperPageRank(h, 0.85, 1e-10, 300)
+	sum := 0.0
+	for _, v := range pr {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("HyperPageRank sums to %v", sum)
+	}
+}
+
+func TestHyperPageRankSymmetricInput(t *testing.T) {
+	// Fully symmetric hypergraph: every node in both edges -> uniform rank.
+	h := FromSets([][]uint32{{0, 1, 2}, {0, 1, 2}}, 3)
+	pr := HyperPageRank(h, 0.85, 1e-12, 500)
+	for i, v := range pr {
+		if math.Abs(v-1.0/3.0) > 1e-9 {
+			t.Fatalf("rank[%d] = %v, want 1/3", i, v)
+		}
+	}
+}
+
+func TestHyperPageRankHubNode(t *testing.T) {
+	// Node 0 is in every hyperedge; others in one each.
+	h := FromSets([][]uint32{{0, 1}, {0, 2}, {0, 3}, {0, 4}}, 5)
+	pr := HyperPageRank(h, 0.85, 1e-10, 300)
+	for i := 1; i < 5; i++ {
+		if pr[0] <= pr[i] {
+			t.Fatalf("hub rank %v not above %v", pr[0], pr[i])
+		}
+	}
+}
+
+func TestHyperPageRankDanglingNodes(t *testing.T) {
+	h := FromSets([][]uint32{{0, 1}}, 4) // nodes 2, 3 dangling
+	pr := HyperPageRank(h, 0.85, 1e-12, 500)
+	sum := 0.0
+	for _, v := range pr {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("sum with dangling nodes = %v", sum)
+	}
+	if pr[2] != pr[3] {
+		t.Fatal("symmetric dangling nodes should tie")
+	}
+}
+
+func TestHyperPageRankEmpty(t *testing.T) {
+	if HyperPageRank(FromSets(nil, 0), 0.85, 1e-10, 10) != nil {
+		t.Fatal("empty hypergraph should give nil")
+	}
+}
+
+// hyperCorenessOracle computes core numbers by the fixpoint definition:
+// S_k = maximal node set where every member is in >= k hyperedges fully
+// inside S_k (edges die when any member is removed).
+func hyperCorenessOracle(h *Hypergraph) []int {
+	nv := h.NumNodes()
+	core := make([]int, nv)
+	maxDeg := 0
+	for v := 0; v < nv; v++ {
+		if d := h.NodeDegree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	for k := 1; k <= maxDeg; k++ {
+		alive := make([]bool, nv)
+		for v := range alive {
+			alive[v] = true
+		}
+		for {
+			changed := false
+			for v := 0; v < nv; v++ {
+				if !alive[v] {
+					continue
+				}
+				liveDeg := 0
+				for _, e := range h.Nodes.Row(v) {
+					ok := true
+					for _, u := range h.Edges.Row(int(e)) {
+						if !alive[u] {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						liveDeg++
+					}
+				}
+				if liveDeg < k {
+					alive[v] = false
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		for v := 0; v < nv; v++ {
+			if alive[v] {
+				core[v] = k
+			}
+		}
+	}
+	return core
+}
+
+func TestHyperCorenessSingleEdge(t *testing.T) {
+	h := FromSets([][]uint32{{0, 1}}, 3)
+	core := HyperCoreness(h)
+	if core[0] != 1 || core[1] != 1 || core[2] != 0 {
+		t.Fatalf("core = %v", core)
+	}
+}
+
+func TestHyperCorenessNestedStructure(t *testing.T) {
+	// Nodes 0,1 share three hyperedges; node 2 hangs off one extra edge.
+	h := FromSets([][]uint32{{0, 1}, {0, 1}, {0, 1}, {1, 2}}, 3)
+	core := HyperCoreness(h)
+	want := []int{3, 3, 1}
+	for v := range want {
+		if core[v] != want[v] {
+			t.Fatalf("core = %v, want %v", core, want)
+		}
+	}
+}
+
+func TestHyperCorenessMatchesOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		h := randomHypergraph(20, 12, 4, seed)
+		got := HyperCoreness(h)
+		want := hyperCorenessOracle(h)
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHyperCorenessPaperExample(t *testing.T) {
+	h := paperHypergraph()
+	core := HyperCoreness(h)
+	want := hyperCorenessOracle(h)
+	for v := range want {
+		if core[v] != want[v] {
+			t.Fatalf("core = %v, want %v", core, want)
+		}
+	}
+}

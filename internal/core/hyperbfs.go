@@ -1,0 +1,228 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"nwhy/internal/graph"
+	"nwhy/internal/parallel"
+)
+
+// HyperBFSResult carries the BFS levels of both index spaces from a
+// traversal of the bipartite representation. Levels count bipartite hops:
+// the source has level 0, its incident entities level 1, and so on; -1 means
+// unreachable.
+type HyperBFSResult struct {
+	EdgeLevel []int32
+	NodeLevel []int32
+}
+
+// ReachedEdges reports how many hyperedges the traversal visited.
+func (r *HyperBFSResult) ReachedEdges() int { return countReached(r.EdgeLevel) }
+
+// ReachedNodes reports how many hypernodes the traversal visited.
+func (r *HyperBFSResult) ReachedNodes() int { return countReached(r.NodeLevel) }
+
+func countReached(levels []int32) int {
+	n := 0
+	for _, l := range levels {
+		if l >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func newHyperBFSResult(ne, nv int) *HyperBFSResult {
+	r := &HyperBFSResult{EdgeLevel: make([]int32, ne), NodeLevel: make([]int32, nv)}
+	for i := range r.EdgeLevel {
+		r.EdgeLevel[i] = -1
+	}
+	for i := range r.NodeLevel {
+		r.NodeLevel[i] = -1
+	}
+	return r
+}
+
+// HyperBFSTopDown runs a parallel top-down BFS on the bipartite
+// representation from hyperedge srcEdge. Rounds alternate between the two
+// index spaces, and — as the paper notes for all bipartite-representation
+// algorithms — two of every algorithm-specific structure are maintained, one
+// per index space.
+func HyperBFSTopDown(h *Hypergraph, srcEdge int) *HyperBFSResult {
+	r := newHyperBFSResult(h.NumEdges(), h.NumNodes())
+	r.EdgeLevel[srcEdge] = 0
+	p := parallel.Default()
+	edgeFrontier := []uint32{uint32(srcEdge)}
+	var nodeFrontier []uint32
+	for depth := int32(1); len(edgeFrontier) > 0 || len(nodeFrontier) > 0; depth++ {
+		if depth%2 == 1 {
+			nodeFrontier = expandFrontier(p, edgeFrontier, h.Edges.Row, r.NodeLevel, depth)
+			edgeFrontier = nil
+		} else {
+			edgeFrontier = expandFrontier(p, nodeFrontier, h.Nodes.Row, r.EdgeLevel, depth)
+			nodeFrontier = nil
+		}
+	}
+	return r
+}
+
+// expandFrontier claims unvisited targets of every frontier member with a
+// CAS on the target level array, returning the next frontier.
+func expandFrontier(p *parallel.Pool, frontier []uint32, row func(int) []uint32, level []int32, depth int32) []uint32 {
+	next := parallel.NewTLS(p, func() []uint32 { return nil })
+	p.For(parallel.Blocked(0, len(frontier)), func(w, lo, hi int) {
+		buf := next.Get(w)
+		for i := lo; i < hi; i++ {
+			for _, t := range row(int(frontier[i])) {
+				if atomic.LoadInt32(&level[t]) == -1 &&
+					atomic.CompareAndSwapInt32(&level[t], -1, depth) {
+					*buf = append(*buf, t)
+				}
+			}
+		}
+	})
+	var out []uint32
+	next.All(func(v *[]uint32) { out = append(out, *v...) })
+	return out
+}
+
+// HyperBFSBottomUp runs a parallel bottom-up BFS on the bipartite
+// representation: each round, every unvisited entity of the side being
+// expanded scans its incidence list for a frontier member.
+func HyperBFSBottomUp(h *Hypergraph, srcEdge int) *HyperBFSResult {
+	ne, nv := h.NumEdges(), h.NumNodes()
+	r := newHyperBFSResult(ne, nv)
+	r.EdgeLevel[srcEdge] = 0
+	p := parallel.Default()
+	edgeFront := parallel.NewBitset(ne)
+	edgeFront.Set(srcEdge)
+	var nodeFront *parallel.Bitset
+	for depth := int32(1); ; depth++ {
+		var awake int64
+		if depth%2 == 1 {
+			nodeFront, awake = bottomUpStep(p, nv, h.Nodes.Row, edgeFront, r.NodeLevel, depth)
+		} else {
+			edgeFront, awake = bottomUpStep(p, ne, h.Edges.Row, nodeFront, r.EdgeLevel, depth)
+		}
+		if awake == 0 {
+			return r
+		}
+	}
+}
+
+// bottomUpStep marks every unvisited entity adjacent to the previous side's
+// frontier, writing its level and setting it in the next frontier bitmap.
+func bottomUpStep(p *parallel.Pool, n int, row func(int) []uint32, front *parallel.Bitset, level []int32, depth int32) (*parallel.Bitset, int64) {
+	next := parallel.NewBitset(n)
+	var awake atomic.Int64
+	p.For(parallel.Blocked(0, n), func(_, lo, hi int) {
+		local := int64(0)
+		for v := lo; v < hi; v++ {
+			if level[v] != -1 {
+				continue
+			}
+			for _, u := range row(v) {
+				if front.Get(int(u)) {
+					level[v] = depth
+					next.Set(v)
+					local++
+					break
+				}
+			}
+		}
+		awake.Add(local)
+	})
+	return next, awake.Load()
+}
+
+// hyperDOAlpha/hyperDOBeta are the direction-switch thresholds for the
+// hybrid bipartite BFS, following Beamer's heuristics.
+const (
+	hyperDOAlpha = 15
+	hyperDOBeta  = 18
+)
+
+// HyperBFSDirectionOptimizing runs a hybrid BFS on the bipartite
+// representation: each half-step picks top-down or bottom-up by comparing
+// the frontier's incidence volume against the unexplored remainder of the
+// side being expanded — the bipartite analogue of the direction-optimizing
+// BFS that AdjoinBFS gets for free from the graph library.
+func HyperBFSDirectionOptimizing(h *Hypergraph, srcEdge int) *HyperBFSResult {
+	ne, nv := h.NumEdges(), h.NumNodes()
+	r := newHyperBFSResult(ne, nv)
+	r.EdgeLevel[srcEdge] = 0
+	p := parallel.Default()
+
+	frontier := []uint32{uint32(srcEdge)}
+	onEdges := true // the side the frontier lives on
+	incTotal := int64(h.NumIncidences())
+	var exploredInc int64
+
+	for depth := int32(1); len(frontier) > 0; depth++ {
+		// Volume of incidences leaving the frontier.
+		var frontInc int64
+		rowOut := h.Edges.Row
+		rowIn := h.Nodes.Row
+		nOther := nv
+		level := r.NodeLevel
+		if !onEdges {
+			rowOut, rowIn = h.Nodes.Row, h.Edges.Row
+			nOther = ne
+			level = r.EdgeLevel
+		}
+		for _, u := range frontier {
+			frontInc += int64(len(rowOut(int(u))))
+		}
+		exploredInc += frontInc
+		bottomUp := frontInc > (incTotal-exploredInc)/hyperDOAlpha &&
+			len(frontier) > nOther/hyperDOBeta
+
+		if bottomUp {
+			// Bitmap over the frontier's own side.
+			front := parallel.NewBitset(frontierSpace(onEdges, ne, nv))
+			for _, u := range frontier {
+				front.Set(int(u))
+			}
+			var awake int64
+			var next *parallel.Bitset
+			next, awake = bottomUpStep(p, nOther, rowIn, front, level, depth)
+			if awake == 0 {
+				return r
+			}
+			frontier = bitsetToList(next)
+		} else {
+			frontier = expandFrontier(p, frontier, func(i int) []uint32 { return rowOut(i) }, level, depth)
+		}
+		onEdges = !onEdges
+	}
+	return r
+}
+
+func frontierSpace(onEdges bool, ne, nv int) int {
+	if onEdges {
+		return ne
+	}
+	return nv
+}
+
+func bitsetToList(b *parallel.Bitset) []uint32 {
+	var out []uint32
+	for i := 0; i < b.Len(); i++ {
+		if b.Get(i) {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}
+
+// AdjoinBFS runs the direction-optimizing BFS of the graph library on the
+// adjoin representation from hyperedge srcEdge, then splits the shared-space
+// levels back into the two index spaces. Level semantics match HyperBFS.
+func AdjoinBFS(a *AdjoinGraph, srcEdge int) *HyperBFSResult {
+	res := graph.BFSDirectionOptimizing(a.G, a.EdgeID(srcEdge))
+	edgeLvl, nodeLvl := SplitResult(a, res.Level)
+	return &HyperBFSResult{
+		EdgeLevel: append([]int32(nil), edgeLvl...),
+		NodeLevel: append([]int32(nil), nodeLvl...),
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// hyperBFSOracle runs a sequential BFS on the bipartite structure.
+func hyperBFSOracle(h *Hypergraph, srcEdge int) *HyperBFSResult {
+	r := newHyperBFSResult(h.NumEdges(), h.NumNodes())
+	r.EdgeLevel[srcEdge] = 0
+	type item struct {
+		id     uint32
+		isEdge bool
+	}
+	queue := []item{{uint32(srcEdge), true}}
+	for head := 0; head < len(queue); head++ {
+		it := queue[head]
+		if it.isEdge {
+			d := r.EdgeLevel[it.id]
+			for _, v := range h.Edges.Row(int(it.id)) {
+				if r.NodeLevel[v] == -1 {
+					r.NodeLevel[v] = d + 1
+					queue = append(queue, item{v, false})
+				}
+			}
+		} else {
+			d := r.NodeLevel[it.id]
+			for _, e := range h.Nodes.Row(int(it.id)) {
+				if r.EdgeLevel[e] == -1 {
+					r.EdgeLevel[e] = d + 1
+					queue = append(queue, item{e, true})
+				}
+			}
+		}
+	}
+	return r
+}
+
+func checkHyperBFS(t *testing.T, h *Hypergraph, src int) {
+	t.Helper()
+	want := hyperBFSOracle(h, src)
+	for name, fn := range map[string]func(*Hypergraph, int) *HyperBFSResult{
+		"topdown":  HyperBFSTopDown,
+		"bottomup": HyperBFSBottomUp,
+	} {
+		got := fn(h, src)
+		for e := range want.EdgeLevel {
+			if got.EdgeLevel[e] != want.EdgeLevel[e] {
+				t.Fatalf("%s: edge level[%d] = %d, want %d", name, e, got.EdgeLevel[e], want.EdgeLevel[e])
+			}
+		}
+		for v := range want.NodeLevel {
+			if got.NodeLevel[v] != want.NodeLevel[v] {
+				t.Fatalf("%s: node level[%d] = %d, want %d", name, v, got.NodeLevel[v], want.NodeLevel[v])
+			}
+		}
+	}
+	// AdjoinBFS must agree too: levels on the adjoin graph count the same
+	// bipartite hops.
+	a := Adjoin(h)
+	got := AdjoinBFS(a, src)
+	for e := range want.EdgeLevel {
+		if got.EdgeLevel[e] != want.EdgeLevel[e] {
+			t.Fatalf("adjoin: edge level[%d] = %d, want %d", e, got.EdgeLevel[e], want.EdgeLevel[e])
+		}
+	}
+	for v := range want.NodeLevel {
+		if got.NodeLevel[v] != want.NodeLevel[v] {
+			t.Fatalf("adjoin: node level[%d] = %d, want %d", v, got.NodeLevel[v], want.NodeLevel[v])
+		}
+	}
+}
+
+func TestHyperBFSPaperExample(t *testing.T) {
+	h := paperHypergraph()
+	checkHyperBFS(t, h, 0)
+	r := HyperBFSTopDown(h, 0)
+	// From e0: nodes {0,1,2} at level 1; edges e1 (via node 2) and e3 (via
+	// node 0) at level 2; their nodes at level 3; e2 at level 4.
+	if r.EdgeLevel[0] != 0 || r.EdgeLevel[1] != 2 || r.EdgeLevel[3] != 2 || r.EdgeLevel[2] != 4 {
+		t.Fatalf("edge levels = %v", r.EdgeLevel)
+	}
+	if r.NodeLevel[0] != 1 || r.NodeLevel[3] != 3 || r.NodeLevel[5] != 5 {
+		t.Fatalf("node levels = %v", r.NodeLevel)
+	}
+	if r.ReachedEdges() != 4 || r.ReachedNodes() != 9 {
+		t.Fatalf("reached %d edges, %d nodes", r.ReachedEdges(), r.ReachedNodes())
+	}
+}
+
+func TestHyperBFSDisconnected(t *testing.T) {
+	h := FromSets([][]uint32{{0, 1}, {2, 3}}, 4)
+	checkHyperBFS(t, h, 0)
+	r := HyperBFSTopDown(h, 0)
+	if r.EdgeLevel[1] != -1 || r.NodeLevel[2] != -1 {
+		t.Fatal("second component should be unreachable")
+	}
+	if r.ReachedEdges() != 1 || r.ReachedNodes() != 2 {
+		t.Fatal("reach counts wrong")
+	}
+}
+
+func TestHyperBFSFromOtherSources(t *testing.T) {
+	h := paperHypergraph()
+	for src := 0; src < h.NumEdges(); src++ {
+		checkHyperBFS(t, h, src)
+	}
+}
+
+func TestHyperBFSRandomAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		h := randomHypergraph(25, 40, 6, seed)
+		want := hyperBFSOracle(h, 0)
+		for _, fn := range []func(*Hypergraph, int) *HyperBFSResult{HyperBFSTopDown, HyperBFSBottomUp} {
+			got := fn(h, 0)
+			for e := range want.EdgeLevel {
+				if got.EdgeLevel[e] != want.EdgeLevel[e] {
+					return false
+				}
+			}
+			for v := range want.NodeLevel {
+				if got.NodeLevel[v] != want.NodeLevel[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHyperBFSSingleEdge(t *testing.T) {
+	h := FromSets([][]uint32{{0, 1, 2}}, 3)
+	r := HyperBFSTopDown(h, 0)
+	for v := 0; v < 3; v++ {
+		if r.NodeLevel[v] != 1 {
+			t.Fatalf("node level = %v", r.NodeLevel)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// hyperCCOracle computes components with sequential union-find over the
+// shared index space.
+func hyperCCOracle(h *Hypergraph) *HyperCCResult {
+	ne, nv := h.NumEdges(), h.NumNodes()
+	parent := make([]int, ne+nv)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra < rb {
+			parent[rb] = ra
+		} else if rb < ra {
+			parent[ra] = rb
+		}
+	}
+	for e := 0; e < ne; e++ {
+		for _, v := range h.Edges.Row(e) {
+			union(e, ne+int(v))
+		}
+	}
+	r := &HyperCCResult{EdgeComp: make([]uint32, ne), NodeComp: make([]uint32, nv)}
+	for e := 0; e < ne; e++ {
+		r.EdgeComp[e] = uint32(find(e))
+	}
+	for v := 0; v < nv; v++ {
+		r.NodeComp[v] = uint32(find(ne + v))
+	}
+	return r
+}
+
+func checkHyperCC(t *testing.T, h *Hypergraph) {
+	t.Helper()
+	want := hyperCCOracle(h)
+	algs := map[string]func() *HyperCCResult{
+		"hypercc":         func() *HyperCCResult { return HyperCC(h) },
+		"adjoin-afforest": func() *HyperCCResult { return AdjoinCC(Adjoin(h), AdjoinAfforest) },
+		"adjoin-labelprop": func() *HyperCCResult {
+			return AdjoinCC(Adjoin(h), AdjoinLabelPropagation)
+		},
+	}
+	for name, fn := range algs {
+		got := fn()
+		if !reflect.DeepEqual(got.EdgeComp, want.EdgeComp) {
+			t.Fatalf("%s edge components = %v, want %v", name, got.EdgeComp, want.EdgeComp)
+		}
+		if !reflect.DeepEqual(got.NodeComp, want.NodeComp) {
+			t.Fatalf("%s node components = %v, want %v", name, got.NodeComp, want.NodeComp)
+		}
+	}
+}
+
+func TestHyperCCPaperExampleOneComponent(t *testing.T) {
+	h := paperHypergraph()
+	checkHyperCC(t, h)
+	r := HyperCC(h)
+	if r.NumComponents() != 1 {
+		t.Fatalf("NumComponents = %d, want 1", r.NumComponents())
+	}
+	for _, c := range r.EdgeComp {
+		if c != 0 {
+			t.Fatalf("labels not canonical: %v", r.EdgeComp)
+		}
+	}
+}
+
+func TestHyperCCTwoComponents(t *testing.T) {
+	h := FromSets([][]uint32{{0, 1}, {1, 2}, {3, 4}}, 5)
+	checkHyperCC(t, h)
+	r := HyperCC(h)
+	if r.NumComponents() != 2 {
+		t.Fatalf("NumComponents = %d, want 2", r.NumComponents())
+	}
+	if r.EdgeComp[0] != r.EdgeComp[1] || r.EdgeComp[0] == r.EdgeComp[2] {
+		t.Fatalf("edge components = %v", r.EdgeComp)
+	}
+	if r.NodeComp[0] != r.NodeComp[2] || r.NodeComp[0] == r.NodeComp[3] {
+		t.Fatalf("node components = %v", r.NodeComp)
+	}
+}
+
+func TestHyperCCIsolatedNodes(t *testing.T) {
+	// Nodes 2 and 3 are in no hyperedge: each is its own component.
+	h := FromSets([][]uint32{{0, 1}}, 4)
+	checkHyperCC(t, h)
+	r := HyperCC(h)
+	if r.NumComponents() != 3 {
+		t.Fatalf("NumComponents = %d, want 3", r.NumComponents())
+	}
+}
+
+func TestHyperCCEmptyHyperedge(t *testing.T) {
+	// An empty hyperedge forms a singleton component.
+	h := FromSets([][]uint32{{}, {0}}, 1)
+	checkHyperCC(t, h)
+	if got := HyperCC(h).NumComponents(); got != 2 {
+		t.Fatalf("NumComponents = %d, want 2", got)
+	}
+}
+
+func TestHyperCCRandomAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		h := randomHypergraph(30, 30, 4, seed)
+		want := hyperCCOracle(h)
+		got := HyperCC(h)
+		if !reflect.DeepEqual(got.EdgeComp, want.EdgeComp) || !reflect.DeepEqual(got.NodeComp, want.NodeComp) {
+			return false
+		}
+		ad := AdjoinCC(Adjoin(h), AdjoinAfforest)
+		return reflect.DeepEqual(ad.EdgeComp, want.EdgeComp) && reflect.DeepEqual(ad.NodeComp, want.NodeComp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHyperCCManyComponents(t *testing.T) {
+	// 50 disjoint hyperedges.
+	sets := make([][]uint32, 50)
+	for i := range sets {
+		sets[i] = []uint32{uint32(2 * i), uint32(2*i + 1)}
+	}
+	h := FromSets(sets, 100)
+	checkHyperCC(t, h)
+	if got := HyperCC(h).NumComponents(); got != 50 {
+		t.Fatalf("NumComponents = %d, want 50", got)
+	}
+}

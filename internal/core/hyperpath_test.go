@@ -1,0 +1,101 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestHyperTreePaperExample(t *testing.T) {
+	h := paperHypergraph()
+	tr := BuildHyperTree(h, 0)
+	if !tr.Verify(h) {
+		t.Fatal("hypertree invariants violated")
+	}
+	// Levels must match plain HyperBFS.
+	want := HyperBFSTopDown(h, 0)
+	if !reflect.DeepEqual(tr.EdgeLevel, want.EdgeLevel) || !reflect.DeepEqual(tr.NodeLevel, want.NodeLevel) {
+		t.Fatal("hypertree levels differ from HyperBFS")
+	}
+}
+
+func TestHyperPathToEdge(t *testing.T) {
+	h := paperHypergraph()
+	tr := BuildHyperTree(h, 0)
+	// e2 is at level 4: path e0 -> node -> e -> node -> e2 (5 steps).
+	path := tr.HyperPathToEdge(2)
+	if len(path) != 5 {
+		t.Fatalf("path length %d, want 5: %v", len(path), path)
+	}
+	if path[0].ID != 0 || !path[0].IsEdge {
+		t.Fatalf("path must start at root: %v", path)
+	}
+	if path[4].ID != 2 || !path[4].IsEdge {
+		t.Fatalf("path must end at e2: %v", path)
+	}
+	// Alternation and incidence.
+	for i := 1; i < len(path); i++ {
+		if path[i].IsEdge == path[i-1].IsEdge {
+			t.Fatalf("path does not alternate: %v", path)
+		}
+		var edge, node uint32
+		if path[i].IsEdge {
+			edge, node = path[i].ID, path[i-1].ID
+		} else {
+			edge, node = path[i-1].ID, path[i].ID
+		}
+		if !containsU32(h.Edges.Row(int(edge)), node) {
+			t.Fatalf("consecutive path entities not incident: %v", path)
+		}
+	}
+}
+
+func TestHyperPathToNode(t *testing.T) {
+	h := paperHypergraph()
+	tr := BuildHyperTree(h, 0)
+	path := tr.HyperPathToNode(5) // node 5 is at level 5 (via e2)
+	if len(path) != 6 {
+		t.Fatalf("path = %v", path)
+	}
+	last := path[len(path)-1]
+	if last.ID != 5 || last.IsEdge {
+		t.Fatalf("path must end at node 5: %v", path)
+	}
+}
+
+func TestHyperPathUnreachable(t *testing.T) {
+	h := FromSets([][]uint32{{0, 1}, {2, 3}}, 4)
+	tr := BuildHyperTree(h, 0)
+	if tr.HyperPathToEdge(1) != nil {
+		t.Fatal("unreachable edge path should be nil")
+	}
+	if tr.HyperPathToNode(2) != nil {
+		t.Fatal("unreachable node path should be nil")
+	}
+	if tr.HyperPathToEdge(0) == nil || len(tr.HyperPathToEdge(0)) != 1 {
+		t.Fatal("root path should be [root]")
+	}
+}
+
+func TestHyperTreeRandomVerify(t *testing.T) {
+	f := func(seed int64) bool {
+		h := randomHypergraph(30, 40, 5, seed)
+		tr := BuildHyperTree(h, 0)
+		if !tr.Verify(h) {
+			return false
+		}
+		// Path lengths must match levels for all reachable edges.
+		for e := 0; e < h.NumEdges(); e++ {
+			if tr.EdgeLevel[e] < 0 {
+				continue
+			}
+			if len(tr.HyperPathToEdge(e)) != int(tr.EdgeLevel[e])+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

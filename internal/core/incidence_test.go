@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// These tests pin the §II definitions directly: incidence matrix structure,
+// duality, and the degree identities that every representation must agree
+// on.
+
+func TestIncidenceMatrixRowColSums(t *testing.T) {
+	// Row sums of the incidence matrix = hyperedge degrees; column sums =
+	// hypernode degrees (B is |E| x |V| here with rows as hyperedges).
+	f := func(seed int64) bool {
+		h := randomHypergraph(25, 20, 5, seed)
+		for e := 0; e < h.NumEdges(); e++ {
+			if len(h.EdgeIncidence(e)) != h.EdgeDegree(e) {
+				return false
+			}
+		}
+		colSums := make([]int, h.NumNodes())
+		for e := 0; e < h.NumEdges(); e++ {
+			for _, v := range h.EdgeIncidence(e) {
+				colSums[v]++
+			}
+		}
+		for v := 0; v < h.NumNodes(); v++ {
+			if colSums[v] != h.NodeDegree(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDualIncidenceIsTranspose(t *testing.T) {
+	// B^t is the incidence matrix of H* (paper §II.C).
+	f := func(seed int64) bool {
+		h := randomHypergraph(20, 15, 4, seed)
+		d := h.Dual()
+		for e := 0; e < h.NumEdges(); e++ {
+			for _, v := range h.EdgeIncidence(e) {
+				// (e, v) in B  <=>  (v, e) in B^t.
+				found := false
+				for _, f := range d.EdgeIncidence(int(v)) {
+					if int(f) == e {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return h.NumIncidences() == d.NumIncidences()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdjacencyViaSharedHyperedge(t *testing.T) {
+	// Two hypernodes are adjacent iff they are incident on a common
+	// hyperedge (§II.C); NodeNeighbors must agree with a brute-force check.
+	f := func(seed int64) bool {
+		h := randomHypergraph(15, 12, 4, seed)
+		for u := 0; u < h.NumNodes(); u++ {
+			nbrs := map[uint32]bool{}
+			for _, n := range h.NodeNeighbors(u) {
+				nbrs[n] = true
+			}
+			for v := 0; v < h.NumNodes(); v++ {
+				if v == u {
+					continue
+				}
+				share := false
+				for _, e := range h.NodeIncidence(u) {
+					for _, f := range h.NodeIncidence(v) {
+						if e == f {
+							share = true
+						}
+					}
+				}
+				if share != nbrs[uint32(v)] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSIncidenceDefinition(t *testing.T) {
+	// e and f are s-incident iff |e ∩ f| >= s (§II.D): EdgeNeighbors is
+	// exactly 1-incidence.
+	h := paperHypergraph()
+	for e := 0; e < h.NumEdges(); e++ {
+		nbrs := map[uint32]bool{}
+		for _, n := range h.EdgeNeighbors(e) {
+			nbrs[n] = true
+		}
+		for f := 0; f < h.NumEdges(); f++ {
+			if f == e {
+				continue
+			}
+			common := 0
+			for _, a := range h.EdgeIncidence(e) {
+				for _, b := range h.EdgeIncidence(f) {
+					if a == b {
+						common++
+					}
+				}
+			}
+			if (common >= 1) != nbrs[uint32(f)] {
+				t.Fatalf("1-incidence mismatch between e%d and e%d", e, f)
+			}
+		}
+	}
+}
+
+func TestAdjoinMatrixSymmetryFromIncidence(t *testing.T) {
+	// A_G = [[0, B^t],[B, 0]] means: shared-space entry (e, ne+v) exists
+	// iff incidence (e, v) exists, and the matrix is symmetric.
+	h := paperHypergraph()
+	a := Adjoin(h)
+	ne := h.NumEdges()
+	for e := 0; e < ne; e++ {
+		row := map[uint32]bool{}
+		for _, x := range a.G.Row(e) {
+			row[x] = true
+		}
+		for v := 0; v < h.NumNodes(); v++ {
+			want := false
+			for _, iv := range h.EdgeIncidence(e) {
+				if int(iv) == v {
+					want = true
+				}
+			}
+			if row[uint32(ne+v)] != want {
+				t.Fatalf("adjoin entry (e%d, v%d) = %v, want %v", e, v, row[uint32(ne+v)], want)
+			}
+		}
+	}
+}

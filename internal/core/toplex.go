@@ -1,0 +1,113 @@
+package core
+
+import (
+	"nwhy/internal/parallel"
+)
+
+// Toplexes computes the maximal hyperedges of a hypergraph (the paper's
+// Algorithm 3): hyperedge e is a toplex iff no other hyperedge f is a strict
+// superset of e. Duplicate hyperedges keep only the smallest ID.
+//
+// Unlike Algorithm 3's shared mutable set, this implementation decides each
+// hyperedge independently (embarrassingly parallel) with a counting
+// superset test: any f containing e appears exactly |e| times among the
+// incidence lists of e's vertices, so tallying those lists finds every
+// superset in O(Σ_{v∈e} d(v)) without pairwise subset checks.
+func Toplexes(h *Hypergraph) []uint32 {
+	ne := h.NumEdges()
+	p := parallel.Default()
+	tls := parallel.NewTLS(p, func() []uint32 { return nil })
+	counts := parallel.NewTLS(p, func() map[uint32]int { return map[uint32]int{} })
+	p.For(parallel.Blocked(0, ne), func(w, lo, hi int) {
+		buf := tls.Get(w)
+		cnt := *counts.Get(w)
+		for e := lo; e < hi; e++ {
+			if isToplex(h, uint32(e), cnt) {
+				*buf = append(*buf, uint32(e))
+			}
+		}
+	})
+	var out []uint32
+	tls.All(func(v *[]uint32) { out = append(out, *v...) })
+	sortU32(out)
+	return out
+}
+
+// isToplex decides whether e is maximal. cnt is reusable scratch (cleared
+// before use).
+func isToplex(h *Hypergraph, e uint32, cnt map[uint32]int) bool {
+	clear(cnt)
+	size := h.EdgeDegree(int(e))
+	if size == 0 {
+		// Empty hyperedges are contained in every hyperedge; an empty
+		// hyperedge is a toplex only if it is the smallest-ID empty edge and
+		// no non-empty edge exists.
+		for f := 0; f < h.NumEdges(); f++ {
+			if f != int(e) && (h.EdgeDegree(f) > 0 || f < int(e)) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, v := range h.EdgeIncidence(int(e)) {
+		for _, f := range h.NodeIncidence(int(v)) {
+			if f != e {
+				cnt[f]++
+			}
+		}
+	}
+	for f, c := range cnt {
+		if c != size {
+			continue // f does not contain all of e
+		}
+		df := h.EdgeDegree(int(f))
+		if df > size {
+			return false // strict superset
+		}
+		if df == size && f < e {
+			return false // duplicate set; smaller ID wins
+		}
+	}
+	return true
+}
+
+// ToplexesBruteForce is the O(|E|² · Δ) oracle used by tests: pairwise
+// subset checks over sorted incidence lists.
+func ToplexesBruteForce(h *Hypergraph) []uint32 {
+	ne := h.NumEdges()
+	var out []uint32
+	for e := 0; e < ne; e++ {
+		maximal := true
+		for f := 0; f < ne && maximal; f++ {
+			if f == e {
+				continue
+			}
+			if subsetSorted(h.EdgeIncidence(e), h.EdgeIncidence(f)) {
+				if h.EdgeDegree(f) > h.EdgeDegree(e) || f < e {
+					maximal = false
+				}
+			}
+		}
+		if maximal {
+			out = append(out, uint32(e))
+		}
+	}
+	return out
+}
+
+// subsetSorted reports whether sorted slice a ⊆ sorted slice b.
+func subsetSorted(a, b []uint32) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] > b[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(a)
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestToplexesPaperExample(t *testing.T) {
+	// No hyperedge of the running example contains another: all are toplexes.
+	got := Toplexes(paperHypergraph())
+	if !reflect.DeepEqual(got, []uint32{0, 1, 2, 3}) {
+		t.Fatalf("toplexes = %v", got)
+	}
+}
+
+func TestToplexesStrictContainment(t *testing.T) {
+	h := FromSets([][]uint32{
+		{0, 1, 2}, // toplex
+		{0, 1},    // contained in e0
+		{1, 2, 3}, // toplex
+		{3},       // contained in e2
+	}, 4)
+	got := Toplexes(h)
+	if !reflect.DeepEqual(got, []uint32{0, 2}) {
+		t.Fatalf("toplexes = %v, want [0 2]", got)
+	}
+}
+
+func TestToplexesDuplicateSetsKeepSmallestID(t *testing.T) {
+	h := FromSets([][]uint32{
+		{0, 1},
+		{0, 1},
+		{2},
+	}, 3)
+	got := Toplexes(h)
+	if !reflect.DeepEqual(got, []uint32{0, 2}) {
+		t.Fatalf("toplexes = %v, want [0 2]", got)
+	}
+}
+
+func TestToplexesChain(t *testing.T) {
+	// Nested chain {0} ⊂ {0,1} ⊂ {0,1,2} ⊂ {0,1,2,3}: only the largest wins.
+	h := FromSets([][]uint32{{0}, {0, 1}, {0, 1, 2}, {0, 1, 2, 3}}, 4)
+	got := Toplexes(h)
+	if !reflect.DeepEqual(got, []uint32{3}) {
+		t.Fatalf("toplexes = %v, want [3]", got)
+	}
+}
+
+func TestToplexesEmptyEdges(t *testing.T) {
+	// An empty edge is dominated by any non-empty edge.
+	h := FromSets([][]uint32{{}, {0}}, 1)
+	if got := Toplexes(h); !reflect.DeepEqual(got, []uint32{1}) {
+		t.Fatalf("toplexes = %v, want [1]", got)
+	}
+	// Two empty edges: smallest ID survives only if nothing else exists.
+	h2 := FromSets([][]uint32{{}, {}}, 0)
+	if got := Toplexes(h2); !reflect.DeepEqual(got, []uint32{0}) {
+		t.Fatalf("toplexes = %v, want [0]", got)
+	}
+}
+
+func TestToplexesSingleEdge(t *testing.T) {
+	h := FromSets([][]uint32{{0, 1, 2}}, 3)
+	if got := Toplexes(h); !reflect.DeepEqual(got, []uint32{0}) {
+		t.Fatalf("toplexes = %v", got)
+	}
+}
+
+func TestToplexesMatchBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		h := randomHypergraph(25, 12, 5, seed) // small node space forces containments
+		return reflect.DeepEqual(Toplexes(h), ToplexesBruteForce(h))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToplexCoverInvariant(t *testing.T) {
+	// Every hyperedge must be contained in some toplex.
+	f := func(seed int64) bool {
+		h := randomHypergraph(20, 10, 4, seed)
+		tops := Toplexes(h)
+		for e := 0; e < h.NumEdges(); e++ {
+			covered := false
+			for _, f := range tops {
+				if subsetSorted(h.EdgeIncidence(e), h.EdgeIncidence(int(f))) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubsetSorted(t *testing.T) {
+	cases := []struct {
+		a, b []uint32
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, []uint32{1}, true},
+		{[]uint32{1}, nil, false},
+		{[]uint32{1, 3}, []uint32{1, 2, 3}, true},
+		{[]uint32{1, 4}, []uint32{1, 2, 3}, false},
+		{[]uint32{2}, []uint32{1, 2, 3}, true},
+		{[]uint32{1, 2, 3}, []uint32{1, 2, 3}, true},
+	}
+	for _, c := range cases {
+		if got := subsetSorted(c.a, c.b); got != c.want {
+			t.Errorf("subsetSorted(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

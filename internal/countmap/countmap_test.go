@@ -1,0 +1,185 @@
+package countmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicCounting(t *testing.T) {
+	m := New(4)
+	m.Inc(10, 1)
+	m.Inc(10, 1)
+	m.Inc(20, 1)
+	if m.Get(10) != 2 || m.Get(20) != 1 || m.Get(30) != 0 {
+		t.Fatalf("counts: %d %d %d", m.Get(10), m.Get(20), m.Get(30))
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestIncDelta(t *testing.T) {
+	m := New(4)
+	m.Inc(7, 5)
+	m.Inc(7, -2)
+	if m.Get(7) != 3 {
+		t.Fatalf("Get = %d", m.Get(7))
+	}
+}
+
+func TestClearIsCheapAndComplete(t *testing.T) {
+	m := New(4)
+	for i := uint32(0); i < 100; i++ {
+		m.Inc(i, 1)
+	}
+	m.Clear()
+	if m.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", m.Len())
+	}
+	for i := uint32(0); i < 100; i++ {
+		if m.Get(i) != 0 {
+			t.Fatalf("key %d survived Clear", i)
+		}
+	}
+	// Reuse after Clear.
+	m.Inc(5, 1)
+	if m.Get(5) != 1 || m.Len() != 1 {
+		t.Fatal("map broken after Clear")
+	}
+}
+
+func TestGrowPreservesCounts(t *testing.T) {
+	m := New(2) // tiny: forces several grows
+	for i := uint32(0); i < 1000; i++ {
+		m.Inc(i%37, 1)
+	}
+	for i := uint32(0); i < 37; i++ {
+		want := int32(1000 / 37)
+		if i < 1000%37 {
+			want++
+		}
+		if m.Get(i) != want {
+			t.Fatalf("Get(%d) = %d, want %d", i, m.Get(i), want)
+		}
+	}
+}
+
+func TestRangeVisitsAllOnce(t *testing.T) {
+	m := New(8)
+	for i := uint32(0); i < 50; i++ {
+		m.Inc(i*3, int32(i))
+	}
+	seen := map[uint32]int32{}
+	m.Range(func(k uint32, c int32) {
+		if _, dup := seen[k]; dup {
+			t.Fatalf("key %d visited twice", k)
+		}
+		seen[k] = c
+	})
+	if len(seen) != 50 {
+		t.Fatalf("Range visited %d keys", len(seen))
+	}
+	for i := uint32(0); i < 50; i++ {
+		if seen[i*3] != int32(i) {
+			t.Fatalf("key %d count %d", i*3, seen[i*3])
+		}
+	}
+}
+
+func TestMatchesBuiltinMapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(4)
+		oracle := map[uint32]int32{}
+		for op := 0; op < 2000; op++ {
+			switch rng.Intn(10) {
+			case 0:
+				m.Clear()
+				oracle = map[uint32]int32{}
+			default:
+				k := uint32(rng.Intn(200))
+				m.Inc(k, 1)
+				oracle[k]++
+			}
+		}
+		if m.Len() != len(oracle) {
+			return false
+		}
+		for k, v := range oracle {
+			if m.Get(k) != v {
+				return false
+			}
+		}
+		total := 0
+		m.Range(func(k uint32, c int32) {
+			if oracle[k] != c {
+				total = -1 << 30
+			}
+			total++
+		})
+		return total == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpochWraparound(t *testing.T) {
+	m := New(4)
+	m.Inc(1, 1)
+	m.epoch = ^uint32(0) // force wraparound on next Clear
+	m.Clear()
+	if m.Get(1) != 0 {
+		t.Fatal("stale entry visible after wraparound reset")
+	}
+	m.Inc(2, 1)
+	if m.Get(2) != 1 {
+		t.Fatal("map broken after wraparound")
+	}
+}
+
+func TestAdversarialCollisions(t *testing.T) {
+	// Keys that collide under the Fibonacci hash low bits.
+	m := New(4)
+	keys := []uint32{0, 16, 32, 48, 64, 80}
+	for _, k := range keys {
+		m.Inc(k, 2)
+	}
+	for _, k := range keys {
+		if m.Get(k) != 2 {
+			t.Fatalf("Get(%d) = %d", k, m.Get(k))
+		}
+	}
+}
+
+func BenchmarkIncClear(b *testing.B) {
+	m := New(256)
+	for i := 0; i < b.N; i++ {
+		for k := uint32(0); k < 200; k++ {
+			m.Inc(k*7, 1)
+		}
+		m.Clear()
+	}
+}
+
+func BenchmarkVsBuiltinMap(b *testing.B) {
+	b.Run("countmap", func(b *testing.B) {
+		m := New(256)
+		for i := 0; i < b.N; i++ {
+			for k := uint32(0); k < 200; k++ {
+				m.Inc(k*7, 1)
+			}
+			m.Clear()
+		}
+	})
+	b.Run("builtin", func(b *testing.B) {
+		m := map[uint32]int32{}
+		for i := 0; i < b.N; i++ {
+			for k := uint32(0); k < 200; k++ {
+				m[k*7]++
+			}
+			clear(m)
+		}
+	})
+}

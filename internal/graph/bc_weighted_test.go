@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nwhy/internal/sparse"
+)
+
+// unitWeightedCopy returns g with explicit weight 1 on every arc.
+func unitWeightedCopy(g *Graph) *Graph {
+	var pairs []sparse.Edge
+	var ws []float64
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Row(u) {
+			pairs = append(pairs, sparse.Edge{U: uint32(u), V: v})
+			ws = append(ws, 1)
+		}
+	}
+	csr := sparse.FromPairs(g.NumVertices(), g.NumVertices(), pairs, ws)
+	out, err := FromCSR(csr)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func TestWeightedBCUnweightedFallback(t *testing.T) {
+	g := randomGraph(40, 100, 1)
+	a := WeightedBetweennessCentrality(g, false) // no weights: falls back
+	b := BetweennessCentrality(g, false)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatalf("fallback differs at %d", i)
+		}
+	}
+}
+
+func TestWeightedBCUnitWeightsMatchBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(30, 70, seed)
+		wg := unitWeightedCopy(g)
+		a := WeightedBetweennessCentrality(wg, false)
+		b := BetweennessCentrality(g, false)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedBCUniformScalingInvariant(t *testing.T) {
+	// Multiplying all weights by a constant must not change BC.
+	g := weightedRandomGraph(30, 80, 3)
+	a := WeightedBetweennessCentrality(g, false)
+	scaled := g.CSR().Clone()
+	for i := range scaled.Val {
+		scaled.Val[i] *= 7.5
+	}
+	sg, err := FromCSR(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := WeightedBetweennessCentrality(sg, false)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-6 {
+			t.Fatalf("scaling changed BC at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWeightedBCWeightedDetour(t *testing.T) {
+	// Triangle 0-1-2 plus heavy direct edge 0-2: with w(0,2) large, the
+	// path 0-1-2 is shortest, so vertex 1 gains betweenness it would not
+	// have with unit weights.
+	pairs := []sparse.Edge{
+		{U: 0, V: 1}, {U: 1, V: 0},
+		{U: 1, V: 2}, {U: 2, V: 1},
+		{U: 0, V: 2}, {U: 2, V: 0},
+	}
+	ws := []float64{1, 1, 1, 1, 10, 10}
+	csr := sparse.FromPairs(3, 3, pairs, ws)
+	g, err := FromCSR(csr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := WeightedBetweennessCentrality(g, false)
+	if bc[1] != 1 { // pair (0,2) routes through 1
+		t.Fatalf("BC[1] = %v, want 1", bc[1])
+	}
+	if bc[0] != 0 || bc[2] != 0 {
+		t.Fatalf("endpoints should be 0: %v", bc)
+	}
+}
+
+func TestWeightedBCNormalized(t *testing.T) {
+	g := weightedRandomGraph(20, 60, 9)
+	raw := WeightedBetweennessCentrality(g, false)
+	norm := WeightedBetweennessCentrality(g, true)
+	n := float64(g.NumVertices())
+	for i := range raw {
+		if math.Abs(norm[i]-raw[i]/((n-1)*(n-2))) > 1e-9 {
+			t.Fatalf("normalization wrong at %d", i)
+		}
+	}
+}

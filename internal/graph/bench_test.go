@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"testing"
+)
+
+func benchGraph(b *testing.B) *Graph {
+	b.Helper()
+	return randomGraph(20000, 200000, 1)
+}
+
+func BenchmarkBFSVariants(b *testing.B) {
+	g := benchGraph(b)
+	for name, fn := range map[string]func(*Graph, int) *BFSResult{
+		"topdown":  BFSTopDown,
+		"bottomup": BFSBottomUp,
+		"diropt":   BFSDirectionOptimizing,
+	} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = fn(g, 0)
+			}
+		})
+	}
+}
+
+func BenchmarkCCVariants(b *testing.B) {
+	g := benchGraph(b)
+	for name, fn := range map[string]func(*Graph) []uint32{
+		"labelprop": CCLabelPropagation,
+		"sv":        CCShiloachVishkin,
+		"afforest":  CCAfforest,
+	} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = fn(g)
+			}
+		})
+	}
+}
+
+func BenchmarkDeltaStepping(b *testing.B) {
+	g := weightedRandomGraph(10000, 80000, 2)
+	b.Run("auto-delta", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = DeltaStepping(g, 0, 0)
+		}
+	})
+}
+
+func BenchmarkBetweennessApprox(b *testing.B) {
+	g := randomGraph(2000, 12000, 3)
+	b.Run("k=32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = ApproxBetweennessCentrality(g, 32, 1, true)
+		}
+	})
+}
+
+func BenchmarkPageRank(b *testing.B) {
+	g := benchGraph(b)
+	for i := 0; i < b.N; i++ {
+		_ = PageRank(g, 0.85, 1e-8, 100)
+	}
+}
+
+func BenchmarkTriangleCount(b *testing.B) {
+	g := randomGraph(10000, 100000, 4)
+	for i := 0; i < b.N; i++ {
+		_ = TriangleCount(g)
+	}
+}

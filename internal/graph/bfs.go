@@ -1,0 +1,183 @@
+package graph
+
+import (
+	"sync/atomic"
+
+	"nwhy/internal/parallel"
+)
+
+// BFSResult carries the outcome of a breadth-first search: the BFS level of
+// each vertex (hop distance from the source, -1 if unreachable) and the BFS
+// parent of each vertex (-1 for the source itself and unreachable vertices).
+type BFSResult struct {
+	Level  []int32
+	Parent []int32
+}
+
+// Reached reports how many vertices the traversal visited (incl. the source).
+func (r *BFSResult) Reached() int {
+	n := 0
+	for _, l := range r.Level {
+		if l >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func newBFSResult(n int) *BFSResult {
+	r := &BFSResult{Level: make([]int32, n), Parent: make([]int32, n)}
+	for i := range r.Level {
+		r.Level[i] = unreachable
+		r.Parent[i] = -1
+	}
+	return r
+}
+
+// BFSTopDown runs a parallel top-down BFS from src: each round expands the
+// frontier by claiming unvisited neighbors with a CAS on the parent array.
+func BFSTopDown(g *Graph, src int) *BFSResult {
+	r := newBFSResult(g.NumVertices())
+	r.Level[src] = 0
+	frontier := []uint32{uint32(src)}
+	p := parallel.Default()
+	for depth := int32(1); len(frontier) > 0; depth++ {
+		next := parallel.NewTLS(p, func() []uint32 { return nil })
+		p.For(parallel.Blocked(0, len(frontier)), func(w, lo, hi int) {
+			buf := next.Get(w)
+			for i := lo; i < hi; i++ {
+				u := frontier[i]
+				for _, v := range g.Row(int(u)) {
+					if atomic.LoadInt32(&r.Level[v]) == unreachable &&
+						atomic.CompareAndSwapInt32(&r.Level[v], unreachable, depth) {
+						r.Parent[v] = int32(u)
+						*buf = append(*buf, v)
+					}
+				}
+			}
+		})
+		frontier = frontier[:0]
+		next.All(func(v *[]uint32) { frontier = append(frontier, *v...) })
+	}
+	return r
+}
+
+// BFSBottomUp runs a parallel bottom-up BFS from src: each round every
+// unvisited vertex scans its neighbors for a frontier member and adopts the
+// first one found as its parent (Beamer et al.'s bottom-up step, used for
+// the large-frontier middle rounds of road-free graphs).
+func BFSBottomUp(g *Graph, src int) *BFSResult {
+	n := g.NumVertices()
+	r := newBFSResult(n)
+	r.Level[src] = 0
+	front := parallel.NewBitset(n)
+	front.Set(src)
+	p := parallel.Default()
+	for depth := int32(1); ; depth++ {
+		next := parallel.NewBitset(n)
+		var awake atomic.Int64
+		p.For(parallel.Blocked(0, n), func(_, lo, hi int) {
+			local := int64(0)
+			for v := lo; v < hi; v++ {
+				if r.Level[v] != unreachable {
+					continue
+				}
+				for _, u := range g.Row(v) {
+					if front.Get(int(u)) {
+						r.Level[v] = depth
+						r.Parent[v] = int32(u)
+						next.Set(v)
+						local++
+						break
+					}
+				}
+			}
+			awake.Add(local)
+		})
+		if awake.Load() == 0 {
+			break
+		}
+		front = next
+	}
+	return r
+}
+
+// Direction-optimizing switch thresholds (Beamer, Asanović, Patterson 2013).
+const (
+	doAlpha = 15 // switch top-down -> bottom-up when m_frontier > m_unexplored / alpha
+	doBeta  = 18 // switch bottom-up -> top-down when n_frontier < n / beta
+)
+
+// BFSDirectionOptimizing runs Beamer's direction-optimizing BFS: top-down
+// rounds while the frontier is small, bottom-up rounds while it is a large
+// fraction of the graph. This is the algorithm behind AdjoinBFS in the paper.
+func BFSDirectionOptimizing(g *Graph, src int) *BFSResult {
+	n := g.NumVertices()
+	r := newBFSResult(n)
+	r.Level[src] = 0
+	p := parallel.Default()
+
+	frontier := []uint32{uint32(src)}
+	edgesUnexplored := int64(g.NumArcs() - g.Degree(src))
+	edgesFrontier := int64(g.Degree(src))
+	bottomUp := false
+
+	for depth := int32(1); len(frontier) > 0; depth++ {
+		if !bottomUp && edgesFrontier > edgesUnexplored/doAlpha {
+			bottomUp = true
+		} else if bottomUp && int64(len(frontier)) < int64(n)/doBeta {
+			bottomUp = false
+		}
+
+		var nextList []uint32
+		if bottomUp {
+			front := parallel.NewBitset(n)
+			for _, u := range frontier {
+				front.Set(int(u))
+			}
+			next := parallel.NewTLS(p, func() []uint32 { return nil })
+			p.For(parallel.Blocked(0, n), func(w, lo, hi int) {
+				buf := next.Get(w)
+				for v := lo; v < hi; v++ {
+					if r.Level[v] != unreachable {
+						continue
+					}
+					for _, u := range g.Row(v) {
+						if front.Get(int(u)) {
+							r.Level[v] = depth
+							r.Parent[v] = int32(u)
+							*buf = append(*buf, uint32(v))
+							break
+						}
+					}
+				}
+			})
+			next.All(func(v *[]uint32) { nextList = append(nextList, *v...) })
+		} else {
+			next := parallel.NewTLS(p, func() []uint32 { return nil })
+			p.For(parallel.Blocked(0, len(frontier)), func(w, lo, hi int) {
+				buf := next.Get(w)
+				for i := lo; i < hi; i++ {
+					u := frontier[i]
+					for _, v := range g.Row(int(u)) {
+						if atomic.LoadInt32(&r.Level[v]) == unreachable &&
+							atomic.CompareAndSwapInt32(&r.Level[v], unreachable, depth) {
+							r.Parent[v] = int32(u)
+							*buf = append(*buf, v)
+						}
+					}
+				}
+			})
+			next.All(func(v *[]uint32) { nextList = append(nextList, *v...) })
+		}
+
+		frontier = nextList
+		var ef int64
+		for _, u := range frontier {
+			ef += int64(g.Degree(int(u)))
+		}
+		edgesFrontier = ef
+		edgesUnexplored -= ef
+	}
+	return r
+}

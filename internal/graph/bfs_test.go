@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// bfsOracle is a trivially correct sequential BFS returning levels.
+func bfsOracle(g *Graph, src int) []int32 {
+	n := g.NumVertices()
+	level := make([]int32, n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	queue := []int{src}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range g.Row(u) {
+			if level[v] == -1 {
+				level[v] = level[u] + 1
+				queue = append(queue, int(v))
+			}
+		}
+	}
+	return level
+}
+
+func checkLevels(t *testing.T, name string, got, want []int32) {
+	t.Helper()
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("%s: level[%d] = %d, want %d", name, v, got[v], want[v])
+		}
+	}
+}
+
+// checkParents verifies parent pointers are consistent with levels.
+func checkParents(t *testing.T, name string, g *Graph, r *BFSResult, src int) {
+	t.Helper()
+	for v := range r.Level {
+		switch {
+		case v == src:
+			if r.Parent[v] != -1 {
+				t.Fatalf("%s: source parent = %d", name, r.Parent[v])
+			}
+		case r.Level[v] == -1:
+			if r.Parent[v] != -1 {
+				t.Fatalf("%s: unreachable %d has parent %d", name, v, r.Parent[v])
+			}
+		default:
+			p := r.Parent[v]
+			if p < 0 {
+				t.Fatalf("%s: reached %d has no parent", name, v)
+			}
+			if r.Level[p] != r.Level[v]-1 {
+				t.Fatalf("%s: parent level %d for child level %d", name, r.Level[p], r.Level[v])
+			}
+			if !g.HasEdge(int(p), uint32(v)) {
+				t.Fatalf("%s: parent %d not adjacent to %d", name, p, v)
+			}
+		}
+	}
+}
+
+func runAllBFS(t *testing.T, g *Graph, src int) {
+	t.Helper()
+	want := bfsOracle(g, src)
+	for name, fn := range map[string]func(*Graph, int) *BFSResult{
+		"topdown":  BFSTopDown,
+		"bottomup": BFSBottomUp,
+		"diropt":   BFSDirectionOptimizing,
+	} {
+		r := fn(g, src)
+		checkLevels(t, name, r.Level, want)
+		checkParents(t, name, g, r, src)
+	}
+}
+
+func TestBFSPath(t *testing.T) {
+	g := pathGraph(10)
+	runAllBFS(t, g, 0)
+	runAllBFS(t, g, 5)
+}
+
+func TestBFSComplete(t *testing.T) {
+	runAllBFS(t, completeGraph(8), 3)
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := buildGraph(6, [][2]uint32{{0, 1}, {1, 2}, {4, 5}})
+	runAllBFS(t, g, 0)
+	r := BFSTopDown(g, 0)
+	if r.Level[3] != -1 || r.Level[4] != -1 {
+		t.Fatal("vertices in other components should be unreachable")
+	}
+	if r.Reached() != 3 {
+		t.Fatalf("Reached = %d, want 3", r.Reached())
+	}
+}
+
+func TestBFSSingleVertex(t *testing.T) {
+	g := buildGraph(1, nil)
+	r := BFSTopDown(g, 0)
+	if r.Level[0] != 0 || r.Reached() != 1 {
+		t.Fatal("single-vertex BFS wrong")
+	}
+}
+
+func TestBFSSelfLoop(t *testing.T) {
+	g := buildGraph(2, [][2]uint32{{0, 0}, {0, 1}})
+	runAllBFS(t, g, 0)
+}
+
+func TestBFSStar(t *testing.T) {
+	// Star forces a huge level-1 frontier: exercises the bottom-up switch.
+	var pairs [][2]uint32
+	for i := 1; i < 500; i++ {
+		pairs = append(pairs, [2]uint32{0, uint32(i)})
+	}
+	runAllBFS(t, buildGraph(500, pairs), 0)
+}
+
+func TestBFSRandomAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(60, 150, seed)
+		want := bfsOracle(g, 0)
+		for _, fn := range []func(*Graph, int) *BFSResult{BFSTopDown, BFSBottomUp, BFSDirectionOptimizing} {
+			r := fn(g, 0)
+			for v := range want {
+				if r.Level[v] != want[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSDeterministicLevels(t *testing.T) {
+	g := randomGraph(200, 600, 9)
+	a := BFSTopDown(g, 0)
+	for i := 0; i < 5; i++ {
+		b := BFSTopDown(g, 0)
+		for v := range a.Level {
+			if a.Level[v] != b.Level[v] {
+				t.Fatalf("levels differ across runs at %d", v)
+			}
+		}
+	}
+}

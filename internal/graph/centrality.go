@@ -1,0 +1,276 @@
+package graph
+
+import (
+	"nwhy/internal/parallel"
+)
+
+// bfsDistances runs a sequential BFS from src into dist (reused scratch;
+// entries set to -1 first), returning the visit order.
+func bfsDistances(g *Graph, src int, dist []int32, queue []uint32) []uint32 {
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue = queue[:0]
+	queue = append(queue, uint32(src))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range g.Row(int(u)) {
+			if dist[v] == -1 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return queue
+}
+
+// perSourceScan computes fn over the BFS distance vector of every source in
+// parallel (one sequential BFS per source, sources distributed over workers).
+func perSourceScan(g *Graph, fn func(src int, dist []int32, reached []uint32) float64) []float64 {
+	n := g.NumVertices()
+	out := make([]float64, n)
+	p := parallel.Default()
+	type scratch struct {
+		dist  []int32
+		queue []uint32
+	}
+	tls := parallel.NewTLS(p, func() scratch {
+		return scratch{dist: make([]int32, n), queue: make([]uint32, 0, n)}
+	})
+	p.For(parallel.BlockedGrain(0, n, 1), func(w, lo, hi int) {
+		s := tls.Get(w)
+		for src := lo; src < hi; src++ {
+			reached := bfsDistances(g, src, s.dist, s.queue)
+			s.queue = reached
+			out[src] = fn(src, s.dist, reached)
+		}
+	})
+	return out
+}
+
+// ClosenessCentrality computes, for every vertex, the closeness
+// (n_reachable - 1) / sum-of-distances within its component, following the
+// Wasserman–Faust convention of scaling by the reachable fraction:
+// ((r-1)/(n-1)) * ((r-1)/sum). Vertices with no reachable peers score 0.
+func ClosenessCentrality(g *Graph) []float64 {
+	n := g.NumVertices()
+	return perSourceScan(g, func(src int, dist []int32, reached []uint32) float64 {
+		var sum int64
+		for _, v := range reached {
+			sum += int64(dist[v])
+		}
+		r := len(reached)
+		if r <= 1 || sum == 0 {
+			return 0
+		}
+		c := float64(r-1) / float64(sum)
+		if n > 1 {
+			c *= float64(r-1) / float64(n-1)
+		}
+		return c
+	})
+}
+
+// HarmonicClosenessCentrality computes sum over other vertices of 1/d(u,v)
+// (0 for unreachable pairs), normalized by n-1.
+func HarmonicClosenessCentrality(g *Graph) []float64 {
+	n := g.NumVertices()
+	return perSourceScan(g, func(src int, dist []int32, reached []uint32) float64 {
+		sum := 0.0
+		for _, v := range reached {
+			if d := dist[v]; d > 0 {
+				sum += 1 / float64(d)
+			}
+		}
+		if n > 1 {
+			sum /= float64(n - 1)
+		}
+		return sum
+	})
+}
+
+// Eccentricity computes, for every vertex, the greatest hop distance to any
+// vertex reachable from it. Isolated vertices score 0.
+func Eccentricity(g *Graph) []float64 {
+	return perSourceScan(g, func(src int, dist []int32, reached []uint32) float64 {
+		var ecc int32
+		for _, v := range reached {
+			if dist[v] > ecc {
+				ecc = dist[v]
+			}
+		}
+		return float64(ecc)
+	})
+}
+
+// EccentricityOf computes one vertex's eccentricity without the all-pairs
+// sweep.
+func EccentricityOf(g *Graph, src int) float64 {
+	dist := make([]int32, g.NumVertices())
+	reached := bfsDistances(g, src, dist, nil)
+	var ecc int32
+	for _, v := range reached {
+		if dist[v] > ecc {
+			ecc = dist[v]
+		}
+	}
+	return float64(ecc)
+}
+
+// PageRank runs damped power iteration until the L1 change drops below tol
+// or maxIter rounds, returning scores summing to ~1. Dangling mass is
+// redistributed uniformly.
+func PageRank(g *Graph, damping float64, tol float64, maxIter int) []float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	inv := 1 / float64(n)
+	for i := range rank {
+		rank[i] = inv
+	}
+	deg := g.Degrees()
+	p := parallel.Default()
+	for iter := 0; iter < maxIter; iter++ {
+		dangling := parallel.Reduce(n, 0.0, func(lo, hi int, acc float64) float64 {
+			for i := lo; i < hi; i++ {
+				if deg[i] == 0 {
+					acc += rank[i]
+				}
+			}
+			return acc
+		}, func(a, b float64) float64 { return a + b })
+		base := (1-damping)*inv + damping*dangling*inv
+		// Pull-based update: next[v] = base + d * sum_{u->v} rank[u]/deg[u].
+		// The graph is symmetric, so pulling over v's row visits its
+		// in-neighbors.
+		p.For(parallel.Blocked(0, n), func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				sum := 0.0
+				for _, u := range g.Row(v) {
+					sum += rank[u] / float64(deg[u])
+				}
+				next[v] = base + damping*sum
+			}
+		})
+		delta := parallel.Reduce(n, 0.0, func(lo, hi int, acc float64) float64 {
+			for i := lo; i < hi; i++ {
+				d := next[i] - rank[i]
+				if d < 0 {
+					d = -d
+				}
+				acc += d
+			}
+			return acc
+		}, func(a, b float64) float64 { return a + b })
+		rank, next = next, rank
+		if delta < tol {
+			break
+		}
+	}
+	return rank
+}
+
+// Coreness computes the k-core number of every vertex with the O(m)
+// bin-sort peeling algorithm (Batagelj–Zaveršnik).
+func Coreness(g *Graph) []int {
+	n := g.NumVertices()
+	deg := g.Degrees()
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	bin := make([]int, maxDeg+2)
+	for _, d := range deg {
+		bin[d]++
+	}
+	start := 0
+	for d := 0; d <= maxDeg; d++ {
+		c := bin[d]
+		bin[d] = start
+		start += c
+	}
+	pos := make([]int, n)
+	vert := make([]int, n)
+	for v, d := range deg {
+		pos[v] = bin[d]
+		vert[pos[v]] = v
+		bin[d]++
+	}
+	for d := maxDeg; d > 0; d-- {
+		bin[d] = bin[d-1]
+	}
+	bin[0] = 0
+	core := append([]int(nil), deg...)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		for _, uu := range g.Row(v) {
+			u := int(uu)
+			if core[u] > core[v] {
+				du := core[u]
+				pu := pos[u]
+				pw := bin[du]
+				w := vert[pw]
+				if u != w {
+					pos[u] = pw
+					vert[pu] = w
+					pos[w] = pu
+					vert[pw] = u
+				}
+				bin[du]++
+				core[u]--
+			}
+		}
+	}
+	return core
+}
+
+// TriangleCount counts undirected triangles: for every edge (u, v) with
+// u < v, intersect the neighbor sets above v. Requires a symmetric graph
+// with sorted rows (as built by FromEdgeList).
+func TriangleCount(g *Graph) int64 {
+	n := g.NumVertices()
+	return parallel.Reduce(n, int64(0),
+		func(lo, hi int, acc int64) int64 {
+			for u := lo; u < hi; u++ {
+				row := g.Row(u)
+				for _, v := range row {
+					if int(v) <= u {
+						continue
+					}
+					acc += countCommonAbove(row, g.Row(int(v)), v)
+				}
+			}
+			return acc
+		},
+		func(a, b int64) int64 { return a + b })
+}
+
+// countCommonAbove counts values > floor present in both sorted slices.
+func countCommonAbove(a, b []uint32, floor uint32) int64 {
+	i, j := 0, 0
+	var c int64
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] <= floor:
+			i++
+		case b[j] <= floor:
+			j++
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}

@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+
+	"nwhy/internal/parallel"
+)
+
+// dijkstraInto computes single-source weighted distances into dist (scratch
+// reused across sources), returning the settled vertices in order.
+func dijkstraInto(g *Graph, src int, dist []float64, done []bool, pq *distHeap, order []uint32) []uint32 {
+	for i := range dist {
+		dist[i] = Inf
+		done[i] = false
+	}
+	order = order[:0]
+	*pq = (*pq)[:0]
+	dist[src] = 0
+	heap.Push(pq, distItem{uint32(src), 0})
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if done[it.v] {
+			continue
+		}
+		done[it.v] = true
+		order = append(order, it.v)
+		row := g.Row(int(it.v))
+		ws := g.Weights(int(it.v))
+		for k, u := range row {
+			w := 1.0
+			if ws != nil {
+				w = ws[k]
+			}
+			if nd := dist[it.v] + w; nd < dist[u] {
+				dist[u] = nd
+				heap.Push(pq, distItem{u, nd})
+			}
+		}
+	}
+	return order
+}
+
+// perSourceWeightedScan runs fn over every source's weighted distance
+// vector in parallel.
+func perSourceWeightedScan(g *Graph, fn func(src int, dist []float64, reached []uint32) float64) []float64 {
+	n := g.NumVertices()
+	out := make([]float64, n)
+	p := parallel.Default()
+	type scratch struct {
+		dist  []float64
+		done  []bool
+		pq    distHeap
+		order []uint32
+	}
+	tls := parallel.NewTLS(p, func() scratch {
+		return scratch{dist: make([]float64, n), done: make([]bool, n), order: make([]uint32, 0, n)}
+	})
+	p.For(parallel.BlockedGrain(0, n, 1), func(w, lo, hi int) {
+		s := tls.Get(w)
+		for src := lo; src < hi; src++ {
+			reached := dijkstraInto(g, src, s.dist, s.done, &s.pq, s.order)
+			s.order = reached
+			out[src] = fn(src, s.dist, reached)
+		}
+	})
+	return out
+}
+
+// WeightedClosenessCentrality computes closeness over weighted shortest
+// paths with the Wasserman–Faust reachable-fraction scaling (matching the
+// unweighted ClosenessCentrality convention).
+func WeightedClosenessCentrality(g *Graph) []float64 {
+	n := g.NumVertices()
+	return perSourceWeightedScan(g, func(src int, dist []float64, reached []uint32) float64 {
+		sum := 0.0
+		for _, v := range reached {
+			sum += dist[v]
+		}
+		r := len(reached)
+		if r <= 1 || sum == 0 {
+			return 0
+		}
+		c := float64(r-1) / sum
+		if n > 1 {
+			c *= float64(r-1) / float64(n-1)
+		}
+		return c
+	})
+}
+
+// WeightedEccentricity computes each vertex's greatest weighted shortest-
+// path distance to any reachable vertex.
+func WeightedEccentricity(g *Graph) []float64 {
+	return perSourceWeightedScan(g, func(src int, dist []float64, reached []uint32) float64 {
+		ecc := 0.0
+		for _, v := range reached {
+			if !math.IsInf(dist[v], 1) && dist[v] > ecc {
+				ecc = dist[v]
+			}
+		}
+		return ecc
+	})
+}
+
+// WeightedHarmonicCloseness computes the harmonic closeness over weighted
+// shortest paths, normalized by n-1.
+func WeightedHarmonicCloseness(g *Graph) []float64 {
+	n := g.NumVertices()
+	return perSourceWeightedScan(g, func(src int, dist []float64, reached []uint32) float64 {
+		sum := 0.0
+		for _, v := range reached {
+			if d := dist[v]; d > 0 {
+				sum += 1 / d
+			}
+		}
+		if n > 1 {
+			sum /= float64(n - 1)
+		}
+		return sum
+	})
+}

@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nwhy/internal/sparse"
+)
+
+func TestWeightedClosenessUnitMatchesUnweighted(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(30, 70, seed)
+		wg := unitWeightedCopy(g)
+		a := WeightedClosenessCentrality(wg)
+		b := ClosenessCentrality(g)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedEccentricityUnitMatchesUnweighted(t *testing.T) {
+	g := randomGraph(40, 90, 2)
+	wg := unitWeightedCopy(g)
+	a := WeightedEccentricity(wg)
+	b := Eccentricity(g)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatalf("ecc differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWeightedHarmonicUnitMatchesUnweighted(t *testing.T) {
+	g := randomGraph(40, 90, 3)
+	wg := unitWeightedCopy(g)
+	a := WeightedHarmonicCloseness(wg)
+	b := HarmonicClosenessCentrality(g)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatalf("harmonic differs at %d", i)
+		}
+	}
+}
+
+func TestWeightedClosenessDistances(t *testing.T) {
+	// Path 0 -1.0- 1 -3.0- 2: closeness(1) = 2/4, scaled by full reach = 1.
+	g := weightedPath(t, []float64{1, 3})
+	c := WeightedClosenessCentrality(g)
+	if math.Abs(c[1]-2.0/4.0) > 1e-9 {
+		t.Fatalf("closeness[1] = %v", c[1])
+	}
+	ecc := WeightedEccentricity(g)
+	if ecc[0] != 4 || ecc[1] != 3 || ecc[2] != 4 {
+		t.Fatalf("ecc = %v", ecc)
+	}
+}
+
+// weightedPath builds a path graph 0-1-...-n with the given consecutive
+// edge weights (symmetric arcs).
+func weightedPath(t *testing.T, ws []float64) *Graph {
+	t.Helper()
+	var pairs []sparse.Edge
+	var weights []float64
+	for i, w := range ws {
+		pairs = append(pairs,
+			sparse.Edge{U: uint32(i), V: uint32(i + 1)},
+			sparse.Edge{U: uint32(i + 1), V: uint32(i)})
+		weights = append(weights, w, w)
+	}
+	csr := sparse.FromPairs(len(ws)+1, len(ws)+1, pairs, weights)
+	g, err := FromCSR(csr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDiameterPath(t *testing.T) {
+	if d := Diameter(pathGraph(10)); d != 9 {
+		t.Fatalf("path diameter = %d, want 9", d)
+	}
+}
+
+func TestDiameterComplete(t *testing.T) {
+	if d := Diameter(completeGraph(6)); d != 1 {
+		t.Fatalf("K6 diameter = %d, want 1", d)
+	}
+}
+
+func TestDiameterDisconnectedPerComponent(t *testing.T) {
+	g := buildGraph(7, [][2]uint32{{0, 1}, {1, 2}, {4, 5}, {5, 6}})
+	if d := Diameter(g); d != 2 {
+		t.Fatalf("diameter = %d, want 2", d)
+	}
+}
+
+func TestDiameterEmpty(t *testing.T) {
+	if Diameter(buildGraph(3, nil)) != 0 {
+		t.Fatal("edgeless diameter != 0")
+	}
+}
+
+func TestApproxDiameterNeverExceedsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(60, 120, seed)
+		exact := Diameter(g)
+		approx := ApproxDiameter(g, 0, 4)
+		return approx <= exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproxDiameterExactOnPath(t *testing.T) {
+	// Double sweep is exact on trees: starting anywhere on a path it finds
+	// an endpoint, then the other endpoint.
+	if d := ApproxDiameter(pathGraph(15), 7, 3); d != 14 {
+		t.Fatalf("approx diameter = %d, want 14", d)
+	}
+}
+
+func TestRadiusPath(t *testing.T) {
+	// Path of 5: center has eccentricity 2.
+	if r := Radius(pathGraph(5)); r != 2 {
+		t.Fatalf("radius = %d, want 2", r)
+	}
+}
+
+func TestRadiusIgnoresIsolated(t *testing.T) {
+	g := buildGraph(4, [][2]uint32{{0, 1}, {1, 2}})
+	if r := Radius(g); r != 1 {
+		t.Fatalf("radius = %d, want 1 (vertex 3 isolated)", r)
+	}
+}

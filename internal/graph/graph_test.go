@@ -1,0 +1,83 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"nwhy/internal/sparse"
+)
+
+// buildGraph constructs an undirected graph from pairs.
+func buildGraph(n int, pairs [][2]uint32) *Graph {
+	el := sparse.NewEdgeList(n)
+	for _, p := range pairs {
+		el.Add(p[0], p[1])
+	}
+	return FromEdgeList(el, true)
+}
+
+// pathGraph returns 0-1-2-...-(n-1).
+func pathGraph(n int) *Graph {
+	var pairs [][2]uint32
+	for i := 0; i+1 < n; i++ {
+		pairs = append(pairs, [2]uint32{uint32(i), uint32(i + 1)})
+	}
+	return buildGraph(n, pairs)
+}
+
+// completeGraph returns K_n.
+func completeGraph(n int) *Graph {
+	var pairs [][2]uint32
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, [2]uint32{uint32(i), uint32(j)})
+		}
+	}
+	return buildGraph(n, pairs)
+}
+
+// randomGraph returns an Erdős–Rényi-ish undirected graph.
+func randomGraph(n, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	el := sparse.NewEdgeList(n)
+	for i := 0; i < m; i++ {
+		u, v := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+		if u != v {
+			el.Add(u, v)
+		}
+	}
+	return FromEdgeList(el, true)
+}
+
+func TestFromCSRRejectsRectangular(t *testing.T) {
+	c := sparse.FromPairs(2, 3, []sparse.Edge{{U: 0, V: 2}}, nil)
+	if _, err := FromCSR(c); err == nil {
+		t.Fatal("FromCSR accepted a rectangular matrix")
+	}
+}
+
+func TestFromEdgeListSymmetric(t *testing.T) {
+	g := buildGraph(4, [][2]uint32{{0, 1}, {1, 2}, {2, 3}})
+	if !g.IsSymmetric() {
+		t.Fatal("undirected graph not symmetric")
+	}
+	if g.NumArcs() != 6 {
+		t.Fatalf("NumArcs = %d, want 6", g.NumArcs())
+	}
+	if g.Degree(1) != 2 {
+		t.Fatalf("Degree(1) = %d", g.Degree(1))
+	}
+	if !g.HasEdge(3, 2) || g.HasEdge(0, 3) {
+		t.Fatal("HasEdge wrong")
+	}
+}
+
+func TestGraphSatisfiesAdjacency(t *testing.T) {
+	g := pathGraph(3)
+	if g.NumRows() != 3 {
+		t.Fatalf("NumRows = %d", g.NumRows())
+	}
+	if len(g.Row(1)) != 2 {
+		t.Fatalf("Row(1) = %v", g.Row(1))
+	}
+}

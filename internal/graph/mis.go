@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"nwhy/internal/parallel"
+)
+
+// MaximalIndependentSet computes a maximal independent set with Luby's
+// parallel algorithm: every live vertex draws a random priority; vertices
+// that beat all live neighbors enter the set, their neighbors leave the
+// pool, and the round repeats until the pool drains. The result is maximal
+// (no vertex can be added) though not maximum, and deterministic for a
+// given seed.
+func MaximalIndependentSet(g *Graph, seed int64) []bool {
+	n := g.NumVertices()
+	const (
+		undecided int32 = iota
+		in
+		out
+	)
+	state := make([]int32, n)
+	prio := make([]uint64, n)
+	rng := rand.New(rand.NewSource(seed))
+	p := parallel.Default()
+
+	remaining := int64(n)
+	for remaining > 0 {
+		// New priorities each round (drawn sequentially for determinism).
+		for i := range prio {
+			if state[i] == undecided {
+				prio[i] = rng.Uint64()
+			}
+		}
+		var decided atomic.Int64
+		// Select local minima among undecided vertices.
+		p.For(parallel.Blocked(0, n), func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if state[v] != undecided {
+					continue
+				}
+				win := true
+				for _, u := range g.Row(v) {
+					if int(u) == v {
+						continue
+					}
+					switch atomic.LoadInt32(&state[u]) {
+					case in:
+						win = false
+					case undecided:
+						// Only undecided neighbors compete on priority;
+						// ties break by vertex ID, so exactly one of two
+						// adjacent undecided vertices can win.
+						if pu, pv := prio[u], prio[v]; pu < pv || (pu == pv && int(u) < v) {
+							win = false
+						}
+					}
+					if !win {
+						break
+					}
+				}
+				if win {
+					atomic.StoreInt32(&state[v], in)
+					decided.Add(1)
+				}
+			}
+		})
+		// Knock out neighbors of newly selected vertices.
+		p.For(parallel.Blocked(0, n), func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if atomic.LoadInt32(&state[v]) != undecided {
+					continue
+				}
+				for _, u := range g.Row(v) {
+					if int(u) != v && atomic.LoadInt32(&state[u]) == in {
+						atomic.StoreInt32(&state[v], out)
+						decided.Add(1)
+						break
+					}
+				}
+			}
+		})
+		d := decided.Load()
+		remaining -= d
+		if d == 0 {
+			// All remaining undecided vertices are isolated among
+			// undecided ones; admit them all.
+			for v := 0; v < n; v++ {
+				if state[v] == undecided {
+					state[v] = in
+					remaining--
+				}
+			}
+		}
+	}
+	out32 := make([]bool, n)
+	for v, s := range state {
+		out32[v] = s == in
+	}
+	return out32
+}
+
+// IsIndependentSet verifies no two selected vertices are adjacent
+// (self-loops are ignored).
+func IsIndependentSet(g *Graph, set []bool) bool {
+	for v := 0; v < g.NumVertices(); v++ {
+		if !set[v] {
+			continue
+		}
+		for _, u := range g.Row(v) {
+			if int(u) != v && set[u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsMaximalIndependentSet verifies the set is independent and no excluded
+// vertex could be added.
+func IsMaximalIndependentSet(g *Graph, set []bool) bool {
+	if !IsIndependentSet(g, set) {
+		return false
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if set[v] {
+			continue
+		}
+		blocked := false
+		for _, u := range g.Row(v) {
+			if int(u) != v && set[u] {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMISPath(t *testing.T) {
+	g := pathGraph(10)
+	set := MaximalIndependentSet(g, 1)
+	if !IsMaximalIndependentSet(g, set) {
+		t.Fatal("not a maximal independent set")
+	}
+}
+
+func TestMISComplete(t *testing.T) {
+	g := completeGraph(8)
+	set := MaximalIndependentSet(g, 2)
+	count := 0
+	for _, in := range set {
+		if in {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("K8 MIS size = %d, want 1", count)
+	}
+	if !IsMaximalIndependentSet(g, set) {
+		t.Fatal("invalid MIS")
+	}
+}
+
+func TestMISEmptyGraphAllIn(t *testing.T) {
+	g := buildGraph(5, nil)
+	set := MaximalIndependentSet(g, 3)
+	for v, in := range set {
+		if !in {
+			t.Fatalf("isolated vertex %d excluded", v)
+		}
+	}
+}
+
+func TestMISStar(t *testing.T) {
+	var pairs [][2]uint32
+	for i := 1; i < 30; i++ {
+		pairs = append(pairs, [2]uint32{0, uint32(i)})
+	}
+	g := buildGraph(30, pairs)
+	set := MaximalIndependentSet(g, 5)
+	if !IsMaximalIndependentSet(g, set) {
+		t.Fatal("invalid MIS on star")
+	}
+	// Either the hub alone or all leaves.
+	if set[0] {
+		for i := 1; i < 30; i++ {
+			if set[i] {
+				t.Fatal("hub and leaf both selected")
+			}
+		}
+	} else {
+		for i := 1; i < 30; i++ {
+			if !set[i] {
+				t.Fatal("hub excluded but leaf missing")
+			}
+		}
+	}
+}
+
+func TestMISSelfLoopTolerated(t *testing.T) {
+	g := buildGraph(3, [][2]uint32{{0, 0}, {0, 1}, {1, 2}})
+	set := MaximalIndependentSet(g, 7)
+	if !IsMaximalIndependentSet(g, set) {
+		t.Fatal("invalid MIS with self-loop")
+	}
+}
+
+func TestMISRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(80, 200, seed)
+		return IsMaximalIndependentSet(g, MaximalIndependentSet(g, seed))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMISDeterministicForSeed(t *testing.T) {
+	g := randomGraph(60, 150, 4)
+	a := MaximalIndependentSet(g, 9)
+	b := MaximalIndependentSet(g, 9)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatal("MIS not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestIsIndependentSetDetectsViolation(t *testing.T) {
+	g := pathGraph(3)
+	if IsIndependentSet(g, []bool{true, true, false}) {
+		t.Fatal("adjacent pair accepted")
+	}
+	if !IsIndependentSet(g, []bool{true, false, true}) {
+		t.Fatal("valid set rejected")
+	}
+	if IsMaximalIndependentSet(g, []bool{true, false, false}) {
+		t.Fatal("non-maximal set accepted as maximal")
+	}
+}

@@ -1,0 +1,144 @@
+// Package hygra re-implements the two baseline kernels the paper's
+// evaluation compares NWHy against: HygraBFS (the top-down hypergraph BFS of
+// Shun's Hygra framework, PPoPP'20) and HygraCC (Hygra's label-propagation
+// connected components). The implementations follow Hygra's vertex-subset /
+// edge-map style: a frontier of active entities is flat-mapped over its
+// incidence lists to produce the next frontier, alternating between the
+// hypernode side and the hyperedge side each half-step.
+//
+// These are deliberately independent re-implementations — they share no
+// traversal code with internal/core — so benchmark comparisons measure two
+// different codebases the way the paper's Figure 7/8 did.
+package hygra
+
+import (
+	"sync/atomic"
+
+	"nwhy/internal/core"
+	"nwhy/internal/parallel"
+)
+
+// vertexSubset is Hygra's frontier abstraction (sparse form).
+type vertexSubset []uint32
+
+// edgeMap applies the Hygra edgeMap primitive: for every active entity in
+// the frontier, visit its incidence list and claim unvisited targets with
+// compare-and-swap, producing the next frontier on the opposite side.
+func edgeMap(frontier vertexSubset, row func(int) []uint32, visited []int32, round int32) vertexSubset {
+	p := parallel.Default()
+	tls := parallel.NewTLS(p, func() vertexSubset { return nil })
+	p.For(parallel.Blocked(0, len(frontier)), func(w, lo, hi int) {
+		out := tls.Get(w)
+		for i := lo; i < hi; i++ {
+			for _, t := range row(int(frontier[i])) {
+				if atomic.LoadInt32(&visited[t]) == -1 &&
+					atomic.CompareAndSwapInt32(&visited[t], -1, round) {
+					*out = append(*out, t)
+				}
+			}
+		}
+	})
+	var next vertexSubset
+	tls.All(func(v *vertexSubset) { next = append(next, *v...) })
+	return next
+}
+
+// BFS runs Hygra's top-down hypergraph BFS from hyperedge srcEdge,
+// returning bipartite-hop levels for both index spaces (-1 = unreachable).
+func BFS(h *core.Hypergraph, srcEdge int) (edgeLevel, nodeLevel []int32) {
+	ne, nv := h.NumEdges(), h.NumNodes()
+	edgeLevel = make([]int32, ne)
+	nodeLevel = make([]int32, nv)
+	for i := range edgeLevel {
+		edgeLevel[i] = -1
+	}
+	for i := range nodeLevel {
+		nodeLevel[i] = -1
+	}
+	edgeLevel[srcEdge] = 0
+	frontier := vertexSubset{uint32(srcEdge)}
+	onEdges := true
+	for round := int32(1); len(frontier) > 0; round++ {
+		if onEdges {
+			frontier = edgeMap(frontier, h.Edges.Row, nodeLevel, round)
+		} else {
+			frontier = edgeMap(frontier, h.Nodes.Row, edgeLevel, round)
+		}
+		onEdges = !onEdges
+	}
+	return edgeLevel, nodeLevel
+}
+
+// CC runs Hygra's label-propagation connected components on the bipartite
+// structure: hyperedge and hypernode labels live in one shared label space
+// and each round flat-maps the full incidence relation both ways, writing
+// minima, until no label changes. Returns canonical minimum-member labels
+// in the shared space [0, ne+nv).
+func CC(h *core.Hypergraph) (edgeComp, nodeComp []uint32) {
+	ne, nv := h.NumEdges(), h.NumNodes()
+	edgeComp = make([]uint32, ne)
+	nodeComp = make([]uint32, nv)
+	for e := range edgeComp {
+		edgeComp[e] = uint32(e)
+	}
+	for v := range nodeComp {
+		nodeComp[v] = uint32(ne + v)
+	}
+	p := parallel.Default()
+	for {
+		var changed atomic.Bool
+		// Edge side -> node side.
+		p.For(parallel.Blocked(0, ne), func(_, lo, hi int) {
+			c := false
+			for e := lo; e < hi; e++ {
+				ce := parallel.LoadU32(&edgeComp[e])
+				for _, v := range h.Edges.Row(e) {
+					if parallel.MinU32(&nodeComp[v], ce) {
+						c = true
+					}
+				}
+			}
+			if c {
+				changed.Store(true)
+			}
+		})
+		// Node side -> edge side.
+		p.For(parallel.Blocked(0, nv), func(_, lo, hi int) {
+			c := false
+			for v := lo; v < hi; v++ {
+				cv := parallel.LoadU32(&nodeComp[v])
+				for _, e := range h.Nodes.Row(v) {
+					if parallel.MinU32(&edgeComp[e], cv) {
+						c = true
+					}
+				}
+			}
+			if c {
+				changed.Store(true)
+			}
+		})
+		if !changed.Load() {
+			break
+		}
+	}
+	// Canonicalize to minimum shared-space member per component.
+	minOf := map[uint32]uint32{}
+	note := func(c, id uint32) {
+		if m, ok := minOf[c]; !ok || id < m {
+			minOf[c] = id
+		}
+	}
+	for e, c := range edgeComp {
+		note(c, uint32(e))
+	}
+	for v, c := range nodeComp {
+		note(c, uint32(ne+v))
+	}
+	for e := range edgeComp {
+		edgeComp[e] = minOf[edgeComp[e]]
+	}
+	for v := range nodeComp {
+		nodeComp[v] = minOf[nodeComp[v]]
+	}
+	return edgeComp, nodeComp
+}

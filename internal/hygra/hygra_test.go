@@ -1,0 +1,86 @@
+package hygra
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"math/rand"
+
+	"nwhy/internal/core"
+)
+
+func paperHypergraph() *core.Hypergraph {
+	return core.FromSets([][]uint32{
+		{0, 1, 2},
+		{2, 3, 4},
+		{4, 5, 6},
+		{0, 6, 7, 8},
+	}, 9)
+}
+
+func randomHypergraph(ne, nv, maxSize int, seed int64) *core.Hypergraph {
+	rng := rand.New(rand.NewSource(seed))
+	sets := make([][]uint32, ne)
+	for e := range sets {
+		size := 1 + rng.Intn(maxSize)
+		seen := map[uint32]bool{}
+		for len(seen) < size {
+			seen[uint32(rng.Intn(nv))] = true
+		}
+		for v := range seen {
+			sets[e] = append(sets[e], v)
+		}
+	}
+	return core.FromSets(sets, nv)
+}
+
+func TestHygraBFSMatchesNWHy(t *testing.T) {
+	f := func(seed int64) bool {
+		h := randomHypergraph(30, 40, 5, seed)
+		el, nl := BFS(h, 0)
+		want := core.HyperBFSTopDown(h, 0)
+		return reflect.DeepEqual(el, want.EdgeLevel) && reflect.DeepEqual(nl, want.NodeLevel)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHygraBFSPaperExample(t *testing.T) {
+	el, nl := BFS(paperHypergraph(), 0)
+	if el[0] != 0 || el[1] != 2 || el[3] != 2 || el[2] != 4 {
+		t.Fatalf("edge levels = %v", el)
+	}
+	if nl[0] != 1 || nl[5] != 5 {
+		t.Fatalf("node levels = %v", nl)
+	}
+}
+
+func TestHygraCCMatchesNWHy(t *testing.T) {
+	f := func(seed int64) bool {
+		h := randomHypergraph(30, 30, 4, seed)
+		ec, nc := CC(h)
+		want := core.HyperCC(h)
+		return reflect.DeepEqual(ec, want.EdgeComp) && reflect.DeepEqual(nc, want.NodeComp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHygraCCDisconnected(t *testing.T) {
+	h := core.FromSets([][]uint32{{0, 1}, {1, 2}, {3, 4}}, 5)
+	ec, _ := CC(h)
+	if ec[0] != ec[1] || ec[0] == ec[2] {
+		t.Fatalf("edge components = %v", ec)
+	}
+}
+
+func TestHygraBFSDisconnected(t *testing.T) {
+	h := core.FromSets([][]uint32{{0, 1}, {2, 3}}, 4)
+	el, nl := BFS(h, 1)
+	if el[0] != -1 || nl[0] != -1 || el[1] != 0 || nl[2] != 1 {
+		t.Fatalf("levels = %v / %v", el, nl)
+	}
+}

@@ -1,0 +1,222 @@
+// Package mmio reads and writes hypergraphs in Matrix Market coordinate
+// format, the interchange format the paper's graph_reader /
+// graph_reader_adjoin APIs consume. A hypergraph's incidence matrix is a
+// rectangular pattern (or real/integer) matrix: rows are hyperedges, columns
+// are hypernodes, and each stored entry is one incidence.
+package mmio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"nwhy/internal/sparse"
+)
+
+// Header describes a Matrix Market file's declared type.
+type Header struct {
+	Field    string // pattern | real | integer
+	Symmetry string // general | symmetric
+}
+
+// parseHeader validates the banner line.
+func parseHeader(line string) (Header, error) {
+	fields := strings.Fields(strings.ToLower(line))
+	if len(fields) != 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" || fields[2] != "coordinate" {
+		return Header{}, fmt.Errorf("mmio: unsupported banner %q (want %%%%MatrixMarket matrix coordinate ...)", line)
+	}
+	h := Header{Field: fields[3], Symmetry: fields[4]}
+	switch h.Field {
+	case "pattern", "real", "integer":
+	default:
+		return Header{}, fmt.Errorf("mmio: unsupported field %q", h.Field)
+	}
+	switch h.Symmetry {
+	case "general", "symmetric":
+	default:
+		return Header{}, fmt.Errorf("mmio: unsupported symmetry %q", h.Symmetry)
+	}
+	return h, nil
+}
+
+// ReadBiEdgeList parses a Matrix Market stream as a hypergraph incidence
+// matrix: entry (i, j) declares hyperedge i-1 incident on hypernode j-1.
+// Real/integer values are kept as incidence weights; pattern files produce
+// an unweighted list. Symmetric files are rejected (incidence matrices are
+// rectangular and general).
+func ReadBiEdgeList(r io.Reader) (*sparse.BiEdgeList, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	header, rows, cols, nnz, err := readPreamble(sc)
+	if err != nil {
+		return nil, err
+	}
+	if header.Symmetry != "general" {
+		return nil, fmt.Errorf("mmio: hypergraph incidence must be general, got %s", header.Symmetry)
+	}
+	bel := sparse.NewBiEdgeList(rows, cols)
+	bel.Edges = make([]sparse.Edge, 0, nnz)
+	weighted := header.Field != "pattern"
+	if weighted {
+		bel.Weights = make([]float64, 0, nnz)
+	}
+	seen := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		i, j, w, err := parseEntry(line, weighted)
+		if err != nil {
+			return nil, err
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("mmio: entry (%d,%d) outside %dx%d", i, j, rows, cols)
+		}
+		bel.Edges = append(bel.Edges, sparse.Edge{U: uint32(i - 1), V: uint32(j - 1)})
+		if weighted {
+			bel.Weights = append(bel.Weights, w)
+		}
+		seen++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mmio: %w", err)
+	}
+	if seen != nnz {
+		return nil, fmt.Errorf("mmio: header declared %d entries, found %d", nnz, seen)
+	}
+	return bel, nil
+}
+
+func readPreamble(sc *bufio.Scanner) (Header, int, int, int, error) {
+	if !sc.Scan() {
+		return Header{}, 0, 0, 0, fmt.Errorf("mmio: empty input")
+	}
+	header, err := parseHeader(sc.Text())
+	if err != nil {
+		return Header{}, 0, 0, 0, err
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return Header{}, 0, 0, 0, fmt.Errorf("mmio: bad size line %q", line)
+		}
+		rows, err1 := strconv.Atoi(f[0])
+		cols, err2 := strconv.Atoi(f[1])
+		nnz, err3 := strconv.Atoi(f[2])
+		if err1 != nil || err2 != nil || err3 != nil || rows < 0 || cols < 0 || nnz < 0 {
+			return Header{}, 0, 0, 0, fmt.Errorf("mmio: bad size line %q", line)
+		}
+		return header, rows, cols, nnz, nil
+	}
+	return Header{}, 0, 0, 0, fmt.Errorf("mmio: missing size line")
+}
+
+func parseEntry(line string, weighted bool) (int, int, float64, error) {
+	f := strings.Fields(line)
+	want := 2
+	if weighted {
+		want = 3
+	}
+	if len(f) < want {
+		return 0, 0, 0, fmt.Errorf("mmio: bad entry %q", line)
+	}
+	i, err1 := strconv.Atoi(f[0])
+	j, err2 := strconv.Atoi(f[1])
+	if err1 != nil || err2 != nil {
+		return 0, 0, 0, fmt.Errorf("mmio: bad entry %q", line)
+	}
+	w := 1.0
+	if weighted {
+		var err error
+		w, err = strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("mmio: bad value in %q", line)
+		}
+	}
+	return i, j, w, nil
+}
+
+// WriteBiEdgeList writes bel as a Matrix Market pattern (or real, when
+// weighted) coordinate file.
+func WriteBiEdgeList(w io.Writer, bel *sparse.BiEdgeList) error {
+	bw := bufio.NewWriter(w)
+	field := "pattern"
+	if bel.Weights != nil {
+		field = "real"
+	}
+	fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate %s general\n", field)
+	fmt.Fprintf(bw, "%% hypergraph incidence: rows = hyperedges, cols = hypernodes\n")
+	fmt.Fprintf(bw, "%d %d %d\n", bel.N0, bel.N1, len(bel.Edges))
+	for k, e := range bel.Edges {
+		if bel.Weights != nil {
+			fmt.Fprintf(bw, "%d %d %g\n", e.U+1, e.V+1, bel.Weights[k])
+		} else {
+			fmt.Fprintf(bw, "%d %d\n", e.U+1, e.V+1)
+		}
+	}
+	return bw.Flush()
+}
+
+// GraphReader opens path and reads the bipartite edge list of a hypergraph,
+// mirroring the paper's graph_reader(mm_file).
+func GraphReader(path string) (*sparse.BiEdgeList, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBiEdgeList(f)
+}
+
+// ReadAdjoin parses a Matrix Market incidence stream directly into an
+// adjoined edge list over the single shared index space: hyperedge i keeps
+// ID i, hypernode j becomes ID rows+j, and both directions of every
+// incidence are materialized. It returns the edge list plus the partition
+// sizes (the paper's nrealedges / nrealnodes out-parameters).
+func ReadAdjoin(r io.Reader) (el *sparse.EdgeList, nrealedges, nrealnodes int, err error) {
+	bel, err := ReadBiEdgeList(r)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	el = sparse.NewEdgeList(bel.N0 + bel.N1)
+	el.Edges = make([]sparse.Edge, 0, 2*len(bel.Edges))
+	for _, e := range bel.Edges {
+		shared := uint32(bel.N0) + e.V
+		el.Edges = append(el.Edges,
+			sparse.Edge{U: e.U, V: shared},
+			sparse.Edge{U: shared, V: e.U})
+	}
+	return el, bel.N0, bel.N1, nil
+}
+
+// GraphReaderAdjoin opens path and reads it in adjoin form, mirroring the
+// paper's graph_reader_adjoin(mm_file, nrealedges, nrealnodes).
+func GraphReaderAdjoin(path string) (*sparse.EdgeList, int, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer f.Close()
+	return ReadAdjoin(f)
+}
+
+// WriteHypergraphFile writes a bipartite edge list to path.
+func WriteHypergraphFile(path string, bel *sparse.BiEdgeList) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBiEdgeList(f, bel); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

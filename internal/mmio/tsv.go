@@ -1,0 +1,65 @@
+package mmio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"nwhy/internal/sparse"
+)
+
+// ReadTSV parses a SNAP-style whitespace-separated incidence list: one
+// "hyperedge hypernode" pair per line, 0-based IDs, '#' or '%' comments.
+// Partition sizes are inferred from the maximum IDs. This is the format the
+// SNAP community files (com-Orkut, Friendster, ...) ship in.
+func ReadTSV(r io.Reader) (*sparse.BiEdgeList, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	bel := sparse.NewBiEdgeList(0, 0)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("mmio: tsv line %d: want 2 fields, got %q", lineNo, line)
+		}
+		e, err1 := strconv.ParseUint(f[0], 10, 32)
+		v, err2 := strconv.ParseUint(f[1], 10, 32)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("mmio: tsv line %d: bad IDs %q", lineNo, line)
+		}
+		bel.Add(uint32(e), uint32(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mmio: %w", err)
+	}
+	return bel, nil
+}
+
+// WriteTSV writes a bipartite edge list as SNAP-style pairs.
+func WriteTSV(w io.Writer, bel *sparse.BiEdgeList) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# hypergraph incidence pairs: hyperedge hypernode (%d x %d, %d pairs)\n",
+		bel.N0, bel.N1, len(bel.Edges))
+	for _, e := range bel.Edges {
+		fmt.Fprintf(bw, "%d\t%d\n", e.U, e.V)
+	}
+	return bw.Flush()
+}
+
+// ReadTSVFile opens and parses a SNAP-style incidence file.
+func ReadTSVFile(path string) (*sparse.BiEdgeList, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTSV(f)
+}

@@ -1,0 +1,80 @@
+package mmio
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadTSV(t *testing.T) {
+	in := "# comment\n0 0\n0\t1\n% also comment\n\n1 1\n2 5\n"
+	bel, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bel.Len() != 4 || bel.N0 != 3 || bel.N1 != 6 {
+		t.Fatalf("shape %d/%d/%d", bel.N0, bel.N1, bel.Len())
+	}
+}
+
+func TestReadTSVRejectsBad(t *testing.T) {
+	for name, in := range map[string]string{
+		"one field": "0\n",
+		"non-int":   "a b\n",
+		"negative":  "-1 2\n",
+	} {
+		if _, err := ReadTSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	bel, err := ReadBiEdgeList(strings.NewReader(paperMM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, bel); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Edges, bel.Edges) {
+		t.Fatal("TSV round trip changed edges")
+	}
+}
+
+func TestReadTSVFileMissing(t *testing.T) {
+	if _, err := ReadTSVFile("/nonexistent/x.tsv"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func FuzzReadBiEdgeList(f *testing.F) {
+	f.Add(paperMM)
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 3 2\n1 3 2.5\n2 1 -1\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n1 1 1\n1 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		// Must never panic; errors are fine.
+		bel, err := ReadBiEdgeList(strings.NewReader(in))
+		if err == nil && bel.Validate() != nil {
+			t.Fatalf("accepted input produced invalid edge list: %q", in)
+		}
+	})
+}
+
+func FuzzReadTSV(f *testing.F) {
+	f.Add("0 0\n1 2\n")
+	f.Add("# c\n\n3\t4\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		bel, err := ReadTSV(strings.NewReader(in))
+		if err == nil && bel.Validate() != nil {
+			t.Fatalf("accepted input produced invalid edge list: %q", in)
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package parallel
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// MinU32 atomically sets *addr = min(*addr, v). It reports whether the stored
+// value changed. This is the write-min primitive behind label-propagation
+// connected components.
+func MinU32(addr *uint32, v uint32) bool {
+	for {
+		old := atomic.LoadUint32(addr)
+		if old <= v {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(addr, old, v) {
+			return true
+		}
+	}
+}
+
+// MinU64 atomically sets *addr = min(*addr, v) and reports whether it changed.
+func MinU64(addr *uint64, v uint64) bool {
+	for {
+		old := atomic.LoadUint64(addr)
+		if old <= v {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(addr, old, v) {
+			return true
+		}
+	}
+}
+
+// CASU32 performs a single compare-and-swap on a uint32.
+func CASU32(addr *uint32, old, new uint32) bool {
+	return atomic.CompareAndSwapUint32(addr, old, new)
+}
+
+// LoadU32 atomically loads a uint32.
+func LoadU32(addr *uint32) uint32 { return atomic.LoadUint32(addr) }
+
+// StoreU32 atomically stores a uint32.
+func StoreU32(addr *uint32, v uint32) { atomic.StoreUint32(addr, v) }
+
+// AddI64 atomically adds delta to *addr and returns the new value.
+func AddI64(addr *int64, delta int64) int64 { return atomic.AddInt64(addr, delta) }
+
+// Bitset is a fixed-size bitmap with atomic set/test operations, used as the
+// visited set and frontier bitmap in the BFS kernels.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset creates a bitset of n bits, all zero.
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len reports the number of bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Get reports bit i using an atomic load.
+func (b *Bitset) Get(i int) bool {
+	return atomic.LoadUint64(&b.words[i>>6])&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i atomically.
+func (b *Bitset) Set(i int) {
+	mask := uint64(1) << (uint(i) & 63)
+	w := &b.words[i>>6]
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return
+		}
+	}
+}
+
+// TestAndSet sets bit i and reports whether this call changed it (i.e. the
+// bit was previously clear). Exactly one concurrent caller wins.
+func (b *Bitset) TestAndSet(i int) bool {
+	mask := uint64(1) << (uint(i) & 63)
+	w := &b.words[i>>6]
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return true
+		}
+	}
+}
+
+// Clear resets all bits to zero. Not safe against concurrent mutation.
+func (b *Bitset) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits. It is not linearizable against
+// concurrent writers; call it between parallel phases.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}

@@ -1,0 +1,141 @@
+package parallel
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinU32Sequential(t *testing.T) {
+	var x uint32 = 100
+	if !MinU32(&x, 50) || x != 50 {
+		t.Fatalf("MinU32 lower: x=%d", x)
+	}
+	if MinU32(&x, 50) {
+		t.Fatal("MinU32 equal value reported change")
+	}
+	if MinU32(&x, 70) || x != 50 {
+		t.Fatalf("MinU32 higher changed value: x=%d", x)
+	}
+}
+
+func TestMinU32Concurrent(t *testing.T) {
+	var x uint32 = 1 << 30
+	var wg sync.WaitGroup
+	vals := make([]uint32, 1000)
+	min := uint32(1 << 30)
+	rng := rand.New(rand.NewSource(1))
+	for i := range vals {
+		vals[i] = rng.Uint32()
+		if vals[i] < min {
+			min = vals[i]
+		}
+	}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(vals); i += 8 {
+				MinU32(&x, vals[i])
+			}
+		}(g)
+	}
+	wg.Wait()
+	if x != min {
+		t.Fatalf("concurrent MinU32 = %d, want %d", x, min)
+	}
+}
+
+func TestMinU64Property(t *testing.T) {
+	f := func(init uint64, vals []uint64) bool {
+		x := init
+		want := init
+		for _, v := range vals {
+			MinU64(&x, v)
+			if v < want {
+				want = v
+			}
+		}
+		return x == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsetBasic(t *testing.T) {
+	b := NewBitset(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in fresh bitset", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if b.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", b.Count())
+	}
+	b.Clear()
+	if b.Count() != 0 {
+		t.Fatalf("Count after Clear = %d", b.Count())
+	}
+}
+
+func TestBitsetSetIdempotent(t *testing.T) {
+	b := NewBitset(64)
+	b.Set(10)
+	b.Set(10)
+	if b.Count() != 1 {
+		t.Fatalf("Count = %d after double Set", b.Count())
+	}
+}
+
+func TestBitsetTestAndSetExactlyOneWinner(t *testing.T) {
+	const n = 1 << 12
+	b := NewBitset(n)
+	wins := make([]int32, n)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if b.TestAndSet(i) {
+					// Atomic not needed for the counter: only the single
+					// winner for bit i writes wins[i].
+					wins[i]++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, w := range wins {
+		if w != 1 {
+			t.Fatalf("bit %d won %d times", i, w)
+		}
+	}
+	if b.Count() != n {
+		t.Fatalf("Count = %d, want %d", b.Count(), n)
+	}
+}
+
+func TestBitsetCountMatchesSets(t *testing.T) {
+	f := func(idxs []uint16) bool {
+		b := NewBitset(1 << 16)
+		distinct := map[uint16]bool{}
+		for _, i := range idxs {
+			b.Set(int(i))
+			distinct[i] = true
+		}
+		return b.Count() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,267 @@
+// Package parallel provides the shared-memory parallel runtime that the rest
+// of NWHy-Go is built on. It plays the role oneAPI Threading Building Blocks
+// (oneTBB) plays in the C++ NWHy framework: a work-stealing scheduler plus a
+// family of splittable range adaptors (blocked, cyclic, and cyclic-neighbor
+// ranges) that control how loop iterations are distributed over workers.
+//
+// The scheduler is a classic work-stealing design: every worker owns a deque
+// of tasks; a worker pushes locally spawned tasks onto its own deque and pops
+// them LIFO (for locality), while idle workers steal FIFO from random victims
+// (for load balance). Parallel loops split their range recursively, spawning
+// one half and descending into the other, so skewed workloads rebalance
+// dynamically — the property the NWHy paper relies on for hypergraphs with
+// skewed degree distributions.
+package parallel
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// A task is one unit of schedulable work. The worker executing it passes its
+// own ID so the task can use per-worker (thread-local) state.
+type task struct {
+	fn func(worker int)
+	wg *sync.WaitGroup
+}
+
+// worker holds one scheduler participant's local deque.
+type worker struct {
+	mu    sync.Mutex
+	deque []task
+	rng   *rand.Rand
+}
+
+// push adds t to the bottom (LIFO end) of the deque.
+func (w *worker) push(t task) {
+	w.mu.Lock()
+	w.deque = append(w.deque, t)
+	w.mu.Unlock()
+}
+
+// pop removes a task from the bottom (LIFO end). Used by the owner.
+func (w *worker) pop() (task, bool) {
+	w.mu.Lock()
+	n := len(w.deque)
+	if n == 0 {
+		w.mu.Unlock()
+		return task{}, false
+	}
+	t := w.deque[n-1]
+	w.deque[n-1] = task{}
+	w.deque = w.deque[:n-1]
+	w.mu.Unlock()
+	return t, true
+}
+
+// steal removes a task from the top (FIFO end). Used by thieves.
+func (w *worker) steal() (task, bool) {
+	w.mu.Lock()
+	if len(w.deque) == 0 {
+		w.mu.Unlock()
+		return task{}, false
+	}
+	t := w.deque[0]
+	copy(w.deque, w.deque[1:])
+	w.deque[len(w.deque)-1] = task{}
+	w.deque = w.deque[:len(w.deque)-1]
+	w.mu.Unlock()
+	return t, true
+}
+
+// Pool is a fixed-size work-stealing scheduler. The zero value is not usable;
+// construct one with New. A Pool must be Closed when no longer needed unless
+// it is the shared default pool.
+type Pool struct {
+	workers []*worker
+
+	// injector receives tasks submitted from outside the pool's workers.
+	injectMu sync.Mutex
+	inject   []task
+
+	// pending counts tasks that are queued somewhere but not yet taken.
+	// Workers park only when pending is zero.
+	pending atomic.Int64
+
+	parkMu  sync.Mutex
+	parked  *sync.Cond
+	nparked atomic.Int32
+
+	closed atomic.Bool
+	done   sync.WaitGroup
+}
+
+// New creates a pool with n workers. n < 1 is treated as runtime.GOMAXPROCS(0).
+func New(n int) *Pool {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: make([]*worker, n)}
+	p.parked = sync.NewCond(&p.parkMu)
+	for i := range p.workers {
+		p.workers[i] = &worker{rng: rand.New(rand.NewSource(int64(i)*2654435761 + 1))}
+	}
+	p.done.Add(n)
+	for i := 0; i < n; i++ {
+		go p.run(i)
+	}
+	return p
+}
+
+// NumWorkers reports the number of workers in the pool.
+func (p *Pool) NumWorkers() int { return len(p.workers) }
+
+// Close shuts the pool down. It must not be called while work is in flight.
+func (p *Pool) Close() {
+	p.closed.Store(true)
+	p.parkMu.Lock()
+	p.parked.Broadcast()
+	p.parkMu.Unlock()
+	p.done.Wait()
+}
+
+// submit enqueues a task from outside the pool.
+func (p *Pool) submit(t task) {
+	p.injectMu.Lock()
+	p.inject = append(p.inject, t)
+	p.injectMu.Unlock()
+	p.pending.Add(1)
+	p.wake()
+}
+
+// spawn enqueues a task onto worker w's own deque (called from inside tasks).
+func (p *Pool) spawn(w int, t task) {
+	p.workers[w].push(t)
+	p.pending.Add(1)
+	p.wake()
+}
+
+// wake unparks a worker if any are parked. The pending increment must happen
+// before wake is called: a parker increments nparked before re-checking
+// pending (both atomically), so either the parker sees the new pending count
+// or we see its nparked increment — never neither.
+func (p *Pool) wake() {
+	if p.nparked.Load() > 0 {
+		p.parkMu.Lock()
+		p.parked.Broadcast()
+		p.parkMu.Unlock()
+	}
+}
+
+// takeInjected removes one task from the injector queue.
+func (p *Pool) takeInjected() (task, bool) {
+	p.injectMu.Lock()
+	if len(p.inject) == 0 {
+		p.injectMu.Unlock()
+		return task{}, false
+	}
+	t := p.inject[0]
+	copy(p.inject, p.inject[1:])
+	p.inject[len(p.inject)-1] = task{}
+	p.inject = p.inject[:len(p.inject)-1]
+	p.injectMu.Unlock()
+	return t, true
+}
+
+// find locates a runnable task for worker id, or returns false.
+func (p *Pool) find(id int) (task, bool) {
+	if t, ok := p.workers[id].pop(); ok {
+		return t, true
+	}
+	if t, ok := p.takeInjected(); ok {
+		return t, true
+	}
+	// Steal: try every other worker once, starting at a random victim.
+	n := len(p.workers)
+	if n > 1 {
+		start := p.workers[id].rng.Intn(n)
+		for k := 0; k < n; k++ {
+			v := (start + k) % n
+			if v == id {
+				continue
+			}
+			if t, ok := p.workers[v].steal(); ok {
+				return t, true
+			}
+		}
+	}
+	return task{}, false
+}
+
+// run is the worker main loop.
+func (p *Pool) run(id int) {
+	defer p.done.Done()
+	for {
+		if t, ok := p.find(id); ok {
+			p.pending.Add(-1)
+			t.fn(id)
+			if t.wg != nil {
+				t.wg.Done()
+			}
+			continue
+		}
+		p.parkMu.Lock()
+		p.nparked.Add(1)
+		for p.pending.Load() == 0 && !p.closed.Load() {
+			p.parked.Wait()
+		}
+		p.nparked.Add(-1)
+		closed := p.closed.Load()
+		p.parkMu.Unlock()
+		if closed && p.pending.Load() == 0 {
+			return
+		}
+	}
+}
+
+// Go schedules fn on the pool and returns immediately. done.Done is called
+// when fn completes.
+func (p *Pool) Go(fn func(worker int), wg *sync.WaitGroup) {
+	p.submit(task{fn: fn, wg: wg})
+}
+
+// Invoke runs all fns in parallel on the pool and waits for completion.
+func (p *Pool) Invoke(fns ...func()) {
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		fn := fn
+		p.submit(task{fn: func(int) { fn() }, wg: &wg})
+	}
+	wg.Wait()
+}
+
+var (
+	defaultMu   sync.Mutex
+	defaultPool *Pool
+)
+
+// Default returns the shared process-wide pool, creating it on first use with
+// GOMAXPROCS workers.
+func Default() *Pool {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultPool == nil {
+		defaultPool = New(0)
+	}
+	return defaultPool
+}
+
+// SetNumWorkers replaces the default pool with one of n workers. It is how
+// strong-scaling experiments vary the thread count, mirroring setting the
+// oneTBB global_control concurrency limit. It must not be called while
+// parallel work is running.
+func SetNumWorkers(n int) {
+	defaultMu.Lock()
+	old := defaultPool
+	defaultPool = New(n)
+	defaultMu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+}
+
+// NumWorkers reports the default pool's worker count.
+func NumWorkers() int { return Default().NumWorkers() }

@@ -1,0 +1,350 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolInvokeRunsAll(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var a, b, c atomic.Int32
+	p.Invoke(
+		func() { a.Store(1) },
+		func() { b.Store(2) },
+		func() { c.Store(3) },
+	)
+	if a.Load() != 1 || b.Load() != 2 || c.Load() != 3 {
+		t.Fatalf("Invoke did not run all functions: %d %d %d", a.Load(), b.Load(), c.Load())
+	}
+}
+
+func TestPoolInvokeEmpty(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	p.Invoke() // must not hang
+}
+
+func TestPoolGoCompletes(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var n atomic.Int32
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		p.Go(func(worker int) {
+			if worker < 0 || worker >= p.NumWorkers() {
+				t.Errorf("bad worker id %d", worker)
+			}
+			n.Add(1)
+		}, &wg)
+	}
+	wg.Wait()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d of 100 tasks", n.Load())
+	}
+}
+
+func TestPoolSingleWorker(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	var n atomic.Int32
+	p.For(Blocked(0, 1000), func(_, lo, hi int) {
+		n.Add(int32(hi - lo))
+	})
+	if n.Load() != 1000 {
+		t.Fatalf("covered %d of 1000", n.Load())
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	const n = 100003
+	counts := make([]int32, n)
+	p.For(Blocked(0, n), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&counts[i], 1)
+		}
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForEmptyRange(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	called := false
+	p.For(Blocked(5, 5), func(_, lo, hi int) { called = true })
+	if called {
+		t.Fatal("body called for empty range")
+	}
+	p.For(Blocked(7, 3), func(_, lo, hi int) { called = true })
+	if called {
+		t.Fatal("body called for inverted range")
+	}
+}
+
+func TestForGrainRespected(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var mu sync.Mutex
+	sizes := []int{}
+	p.For(BlockedGrain(0, 100, 10), func(_, lo, hi int) {
+		mu.Lock()
+		sizes = append(sizes, hi-lo)
+		mu.Unlock()
+	})
+	total := 0
+	for _, s := range sizes {
+		if s > 10 {
+			t.Errorf("chunk size %d exceeds grain 10: ranges split while Len > Grain, so leaves must be <= Grain", s)
+		}
+		total += s
+	}
+	if total != 100 {
+		t.Fatalf("total coverage %d != 100", total)
+	}
+}
+
+func TestForWorkerIDsInRange(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	p.For(Blocked(0, 10000), func(w, lo, hi int) {
+		if w < 0 || w >= 3 {
+			t.Errorf("worker id %d out of range", w)
+		}
+	})
+}
+
+func TestForCyclicCoversEveryIndexOnce(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	const n = 99991
+	counts := make([]int32, n)
+	p.ForCyclic(Cyclic(0, n, 32), func(_, start, end, stride int) {
+		for i := start; i < end; i += stride {
+			atomic.AddInt32(&counts[i], 1)
+		}
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForCyclicSmallRanges(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	for n := 0; n < 20; n++ {
+		counts := make([]int32, n+1)
+		p.ForCyclic(Cyclic(0, n, 16), func(_, start, end, stride int) {
+			for i := start; i < end; i += stride {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+		for i := 0; i < n; i++ {
+			if counts[i] != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, counts[i])
+			}
+		}
+	}
+}
+
+func TestCyclicRangeSplitInterleaves(t *testing.T) {
+	r := Cyclic(0, 16, 4)
+	a, b := r.Split()
+	if a.Offset != 0 || a.Stride != 2 || b.Offset != 1 || b.Stride != 2 {
+		t.Fatalf("unexpected split: %+v %+v", a, b)
+	}
+	if !a.Divisible() || !b.Divisible() {
+		t.Fatal("stride-2 ranges with MaxStride 4 should still be divisible")
+	}
+	aa, ab := a.Split()
+	if aa.Divisible() || ab.Divisible() {
+		t.Fatal("stride-4 ranges with MaxStride 4 must not be divisible")
+	}
+}
+
+type fakeAdj struct {
+	rows [][]uint32
+}
+
+func (f fakeAdj) NumRows() int       { return len(f.rows) }
+func (f fakeAdj) Row(i int) []uint32 { return f.rows[i] }
+
+func TestForCyclicNeighborDeliversRows(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	adj := fakeAdj{rows: [][]uint32{{1, 2}, {0}, {0, 3, 4}, {}, {2}}}
+	var mu sync.Mutex
+	got := make(map[int]int)
+	p.ForCyclicNeighbor(adj, 2, func(_, u int, nbrs []uint32) {
+		mu.Lock()
+		got[u] = len(nbrs)
+		mu.Unlock()
+	})
+	if len(got) != 5 {
+		t.Fatalf("visited %d of 5 rows", len(got))
+	}
+	for u, want := range map[int]int{0: 2, 1: 1, 2: 3, 3: 0, 4: 1} {
+		if got[u] != want {
+			t.Errorf("row %d: got %d neighbors, want %d", u, got[u], want)
+		}
+	}
+}
+
+func TestSkewedWorkloadBalances(t *testing.T) {
+	// One index carries nearly all the work; the scheduler must still finish
+	// promptly because other workers steal the remaining chunks.
+	p := New(4)
+	defer p.Close()
+	const n = 4096
+	start := time.Now()
+	var total atomic.Int64
+	p.For(BlockedGrain(0, n, 1), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			work := 1
+			if i == 0 {
+				work = 200000
+			}
+			s := 0
+			for k := 0; k < work; k++ {
+				s += k
+			}
+			total.Add(int64(s % 7))
+		}
+	})
+	_ = total.Load()
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("skewed workload took %v; scheduler not balancing", elapsed)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	SetNumWorkers(4)
+	const n = 100000
+	got := Reduce(n, 0,
+		func(lo, hi, acc int) int {
+			for i := lo; i < hi; i++ {
+				acc += i
+			}
+			return acc
+		},
+		func(a, b int) int { return a + b })
+	want := n * (n - 1) / 2
+	if got != want {
+		t.Fatalf("Reduce sum = %d, want %d", got, want)
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	got := Reduce(0, 42, func(lo, hi, acc int) int { return acc + 1 }, func(a, b int) int { return a + b })
+	if got != 42 {
+		t.Fatalf("Reduce over empty range = %d, want identity 42", got)
+	}
+}
+
+func TestForEachCovers(t *testing.T) {
+	const n = 1000
+	counts := make([]int32, n)
+	ForEach(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestSetNumWorkers(t *testing.T) {
+	SetNumWorkers(2)
+	if NumWorkers() != 2 {
+		t.Fatalf("NumWorkers = %d, want 2", NumWorkers())
+	}
+	SetNumWorkers(5)
+	if NumWorkers() != 5 {
+		t.Fatalf("NumWorkers = %d, want 5", NumWorkers())
+	}
+	// Pool still works after swap.
+	var n atomic.Int32
+	ForEach(100, func(int) { n.Add(1) })
+	if n.Load() != 100 {
+		t.Fatalf("pool broken after SetNumWorkers: %d", n.Load())
+	}
+}
+
+func TestTLSPerWorkerIsolation(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	tls := NewTLS(p, func() []int { return nil })
+	p.For(BlockedGrain(0, 10000, 16), func(w, lo, hi int) {
+		s := tls.Get(w)
+		for i := lo; i < hi; i++ {
+			*s = append(*s, i)
+		}
+	})
+	seen := make([]bool, 10000)
+	total := 0
+	tls.All(func(v *[]int) {
+		for _, i := range *v {
+			if seen[i] {
+				t.Fatalf("index %d appears in two TLS slots", i)
+			}
+			seen[i] = true
+			total++
+		}
+	})
+	if total != 10000 {
+		t.Fatalf("TLS captured %d of 10000 items", total)
+	}
+}
+
+func TestTLSInit(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	tls := NewTLS(p, func() int { return 7 })
+	if *tls.Get(0) != 7 {
+		t.Fatalf("TLS init not applied: %d", *tls.Get(0))
+	}
+	*tls.Get(0) = 9
+	if *tls.Get(0) != 9 {
+		t.Fatal("TLS slot not persistent")
+	}
+	count := 0
+	tls.All(func(v *int) { count++ })
+	if count != 1 {
+		t.Fatalf("All visited %d slots, want 1 (only slot 0 touched)", count)
+	}
+}
+
+func TestCloseIdle(t *testing.T) {
+	p := New(3)
+	p.Invoke(func() {}, func() {})
+	done := make(chan struct{})
+	go func() { p.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung")
+	}
+}
+
+func TestManySequentialParallelFors(t *testing.T) {
+	// Regression guard against lost-wakeup bugs: many small rounds where
+	// workers park and wake repeatedly.
+	p := New(4)
+	defer p.Close()
+	for round := 0; round < 500; round++ {
+		var n atomic.Int32
+		p.For(Blocked(0, 37), func(_, lo, hi int) { n.Add(int32(hi - lo)) })
+		if n.Load() != 37 {
+			t.Fatalf("round %d: covered %d of 37", round, n.Load())
+		}
+	}
+}

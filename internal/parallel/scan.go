@@ -1,0 +1,53 @@
+package parallel
+
+// ScanExclusive replaces s with its exclusive prefix sum in parallel and
+// returns the total: s[i] becomes the sum of the original s[0..i). The
+// classic two-pass algorithm: per-chunk sums, sequential scan over chunk
+// totals, then per-chunk local scans offset by the chunk base.
+func ScanExclusive(s []int64) int64 {
+	const serialCutoff = 1 << 14
+	n := len(s)
+	if n < serialCutoff {
+		var sum int64
+		for i := range s {
+			v := s[i]
+			s[i] = sum
+			sum += v
+		}
+		return sum
+	}
+	p := Default()
+	nchunks := p.NumWorkers() * 4
+	bounds := make([]int, nchunks+1)
+	for i := 0; i <= nchunks; i++ {
+		bounds[i] = i * n / nchunks
+	}
+	sums := make([]int64, nchunks)
+	p.For(BlockedGrain(0, nchunks, 1), func(_, lo, hi int) {
+		for c := lo; c < hi; c++ {
+			var sum int64
+			for _, v := range s[bounds[c]:bounds[c+1]] {
+				sum += v
+			}
+			sums[c] = sum
+		}
+	})
+	var total int64
+	for c := 0; c < nchunks; c++ {
+		v := sums[c]
+		sums[c] = total
+		total += v
+	}
+	p.For(BlockedGrain(0, nchunks, 1), func(_, lo, hi int) {
+		for c := lo; c < hi; c++ {
+			sum := sums[c]
+			chunk := s[bounds[c]:bounds[c+1]]
+			for i := range chunk {
+				v := chunk[i]
+				chunk[i] = sum
+				sum += v
+			}
+		}
+	})
+	return total
+}

@@ -1,0 +1,129 @@
+package parallel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScanExclusiveSmall(t *testing.T) {
+	s := []int64{3, 0, 2, 5}
+	total := ScanExclusive(s)
+	if total != 10 {
+		t.Fatalf("total = %d", total)
+	}
+	want := []int64{0, 3, 3, 5}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("scan = %v", s)
+		}
+	}
+}
+
+func TestScanExclusiveEmpty(t *testing.T) {
+	if ScanExclusive(nil) != 0 {
+		t.Fatal("empty scan total != 0")
+	}
+}
+
+func TestScanExclusiveLargeMatchesSequential(t *testing.T) {
+	SetNumWorkers(4)
+	rng := rand.New(rand.NewSource(5))
+	n := 300000
+	a := make([]int64, n)
+	b := make([]int64, n)
+	for i := range a {
+		a[i] = int64(rng.Intn(100))
+		b[i] = a[i]
+	}
+	totalA := ScanExclusive(a)
+	var sum int64
+	for i := range b {
+		v := b[i]
+		b[i] = sum
+		sum += v
+	}
+	if totalA != sum {
+		t.Fatalf("totals differ: %d vs %d", totalA, sum)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("scan differs at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestScanExclusiveProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		s := make([]int64, len(raw))
+		var want int64
+		for i, v := range raw {
+			s[i] = int64(v)
+			want += int64(v)
+		}
+		return ScanExclusive(s) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParallelFor(b *testing.B) {
+	p := New(4)
+	defer p.Close()
+	data := make([]int64, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.For(Blocked(0, len(data)), func(_, lo, hi int) {
+			for k := lo; k < hi; k++ {
+				data[k]++
+			}
+		})
+	}
+}
+
+func BenchmarkWorkStealingSkewed(b *testing.B) {
+	p := New(4)
+	defer p.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.For(BlockedGrain(0, 1024, 1), func(_, lo, hi int) {
+			for k := lo; k < hi; k++ {
+				work := 10
+				if k%128 == 0 {
+					work = 10000
+				}
+				s := 0
+				for w := 0; w < work; w++ {
+					s += w
+				}
+				_ = s
+			}
+		})
+	}
+}
+
+func BenchmarkParallelSort(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	orig := make([]uint32, 1<<18)
+	for i := range orig {
+		orig[i] = rng.Uint32()
+	}
+	buf := make([]uint32, len(orig))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, orig)
+		SortU32(buf)
+	}
+}
+
+func BenchmarkScanExclusive(b *testing.B) {
+	data := make([]int64, 1<<20)
+	for i := range data {
+		data[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScanExclusive(data)
+	}
+}

@@ -1,0 +1,84 @@
+package parallel
+
+import "sort"
+
+// Sort sorts s with a parallel merge sort: the slice is cut into one chunk
+// per worker, chunks sort concurrently with the standard library sort, and
+// sorted runs merge pairwise in parallel rounds. Not stable. Falls back to
+// sort.Slice for small inputs where parallelism cannot pay for itself.
+func Sort[T any](s []T, less func(a, b T) bool) {
+	const serialCutoff = 1 << 13
+	if len(s) < serialCutoff {
+		sort.Slice(s, func(a, b int) bool { return less(s[a], s[b]) })
+		return
+	}
+	p := Default()
+	nchunks := p.NumWorkers()
+	if nchunks < 2 {
+		sort.Slice(s, func(a, b int) bool { return less(s[a], s[b]) })
+		return
+	}
+	// Chunk boundaries.
+	bounds := make([]int, nchunks+1)
+	for i := 0; i <= nchunks; i++ {
+		bounds[i] = i * len(s) / nchunks
+	}
+	// Sort each chunk concurrently.
+	p.For(BlockedGrain(0, nchunks, 1), func(_, lo, hi int) {
+		for c := lo; c < hi; c++ {
+			chunk := s[bounds[c]:bounds[c+1]]
+			sort.Slice(chunk, func(a, b int) bool { return less(chunk[a], chunk[b]) })
+		}
+	})
+	// Pairwise merge rounds, ping-ponging between s and buf.
+	buf := make([]T, len(s))
+	src, dst := s, buf
+	for len(bounds) > 2 {
+		newBounds := make([]int, 0, len(bounds)/2+1)
+		newBounds = append(newBounds, 0)
+		type job struct{ lo, mid, hi int }
+		var jobs []job
+		for i := 0; i+2 < len(bounds); i += 2 {
+			jobs = append(jobs, job{bounds[i], bounds[i+1], bounds[i+2]})
+			newBounds = append(newBounds, bounds[i+2])
+		}
+		if len(bounds)%2 == 0 { // odd number of runs: last one copies through
+			lo, hi := bounds[len(bounds)-2], bounds[len(bounds)-1]
+			jobs = append(jobs, job{lo, hi, hi})
+			newBounds = append(newBounds, hi)
+		}
+		p.For(BlockedGrain(0, len(jobs), 1), func(_, jlo, jhi int) {
+			for k := jlo; k < jhi; k++ {
+				j := jobs[k]
+				mergeInto(dst[j.lo:j.hi], src[j.lo:j.mid], src[j.mid:j.hi], less)
+			}
+		})
+		src, dst = dst, src
+		bounds = newBounds
+	}
+	if &src[0] != &s[0] {
+		copy(s, src)
+	}
+}
+
+// mergeInto merges sorted runs a and b into out (len(out) == len(a)+len(b)).
+func mergeInto[T any](out, a, b []T, less func(x, y T) bool) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			out[k] = b[j]
+			j++
+		} else {
+			out[k] = a[i]
+			i++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], b[j:])
+}
+
+// SortU32 sorts a uint32 slice in parallel.
+func SortU32(s []uint32) {
+	Sort(s, func(a, b uint32) bool { return a < b })
+}

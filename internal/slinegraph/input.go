@@ -1,0 +1,185 @@
+// Package slinegraph implements the s-line-graph construction algorithms of
+// NWHy: the naive all-pairs algorithm, the set-intersection heuristic
+// (HiPC'21), the hashmap-counting algorithm (IPDPS'22), the ensemble
+// variant, and the paper's two new queue-based algorithms — Algorithm 1
+// (single-phase, hashmap counting over a work queue of hyperedge IDs) and
+// Algorithm 2 (two-phase: enqueue candidate hyperedge pairs, then
+// set-intersect each pair). Clique expansion is provided as the 1-line graph
+// of the dual hypergraph.
+//
+// The non-queue algorithms assume hyperedge IDs are the contiguous range
+// [0, nₑ) — the assumption the paper identifies as the reason they cannot
+// run on adjoin graphs or relabeled ID spaces. The queue-based algorithms
+// consume the Input interface instead and work with any hyperedge ID set:
+// bipartite, adjoin (shared index space), or arbitrarily renamed.
+package slinegraph
+
+import (
+	"nwhy/internal/core"
+	"nwhy/internal/graph"
+	"nwhy/internal/parallel"
+	"nwhy/internal/sparse"
+)
+
+// Input is the representation-independent view the queue-based algorithms
+// operate on. Hyperedge IDs may be any subset of [0, IDSpace()); hypernode
+// handles are whatever Incidence returns and are only ever passed back to
+// EdgesOf.
+type Input interface {
+	// EdgeIDs returns the hyperedge work-queue contents. Callers may reorder
+	// the returned slice (it is a fresh copy).
+	EdgeIDs() []uint32
+	// IDSpace bounds every hyperedge ID (for stamp/result arrays).
+	IDSpace() int
+	// Incidence returns the hypernode handles of hyperedge e, sorted.
+	Incidence(e uint32) []uint32
+	// EdgesOf returns the hyperedge IDs incident to hypernode handle v.
+	EdgesOf(v uint32) []uint32
+	// EdgeDegree reports |e| for hyperedge e.
+	EdgeDegree(e uint32) int
+}
+
+// bipartiteInput adapts the two-index-space representation.
+type bipartiteInput struct {
+	h *core.Hypergraph
+}
+
+// FromHypergraph exposes a bipartite-representation hypergraph as a
+// queue-algorithm input with hyperedge IDs [0, nₑ).
+func FromHypergraph(h *core.Hypergraph) Input { return bipartiteInput{h} }
+
+func (b bipartiteInput) EdgeIDs() []uint32 {
+	ids := make([]uint32, b.h.NumEdges())
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	return ids
+}
+func (b bipartiteInput) IDSpace() int                { return b.h.NumEdges() }
+func (b bipartiteInput) Incidence(e uint32) []uint32 { return b.h.Edges.Row(int(e)) }
+func (b bipartiteInput) EdgesOf(v uint32) []uint32   { return b.h.Nodes.Row(int(v)) }
+func (b bipartiteInput) EdgeDegree(e uint32) int     { return b.h.Edges.Degree(int(e)) }
+
+// adjoinInput adapts the shared-index-space representation: hyperedges keep
+// their shared-space IDs [0, nₑ) and hypernode handles are shared-space IDs
+// [nₑ, nₑ+nᵥ). No conversion back to bipartite form is needed — the point
+// of the queue-based algorithms.
+type adjoinInput struct {
+	a *core.AdjoinGraph
+}
+
+// FromAdjoin exposes an adjoin-representation hypergraph as a
+// queue-algorithm input.
+func FromAdjoin(a *core.AdjoinGraph) Input { return adjoinInput{a} }
+
+func (ai adjoinInput) EdgeIDs() []uint32 {
+	ids := make([]uint32, ai.a.NumRealEdges)
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	return ids
+}
+func (ai adjoinInput) IDSpace() int                { return ai.a.NumVertices() }
+func (ai adjoinInput) Incidence(e uint32) []uint32 { return ai.a.G.Row(int(e)) }
+func (ai adjoinInput) EdgesOf(v uint32) []uint32   { return ai.a.G.Row(int(v)) }
+func (ai adjoinInput) EdgeDegree(e uint32) int     { return ai.a.G.Degree(int(e)) }
+
+// renamedInput wraps another input with an arbitrary hyperedge renaming —
+// the situation (permuted, non-contiguous IDs) the queue-based algorithms
+// were designed for and the non-queue ones cannot handle.
+type renamedInput struct {
+	base    Input
+	toNew   map[uint32]uint32
+	toOld   map[uint32]uint32
+	idSpace int
+}
+
+// Renamed returns in with hyperedge e renamed to rename[e]. rename must be
+// injective; IDs may be arbitrary within idSpace.
+func Renamed(in Input, rename map[uint32]uint32, idSpace int) Input {
+	toOld := make(map[uint32]uint32, len(rename))
+	for o, n := range rename {
+		toOld[n] = o
+	}
+	return renamedInput{base: in, toNew: rename, toOld: toOld, idSpace: idSpace}
+}
+
+func (r renamedInput) EdgeIDs() []uint32 {
+	base := r.base.EdgeIDs()
+	out := make([]uint32, len(base))
+	for i, e := range base {
+		out[i] = r.toNew[e]
+	}
+	return out
+}
+func (r renamedInput) IDSpace() int                { return r.idSpace }
+func (r renamedInput) Incidence(e uint32) []uint32 { return r.base.Incidence(r.toOld[e]) }
+func (r renamedInput) EdgesOf(v uint32) []uint32 {
+	base := r.base.EdgesOf(v)
+	out := make([]uint32, len(base))
+	for i, e := range base {
+		out[i] = r.toNew[e]
+	}
+	return out
+}
+func (r renamedInput) EdgeDegree(e uint32) int { return r.base.EdgeDegree(r.toOld[e]) }
+
+// canonPairs normalizes an s-line edge list: U < V per pair, sorted,
+// deduplicated. All construction algorithms return canonical lists so
+// results are directly comparable across algorithms and representations.
+func canonPairs(pairs []sparse.Edge) []sparse.Edge {
+	for i, e := range pairs {
+		if e.U > e.V {
+			pairs[i] = sparse.Edge{U: e.V, V: e.U}
+		}
+	}
+	parallel.Sort(pairs, func(a, b sparse.Edge) bool {
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+	out := pairs[:0]
+	for i, e := range pairs {
+		if i > 0 && e == pairs[i-1] {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// ToLineGraph materializes an s-line edge list over idSpace hyperedge IDs
+// as an undirected graph, ready for the graph algorithm library (s-connected
+// components, s-distance, s-betweenness, ...).
+func ToLineGraph(idSpace int, pairs []sparse.Edge) *graph.Graph {
+	el := &sparse.EdgeList{NumVertices: idSpace, Edges: append([]sparse.Edge(nil), pairs...)}
+	return graph.FromEdgeList(el, true)
+}
+
+// countCommonGE counts |a ∩ b| of two sorted slices, short-circuiting as
+// soon as the count reaches s or the remaining elements cannot reach it.
+// Returns (count, reachedS).
+func countCommonGE(a, b []uint32, s int) (int, bool) {
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if c >= s {
+			return c, true
+		}
+		// Prune: even matching everything left cannot reach s.
+		if c+min(len(a)-i, len(b)-j) < s {
+			return c, false
+		}
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c, c >= s
+}

@@ -1,0 +1,240 @@
+package slinegraph
+
+import (
+	"nwhy/internal/core"
+	"nwhy/internal/countmap"
+	"nwhy/internal/parallel"
+	"nwhy/internal/sparse"
+)
+
+// Naive computes the s-line graph by set-intersecting every hyperedge pair:
+// the O(|E|² · Δ) baseline every other algorithm is measured against.
+func Naive(h *core.Hypergraph, s int) []sparse.Edge {
+	ne := h.NumEdges()
+	p := parallel.Default()
+	tls := parallel.NewTLS(p, func() []sparse.Edge { return nil })
+	p.For(parallel.Blocked(0, ne), func(w, lo, hi int) {
+		buf := tls.Get(w)
+		for i := lo; i < hi; i++ {
+			if h.EdgeDegree(i) < s {
+				continue
+			}
+			ri := h.EdgeIncidence(i)
+			for j := i + 1; j < ne; j++ {
+				if h.EdgeDegree(j) < s {
+					continue
+				}
+				if _, ok := countCommonGE(ri, h.EdgeIncidence(j), s); ok {
+					*buf = append(*buf, sparse.Edge{U: uint32(i), V: uint32(j)})
+				}
+			}
+		}
+	})
+	return collectTLS(tls)
+}
+
+// relabeled applies Options.Relabel to the biadjacency pair, returning the
+// (possibly) relabeled CSRs and the perm mapping relabeled IDs back to
+// original ones.
+func relabeled(h *core.Hypergraph, o Options) (edges, nodes *sparse.CSR, perm []uint32) {
+	return sparse.RelabelHyperedges(h.Edges, h.Nodes, o.Relabel)
+}
+
+// Intersection is the set-intersection heuristic of Liu et al. (HiPC'21):
+// for each eligible hyperedge, collect the candidate neighbors j > i once
+// (deduplicated with a per-worker stamp array), skip those that cannot reach
+// s by the degree filter, and set-intersect incidence lists with early
+// termination. This and Hashmap are the non-queue algorithms Figure 9
+// compares the queue-based ones against.
+func Intersection(h *core.Hypergraph, s int, o Options) []sparse.Edge {
+	edges, nodes, perm := relabeled(h, o)
+	ne := edges.NumRows()
+	deg := edges.Degrees()
+	p := parallel.Default()
+	tls := parallel.NewTLS(p, func() []sparse.Edge { return nil })
+	type scratch struct {
+		stamp []uint32 // stamp[j] == i+1 means j already considered for i
+		cand  []uint32
+	}
+	scratchTLS := parallel.NewTLS(p, func() scratch { return scratch{stamp: make([]uint32, ne)} })
+	o.forIndices(ne, func(w, i int) {
+		if deg[i] < s {
+			return
+		}
+		sc := scratchTLS.Get(w)
+		buf := tls.Get(w)
+		sc.cand = sc.cand[:0]
+		ri := edges.Row(i)
+		for _, v := range ri {
+			for _, j := range nodes.Row(int(v)) {
+				if int(j) <= i || deg[j] < s || sc.stamp[j] == uint32(i)+1 {
+					continue
+				}
+				sc.stamp[j] = uint32(i) + 1
+				sc.cand = append(sc.cand, j)
+			}
+		}
+		for _, j := range sc.cand {
+			if _, ok := countCommonGE(ri, edges.Row(int(j)), s); ok {
+				*buf = append(*buf, sparse.Edge{U: perm[i], V: perm[j]})
+			}
+		}
+	})
+	return collectTLS(tls)
+}
+
+// Hashmap is the hashmap-counting algorithm of Liu et al. (IPDPS'22): for
+// each hyperedge, tally overlap counts with every later hyperedge through
+// the two-level incidence walk, then emit the pairs whose tally reaches s.
+// One pass; no set intersections.
+func Hashmap(h *core.Hypergraph, s int, o Options) []sparse.Edge {
+	edges, nodes, perm := relabeled(h, o)
+	ne := edges.NumRows()
+	deg := edges.Degrees()
+	p := parallel.Default()
+	tls := parallel.NewTLS(p, func() []sparse.Edge { return nil })
+	cntTLS := parallel.NewTLS(p, func() *countmap.Map { return countmap.New(64) })
+	o.forIndices(ne, func(w, i int) {
+		if deg[i] < s {
+			return
+		}
+		cnt := *cntTLS.Get(w)
+		cnt.Clear()
+		for _, v := range edges.Row(i) {
+			for _, j := range nodes.Row(int(v)) {
+				if int(j) > i && deg[j] >= s {
+					cnt.Inc(j, 1)
+				}
+			}
+		}
+		buf := tls.Get(w)
+		cnt.Range(func(j uint32, c int32) {
+			if int(c) >= s {
+				*buf = append(*buf, sparse.Edge{U: perm[i], V: perm[j]})
+			}
+		})
+	})
+	return collectTLS(tls)
+}
+
+// Ensemble computes the s-line graphs for every s in ss in a single
+// counting pass (Liu et al., IPDPS'22): overlap tallies are computed once
+// and each pair is emitted into every bucket whose threshold it meets.
+func Ensemble(h *core.Hypergraph, ss []int, o Options) map[int][]sparse.Edge {
+	if len(ss) == 0 {
+		return nil
+	}
+	smin := ss[0]
+	for _, s := range ss {
+		if s < smin {
+			smin = s
+		}
+	}
+	edges, nodes, perm := relabeled(h, o)
+	ne := edges.NumRows()
+	deg := edges.Degrees()
+	p := parallel.Default()
+	type buckets map[int][]sparse.Edge
+	tls := parallel.NewTLS(p, func() buckets {
+		b := buckets{}
+		for _, s := range ss {
+			b[s] = nil
+		}
+		return b
+	})
+	cntTLS := parallel.NewTLS(p, func() *countmap.Map { return countmap.New(64) })
+	o.forIndices(ne, func(w, i int) {
+		if deg[i] < smin {
+			return
+		}
+		cnt := *cntTLS.Get(w)
+		cnt.Clear()
+		for _, v := range edges.Row(i) {
+			for _, j := range nodes.Row(int(v)) {
+				if int(j) > i && deg[j] >= smin {
+					cnt.Inc(j, 1)
+				}
+			}
+		}
+		b := *tls.Get(w)
+		cnt.Range(func(j uint32, c int32) {
+			for _, s := range ss {
+				if int(c) >= s {
+					b[s] = append(b[s], sparse.Edge{U: perm[i], V: perm[j]})
+				}
+			}
+		})
+	})
+	out := map[int][]sparse.Edge{}
+	for _, s := range ss {
+		var all []sparse.Edge
+		tls.All(func(b *buckets) { all = append(all, (*b)[s]...) })
+		out[s] = canonPairs(all)
+	}
+	return out
+}
+
+// EnsembleQueue computes the s-line graphs for every s in ss in one
+// queue-driven counting pass — the ensemble construction generalized to
+// arbitrary ID spaces via the Input interface, like Algorithm 1.
+func EnsembleQueue(in Input, ss []int, o Options) map[int][]sparse.Edge {
+	if len(ss) == 0 {
+		return nil
+	}
+	smin := ss[0]
+	for _, s := range ss {
+		if s < smin {
+			smin = s
+		}
+	}
+	queue := orderQueue(in.EdgeIDs(), in, o)
+	wq := newWorkQueue(queue, queueGrain(len(queue)))
+	p := parallel.Default()
+	type buckets map[int][]sparse.Edge
+	tls := parallel.NewTLS(p, func() buckets {
+		b := buckets{}
+		for _, s := range ss {
+			b[s] = nil
+		}
+		return b
+	})
+	cntTLS := parallel.NewTLS(p, func() *countmap.Map { return countmap.New(64) })
+	drain(wq, func(w int, e uint32) {
+		if in.EdgeDegree(e) < smin {
+			return
+		}
+		cnt := *cntTLS.Get(w)
+		cnt.Clear()
+		for _, v := range in.Incidence(e) {
+			for _, f := range in.EdgesOf(v) {
+				if f > e && in.EdgeDegree(f) >= smin {
+					cnt.Inc(f, 1)
+				}
+			}
+		}
+		b := *tls.Get(w)
+		cnt.Range(func(f uint32, c int32) {
+			for _, s := range ss {
+				if int(c) >= s {
+					b[s] = append(b[s], sparse.Edge{U: e, V: f})
+				}
+			}
+		})
+	})
+	out := map[int][]sparse.Edge{}
+	for _, s := range ss {
+		var all []sparse.Edge
+		tls.All(func(b *buckets) { all = append(all, (*b)[s]...) })
+		out[s] = canonPairs(all)
+	}
+	return out
+}
+
+// CliqueExpansion computes the clique-expansion graph of h: each hyperedge
+// becomes a clique over its hypernodes. Per the paper, this is exactly the
+// 1-line graph of the dual hypergraph, so it reuses the Hashmap
+// construction on H* (Listing 2's to_two_graph_hashmap_cyclic(hypernodes,
+// hyperedges, ..., 1, ...)). Vertex IDs of the result are hypernode IDs.
+func CliqueExpansion(h *core.Hypergraph, o Options) []sparse.Edge {
+	return Hashmap(h.Dual(), 1, o)
+}

@@ -1,0 +1,66 @@
+package slinegraph
+
+import (
+	"nwhy/internal/parallel"
+	"nwhy/internal/sparse"
+)
+
+// Partition selects the work-distribution strategy for the outer parallel
+// loop, mirroring the paper's blocked range vs cyclic range adaptors.
+type Partition int
+
+const (
+	// BlockedPartition assigns contiguous chunks of hyperedge IDs to workers
+	// (tbb::blocked_range). Cache friendly; imbalanced on degree-sorted
+	// inputs.
+	BlockedPartition Partition = iota
+	// CyclicPartition assigns hyperedges round-robin with a stride
+	// (NWHy's cyclic range adaptor), interleaving heavy and light hyperedges.
+	CyclicPartition
+)
+
+func (p Partition) String() string {
+	if p == CyclicPartition {
+		return "cyclic"
+	}
+	return "blocked"
+}
+
+// Options configure a construction algorithm run.
+type Options struct {
+	// Partition selects blocked or cyclic work distribution.
+	Partition Partition
+	// NumBins is the cyclic stride count; <= 0 uses 4x the worker count.
+	NumBins int
+	// Relabel applies relabel-by-degree to the hyperedge IDs before
+	// construction. Non-queue algorithms physically relabel the CSR pair
+	// (and map results back); queue algorithms merely sort their work queue,
+	// which is the versatility the paper's Algorithms 1 and 2 demonstrate.
+	Relabel sparse.Order
+}
+
+// forIndices runs body(worker, i) over [0, n) under the selected partition.
+func (o Options) forIndices(n int, body func(worker, i int)) {
+	p := parallel.Default()
+	switch o.Partition {
+	case CyclicPartition:
+		p.ForCyclic(parallel.Cyclic(0, n, o.NumBins), func(w, start, end, stride int) {
+			for i := start; i < end; i += stride {
+				body(w, i)
+			}
+		})
+	default:
+		p.For(parallel.Blocked(0, n), func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				body(w, i)
+			}
+		})
+	}
+}
+
+// collectTLS gathers per-worker edge buffers into one canonical list.
+func collectTLS(tls *parallel.TLS[[]sparse.Edge]) []sparse.Edge {
+	var out []sparse.Edge
+	tls.All(func(v *[]sparse.Edge) { out = append(out, *v...) })
+	return canonPairs(out)
+}

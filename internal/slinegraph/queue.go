@@ -1,0 +1,188 @@
+package slinegraph
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"nwhy/internal/countmap"
+	"nwhy/internal/parallel"
+	"nwhy/internal/sparse"
+)
+
+// workQueue is the shared work queue at the heart of the paper's Algorithms
+// 1 and 2: items are enqueued up front and workers repeatedly fetch chunks
+// with an atomic cursor until the queue drains. Fetching is dynamic, so the
+// load balances regardless of how work is distributed across items.
+type workQueue[T any] struct {
+	items  []T
+	cursor atomic.Int64
+	grain  int
+}
+
+func newWorkQueue[T any](items []T, grain int) *workQueue[T] {
+	if grain < 1 {
+		grain = 1
+	}
+	return &workQueue[T]{items: items, grain: grain}
+}
+
+// next returns the next chunk of work, or nil when the queue is drained.
+func (q *workQueue[T]) next() []T {
+	lo := q.cursor.Add(int64(q.grain)) - int64(q.grain)
+	if lo >= int64(len(q.items)) {
+		return nil
+	}
+	hi := lo + int64(q.grain)
+	if hi > int64(len(q.items)) {
+		hi = int64(len(q.items))
+	}
+	return q.items[lo:hi]
+}
+
+// drain runs body over every queue item using all pool workers.
+func drain[T any](q *workQueue[T], body func(worker int, item T)) {
+	p := parallel.Default()
+	var wg sync.WaitGroup
+	for w := 0; w < p.NumWorkers(); w++ {
+		wg.Add(1)
+		p.Go(func(worker int) {
+			for {
+				chunk := q.next()
+				if chunk == nil {
+					return
+				}
+				for _, it := range chunk {
+					body(worker, it)
+				}
+			}
+		}, &wg)
+	}
+	wg.Wait()
+}
+
+// orderQueue applies the Options to the work queue contents: relabel-by-
+// degree becomes a simple sort of the queue (no physical CSR relabeling
+// needed — the versatility argument for the queue-based algorithms), and
+// cyclic partitioning becomes a round-robin interleave of the queue order.
+func orderQueue(queue []uint32, in Input, o Options) []uint32 {
+	switch o.Relabel {
+	case sparse.Ascending:
+		sort.SliceStable(queue, func(a, b int) bool {
+			return in.EdgeDegree(queue[a]) < in.EdgeDegree(queue[b])
+		})
+	case sparse.Descending:
+		sort.SliceStable(queue, func(a, b int) bool {
+			return in.EdgeDegree(queue[a]) > in.EdgeDegree(queue[b])
+		})
+	}
+	if o.Partition == CyclicPartition {
+		bins := o.NumBins
+		if bins <= 0 {
+			bins = 4 * parallel.NumWorkers()
+		}
+		if bins > len(queue) {
+			bins = len(queue)
+		}
+		if bins > 1 {
+			out := make([]uint32, 0, len(queue))
+			for b := 0; b < bins; b++ {
+				for i := b; i < len(queue); i += bins {
+					out = append(out, queue[i])
+				}
+			}
+			copy(queue, out)
+		}
+	}
+	return queue
+}
+
+func queueGrain(n int) int {
+	g := n / (16 * parallel.NumWorkers())
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// QueueHashmap is the paper's Algorithm 1: a single-phase queue-based
+// s-line-graph construction using hashmap counting. All hyperedge IDs —
+// original, permuted, or adjoin shared-space — are enqueued into a work
+// queue; workers fetch IDs, tally overlap counts against every
+// higher-ID neighbor through the two-level incidence walk, and emit pairs
+// whose tally reaches s. Enqueuing is linear in |E|, so the complexity
+// matches the non-queue Hashmap algorithm.
+func QueueHashmap(in Input, s int, o Options) []sparse.Edge {
+	queue := orderQueue(in.EdgeIDs(), in, o) // Alg 1, line 2: enqueue all IDs
+	wq := newWorkQueue(queue, queueGrain(len(queue)))
+	p := parallel.Default()
+	results := parallel.NewTLS(p, func() []sparse.Edge { return nil }) // L_t(H)
+	cntTLS := parallel.NewTLS(p, func() *countmap.Map { return countmap.New(64) })
+	drain(wq, func(w int, e uint32) {
+		if in.EdgeDegree(e) < s { // Alg 1, line 6
+			return
+		}
+		cnt := *cntTLS.Get(w) // Alg 1, line 8: overlap_count
+		cnt.Clear()
+		for _, v := range in.Incidence(e) { // line 9
+			for _, f := range in.EdgesOf(v) { // line 10: (i < j)
+				if f > e && in.EdgeDegree(f) >= s {
+					cnt.Inc(f, 1) // line 11
+				}
+			}
+		}
+		buf := results.Get(w)
+		cnt.Range(func(f uint32, c int32) { // lines 12-14
+			if int(c) >= s {
+				*buf = append(*buf, sparse.Edge{U: e, V: f})
+			}
+		})
+	})
+	return collectTLS(results) // line 15: union of every L_t(H)
+}
+
+// QueueIntersection is the paper's Algorithm 2: a two-phase queue-based
+// s-line-graph construction. Phase one walks the incidence structure and
+// enqueues every eligible hyperedge pair (deduplicated per source hyperedge
+// with a stamp array) into per-thread queues that merge into one shared
+// pair queue. Phase two fetches pairs from the queue and set-intersects the
+// two incidence lists, emitting pairs with at least s common hypernodes.
+// The second phase is a single flat loop over pairs, giving finer-grained
+// load balancing than the three-level nest of the non-queue Intersection.
+func QueueIntersection(in Input, s int, o Options) []sparse.Edge {
+	queue := orderQueue(in.EdgeIDs(), in, o)
+	p := parallel.Default()
+
+	// Phase 1 (Alg 2, lines 1-6): build the pair queue.
+	pairTLS := parallel.NewTLS(p, func() []sparse.Edge { return nil }) // queue_t
+	stampTLS := parallel.NewTLS(p, func() []uint32 { return make([]uint32, in.IDSpace()) })
+	wq := newWorkQueue(queue, queueGrain(len(queue)))
+	drain(wq, func(w int, e uint32) {
+		if in.EdgeDegree(e) < s {
+			return
+		}
+		stamp := *stampTLS.Get(w)
+		buf := pairTLS.Get(w)
+		for _, v := range in.Incidence(e) {
+			for _, f := range in.EdgesOf(v) {
+				if f <= e || in.EdgeDegree(f) < s || stamp[f] == e+1 {
+					continue
+				}
+				stamp[f] = e + 1
+				*buf = append(*buf, sparse.Edge{U: e, V: f}) // line 5
+			}
+		}
+	})
+	var pairs []sparse.Edge // line 6: queue <- union of every queue_t
+	pairTLS.All(func(v *[]sparse.Edge) { pairs = append(pairs, *v...) })
+
+	// Phase 2 (lines 7-13): set-intersect each queued pair.
+	results := parallel.NewTLS(p, func() []sparse.Edge { return nil }) // L_t(H)
+	pq := newWorkQueue(pairs, queueGrain(len(pairs)))
+	drain(pq, func(w int, pr sparse.Edge) {
+		if _, ok := countCommonGE(in.Incidence(pr.U), in.Incidence(pr.V), s); ok { // line 10-11
+			*results.Get(w) = append(*results.Get(w), pr) // line 12
+		}
+	})
+	return collectTLS(results) // line 13
+}

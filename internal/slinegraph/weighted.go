@@ -1,0 +1,144 @@
+package slinegraph
+
+import (
+	"sort"
+
+	"nwhy/internal/core"
+	"nwhy/internal/countmap"
+	"nwhy/internal/graph"
+	"nwhy/internal/parallel"
+	"nwhy/internal/sparse"
+)
+
+// WeightedPair is one s-line edge together with its strength: the exact
+// overlap |e ∩ f|. Figure 5 of the paper draws s-line edges with width
+// proportional to this strength; keeping it enables strength-weighted
+// s-metrics (e.g. distances where strongly-overlapping hyperedges are
+// closer).
+type WeightedPair struct {
+	U, V    uint32
+	Overlap int
+}
+
+// HashmapWeighted is the hashmap-counting construction retaining overlap
+// strengths. It produces the same pair set as Hashmap plus the exact
+// overlap count per pair.
+func HashmapWeighted(h *core.Hypergraph, s int, o Options) []WeightedPair {
+	edges, nodes, perm := relabeled(h, o)
+	ne := edges.NumRows()
+	deg := edges.Degrees()
+	p := parallel.Default()
+	tls := parallel.NewTLS(p, func() []WeightedPair { return nil })
+	cntTLS := parallel.NewTLS(p, func() *countmap.Map { return countmap.New(64) })
+	o.forIndices(ne, func(w, i int) {
+		if deg[i] < s {
+			return
+		}
+		cnt := *cntTLS.Get(w)
+		cnt.Clear()
+		for _, v := range edges.Row(i) {
+			for _, j := range nodes.Row(int(v)) {
+				if int(j) > i && deg[j] >= s {
+					cnt.Inc(j, 1)
+				}
+			}
+		}
+		buf := tls.Get(w)
+		cnt.Range(func(j uint32, c int32) {
+			if int(c) >= s {
+				*buf = append(*buf, WeightedPair{U: perm[i], V: perm[j], Overlap: int(c)})
+			}
+		})
+	})
+	var out []WeightedPair
+	tls.All(func(v *[]WeightedPair) { out = append(out, *v...) })
+	return canonWeighted(out)
+}
+
+// QueueHashmapWeighted is Algorithm 1 retaining overlap strengths; like
+// QueueHashmap it accepts any Input (bipartite, adjoin, renamed).
+func QueueHashmapWeighted(in Input, s int, o Options) []WeightedPair {
+	queue := orderQueue(in.EdgeIDs(), in, o)
+	wq := newWorkQueue(queue, queueGrain(len(queue)))
+	p := parallel.Default()
+	results := parallel.NewTLS(p, func() []WeightedPair { return nil })
+	cntTLS := parallel.NewTLS(p, func() *countmap.Map { return countmap.New(64) })
+	drain(wq, func(w int, e uint32) {
+		if in.EdgeDegree(e) < s {
+			return
+		}
+		cnt := *cntTLS.Get(w)
+		cnt.Clear()
+		for _, v := range in.Incidence(e) {
+			for _, f := range in.EdgesOf(v) {
+				if f > e && in.EdgeDegree(f) >= s {
+					cnt.Inc(f, 1)
+				}
+			}
+		}
+		buf := results.Get(w)
+		cnt.Range(func(f uint32, c int32) {
+			if int(c) >= s {
+				*buf = append(*buf, WeightedPair{U: e, V: f, Overlap: int(c)})
+			}
+		})
+	})
+	var out []WeightedPair
+	results.All(func(v *[]WeightedPair) { out = append(out, *v...) })
+	return canonWeighted(out)
+}
+
+// canonWeighted normalizes weighted pairs: U < V, sorted, deduplicated.
+func canonWeighted(pairs []WeightedPair) []WeightedPair {
+	for i, e := range pairs {
+		if e.U > e.V {
+			pairs[i].U, pairs[i].V = e.V, e.U
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].U != pairs[b].U {
+			return pairs[a].U < pairs[b].U
+		}
+		return pairs[a].V < pairs[b].V
+	})
+	out := pairs[:0]
+	for i, e := range pairs {
+		if i > 0 && e.U == pairs[i-1].U && e.V == pairs[i-1].V {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Unweight drops the strengths, producing a canonical plain pair list
+// (nil for an empty input, matching the unweighted constructions).
+func Unweight(pairs []WeightedPair) []sparse.Edge {
+	if len(pairs) == 0 {
+		return nil
+	}
+	out := make([]sparse.Edge, len(pairs))
+	for i, p := range pairs {
+		out[i] = sparse.Edge{U: p.U, V: p.V}
+	}
+	return out
+}
+
+// ToWeightedLineGraph materializes a weighted s-line graph: each arc carries
+// weight 1/overlap, so shortest paths prefer strongly-overlapping hyperedge
+// chains (strength-weighted s-distance).
+func ToWeightedLineGraph(idSpace int, pairs []WeightedPair) *graph.Graph {
+	arcs := make([]sparse.Edge, 0, 2*len(pairs))
+	weights := make([]float64, 0, 2*len(pairs))
+	for _, p := range pairs {
+		w := 1.0 / float64(p.Overlap)
+		arcs = append(arcs, sparse.Edge{U: p.U, V: p.V}, sparse.Edge{U: p.V, V: p.U})
+		weights = append(weights, w, w)
+	}
+	csr := sparse.FromPairs(idSpace, idSpace, arcs, weights)
+	g, err := graph.FromCSR(csr)
+	if err != nil {
+		panic("slinegraph: weighted line graph not square: " + err.Error())
+	}
+	return g
+}

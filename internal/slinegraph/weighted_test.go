@@ -1,0 +1,137 @@
+package slinegraph
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"nwhy/internal/core"
+)
+
+func TestHashmapWeightedStrengths(t *testing.T) {
+	h := overlapHypergraph() // |e0∩e1|=3, |e0∩e2|=2, |e1∩e2|=3
+	wp := HashmapWeighted(h, 1, Options{})
+	want := map[[2]uint32]int{{0, 1}: 3, {0, 2}: 2, {1, 2}: 3}
+	if len(wp) != len(want) {
+		t.Fatalf("got %v", wp)
+	}
+	for _, p := range wp {
+		if want[[2]uint32{p.U, p.V}] != p.Overlap {
+			t.Fatalf("pair (%d,%d) overlap %d, want %d", p.U, p.V, p.Overlap, want[[2]uint32{p.U, p.V}])
+		}
+	}
+}
+
+func TestWeightedMatchesUnweightedPairs(t *testing.T) {
+	f := func(seed int64) bool {
+		h := randomHypergraph(30, 20, 5, seed)
+		for s := 1; s <= 3; s++ {
+			plain := Hashmap(h, s, Options{})
+			weighted := Unweight(HashmapWeighted(h, s, Options{}))
+			if !reflect.DeepEqual(plain, weighted) {
+				return false
+			}
+			qw := Unweight(QueueHashmapWeighted(FromHypergraph(h), s, Options{}))
+			if !reflect.DeepEqual(plain, qw) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedOverlapsAreExact(t *testing.T) {
+	f := func(seed int64) bool {
+		h := randomHypergraph(25, 15, 5, seed)
+		for _, p := range HashmapWeighted(h, 1, Options{}) {
+			if exactOverlap(h.EdgeIncidence(int(p.U)), h.EdgeIncidence(int(p.V))) != p.Overlap {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedOverlapAtLeastS(t *testing.T) {
+	h := randomHypergraph(40, 20, 6, 11)
+	for s := 2; s <= 4; s++ {
+		for _, p := range HashmapWeighted(h, s, Options{}) {
+			if p.Overlap < s {
+				t.Fatalf("s=%d pair with overlap %d", s, p.Overlap)
+			}
+		}
+	}
+}
+
+// exactOverlap counts |a ∩ b| of sorted slices without the early-exit
+// pruning of countCommonGE.
+func exactOverlap(a, b []uint32) int {
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+func TestQueueHashmapWeightedOnAdjoin(t *testing.T) {
+	h := randomHypergraph(30, 20, 5, 5)
+	a := core.Adjoin(h)
+	want := HashmapWeighted(h, 2, Options{})
+	got := QueueHashmapWeighted(FromAdjoin(a), 2, Options{})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("weighted queue construction on adjoin differs")
+	}
+}
+
+func TestToWeightedLineGraph(t *testing.T) {
+	h := overlapHypergraph()
+	wp := HashmapWeighted(h, 1, Options{})
+	g := ToWeightedLineGraph(h.NumEdges(), wp)
+	if !g.Weighted() {
+		t.Fatal("line graph not weighted")
+	}
+	if g.NumVertices() != 4 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	// Edge (0,1) has overlap 3 -> weight 1/3 in both directions.
+	row := g.Row(0)
+	ws := g.Weights(0)
+	found := false
+	for k, v := range row {
+		if v == 1 {
+			found = true
+			if ws[k] != 1.0/3.0 {
+				t.Fatalf("weight = %v, want 1/3", ws[k])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("edge (0,1) missing")
+	}
+	if !g.IsSymmetric() {
+		t.Fatal("weighted line graph not symmetric")
+	}
+}
+
+func TestCanonWeightedNormalizes(t *testing.T) {
+	in := []WeightedPair{{U: 5, V: 2, Overlap: 1}, {U: 2, V: 5, Overlap: 1}, {U: 1, V: 3, Overlap: 2}}
+	out := canonWeighted(in)
+	if len(out) != 2 || out[0].U != 1 || out[1].U != 2 || out[1].V != 5 {
+		t.Fatalf("canonWeighted = %v", out)
+	}
+}

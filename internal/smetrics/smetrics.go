@@ -1,0 +1,177 @@
+// Package smetrics implements NWHy's approximate hypergraph analytics: the
+// s-metrics of Aksoy et al. computed on s-line graphs. An s-walk is a walk
+// on the s-line graph; every metric here (s-connected components,
+// s-distance, s-path, s-betweenness, s-closeness, s-harmonic closeness,
+// s-eccentricity) is the corresponding graph metric evaluated on the s-line
+// graph, whose vertices are the hyperedges of the original hypergraph.
+package smetrics
+
+import (
+	"math"
+
+	"nwhy/internal/core"
+	"nwhy/internal/graph"
+	"nwhy/internal/slinegraph"
+	"nwhy/internal/sparse"
+)
+
+// SLineGraph is a materialized s-line graph of a hypergraph, the object the
+// s-metric queries run against (the Go analogue of the Python API's
+// hg.s_linegraph(s) handle).
+type SLineGraph struct {
+	// S is the overlap threshold the graph was built with.
+	S int
+	// G is the line graph: vertex e is hyperedge e of the source hypergraph.
+	G *graph.Graph
+	// Pairs is the canonical s-line edge list (U < V, sorted).
+	Pairs []sparse.Edge
+
+	h *core.Hypergraph
+}
+
+// Build constructs the s-line graph of h with the hashmap algorithm and
+// default options.
+func Build(h *core.Hypergraph, s int) *SLineGraph {
+	return BuildWith(h, s, slinegraph.Hashmap(h, s, slinegraph.Options{}))
+}
+
+// BuildWith wraps an already-constructed s-line edge list (from any of the
+// construction algorithms — they all produce identical canonical lists).
+func BuildWith(h *core.Hypergraph, s int, pairs []sparse.Edge) *SLineGraph {
+	return &SLineGraph{
+		S:     s,
+		G:     slinegraph.ToLineGraph(h.NumEdges(), pairs),
+		Pairs: pairs,
+		h:     h,
+	}
+}
+
+// NumVertices reports the number of line-graph vertices (= hyperedges of h).
+func (l *SLineGraph) NumVertices() int { return l.G.NumVertices() }
+
+// NumEdges reports the number of s-line edges.
+func (l *SLineGraph) NumEdges() int { return len(l.Pairs) }
+
+// SDegree reports hyperedge e's s-degree: the number of hyperedges sharing
+// at least s hypernodes with it.
+func (l *SLineGraph) SDegree(e int) int { return l.G.Degree(e) }
+
+// SNeighbors returns the hyperedges s-adjacent to e.
+func (l *SLineGraph) SNeighbors(e int) []uint32 { return l.G.Row(e) }
+
+// Eligible reports whether hyperedge e can participate in s-walks at all
+// (|e| >= s); smaller hyperedges are inert vertices of the line graph.
+func (l *SLineGraph) Eligible(e int) bool { return l.h.EdgeDegree(e) >= l.S }
+
+// SConnectedComponents labels every hyperedge with its s-component
+// (canonical minimum-member labels). Hyperedges with no s-neighbors are
+// singleton components.
+func (l *SLineGraph) SConnectedComponents() []uint32 {
+	return graph.CanonicalizeComponents(graph.CCAfforest(l.G))
+}
+
+// IsSConnected reports whether all eligible hyperedges form a single
+// s-connected component (vacuously false when no hyperedge is eligible).
+func (l *SLineGraph) IsSConnected() bool {
+	comp := l.SConnectedComponents()
+	label := uint32(math.MaxUint32)
+	any := false
+	for e := 0; e < l.NumVertices(); e++ {
+		if !l.Eligible(e) {
+			continue
+		}
+		if !any {
+			label = comp[e]
+			any = true
+		} else if comp[e] != label {
+			return false
+		}
+	}
+	return any
+}
+
+// SDistance reports the s-walk length between hyperedges src and dst: the
+// hop distance in the s-line graph, or -1 if no s-walk connects them.
+func (l *SLineGraph) SDistance(src, dst int) int {
+	r := graph.BFSTopDown(l.G, src)
+	return int(r.Level[dst])
+}
+
+// SPath returns one shortest s-walk from src to dst as a hyperedge ID
+// sequence (inclusive), or nil if none exists.
+func (l *SLineGraph) SPath(src, dst int) []uint32 {
+	r := graph.BFSTopDown(l.G, src)
+	if r.Level[dst] < 0 {
+		return nil
+	}
+	var rev []uint32
+	for v := int32(dst); v != -1; v = r.Parent[v] {
+		rev = append(rev, uint32(v))
+	}
+	out := make([]uint32, len(rev))
+	for i, v := range rev {
+		out[len(rev)-1-i] = v
+	}
+	return out
+}
+
+// SBetweennessCentrality computes betweenness centrality of every hyperedge
+// over s-walks.
+func (l *SLineGraph) SBetweennessCentrality(normalized bool) []float64 {
+	return graph.BetweennessCentrality(l.G, normalized)
+}
+
+// SClosenessCentrality computes closeness centrality over s-walks for every
+// hyperedge.
+func (l *SLineGraph) SClosenessCentrality() []float64 {
+	return graph.ClosenessCentrality(l.G)
+}
+
+// SClosenessCentralityOf computes one hyperedge's s-closeness.
+func (l *SLineGraph) SClosenessCentralityOf(e int) float64 {
+	return l.SClosenessCentrality()[e]
+}
+
+// SHarmonicClosenessCentrality computes harmonic closeness over s-walks.
+func (l *SLineGraph) SHarmonicClosenessCentrality() []float64 {
+	return graph.HarmonicClosenessCentrality(l.G)
+}
+
+// SEccentricity computes every hyperedge's s-eccentricity: the longest
+// shortest s-walk from it.
+func (l *SLineGraph) SEccentricity() []float64 {
+	return graph.Eccentricity(l.G)
+}
+
+// SEccentricityOf computes one hyperedge's s-eccentricity.
+func (l *SLineGraph) SEccentricityOf(e int) float64 {
+	return graph.EccentricityOf(l.G, e)
+}
+
+// SDiameter reports the largest finite s-eccentricity (the diameter of the
+// largest-diameter s-component).
+func (l *SLineGraph) SDiameter() float64 {
+	d := 0.0
+	for _, e := range l.SEccentricity() {
+		if e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// SPageRank runs PageRank on the s-line graph.
+func (l *SLineGraph) SPageRank(damping, tol float64, maxIter int) []float64 {
+	return graph.PageRank(l.G, damping, tol, maxIter)
+}
+
+// SCoreness computes k-core numbers on the s-line graph.
+func (l *SLineGraph) SCoreness() []int {
+	return graph.Coreness(l.G)
+}
+
+// SMaximalIndependentSet computes a maximal set of pairwise non-s-adjacent
+// hyperedges (Luby's algorithm on the s-line graph).
+func (l *SLineGraph) SMaximalIndependentSet(seed int64) []bool {
+	return graph.MaximalIndependentSet(l.G, seed)
+}

@@ -1,0 +1,52 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPairs(n, m int, seed int64) []Edge {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]Edge, m)
+	for i := range pairs {
+		pairs[i] = Edge{U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n))}
+	}
+	return pairs
+}
+
+func BenchmarkCSRBuild(b *testing.B) {
+	pairs := benchPairs(50000, 500000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FromPairs(50000, 50000, pairs, nil)
+	}
+}
+
+func BenchmarkCSRTranspose(b *testing.B) {
+	c := FromPairs(50000, 50000, benchPairs(50000, 500000, 2), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Transpose()
+	}
+}
+
+func BenchmarkCSRDegrees(b *testing.B) {
+	c := FromPairs(50000, 50000, benchPairs(50000, 500000, 3), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Degrees()
+	}
+}
+
+func BenchmarkRelabelHyperedges(b *testing.B) {
+	bel := NewBiEdgeList(20000, 20000)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200000; i++ {
+		bel.Add(uint32(rng.Intn(20000)), uint32(rng.Intn(20000)))
+	}
+	edges, nodes := BiAdjacency(bel)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = RelabelHyperedges(edges, nodes, Descending)
+	}
+}

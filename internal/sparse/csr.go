@@ -1,0 +1,256 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"nwhy/internal/parallel"
+)
+
+// CSR is a rectangular compressed-sparse-row structure: NumRows() row index
+// spaces mapping to column IDs in [0, NumCols()). It implements the paper's
+// biadjacency (Listing 1) when rows are hyperedges and columns hypernodes
+// (or vice versa for the dual), and a square adjacency when rows == cols.
+//
+// The layout is the classic pair: RowPtr has len nrows+1, and row i's
+// neighbors are Col[RowPtr[i]:RowPtr[i+1]]. Val, when non-nil, aligns with
+// Col and carries per-incidence weights.
+type CSR struct {
+	nrows, ncols int
+	RowPtr       []int64
+	Col          []uint32
+	Val          []float64
+}
+
+// NumRows reports the size of the row index space.
+func (c *CSR) NumRows() int { return c.nrows }
+
+// NumCols reports the size of the column index space.
+func (c *CSR) NumCols() int { return c.ncols }
+
+// NumEdges reports the number of stored entries.
+func (c *CSR) NumEdges() int { return len(c.Col) }
+
+// Row returns row i's column IDs. The slice aliases internal storage and
+// must not be modified.
+func (c *CSR) Row(i int) []uint32 { return c.Col[c.RowPtr[i]:c.RowPtr[i+1]] }
+
+// RowVal returns row i's weights, aligned with Row(i). Nil when unweighted.
+func (c *CSR) RowVal(i int) []float64 {
+	if c.Val == nil {
+		return nil
+	}
+	return c.Val[c.RowPtr[i]:c.RowPtr[i+1]]
+}
+
+// Degree reports the number of entries in row i.
+func (c *CSR) Degree(i int) int { return int(c.RowPtr[i+1] - c.RowPtr[i]) }
+
+// Degrees returns the degree of every row, computed in parallel. This is the
+// degrees() accessor of the paper's biadjacency.
+func (c *CSR) Degrees() []int {
+	d := make([]int, c.nrows)
+	parallel.For(c.nrows, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d[i] = c.Degree(i)
+		}
+	})
+	return d
+}
+
+// MaxDegree returns the largest row degree, or 0 for an empty structure.
+func (c *CSR) MaxDegree() int {
+	return parallel.Reduce(c.nrows, 0,
+		func(lo, hi, acc int) int {
+			for i := lo; i < hi; i++ {
+				if d := c.Degree(i); d > acc {
+					acc = d
+				}
+			}
+			return acc
+		},
+		func(a, b int) int {
+			if a > b {
+				return a
+			}
+			return b
+		})
+}
+
+// AvgDegree returns the mean row degree.
+func (c *CSR) AvgDegree() float64 {
+	if c.nrows == 0 {
+		return 0
+	}
+	return float64(len(c.Col)) / float64(c.nrows)
+}
+
+// HasEntry reports whether (row, col) is stored. Rows must be sorted (CSR
+// builders in this package always sort rows).
+func (c *CSR) HasEntry(row int, col uint32) bool {
+	r := c.Row(row)
+	k := sort.Search(len(r), func(i int) bool { return r[i] >= col })
+	return k < len(r) && r[k] == col
+}
+
+// Validate checks structural invariants: monotone RowPtr, in-range columns,
+// sorted rows.
+func (c *CSR) Validate() error {
+	if len(c.RowPtr) != c.nrows+1 {
+		return fmt.Errorf("sparse: RowPtr length %d for %d rows", len(c.RowPtr), c.nrows)
+	}
+	if c.RowPtr[0] != 0 || c.RowPtr[c.nrows] != int64(len(c.Col)) {
+		return fmt.Errorf("sparse: RowPtr endpoints %d..%d for %d entries", c.RowPtr[0], c.RowPtr[c.nrows], len(c.Col))
+	}
+	for i := 0; i < c.nrows; i++ {
+		if c.RowPtr[i] > c.RowPtr[i+1] {
+			return fmt.Errorf("sparse: RowPtr decreases at row %d", i)
+		}
+		row := c.Row(i)
+		for k, v := range row {
+			if int(v) >= c.ncols {
+				return fmt.Errorf("sparse: row %d entry %d out of range [0,%d)", i, v, c.ncols)
+			}
+			if k > 0 && row[k-1] > v {
+				return fmt.Errorf("sparse: row %d not sorted", i)
+			}
+		}
+	}
+	return nil
+}
+
+// FromPairs builds a CSR with nrows x ncols dimensions from (row, col)
+// pairs, in parallel: count per-row degrees, exclusive-scan into RowPtr,
+// scatter with per-row atomic cursors, then sort each row. Duplicate pairs
+// are kept; call EdgeList/BiEdgeList Dedup first if needed.
+func FromPairs(nrows, ncols int, pairs []Edge, weights []float64) *CSR {
+	c := &CSR{nrows: nrows, ncols: ncols}
+	counts := make([]int64, nrows)
+	countInto(len(pairs), counts, func(i int) uint32 { return pairs[i].U })
+	c.RowPtr = make([]int64, nrows+1)
+	for i := 0; i < nrows; i++ {
+		c.RowPtr[i+1] = c.RowPtr[i] + counts[i]
+	}
+	c.Col = make([]uint32, len(pairs))
+	if weights != nil {
+		c.Val = make([]float64, len(pairs))
+	}
+	cursor := make([]int64, nrows)
+	copy(cursor, c.RowPtr[:nrows])
+	if len(pairs) < maxParallelThreshold {
+		for i, e := range pairs {
+			k := cursor[e.U]
+			cursor[e.U]++
+			c.Col[k] = e.V
+			if weights != nil {
+				c.Val[k] = weights[i]
+			}
+		}
+	} else {
+		parallel.For(len(pairs), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := pairs[i]
+				k := parallel.AddI64(&cursor[e.U], 1) - 1
+				c.Col[k] = e.V
+				if weights != nil {
+					c.Val[k] = weights[i]
+				}
+			}
+		})
+	}
+	c.sortRows()
+	return c
+}
+
+// sortRows sorts each row's columns ascending (carrying weights along).
+func (c *CSR) sortRows() {
+	parallel.For(c.nrows, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s, e := c.RowPtr[i], c.RowPtr[i+1]
+			if c.Val == nil {
+				row := c.Col[s:e]
+				sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+			} else {
+				row, val := c.Col[s:e], c.Val[s:e]
+				sort.Sort(&colValSorter{row, val})
+			}
+		}
+	})
+}
+
+type colValSorter struct {
+	col []uint32
+	val []float64
+}
+
+func (s *colValSorter) Len() int           { return len(s.col) }
+func (s *colValSorter) Less(a, b int) bool { return s.col[a] < s.col[b] }
+func (s *colValSorter) Swap(a, b int) {
+	s.col[a], s.col[b] = s.col[b], s.col[a]
+	s.val[a], s.val[b] = s.val[b], s.val[a]
+}
+
+// FromEdgeList builds a square CSR adjacency from a single-index-space edge
+// list. Each listed edge is stored as a directed entry; callers wanting an
+// undirected graph should Symmetrize the list first.
+func FromEdgeList(el *EdgeList) *CSR {
+	return FromPairs(el.NumVertices, el.NumVertices, el.Edges, nil)
+}
+
+// BiAdjacency builds the two mutually indexed incidence structures of a
+// hypergraph from a bipartite edge list (the paper's
+// biadjacency<0>/biadjacency<1> pair): edges maps each hyperedge to its
+// incident hypernodes, nodes maps each hypernode to its incident hyperedges.
+func BiAdjacency(bel *BiEdgeList) (edges, nodes *CSR) {
+	edges = FromPairs(bel.N0, bel.N1, bel.Edges, bel.Weights)
+	t := bel.Transpose()
+	nodes = FromPairs(t.N0, t.N1, t.Edges, t.Weights)
+	return edges, nodes
+}
+
+// Transpose returns the CSR of the transposed matrix: entry (i, j) becomes
+// (j, i). For a hypergraph incidence structure this is the dual.
+func (c *CSR) Transpose() *CSR {
+	pairs := make([]Edge, len(c.Col))
+	parallel.For(c.nrows, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+				pairs[k] = Edge{c.Col[k], uint32(i)}
+			}
+		}
+	})
+	var weights []float64
+	if c.Val != nil {
+		weights = c.Val
+	}
+	return FromPairs(c.ncols, c.nrows, pairs, weights)
+}
+
+// Clone returns a deep copy.
+func (c *CSR) Clone() *CSR {
+	out := &CSR{nrows: c.nrows, ncols: c.ncols}
+	out.RowPtr = append([]int64(nil), c.RowPtr...)
+	out.Col = append([]uint32(nil), c.Col...)
+	if c.Val != nil {
+		out.Val = append([]float64(nil), c.Val...)
+	}
+	return out
+}
+
+// Equal reports whether two CSRs have identical dimensions and entries.
+func (c *CSR) Equal(o *CSR) bool {
+	if c.nrows != o.nrows || c.ncols != o.ncols || len(c.Col) != len(o.Col) {
+		return false
+	}
+	for i := range c.RowPtr {
+		if c.RowPtr[i] != o.RowPtr[i] {
+			return false
+		}
+	}
+	for i := range c.Col {
+		if c.Col[i] != o.Col[i] {
+			return false
+		}
+	}
+	return true
+}

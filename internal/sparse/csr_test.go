@@ -1,0 +1,253 @@
+package sparse
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// paperBiEdgeList returns the running example of the paper's Figure 1: four
+// hyperedges over nine hypernodes. Hyperedge 0 = {0,1,2}, 1 = {2,3,4},
+// 2 = {4,5,6}, 3 = {6,7,8,0}.
+func paperBiEdgeList() *BiEdgeList {
+	bel := NewBiEdgeList(4, 9)
+	for _, inc := range [][2]uint32{
+		{0, 0}, {0, 1}, {0, 2},
+		{1, 2}, {1, 3}, {1, 4},
+		{2, 4}, {2, 5}, {2, 6},
+		{3, 6}, {3, 7}, {3, 8}, {3, 0},
+	} {
+		bel.Add(inc[0], inc[1])
+	}
+	return bel
+}
+
+func TestBiAdjacencyPaperExample(t *testing.T) {
+	edges, nodes := BiAdjacency(paperBiEdgeList())
+	if edges.NumRows() != 4 || edges.NumCols() != 9 {
+		t.Fatalf("edges dims %dx%d, want 4x9", edges.NumRows(), edges.NumCols())
+	}
+	if nodes.NumRows() != 9 || nodes.NumCols() != 4 {
+		t.Fatalf("nodes dims %dx%d, want 9x4", nodes.NumRows(), nodes.NumCols())
+	}
+	wantEdges := [][]uint32{{0, 1, 2}, {2, 3, 4}, {4, 5, 6}, {0, 6, 7, 8}}
+	for e, want := range wantEdges {
+		if !reflect.DeepEqual(edges.Row(e), want) {
+			t.Errorf("hyperedge %d incidence = %v, want %v", e, edges.Row(e), want)
+		}
+	}
+	// Mutual indexing: hypernode 0 is in hyperedges 0 and 3; node 4 in 1, 2.
+	if !reflect.DeepEqual(nodes.Row(0), []uint32{0, 3}) {
+		t.Errorf("hypernode 0 incidence = %v, want [0 3]", nodes.Row(0))
+	}
+	if !reflect.DeepEqual(nodes.Row(4), []uint32{1, 2}) {
+		t.Errorf("hypernode 4 incidence = %v, want [1 2]", nodes.Row(4))
+	}
+	if err := edges.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRDegrees(t *testing.T) {
+	edges, nodes := BiAdjacency(paperBiEdgeList())
+	if got := edges.Degrees(); !reflect.DeepEqual(got, []int{3, 3, 3, 4}) {
+		t.Errorf("edge degrees = %v", got)
+	}
+	if edges.MaxDegree() != 4 {
+		t.Errorf("MaxDegree = %d, want 4", edges.MaxDegree())
+	}
+	if nodes.MaxDegree() != 2 {
+		t.Errorf("node MaxDegree = %d, want 2", nodes.MaxDegree())
+	}
+	if got := edges.AvgDegree(); got != 13.0/4.0 {
+		t.Errorf("AvgDegree = %v", got)
+	}
+}
+
+func TestCSRRectangular(t *testing.T) {
+	// Rectangular matrix support: 2 rows, 1000 columns.
+	bel := NewBiEdgeList(2, 1000)
+	bel.Add(0, 999)
+	bel.Add(1, 0)
+	edges, nodes := BiAdjacency(bel)
+	if edges.NumRows() != 2 || edges.NumCols() != 1000 {
+		t.Fatalf("dims %dx%d", edges.NumRows(), edges.NumCols())
+	}
+	if nodes.NumRows() != 1000 || nodes.NumCols() != 2 {
+		t.Fatalf("dual dims %dx%d", nodes.NumRows(), nodes.NumCols())
+	}
+	if !edges.HasEntry(0, 999) || edges.HasEntry(0, 0) {
+		t.Fatal("HasEntry wrong on rectangular CSR")
+	}
+}
+
+func TestCSREmptyRows(t *testing.T) {
+	el := NewEdgeList(5)
+	el.Add(0, 4)
+	g := FromEdgeList(el)
+	if g.NumRows() != 5 {
+		t.Fatalf("NumRows = %d", g.NumRows())
+	}
+	for i := 1; i < 5; i++ {
+		if g.Degree(i) != 0 {
+			t.Errorf("row %d degree %d, want 0", i, g.Degree(i))
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSREmptyInput(t *testing.T) {
+	g := FromPairs(0, 0, nil, nil)
+	if g.NumRows() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty CSR not empty")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDegree() != 0 {
+		t.Fatal("MaxDegree of empty CSR != 0")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pairs := make([]Edge, 500)
+	for i := range pairs {
+		pairs[i] = Edge{uint32(rng.Intn(40)), uint32(rng.Intn(70))}
+	}
+	c := FromPairs(40, 70, pairs, nil)
+	tt := c.Transpose().Transpose()
+	if !c.Equal(tt) {
+		t.Fatal("transpose of transpose differs from original")
+	}
+}
+
+func TestTransposePreservesEntries(t *testing.T) {
+	edges, nodes := BiAdjacency(paperBiEdgeList())
+	tr := edges.Transpose()
+	if !tr.Equal(nodes) {
+		t.Fatal("Transpose of edge incidence != node incidence (dual)")
+	}
+}
+
+func TestTransposeCarriesWeights(t *testing.T) {
+	bel := NewBiEdgeList(2, 3)
+	bel.AddWeighted(0, 1, 2.5)
+	bel.AddWeighted(1, 2, -1.0)
+	edges, _ := BiAdjacency(bel)
+	tr := edges.Transpose()
+	if tr.Val == nil {
+		t.Fatal("transpose dropped weights")
+	}
+	if got := tr.RowVal(1); len(got) != 1 || got[0] != 2.5 {
+		t.Fatalf("weight at transposed (1,0) = %v", got)
+	}
+}
+
+func TestFromPairsSortsRows(t *testing.T) {
+	pairs := []Edge{{0, 5}, {0, 1}, {0, 3}, {1, 2}, {1, 0}}
+	c := FromPairs(2, 6, pairs, nil)
+	if !reflect.DeepEqual(c.Row(0), []uint32{1, 3, 5}) {
+		t.Errorf("row 0 = %v", c.Row(0))
+	}
+	if !reflect.DeepEqual(c.Row(1), []uint32{0, 2}) {
+		t.Errorf("row 1 = %v", c.Row(1))
+	}
+}
+
+func TestFromPairsWeightsFollowSort(t *testing.T) {
+	pairs := []Edge{{0, 5}, {0, 1}}
+	c := FromPairs(1, 6, pairs, []float64{50, 10})
+	if !reflect.DeepEqual(c.Row(0), []uint32{1, 5}) {
+		t.Fatalf("row = %v", c.Row(0))
+	}
+	if got := c.RowVal(0); got[0] != 10 || got[1] != 50 {
+		t.Fatalf("weights did not follow sort: %v", got)
+	}
+}
+
+func TestCSRRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nrows := 1 + rng.Intn(50)
+		ncols := 1 + rng.Intn(50)
+		m := rng.Intn(400)
+		set := map[Edge]bool{}
+		for i := 0; i < m; i++ {
+			set[Edge{uint32(rng.Intn(nrows)), uint32(rng.Intn(ncols))}] = true
+		}
+		pairs := make([]Edge, 0, len(set))
+		for e := range set {
+			pairs = append(pairs, e)
+		}
+		c := FromPairs(nrows, ncols, pairs, nil)
+		if c.Validate() != nil || c.NumEdges() != len(set) {
+			return false
+		}
+		for e := range set {
+			if !c.HasEntry(int(e.U), e.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRLargeParallelBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 2000
+	m := 50000 // above the parallel threshold
+	pairs := make([]Edge, m)
+	counts := make([]int64, n)
+	for i := range pairs {
+		u := uint32(rng.Intn(n))
+		pairs[i] = Edge{u, uint32(rng.Intn(n))}
+		counts[u]++
+	}
+	c := FromPairs(n, n, pairs, nil)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumEdges() != m {
+		t.Fatalf("NumEdges = %d, want %d", c.NumEdges(), m)
+	}
+	for i := 0; i < n; i++ {
+		if int64(c.Degree(i)) != counts[i] {
+			t.Fatalf("row %d degree %d, want %d", i, c.Degree(i), counts[i])
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := FromPairs(2, 2, []Edge{{0, 1}, {1, 0}}, nil)
+	d := c.Clone()
+	d.Col[0] = 0
+	if c.Col[0] == 0 && c.Row(0)[0] == 0 {
+		t.Fatal("Clone shares storage")
+	}
+	if !c.Equal(c.Clone()) {
+		t.Fatal("Clone not Equal to original")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	c := FromPairs(2, 2, []Edge{{0, 1}, {1, 0}}, nil)
+	c.Col[0] = 7 // out of range
+	if c.Validate() == nil {
+		t.Fatal("Validate accepted out-of-range column")
+	}
+	c = FromPairs(2, 2, []Edge{{0, 0}, {0, 1}}, nil)
+	c.Col[0], c.Col[1] = c.Col[1], c.Col[0]
+	if c.Validate() == nil {
+		t.Fatal("Validate accepted unsorted row")
+	}
+}

@@ -1,0 +1,256 @@
+// Package sparse provides the compressed sparse data structures underneath
+// every hypergraph representation in NWHy-Go: edge lists, bipartite edge
+// lists (the paper's biedgelist), rectangular CSR incidence structures (the
+// paper's biadjacency), and the relabel-by-degree permutation machinery.
+//
+// The central design point, taken from the paper, is that hypergraph
+// incidence matrices are rectangular: the hyperedge and hypernode index
+// spaces are distinct and may have different sizes, so nothing here assumes
+// square dimensions.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"nwhy/internal/parallel"
+)
+
+// Edge is one (source, target) pair. In a BiEdgeList, U indexes the first
+// partition (hyperedges) and V the second (hypernodes); in a plain EdgeList
+// both ends share one index space.
+type Edge struct {
+	U, V uint32
+}
+
+// EdgeList is a list of edges over a single index space of NumVertices
+// vertices, the form consumed by general graph construction (adjoin graphs,
+// s-line graphs, clique expansions).
+type EdgeList struct {
+	NumVertices int
+	Edges       []Edge
+}
+
+// NewEdgeList creates an empty edge list over n vertices.
+func NewEdgeList(n int) *EdgeList { return &EdgeList{NumVertices: n} }
+
+// Add appends the edge (u, v), growing the vertex count if needed.
+func (el *EdgeList) Add(u, v uint32) {
+	el.Edges = append(el.Edges, Edge{u, v})
+	if int(u) >= el.NumVertices {
+		el.NumVertices = int(u) + 1
+	}
+	if int(v) >= el.NumVertices {
+		el.NumVertices = int(v) + 1
+	}
+}
+
+// Len reports the number of edges.
+func (el *EdgeList) Len() int { return len(el.Edges) }
+
+// Sort orders edges by (U, V).
+func (el *EdgeList) Sort() { sortEdges(el.Edges) }
+
+// Dedup removes duplicate edges. The list is sorted as a side effect.
+func (el *EdgeList) Dedup() {
+	el.Sort()
+	el.Edges = dedupEdges(el.Edges)
+}
+
+// Symmetrize appends the reverse of every edge and removes duplicates, so
+// the list represents an undirected graph with both directions materialized.
+// Self-loops are kept (once).
+func (el *EdgeList) Symmetrize() {
+	n := len(el.Edges)
+	for i := 0; i < n; i++ {
+		e := el.Edges[i]
+		if e.U != e.V {
+			el.Edges = append(el.Edges, Edge{e.V, e.U})
+		}
+	}
+	el.Dedup()
+}
+
+// RemoveSelfLoops drops edges with U == V.
+func (el *EdgeList) RemoveSelfLoops() {
+	out := el.Edges[:0]
+	for _, e := range el.Edges {
+		if e.U != e.V {
+			out = append(out, e)
+		}
+	}
+	el.Edges = out
+}
+
+// Validate checks that all endpoints are within the vertex range.
+func (el *EdgeList) Validate() error {
+	for i, e := range el.Edges {
+		if int(e.U) >= el.NumVertices || int(e.V) >= el.NumVertices {
+			return fmt.Errorf("sparse: edge %d (%d,%d) out of range [0,%d)", i, e.U, e.V, el.NumVertices)
+		}
+	}
+	return nil
+}
+
+// BiEdgeList is the paper's biedgelist (Listing 1): a list of incidences
+// between two disjoint index spaces, N0 hyperedges and N1 hypernodes. Every
+// edge has U in [0, N0) and V in [0, N1). Weights, if non-nil, align with
+// Edges and carry one attribute per incidence.
+type BiEdgeList struct {
+	N0, N1  int
+	Edges   []Edge
+	Weights []float64
+}
+
+// NewBiEdgeList creates an empty bipartite edge list with the given
+// partition cardinalities (the paper's vertex_cardinality_ array).
+func NewBiEdgeList(n0, n1 int) *BiEdgeList { return &BiEdgeList{N0: n0, N1: n1} }
+
+// Add appends the incidence (hyperedge e, hypernode v), growing the
+// partition cardinalities as needed.
+func (bel *BiEdgeList) Add(e, v uint32) {
+	bel.Edges = append(bel.Edges, Edge{e, v})
+	if int(e) >= bel.N0 {
+		bel.N0 = int(e) + 1
+	}
+	if int(v) >= bel.N1 {
+		bel.N1 = int(v) + 1
+	}
+}
+
+// AddWeighted appends a weighted incidence. Mixing Add and AddWeighted on
+// one list is invalid.
+func (bel *BiEdgeList) AddWeighted(e, v uint32, w float64) {
+	bel.Add(e, v)
+	bel.Weights = append(bel.Weights, w)
+}
+
+// Len reports the number of incidences.
+func (bel *BiEdgeList) Len() int { return len(bel.Edges) }
+
+// NumVertices returns the cardinality of partition idx (0 = hyperedges,
+// 1 = hypernodes), mirroring num_vertices(g, idx) in the paper's API.
+func (bel *BiEdgeList) NumVertices(idx int) int {
+	if idx == 0 {
+		return bel.N0
+	}
+	return bel.N1
+}
+
+// Dedup removes duplicate incidences (keeping the first weight of each
+// group when weights are present). The list is sorted by (U, V).
+func (bel *BiEdgeList) Dedup() {
+	if len(bel.Edges) == 0 {
+		return
+	}
+	if bel.Weights == nil {
+		sortEdges(bel.Edges)
+		bel.Edges = dedupEdges(bel.Edges)
+		return
+	}
+	idx := make([]int, len(bel.Edges))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ea, eb := bel.Edges[idx[a]], bel.Edges[idx[b]]
+		if ea.U != eb.U {
+			return ea.U < eb.U
+		}
+		if ea.V != eb.V {
+			return ea.V < eb.V
+		}
+		return idx[a] < idx[b]
+	})
+	edges := make([]Edge, 0, len(bel.Edges))
+	weights := make([]float64, 0, len(bel.Weights))
+	for k, i := range idx {
+		if k > 0 && bel.Edges[i] == edges[len(edges)-1] {
+			continue
+		}
+		edges = append(edges, bel.Edges[i])
+		weights = append(weights, bel.Weights[i])
+	}
+	bel.Edges = edges
+	bel.Weights = weights
+}
+
+// Validate checks all incidences are inside the declared partitions.
+func (bel *BiEdgeList) Validate() error {
+	if bel.Weights != nil && len(bel.Weights) != len(bel.Edges) {
+		return fmt.Errorf("sparse: %d weights for %d edges", len(bel.Weights), len(bel.Edges))
+	}
+	for i, e := range bel.Edges {
+		if int(e.U) >= bel.N0 {
+			return fmt.Errorf("sparse: incidence %d hyperedge %d out of range [0,%d)", i, e.U, bel.N0)
+		}
+		if int(e.V) >= bel.N1 {
+			return fmt.Errorf("sparse: incidence %d hypernode %d out of range [0,%d)", i, e.V, bel.N1)
+		}
+	}
+	return nil
+}
+
+// Transpose returns the bipartite edge list of the dual hypergraph: every
+// incidence (e, v) becomes (v, e) and the partition cardinalities swap.
+func (bel *BiEdgeList) Transpose() *BiEdgeList {
+	out := &BiEdgeList{N0: bel.N1, N1: bel.N0, Edges: make([]Edge, len(bel.Edges))}
+	for i, e := range bel.Edges {
+		out.Edges[i] = Edge{e.V, e.U}
+	}
+	if bel.Weights != nil {
+		out.Weights = append([]float64(nil), bel.Weights...)
+	}
+	return out
+}
+
+func sortEdges(edges []Edge) {
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].U != edges[b].U {
+			return edges[a].U < edges[b].U
+		}
+		return edges[a].V < edges[b].V
+	})
+}
+
+func dedupEdges(edges []Edge) []Edge {
+	out := edges[:0]
+	for i, e := range edges {
+		if i > 0 && e == edges[i-1] {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// ExclusiveScan replaces counts with its exclusive prefix sum in place and
+// returns the total. counts[i] becomes sum of the original counts[0..i).
+func ExclusiveScan(counts []int64) int64 {
+	var sum int64
+	for i := range counts {
+		c := counts[i]
+		counts[i] = sum
+		sum += c
+	}
+	return sum
+}
+
+// maxParallelThreshold is the size below which construction helpers run
+// sequentially; tiny inputs are not worth scheduling overhead.
+const maxParallelThreshold = 1 << 12
+
+// countInto bumps counts[key(i)] for i in [0, n), in parallel for large n.
+func countInto(n int, counts []int64, key func(i int) uint32) {
+	if n < maxParallelThreshold {
+		for i := 0; i < n; i++ {
+			counts[key(i)]++
+		}
+		return
+	}
+	parallel.For(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			parallel.AddI64(&counts[key(i)], 1)
+		}
+	})
+}

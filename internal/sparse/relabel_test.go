@@ -1,0 +1,159 @@
+package sparse
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDegreePermAscending(t *testing.T) {
+	degrees := []int{5, 1, 3, 1}
+	perm, inv := DegreePerm(degrees, Ascending)
+	// Sorted degrees: ids 1,3 (deg 1, tie by id), 2 (deg 3), 0 (deg 5).
+	if !reflect.DeepEqual(perm, []uint32{1, 3, 2, 0}) {
+		t.Fatalf("perm = %v", perm)
+	}
+	for newID, oldID := range perm {
+		if inv[oldID] != uint32(newID) {
+			t.Fatalf("inv not inverse of perm at %d", oldID)
+		}
+	}
+}
+
+func TestDegreePermDescending(t *testing.T) {
+	degrees := []int{5, 1, 3, 1}
+	perm, _ := DegreePerm(degrees, Descending)
+	if !reflect.DeepEqual(perm, []uint32{0, 2, 1, 3}) {
+		t.Fatalf("perm = %v", perm)
+	}
+}
+
+func TestDegreePermNoOrderIdentity(t *testing.T) {
+	perm, inv := DegreePerm([]int{9, 2, 7}, NoOrder)
+	if !reflect.DeepEqual(perm, []uint32{0, 1, 2}) || !reflect.DeepEqual(inv, []uint32{0, 1, 2}) {
+		t.Fatalf("NoOrder perm/inv not identity: %v %v", perm, inv)
+	}
+}
+
+func TestDegreePermIsBijection(t *testing.T) {
+	f := func(raw []uint8, asc bool) bool {
+		degrees := make([]int, len(raw))
+		for i, r := range raw {
+			degrees[i] = int(r)
+		}
+		order := Ascending
+		if !asc {
+			order = Descending
+		}
+		perm, inv := DegreePerm(degrees, order)
+		seen := make([]bool, len(perm))
+		for newID, oldID := range perm {
+			if seen[oldID] {
+				return false
+			}
+			seen[oldID] = true
+			if inv[oldID] != uint32(newID) {
+				return false
+			}
+		}
+		// Degrees must be monotone along the permutation.
+		for i := 1; i < len(perm); i++ {
+			a, b := degrees[perm[i-1]], degrees[perm[i]]
+			if order == Ascending && a > b {
+				return false
+			}
+			if order == Descending && a < b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// incidenceSet collects the (hyperedge, hypernode) pairs of a biadjacency,
+// mapping hyperedge IDs back through perm.
+func incidenceSet(edges *CSR, perm []uint32) map[Edge]bool {
+	set := map[Edge]bool{}
+	for e := 0; e < edges.NumRows(); e++ {
+		for _, v := range edges.Row(e) {
+			set[Edge{perm[e], v}] = true
+		}
+	}
+	return set
+}
+
+func TestRelabelHyperedgesPreservesHypergraph(t *testing.T) {
+	edges, nodes := BiAdjacency(paperBiEdgeList())
+	for _, order := range []Order{NoOrder, Ascending, Descending} {
+		redges, rnodes, perm := RelabelHyperedges(edges, nodes, order)
+		if got, want := incidenceSet(redges, perm), incidenceSet(edges, identityPerm(4)); !reflect.DeepEqual(got, want) {
+			t.Fatalf("order %v: incidences changed: %v vs %v", order, got, want)
+		}
+		// Mutual indexing must still hold: rnodes is the transpose of redges.
+		if !redges.Transpose().Equal(rnodes) {
+			t.Fatalf("order %v: relabeled pair not mutually indexed", order)
+		}
+		if err := redges.Validate(); err != nil {
+			t.Fatalf("order %v: %v", order, err)
+		}
+		if err := rnodes.Validate(); err != nil {
+			t.Fatalf("order %v: %v", order, err)
+		}
+	}
+}
+
+func TestRelabelHyperedgesDegreeMonotone(t *testing.T) {
+	edges, nodes := BiAdjacency(paperBiEdgeList())
+	redges, _, _ := RelabelHyperedges(edges, nodes, Descending)
+	d := redges.Degrees()
+	if !sort.SliceIsSorted(d, func(a, b int) bool { return d[a] > d[b] }) {
+		t.Fatalf("descending relabel degrees not sorted: %v", d)
+	}
+}
+
+func TestRelabelSquarePreservesEdgeMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	el := NewEdgeList(30)
+	for i := 0; i < 200; i++ {
+		el.Add(uint32(rng.Intn(30)), uint32(rng.Intn(30)))
+	}
+	el.Dedup()
+	g := FromEdgeList(el)
+	rg, perm := RelabelSquare(g, Ascending)
+	if err := rg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	orig := map[Edge]bool{}
+	for u := 0; u < g.NumRows(); u++ {
+		for _, v := range g.Row(u) {
+			orig[Edge{uint32(u), v}] = true
+		}
+	}
+	back := map[Edge]bool{}
+	for u := 0; u < rg.NumRows(); u++ {
+		for _, v := range rg.Row(u) {
+			back[Edge{perm[u], perm[v]}] = true
+		}
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Fatal("RelabelSquare changed the edge set")
+	}
+}
+
+func TestRelabelNoOrderReturnsSameCSR(t *testing.T) {
+	edges, nodes := BiAdjacency(paperBiEdgeList())
+	redges, rnodes, perm := RelabelHyperedges(edges, nodes, NoOrder)
+	if redges != edges || rnodes != nodes {
+		t.Fatal("NoOrder should return inputs unchanged")
+	}
+	for i, p := range perm {
+		if p != uint32(i) {
+			t.Fatal("NoOrder perm not identity")
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package unionfind provides a lock-free concurrent disjoint-set forest
+// (the Afforest-style link/compress structure), shared by the connected
+// component algorithms and by the direct s-component computation that
+// unions s-incident hyperedge pairs during construction without
+// materializing the s-line graph.
+package unionfind
+
+import (
+	"nwhy/internal/parallel"
+)
+
+// Forest is a concurrent disjoint-set forest over uint32 IDs. Union is safe
+// to call from many goroutines; Find is safe concurrently with Union but
+// only stabilizes after Compress. The representative of a set is always its
+// minimum member after Compress.
+type Forest struct {
+	parent []uint32
+}
+
+// New creates a forest of n singleton sets.
+func New(n int) *Forest {
+	f := &Forest{parent: make([]uint32, n)}
+	for i := range f.parent {
+		f.parent[i] = uint32(i)
+	}
+	return f
+}
+
+// Len reports the element count.
+func (f *Forest) Len() int { return len(f.parent) }
+
+// Union merges the sets containing u and v with lock-free hooking by
+// minimum root (the Afforest link operation).
+func (f *Forest) Union(u, v uint32) {
+	p1 := parallel.LoadU32(&f.parent[u])
+	p2 := parallel.LoadU32(&f.parent[v])
+	for p1 != p2 {
+		high, low := p1, p2
+		if high < low {
+			high, low = low, high
+		}
+		pHigh := parallel.LoadU32(&f.parent[high])
+		if pHigh == low {
+			return
+		}
+		if pHigh == high && parallel.CASU32(&f.parent[high], high, low) {
+			return
+		}
+		p1 = parallel.LoadU32(&f.parent[parallel.LoadU32(&f.parent[high])])
+		p2 = parallel.LoadU32(&f.parent[low])
+	}
+}
+
+// Find returns the current root of x's set (with path halving). Between a
+// quiescent point and the next Union burst this is exact; during concurrent
+// Unions it may lag, which the CC algorithms tolerate.
+func (f *Forest) Find(x uint32) uint32 {
+	for {
+		p := parallel.LoadU32(&f.parent[x])
+		pp := parallel.LoadU32(&f.parent[p])
+		if p == pp {
+			return p
+		}
+		parallel.CASU32(&f.parent[x], p, pp)
+		x = pp
+	}
+}
+
+// Compress fully flattens the forest in parallel so parent[x] is x's root
+// for every element. Call between Union phases, not concurrently with them.
+func (f *Forest) Compress() {
+	parallel.For(len(f.parent), func(_, lo, hi int) {
+		for x := lo; x < hi; x++ {
+			for {
+				p := parallel.LoadU32(&f.parent[x])
+				pp := parallel.LoadU32(&f.parent[p])
+				if p == pp {
+					break
+				}
+				parallel.StoreU32(&f.parent[x], pp)
+			}
+		}
+	})
+}
+
+// Labels returns the flattened parent array (aliasing internal storage);
+// call Compress first.
+func (f *Forest) Labels() []uint32 { return f.parent }
+
+// NumSets counts distinct roots; call Compress first.
+func (f *Forest) NumSets() int {
+	return parallel.Reduce(len(f.parent), 0,
+		func(lo, hi, acc int) int {
+			for x := lo; x < hi; x++ {
+				if f.parent[x] == uint32(x) {
+					acc++
+				}
+			}
+			return acc
+		},
+		func(a, b int) int { return a + b })
+}
+
+// Same reports whether u and v are currently in one set (quiescent use).
+func (f *Forest) Same(u, v uint32) bool { return f.Find(u) == f.Find(v) }

@@ -1,0 +1,148 @@
+package unionfind
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicUnionFind(t *testing.T) {
+	f := New(5)
+	if f.Len() != 5 || f.NumSets() != 5 {
+		t.Fatal("fresh forest wrong")
+	}
+	f.Union(0, 2)
+	f.Union(2, 4)
+	f.Compress()
+	if !f.Same(0, 4) || f.Same(0, 1) {
+		t.Fatal("union results wrong")
+	}
+	if f.NumSets() != 3 {
+		t.Fatalf("NumSets = %d, want 3", f.NumSets())
+	}
+	// Minimum-member representative.
+	if f.Find(4) != 0 {
+		t.Fatalf("root of 4 = %d, want 0", f.Find(4))
+	}
+}
+
+func TestUnionSelfAndRepeated(t *testing.T) {
+	f := New(3)
+	f.Union(1, 1)
+	f.Union(0, 2)
+	f.Union(0, 2)
+	f.Union(2, 0)
+	f.Compress()
+	if f.NumSets() != 2 {
+		t.Fatalf("NumSets = %d", f.NumSets())
+	}
+}
+
+// oracle union-find for comparison.
+type oracle struct{ parent []int }
+
+func newOracle(n int) *oracle {
+	o := &oracle{parent: make([]int, n)}
+	for i := range o.parent {
+		o.parent[i] = i
+	}
+	return o
+}
+func (o *oracle) find(x int) int {
+	for o.parent[x] != x {
+		o.parent[x] = o.parent[o.parent[x]]
+		x = o.parent[x]
+	}
+	return x
+}
+func (o *oracle) union(a, b int) {
+	ra, rb := o.find(a), o.find(b)
+	if ra < rb {
+		o.parent[rb] = ra
+	} else if rb < ra {
+		o.parent[ra] = rb
+	}
+}
+
+func TestMatchesOracleProperty(t *testing.T) {
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		f := New(n)
+		o := newOracle(n)
+		for i := 0; i < 120; i++ {
+			a, b := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+			f.Union(a, b)
+			o.union(int(a), int(b))
+		}
+		f.Compress()
+		for x := 0; x < n; x++ {
+			if int(f.Labels()[x]) != o.find(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentUnions(t *testing.T) {
+	const n = 10000
+	f := New(n)
+	var wg sync.WaitGroup
+	// 8 goroutines each union a strided chain; combined they connect
+	// everything into one set.
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i+8 < n; i += 8 {
+				f.Union(uint32(i), uint32(i+8)) // chains within residue class
+			}
+			f.Union(uint32(g), uint32((g+1)%8)) // stitch classes together
+		}(g)
+	}
+	wg.Wait()
+	f.Compress()
+	if f.NumSets() != 1 {
+		t.Fatalf("NumSets = %d, want 1", f.NumSets())
+	}
+	for x := 0; x < n; x++ {
+		if f.Labels()[x] != 0 {
+			t.Fatalf("label[%d] = %d", x, f.Labels()[x])
+		}
+	}
+}
+
+func TestConcurrentUnionsRandom(t *testing.T) {
+	const n = 5000
+	edges := make([][2]uint32, 20000)
+	rng := rand.New(rand.NewSource(7))
+	o := newOracle(n)
+	for i := range edges {
+		a, b := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+		edges[i] = [2]uint32{a, b}
+		o.union(int(a), int(b))
+	}
+	f := New(n)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(edges); i += 8 {
+				f.Union(edges[i][0], edges[i][1])
+			}
+		}(g)
+	}
+	wg.Wait()
+	f.Compress()
+	for x := 0; x < n; x++ {
+		if int(f.Labels()[x]) != o.find(x) {
+			t.Fatalf("label[%d] = %d, oracle %d", x, f.Labels()[x], o.find(x))
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package nwhy is a Go reproduction of NWHypergraph (NWHy), the parallel
+// framework for exact and approximate hypergraph analytics of Liu, Firoz,
+// Gebremedhin and Lumsdaine (IPDPS 2022).
+//
+// The package exposes the same surface the paper's Python API (Listing 5)
+// offers over the C++ backend:
+//
+//	hg, _ := nwhy.New(edgeIDs, nodeIDs, weights) // NWHypergraph(row, col, weight)
+//	lg := hg.SLineGraph(2, true)                 // hg.s_linegraph(s=2, edges=True)
+//	ok := lg.IsSConnected()                      // s2lg.is_s_connected()
+//	cc := lg.SConnectedComponents()              // s2lg.s_connected_components()
+//	d := lg.SDistance(0, 1)                      // s2lg.s_distance(src=0, dest=1)
+//	bc := lg.SBetweennessCentrality(true)        // s2lg.s_betweenness_centrality()
+//
+// Underneath sit the four hypergraph representations of the paper —
+// bipartite (two mutually indexed index sets), adjoin (one shared index
+// set), clique expansion, and s-line graphs — with the exact algorithms
+// (HyperBFS, HyperCC, AdjoinBFS, AdjoinCC, toplexes) and six s-line-graph
+// construction algorithms, including the paper's two new queue-based ones.
+package nwhy
+
+import (
+	"fmt"
+
+	"nwhy/internal/core"
+	"nwhy/internal/mmio"
+	"nwhy/internal/parallel"
+	"nwhy/internal/slinegraph"
+	"nwhy/internal/sparse"
+)
+
+// NWHypergraph is the user-facing hypergraph handle (the Python API's
+// NWHypergraph class).
+type NWHypergraph struct {
+	h *core.Hypergraph
+	// adjoin is built lazily on first use.
+	adjoin *core.AdjoinGraph
+}
+
+// New builds a hypergraph from parallel incidence arrays: incidence k says
+// hyperedge edgeIDs[k] contains hypernode nodeIDs[k] (optionally with
+// weights[k]). It mirrors nwhy.NWHypergraph(row, col, weight).
+func New(edgeIDs, nodeIDs []uint32, weights []float64) (*NWHypergraph, error) {
+	if len(edgeIDs) != len(nodeIDs) {
+		return nil, fmt.Errorf("nwhy: %d edge IDs vs %d node IDs", len(edgeIDs), len(nodeIDs))
+	}
+	if weights != nil && len(weights) != len(edgeIDs) {
+		return nil, fmt.Errorf("nwhy: %d weights for %d incidences", len(weights), len(edgeIDs))
+	}
+	bel := sparse.NewBiEdgeList(0, 0)
+	for k := range edgeIDs {
+		if weights != nil {
+			bel.AddWeighted(edgeIDs[k], nodeIDs[k], weights[k])
+		} else {
+			bel.Add(edgeIDs[k], nodeIDs[k])
+		}
+	}
+	bel.Dedup()
+	return &NWHypergraph{h: core.FromBiEdgeList(bel)}, nil
+}
+
+// FromSets builds a hypergraph from explicit hyperedge member sets.
+// numNodes < 0 infers the node count.
+func FromSets(sets [][]uint32, numNodes int) *NWHypergraph {
+	return &NWHypergraph{h: core.FromSets(sets, numNodes)}
+}
+
+// Load reads a hypergraph from a Matrix Market incidence file (the paper's
+// graph_reader).
+func Load(path string) (*NWHypergraph, error) {
+	bel, err := mmio.GraphReader(path)
+	if err != nil {
+		return nil, err
+	}
+	bel.Dedup()
+	return &NWHypergraph{h: core.FromBiEdgeList(bel)}, nil
+}
+
+// Save writes the hypergraph to a Matrix Market incidence file.
+func (g *NWHypergraph) Save(path string) error {
+	bel := sparse.NewBiEdgeList(g.NumEdges(), g.NumNodes())
+	for e, nbrs := range g.h.EdgeRange() {
+		for _, v := range nbrs {
+			bel.Add(uint32(e), v)
+		}
+	}
+	return mmio.WriteHypergraphFile(path, bel)
+}
+
+// Hypergraph exposes the underlying bipartite representation for advanced
+// use alongside the internal packages.
+func (g *NWHypergraph) Hypergraph() *core.Hypergraph { return g.h }
+
+// Wrap adopts an existing core.Hypergraph (e.g. from internal/gen) as a
+// facade handle without copying.
+func Wrap(h *core.Hypergraph) *NWHypergraph { return &NWHypergraph{h: h} }
+
+// NumEdges reports |E|.
+func (g *NWHypergraph) NumEdges() int { return g.h.NumEdges() }
+
+// NumNodes reports |V|.
+func (g *NWHypergraph) NumNodes() int { return g.h.NumNodes() }
+
+// NumIncidences reports the incidence count (non-zeros of the incidence
+// matrix).
+func (g *NWHypergraph) NumIncidences() int { return g.h.NumIncidences() }
+
+// EdgeSizeDist reports hyperedge e's member count |e|.
+func (g *NWHypergraph) EdgeDegree(e int) int { return g.h.EdgeDegree(e) }
+
+// NodeDegree reports hypernode v's hyperedge count d(v).
+func (g *NWHypergraph) NodeDegree(v int) int { return g.h.NodeDegree(v) }
+
+// Incidence returns hyperedge e's members.
+func (g *NWHypergraph) Incidence(e int) []uint32 { return g.h.EdgeIncidence(e) }
+
+// Memberships returns hypernode v's hyperedges.
+func (g *NWHypergraph) Memberships(v int) []uint32 { return g.h.NodeIncidence(v) }
+
+// Dual returns the dual hypergraph H* (shares storage).
+func (g *NWHypergraph) Dual() *NWHypergraph {
+	return &NWHypergraph{h: g.h.Dual()}
+}
+
+// Stats computes the Table I characteristics row.
+func (g *NWHypergraph) Stats() core.Stats { return core.ComputeStats(g.h) }
+
+// Adjoin returns the adjoin representation (built on first call, cached).
+func (g *NWHypergraph) Adjoin() *core.AdjoinGraph {
+	if g.adjoin == nil {
+		g.adjoin = core.Adjoin(g.h)
+	}
+	return g.adjoin
+}
+
+// Toplexes returns the IDs of the maximal hyperedges (paper Algorithm 3).
+func (g *NWHypergraph) Toplexes() []uint32 { return core.Toplexes(g.h) }
+
+// Toplexify returns the hypergraph restricted to its toplexes.
+func (g *NWHypergraph) Toplexify() *NWHypergraph { return Wrap(core.Toplexify(g.h)) }
+
+// CollapseEdges merges duplicate hyperedges into representatives, returning
+// the reduced hypergraph and the equivalence classes (the Python API's
+// collapse_edges()).
+func (g *NWHypergraph) CollapseEdges() (*NWHypergraph, [][]uint32) {
+	r := core.CollapseEdges(g.h)
+	return Wrap(r.H), r.Classes
+}
+
+// CollapseNodes merges hypernodes with identical hyperedge memberships
+// (collapse_nodes()).
+func (g *NWHypergraph) CollapseNodes() (*NWHypergraph, [][]uint32) {
+	r := core.CollapseNodes(g.h)
+	return Wrap(r.H), r.Classes
+}
+
+// CollapseNodesAndEdges collapses duplicate hypernodes, then duplicate
+// hyperedges (collapse_nodes_and_edges()).
+func (g *NWHypergraph) CollapseNodesAndEdges() (*NWHypergraph, [][]uint32) {
+	r, _ := core.CollapseNodesAndEdges(g.h)
+	return Wrap(r.H), r.Classes
+}
+
+// EdgeSizeDist returns the histogram of hyperedge sizes: dist[d] counts
+// hyperedges with exactly d members (edge_size_dist()).
+func (g *NWHypergraph) EdgeSizeDist() []int { return core.EdgeSizeDist(g.h) }
+
+// NodeDegreeDist returns the histogram of hypernode degrees.
+func (g *NWHypergraph) NodeDegreeDist() []int { return core.NodeDegreeDist(g.h) }
+
+// RestrictToEdges returns the sub-hypergraph induced by the given
+// hyperedges (renumbered in the given order).
+func (g *NWHypergraph) RestrictToEdges(edgeIDs []uint32) *NWHypergraph {
+	return Wrap(core.RestrictToEdges(g.h, edgeIDs))
+}
+
+// RestrictToNodes returns the sub-hypergraph induced by the given
+// hypernodes (renumbered in the given order).
+func (g *NWHypergraph) RestrictToNodes(nodeIDs []uint32) *NWHypergraph {
+	return Wrap(core.RestrictToNodes(g.h, nodeIDs))
+}
+
+// Validate checks structural invariants of the representation.
+func (g *NWHypergraph) Validate() error { return g.h.Validate() }
+
+// SetNumThreads sets the worker count of the shared parallel runtime, the
+// analogue of constraining oneTBB's concurrency. n < 1 resets to GOMAXPROCS.
+func SetNumThreads(n int) { parallel.SetNumWorkers(n) }
+
+// NumThreads reports the current worker count.
+func NumThreads() int { return parallel.NumWorkers() }
+
+// CliqueExpansion computes the clique-expansion graph of the hypergraph
+// (the 1-line graph of the dual): each hyperedge becomes a clique over its
+// members. Returned pairs are hypernode ID pairs.
+func (g *NWHypergraph) CliqueExpansion() []sparse.Edge {
+	return slinegraph.CliqueExpansion(g.h, slinegraph.Options{})
+}

@@ -1,0 +1,166 @@
+package nwhy
+
+import (
+	"nwhy/internal/slinegraph"
+	"nwhy/internal/smetrics"
+	"nwhy/internal/sparse"
+)
+
+// Algorithm selects an s-line-graph construction algorithm.
+type Algorithm int
+
+const (
+	// AlgoHashmap is the hashmap-counting algorithm (IPDPS'22), the paper's
+	// best-performing non-queue construction and the default.
+	AlgoHashmap Algorithm = iota
+	// AlgoIntersection is the set-intersection heuristic (HiPC'21).
+	AlgoIntersection
+	// AlgoNaive is the all-pairs baseline.
+	AlgoNaive
+	// AlgoQueueHashmap is the paper's Algorithm 1: single-phase queue-based
+	// hashmap counting. Works on any hyperedge ID space.
+	AlgoQueueHashmap
+	// AlgoQueueIntersection is the paper's Algorithm 2: two-phase
+	// queue-based set intersection. Works on any hyperedge ID space.
+	AlgoQueueIntersection
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoIntersection:
+		return "intersection"
+	case AlgoNaive:
+		return "naive"
+	case AlgoQueueHashmap:
+		return "queue-hashmap (Alg 1)"
+	case AlgoQueueIntersection:
+		return "queue-intersection (Alg 2)"
+	default:
+		return "hashmap"
+	}
+}
+
+// ConstructOptions configure s-line-graph construction.
+type ConstructOptions struct {
+	Algorithm Algorithm
+	// Cyclic selects the cyclic range partition instead of blocked.
+	Cyclic bool
+	// NumBins is the cyclic stride count (<= 0: automatic).
+	NumBins int
+	// Relabel applies relabel-by-degree before construction.
+	Relabel sparse.Order
+	// UseAdjoin feeds the queue-based algorithms the adjoin representation
+	// instead of the bipartite one (ignored by non-queue algorithms, which
+	// require the bipartite form's contiguous ID space).
+	UseAdjoin bool
+}
+
+func (o ConstructOptions) internal() slinegraph.Options {
+	part := slinegraph.BlockedPartition
+	if o.Cyclic {
+		part = slinegraph.CyclicPartition
+	}
+	return slinegraph.Options{Partition: part, NumBins: o.NumBins, Relabel: o.Relabel}
+}
+
+// SLineGraph is a materialized s-line graph handle exposing the s-metric
+// queries of the Python API (Listing 5).
+type SLineGraph struct {
+	*smetrics.SLineGraph
+}
+
+// SLineGraph constructs the s-line graph of the hypergraph with the default
+// (hashmap) algorithm. With edges=true the line graph is over hyperedges
+// (s-line graph); with edges=false it is over hypernodes (the s-clique
+// graph of the dual), mirroring hg.s_linegraph(s, edges).
+func (g *NWHypergraph) SLineGraph(s int, edges bool) *SLineGraph {
+	return g.SLineGraphWith(s, edges, ConstructOptions{})
+}
+
+// SLineGraphWith constructs the s-line graph with explicit algorithm and
+// partition options.
+func (g *NWHypergraph) SLineGraphWith(s int, edges bool, o ConstructOptions) *SLineGraph {
+	h := g.h
+	if !edges {
+		h = g.h.Dual()
+	}
+	var pairs []sparse.Edge
+	opts := o.internal()
+	switch o.Algorithm {
+	case AlgoNaive:
+		pairs = slinegraph.Naive(h, s)
+	case AlgoIntersection:
+		pairs = slinegraph.Intersection(h, s, opts)
+	case AlgoQueueHashmap, AlgoQueueIntersection:
+		var in slinegraph.Input
+		if o.UseAdjoin && edges {
+			in = slinegraph.FromAdjoin(g.Adjoin())
+		} else {
+			in = slinegraph.FromHypergraph(h)
+		}
+		if o.Algorithm == AlgoQueueHashmap {
+			pairs = slinegraph.QueueHashmap(in, s, opts)
+		} else {
+			pairs = slinegraph.QueueIntersection(in, s, opts)
+		}
+	default:
+		pairs = slinegraph.Hashmap(h, s, opts)
+	}
+	return &SLineGraph{smetrics.BuildWith(h, s, pairs)}
+}
+
+// WeightedSLineGraph is the strength-annotated s-line graph handle: every
+// s-line edge carries its exact overlap |e ∩ f| (the edge widths of the
+// paper's Figure 5), enabling strength-weighted distances.
+type WeightedSLineGraph struct {
+	*smetrics.WeightedSLineGraph
+}
+
+// SLineGraphWeighted constructs the s-line graph over hyperedges with
+// overlap strengths retained.
+func (g *NWHypergraph) SLineGraphWeighted(s int) *WeightedSLineGraph {
+	return &WeightedSLineGraph{smetrics.BuildWeighted(g.h, s)}
+}
+
+// SLineGraphEnsembleQueue computes the s-line graphs for several values of
+// s in one queue-driven pass; with useAdjoin it runs directly on the
+// adjoin representation.
+func (g *NWHypergraph) SLineGraphEnsembleQueue(ss []int, useAdjoin bool) map[int]*SLineGraph {
+	var in slinegraph.Input
+	if useAdjoin {
+		in = slinegraph.FromAdjoin(g.Adjoin())
+	} else {
+		in = slinegraph.FromHypergraph(g.h)
+	}
+	byS := slinegraph.EnsembleQueue(in, ss, slinegraph.Options{})
+	out := make(map[int]*SLineGraph, len(ss))
+	for s, pairs := range byS {
+		out[s] = &SLineGraph{smetrics.BuildWith(g.h, s, pairs)}
+	}
+	return out
+}
+
+// SConnectedComponentsDirect computes the s-connected components of the
+// hyperedges without materializing the s-line graph: s-incident pairs are
+// unioned into a concurrent disjoint-set forest as the queue-based
+// construction discovers them. Labels are canonical minimum-member IDs over
+// [0, NumEdges()).
+func (g *NWHypergraph) SConnectedComponentsDirect(s int) []uint32 {
+	labels := slinegraph.SComponentsDirect(slinegraph.FromHypergraph(g.h), s, slinegraph.Options{})
+	return labels[:g.NumEdges()]
+}
+
+// SLineGraphEnsemble constructs the s-line graphs for several values of s
+// in one counting pass.
+func (g *NWHypergraph) SLineGraphEnsemble(ss []int, edges bool) map[int]*SLineGraph {
+	h := g.h
+	if !edges {
+		h = g.h.Dual()
+	}
+	byS := slinegraph.Ensemble(h, ss, slinegraph.Options{})
+	out := make(map[int]*SLineGraph, len(ss))
+	for s, pairs := range byS {
+		out[s] = &SLineGraph{smetrics.BuildWith(h, s, pairs)}
+	}
+	return out
+}
