@@ -1,6 +1,8 @@
 package nwhy
 
 import (
+	"context"
+
 	"nwhy/internal/core"
 	"nwhy/internal/graph"
 	"nwhy/internal/hygra"
@@ -29,20 +31,35 @@ const (
 // BFS traverses the hypergraph from hyperedge srcEdge, returning bipartite
 // hop levels for hyperedges and hypernodes (-1 = unreachable). All variants
 // produce identical levels; they differ in traversal strategy and
-// representation, which is what Figure 8 benchmarks.
+// representation, which is what Figure 8 benchmarks. If the bound engine's
+// context is cancelled the result is nil; use BFSCtx to observe the error.
 func (g *NWHypergraph) BFS(srcEdge int, variant BFSVariant) *core.HyperBFSResult {
+	r, _ := g.bfsOn(g.engine(), srcEdge, variant)
+	return r
+}
+
+// BFSCtx is BFS bounded by ctx: the traversal stops scheduling new rounds
+// once ctx is cancelled and returns ctx.Err().
+func (g *NWHypergraph) BFSCtx(ctx context.Context, srcEdge int, variant BFSVariant) (*core.HyperBFSResult, error) {
+	return g.bfsOn(g.engine().WithContext(ctx), srcEdge, variant)
+}
+
+func (g *NWHypergraph) bfsOn(eng *Engine, srcEdge int, variant BFSVariant) (*core.HyperBFSResult, error) {
 	switch variant {
 	case BFSBottomUp:
-		return core.HyperBFSBottomUp(g.h, srcEdge)
+		return core.HyperBFSBottomUp(eng, g.h, srcEdge)
 	case BFSAdjoin:
-		return core.AdjoinBFS(g.Adjoin(), srcEdge)
+		return core.AdjoinBFS(eng, g.Adjoin(), srcEdge)
 	case BFSHygraBaseline:
-		el, nl := hygra.BFS(g.h, srcEdge)
-		return &core.HyperBFSResult{EdgeLevel: el, NodeLevel: nl}
+		el, nl, err := hygra.BFS(eng, g.h, srcEdge)
+		if err != nil {
+			return nil, err
+		}
+		return &core.HyperBFSResult{EdgeLevel: el, NodeLevel: nl}, nil
 	case BFSDirectionOptimizing:
-		return core.HyperBFSDirectionOptimizing(g.h, srcEdge)
+		return core.HyperBFSDirectionOptimizing(eng, g.h, srcEdge)
 	default:
-		return core.HyperBFSTopDown(g.h, srcEdge)
+		return core.HyperBFSTopDown(eng, g.h, srcEdge)
 	}
 }
 
@@ -67,7 +84,8 @@ const (
 // recording discovery parents on both sides; hyperpaths between entities
 // are read off its parent links.
 func (g *NWHypergraph) HyperTree(srcEdge int) *core.HyperTree {
-	return core.BuildHyperTree(g.h, srcEdge)
+	t, _ := core.BuildHyperTree(g.engine(), g.h, srcEdge)
+	return t
 }
 
 // AdjoinBetweenness computes exact betweenness centrality of every
@@ -78,7 +96,7 @@ func (g *NWHypergraph) HyperTree(srcEdge int) *core.HyperTree {
 // for here.
 func (g *NWHypergraph) AdjoinBetweenness(normalized bool) (edgeBC, nodeBC []float64) {
 	a := g.Adjoin()
-	scores := graph.BetweennessCentrality(a.G, normalized)
+	scores := graph.BetweennessCentrality(g.engine(), a.G, normalized)
 	e, n := core.SplitResult(a, scores)
 	return append([]float64(nil), e...), append([]float64(nil), n...)
 }
@@ -87,7 +105,7 @@ func (g *NWHypergraph) AdjoinBetweenness(normalized bool) (edgeBC, nodeBC []floa
 // representation, split into the hyperedge and hypernode index spaces.
 func (g *NWHypergraph) AdjoinCloseness() (edgeC, nodeC []float64) {
 	a := g.Adjoin()
-	scores := graph.ClosenessCentrality(a.G)
+	scores := graph.ClosenessCentrality(g.engine(), a.G)
 	e, n := core.SplitResult(a, scores)
 	return append([]float64(nil), e...), append([]float64(nil), n...)
 }
@@ -96,7 +114,7 @@ func (g *NWHypergraph) AdjoinCloseness() (edgeC, nodeC []float64) {
 // representation, split into the two index spaces.
 func (g *NWHypergraph) AdjoinEccentricity() (edgeEcc, nodeEcc []float64) {
 	a := g.Adjoin()
-	scores := graph.Eccentricity(a.G)
+	scores := graph.Eccentricity(g.engine(), a.G)
 	e, n := core.SplitResult(a, scores)
 	return append([]float64(nil), e...), append([]float64(nil), n...)
 }
@@ -108,7 +126,7 @@ func (g *NWHypergraph) AdjoinEccentricity() (edgeEcc, nodeEcc []float64) {
 // hyperedges.
 func (g *NWHypergraph) AdjoinPageRank(damping, tol float64, maxIter int) (edgePR, nodePR []float64) {
 	a := g.Adjoin()
-	scores := graph.PageRank(a.G, damping, tol, maxIter)
+	scores := graph.PageRank(g.engine(), a.G, damping, tol, maxIter)
 	e, n := core.SplitResult(a, scores)
 	return append([]float64(nil), e...), append([]float64(nil), n...)
 }
@@ -117,7 +135,14 @@ func (g *NWHypergraph) AdjoinPageRank(damping, tol float64, maxIter int) (edgePR
 // walk on the bipartite structure (node -> uniform hyperedge -> uniform
 // member), without materializing any projection.
 func (g *NWHypergraph) HyperPageRank(damping, tol float64, maxIter int) []float64 {
-	return core.HyperPageRank(g.h, damping, tol, maxIter)
+	pr, _ := core.HyperPageRank(g.engine(), g.h, damping, tol, maxIter)
+	return pr
+}
+
+// HyperPageRankCtx is HyperPageRank bounded by ctx: iteration stops at the
+// next round boundary once ctx is cancelled and ctx.Err() is returned.
+func (g *NWHypergraph) HyperPageRankCtx(ctx context.Context, damping, tol float64, maxIter int) ([]float64, error) {
+	return core.HyperPageRank(g.engine().WithContext(ctx), g.h, damping, tol, maxIter)
 }
 
 // HyperCoreness computes each hypernode's hypergraph core number under
@@ -129,17 +154,34 @@ func (g *NWHypergraph) HyperCoreness() []int {
 
 // ConnectedComponents labels every hyperedge and hypernode with its
 // component (canonical shared-space labels). All variants produce identical
-// labels; Figure 7 benchmarks their runtime differences.
+// labels; Figure 7 benchmarks their runtime differences. If the bound
+// engine's context is cancelled the result is nil; use
+// ConnectedComponentsCtx to observe the error.
 func (g *NWHypergraph) ConnectedComponents(variant CCVariant) *core.HyperCCResult {
+	r, _ := g.ccOn(g.engine(), variant)
+	return r
+}
+
+// ConnectedComponentsCtx is ConnectedComponents bounded by ctx: the fixpoint
+// loop stops at the next round boundary once ctx is cancelled and returns
+// ctx.Err().
+func (g *NWHypergraph) ConnectedComponentsCtx(ctx context.Context, variant CCVariant) (*core.HyperCCResult, error) {
+	return g.ccOn(g.engine().WithContext(ctx), variant)
+}
+
+func (g *NWHypergraph) ccOn(eng *Engine, variant CCVariant) (*core.HyperCCResult, error) {
 	switch variant {
 	case CCAdjoinAfforest:
-		return core.AdjoinCC(g.Adjoin(), core.AdjoinAfforest)
+		return core.AdjoinCC(eng, g.Adjoin(), core.AdjoinAfforest)
 	case CCAdjoinLabelProp:
-		return core.AdjoinCC(g.Adjoin(), core.AdjoinLabelPropagation)
+		return core.AdjoinCC(eng, g.Adjoin(), core.AdjoinLabelPropagation)
 	case CCHygraBaseline:
-		ec, nc := hygra.CC(g.h)
-		return &core.HyperCCResult{EdgeComp: ec, NodeComp: nc}
+		ec, nc, err := hygra.CC(eng, g.h)
+		if err != nil {
+			return nil, err
+		}
+		return &core.HyperCCResult{EdgeComp: ec, NodeComp: nc}, nil
 	default:
-		return core.HyperCC(g.h)
+		return core.HyperCC(eng, g.h)
 	}
 }

@@ -177,16 +177,17 @@ func fig7(w io.Writer, presets []gen.Preset, scale float64, threads []int, reps 
 		}
 		fmt.Fprintln(w)
 		for _, t := range threads {
-			nwhy.SetNumThreads(t)
+			eng := nwhy.NewEngine(t)
+			gt := g.WithEngine(eng)
 			fmt.Fprintf(w, "%-8d", t)
 			for _, v := range variants {
-				d := measure(reps, func() { g.ConnectedComponents(v.v) })
+				d := measure(reps, func() { gt.ConnectedComponents(v.v) })
 				fmt.Fprintf(w, "%14s", d.Round(time.Microsecond))
 			}
 			fmt.Fprintln(w)
+			eng.Close()
 		}
 	}
-	nwhy.SetNumThreads(0)
 	fmt.Fprintln(w)
 }
 
@@ -216,16 +217,17 @@ func fig8(w io.Writer, presets []gen.Preset, scale float64, threads []int, reps 
 		}
 		fmt.Fprintln(w)
 		for _, t := range threads {
-			nwhy.SetNumThreads(t)
+			eng := nwhy.NewEngine(t)
+			gt := g.WithEngine(eng)
 			fmt.Fprintf(w, "%-8d", t)
 			for _, v := range variants {
-				d := measure(reps, func() { g.BFS(src, v.v) })
+				d := measure(reps, func() { gt.BFS(src, v.v) })
 				fmt.Fprintf(w, "%14s", d.Round(time.Microsecond))
 			}
 			fmt.Fprintln(w)
+			eng.Close()
 		}
 	}
-	nwhy.SetNumThreads(0)
 	fmt.Fprintln(w)
 }
 

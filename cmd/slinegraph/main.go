@@ -83,7 +83,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *threads > 0 {
-		nwhy.SetNumThreads(*threads)
+		eng := nwhy.NewEngine(*threads)
+		defer eng.Close()
+		g = g.WithEngine(eng)
 	}
 	if *adjoin {
 		g.Adjoin() // pre-build outside timing
@@ -101,7 +103,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "input: |E|=%d |V|=%d incidences=%d\n", g.NumEdges(), g.NumNodes(), g.NumIncidences())
 	fmt.Fprintf(stdout, "%d-line graph via %v (partition=%s relabel=%s adjoin=%v, %d threads): %d edges in %v\n",
-		*s, algo, partitionName(*cyclic), order, *adjoin, nwhy.NumThreads(), lg.NumEdges(), best.Round(time.Microsecond))
+		*s, algo, partitionName(*cyclic), order, *adjoin, g.Engine().NumWorkers(), lg.NumEdges(), best.Round(time.Microsecond))
 	if *components {
 		t0 := time.Now()
 		labels := g.SConnectedComponentsDirect(*s)

@@ -1,0 +1,148 @@
+package nwhy
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// engineTestHypergraph builds a hypergraph big enough that its kernels
+// actually fan out over workers: a chain of overlapping hyperedges plus a
+// block of disconnected singleton edges.
+func engineTestHypergraph(t *testing.T) *NWHypergraph {
+	t.Helper()
+	sets := make([][]uint32, 0, 600)
+	for e := 0; e < 400; e++ {
+		// Chain: edge e holds nodes {2e, 2e+1, 2e+2, 2e+3} so consecutive
+		// edges overlap in two nodes (2-line-graph chain).
+		sets = append(sets, []uint32{uint32(2 * e), uint32(2*e + 1), uint32(2*e + 2), uint32(2*e + 3)})
+	}
+	base := uint32(2*400 + 4)
+	for e := 0; e < 200; e++ {
+		sets = append(sets, []uint32{base + uint32(e)})
+	}
+	return FromSets(sets, -1)
+}
+
+// TestTwoEnginesConcurrently runs HyperCC and an s-line-graph construction
+// on two independent engines with different worker counts at the same time
+// and checks both agree with the shared-engine result. Run under -race this
+// is the isolation guarantee of the explicit-engine refactor: no shared
+// mutable state between engines.
+func TestTwoEnginesConcurrently(t *testing.T) {
+	g := engineTestHypergraph(t)
+	wantCC := g.ConnectedComponents(CCHyper)
+	wantPairs := g.SLineGraph(2, true).Pairs
+
+	e1 := NewEngine(2)
+	defer e1.Close()
+	e2 := NewEngine(4)
+	defer e2.Close()
+	g1 := g.WithEngine(e1)
+	g2 := g.WithEngine(e2)
+
+	const rounds = 5
+	var wg sync.WaitGroup
+	errs := make(chan string, 4*rounds)
+	run := func(gt *NWHypergraph, label string) {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if cc := gt.ConnectedComponents(CCHyper); !reflect.DeepEqual(cc.EdgeComp, wantCC.EdgeComp) {
+				errs <- label + ": HyperCC labels diverged"
+				return
+			}
+			if lg := gt.SLineGraph(2, true); !reflect.DeepEqual(lg.Pairs, wantPairs) {
+				errs <- label + ": s-line pairs diverged"
+				return
+			}
+		}
+	}
+	wg.Add(4)
+	go run(g1, "engine1/a")
+	go run(g1, "engine1/b")
+	go run(g2, "engine2/a")
+	go run(g2, "engine2/b")
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestBFSCtxCancellation asserts an expired deadline aborts HyperBFS before
+// completion and surfaces ctx.Err().
+func TestBFSCtxCancellation(t *testing.T) {
+	g := engineTestHypergraph(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	for _, v := range []BFSVariant{BFSTopDown, BFSBottomUp, BFSDirectionOptimizing, BFSAdjoin, BFSHygraBaseline} {
+		r, err := g.BFSCtx(ctx, 0, v)
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("variant %d: err = %v, want DeadlineExceeded", v, err)
+		}
+		if r != nil {
+			t.Fatalf("variant %d: got non-nil result from cancelled BFS", v)
+		}
+	}
+	// A live context must still produce the full traversal.
+	r, err := g.BFSCtx(context.Background(), 0, BFSTopDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := g.BFS(0, BFSTopDown); !reflect.DeepEqual(r.EdgeLevel, want.EdgeLevel) {
+		t.Fatal("live-context BFS differs from plain BFS")
+	}
+}
+
+// TestSLineGraphCtxCancellation asserts a cancelled context aborts the
+// s-line-graph construction (queue and non-queue paths) with ctx.Err().
+func TestSLineGraphCtxCancellation(t *testing.T) {
+	g := engineTestHypergraph(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, algo := range []Algorithm{AlgoHashmap, AlgoNaive, AlgoQueueHashmap, AlgoQueueIntersection} {
+		lg, err := g.SLineGraphCtx(ctx, 2, true, ConstructOptions{Algorithm: algo})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("algo %v: err = %v, want Canceled", algo, err)
+		}
+		if lg != nil {
+			t.Fatalf("algo %v: got non-nil handle from cancelled construction", algo)
+		}
+	}
+	if _, err := g.SConnectedComponentsDirectCtx(ctx, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SConnectedComponentsDirectCtx err = %v, want Canceled", err)
+	}
+	if _, err := g.ConnectedComponentsCtx(ctx, CCHyper); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ConnectedComponentsCtx err = %v, want Canceled", err)
+	}
+	if _, err := g.HyperPageRankCtx(ctx, 0.85, 1e-9, 100); !errors.Is(err, context.Canceled) {
+		t.Fatalf("HyperPageRankCtx err = %v, want Canceled", err)
+	}
+	if _, err := g.CliqueExpansionCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CliqueExpansionCtx err = %v, want Canceled", err)
+	}
+}
+
+// TestWithEngineSharesStructure checks WithEngine is a cheap rebind: the
+// underlying hypergraph is shared and the original handle keeps its engine.
+func TestWithEngineSharesStructure(t *testing.T) {
+	g := engineTestHypergraph(t)
+	eng := NewEngine(3)
+	defer eng.Close()
+	gt := g.WithEngine(eng)
+	if gt.Hypergraph() != g.Hypergraph() {
+		t.Fatal("WithEngine copied the hypergraph")
+	}
+	if gt.Engine() != eng {
+		t.Fatal("WithEngine did not bind the engine")
+	}
+	if g.Engine() == eng {
+		t.Fatal("WithEngine mutated the receiver")
+	}
+	if eng.NumWorkers() != 3 {
+		t.Fatalf("NumWorkers = %d, want 3", eng.NumWorkers())
+	}
+}

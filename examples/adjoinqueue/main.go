@@ -71,7 +71,7 @@ func main() {
 	}
 	in := slinegraph.Renamed(slinegraph.FromHypergraph(h), rename, 4*g.NumEdges()+3)
 	t0 = time.Now()
-	renamed := slinegraph.QueueHashmap(in, s, slinegraph.Options{})
+	renamed, _ := slinegraph.QueueHashmap(nwhy.SharedEngine(), in, s, slinegraph.Options{})
 	fmt.Printf("renamed   + Algorithm 1 (queue):     %7d edges in %v  (IDs 3, 7, 11, ...)\n",
 		len(renamed), time.Since(t0).Round(time.Millisecond))
 	ok := len(renamed) == reference.NumEdges()

@@ -64,13 +64,14 @@ func main() {
 		maxThreads = 4
 	}
 	for threads := 1; threads <= maxThreads; threads *= 2 {
-		nwhy.SetNumThreads(threads)
+		eng := nwhy.NewEngine(threads)
+		gt := g.WithEngine(eng)
 		fmt.Printf("%-10d", threads)
 		for _, c := range ccVariants {
 			best := time.Duration(1 << 62)
 			for r := 0; r < *reps; r++ {
 				t0 := time.Now()
-				g.ConnectedComponents(c.v)
+				gt.ConnectedComponents(c.v)
 				if d := time.Since(t0); d < best {
 					best = d
 				}
@@ -81,7 +82,7 @@ func main() {
 			best := time.Duration(1 << 62)
 			for r := 0; r < *reps; r++ {
 				t0 := time.Now()
-				g.BFS(0, b.v)
+				gt.BFS(0, b.v)
 				if d := time.Since(t0); d < best {
 					best = d
 				}
@@ -89,5 +90,6 @@ func main() {
 			fmt.Printf("%12s", best.Round(time.Microsecond))
 		}
 		fmt.Println()
+		eng.Close()
 	}
 }

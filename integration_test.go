@@ -79,13 +79,13 @@ func TestPipelineAdjoinFileFlow(t *testing.T) {
 	if err := a.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	got := core.AdjoinCC(a, core.AdjoinAfforest)
+	got, _ := core.AdjoinCC(SharedEngine(), a, core.AdjoinAfforest)
 	want := orig.ConnectedComponents(CCHyper)
 	if !reflect.DeepEqual(got.EdgeComp, want.EdgeComp) || !reflect.DeepEqual(got.NodeComp, want.NodeComp) {
 		t.Fatal("adjoin-file CC differs from bipartite CC")
 	}
 	// Queue construction on the file-loaded adjoin graph.
-	pairs := slinegraph.QueueHashmap(slinegraph.FromAdjoin(a), 2, slinegraph.Options{})
+	pairs, _ := slinegraph.QueueHashmap(SharedEngine(), slinegraph.FromAdjoin(a), 2, slinegraph.Options{})
 	wantPairs := orig.SLineGraph(2, true).Pairs
 	if !reflect.DeepEqual(pairs, wantPairs) {
 		t.Fatal("adjoin-file s-line graph differs")

@@ -28,11 +28,11 @@ type AdjoinGraph struct {
 // Adjoin converts the bipartite representation into an adjoin graph: the
 // vertex set is the direct sum of the hyperedge and hypernode index sets,
 // and each incidence (e, v) becomes the undirected pair {e, NumRealEdges+v}.
-func Adjoin(h *Hypergraph) *AdjoinGraph {
+func Adjoin(eng *parallel.Engine, h *Hypergraph) *AdjoinGraph {
 	ne, nv := h.NumEdges(), h.NumNodes()
 	m := h.NumIncidences()
 	pairs := make([]sparse.Edge, 2*m)
-	parallel.For(ne, func(_, lo, hi int) {
+	eng.ForN(ne, func(_, lo, hi int) {
 		for e := lo; e < hi; e++ {
 			base := h.Edges.RowPtr[e]
 			for k, v := range h.Edges.Row(e) {

@@ -10,7 +10,7 @@ import (
 
 func TestAdjoinPaperExample(t *testing.T) {
 	h := paperHypergraph()
-	a := Adjoin(h)
+	a := tAdjoin(h)
 	if a.NumVertices() != 13 || a.NumRealEdges != 4 || a.NumRealNodes != 9 {
 		t.Fatalf("adjoin shape: %d vertices, %d edges, %d nodes", a.NumVertices(), a.NumRealEdges, a.NumRealNodes)
 	}
@@ -31,7 +31,7 @@ func TestAdjoinPaperExample(t *testing.T) {
 func TestAdjoinBlockStructure(t *testing.T) {
 	// Figure 4: A_G = [[0, B^t],[B, 0]] — no edge stays within one partition.
 	h := randomHypergraph(20, 30, 6, 1)
-	a := Adjoin(h)
+	a := tAdjoin(h)
 	for u := 0; u < a.NumVertices(); u++ {
 		for _, v := range a.G.Row(u) {
 			if a.IsHyperedge(u) == a.IsHyperedge(int(v)) {
@@ -45,7 +45,7 @@ func TestAdjoinBlockStructure(t *testing.T) {
 }
 
 func TestAdjoinIDMapping(t *testing.T) {
-	a := Adjoin(paperHypergraph())
+	a := tAdjoin(paperHypergraph())
 	if a.EdgeID(2) != 2 || a.NodeID(0) != 4 || a.NodeID(8) != 12 {
 		t.Fatal("ID mapping wrong")
 	}
@@ -55,7 +55,7 @@ func TestAdjoinIDMapping(t *testing.T) {
 }
 
 func TestSplitResult(t *testing.T) {
-	a := Adjoin(paperHypergraph())
+	a := tAdjoin(paperHypergraph())
 	all := make([]int, 13)
 	for i := range all {
 		all[i] = i * 10
@@ -72,7 +72,7 @@ func TestSplitResult(t *testing.T) {
 func TestAdjoinRoundTrip(t *testing.T) {
 	f := func(seed int64) bool {
 		h := randomHypergraph(15, 25, 5, seed)
-		back := Adjoin(h).ToHypergraph()
+		back := tAdjoin(h).ToHypergraph()
 		return back.Edges.Equal(h.Edges) && back.Nodes.Equal(h.Nodes)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
@@ -110,7 +110,7 @@ func TestFromAdjoinEdgeListRejectsBadCounts(t *testing.T) {
 }
 
 func TestAdjoinEmptyHypergraph(t *testing.T) {
-	a := Adjoin(FromSets(nil, 0))
+	a := tAdjoin(FromSets(nil, 0))
 	if a.NumVertices() != 0 {
 		t.Fatal("empty adjoin not empty")
 	}

@@ -20,8 +20,8 @@ type CollapseResult struct {
 // CollapseEdges merges duplicate hyperedges — hyperedges with identical
 // hypernode sets — into a single representative each, mirroring the nwhy
 // Python API's collapse_edges(). Hypernode IDs are unchanged.
-func CollapseEdges(h *Hypergraph) *CollapseResult {
-	classes := equivalenceClasses(h.Edges)
+func CollapseEdges(eng *parallel.Engine, h *Hypergraph) *CollapseResult {
+	classes := equivalenceClasses(eng, h.Edges)
 	bel := sparse.NewBiEdgeList(len(classes), h.NumNodes())
 	for k, class := range classes {
 		for _, v := range h.Edges.Row(int(class[0])) {
@@ -34,8 +34,8 @@ func CollapseEdges(h *Hypergraph) *CollapseResult {
 // CollapseNodes merges duplicate hypernodes — hypernodes incident to
 // identical hyperedge sets — into a single representative each, mirroring
 // collapse_nodes(). Hyperedge IDs are unchanged; hyperedge sizes shrink.
-func CollapseNodes(h *Hypergraph) *CollapseResult {
-	classes := equivalenceClasses(h.Nodes)
+func CollapseNodes(eng *parallel.Engine, h *Hypergraph) *CollapseResult {
+	classes := equivalenceClasses(eng, h.Nodes)
 	bel := sparse.NewBiEdgeList(h.NumEdges(), len(classes))
 	for k, class := range classes {
 		for _, e := range h.Nodes.Row(int(class[0])) {
@@ -49,19 +49,19 @@ func CollapseNodes(h *Hypergraph) *CollapseResult {
 // hyperedges of the reduced hypergraph (collapse_nodes_and_edges()). The
 // returned classes describe the edge collapse of the node-collapsed
 // hypergraph; nodeClasses describes the first stage.
-func CollapseNodesAndEdges(h *Hypergraph) (result *CollapseResult, nodeClasses [][]uint32) {
-	nodes := CollapseNodes(h)
-	edges := CollapseEdges(nodes.H)
+func CollapseNodesAndEdges(eng *parallel.Engine, h *Hypergraph) (result *CollapseResult, nodeClasses [][]uint32) {
+	nodes := CollapseNodes(eng, h)
+	edges := CollapseEdges(eng, nodes.H)
 	return edges, nodes.Classes
 }
 
 // equivalenceClasses groups the rows of a CSR by identical content,
 // returning the classes sorted by representative (minimum member) ID. Rows
 // are hashed in parallel and grouped exactly (hash collisions verified).
-func equivalenceClasses(c *sparse.CSR) [][]uint32 {
+func equivalenceClasses(eng *parallel.Engine, c *sparse.CSR) [][]uint32 {
 	n := c.NumRows()
 	hashes := make([]uint64, n)
-	parallel.For(n, func(_, lo, hi int) {
+	eng.ForN(n, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			hashes[i] = hashRow(c.Row(i))
 		}
@@ -195,6 +195,6 @@ func RestrictToNodes(h *Hypergraph, nodeIDs []uint32) *Hypergraph {
 // Toplexify returns the sub-hypergraph restricted to the toplexes — the
 // simplification HyperNetX calls "toplexes()": the maximal hyperedges carry
 // all the set-containment information.
-func Toplexify(h *Hypergraph) *Hypergraph {
-	return RestrictToEdges(h, Toplexes(h))
+func Toplexify(eng *parallel.Engine, h *Hypergraph) *Hypergraph {
+	return RestrictToEdges(h, Toplexes(eng, h))
 }

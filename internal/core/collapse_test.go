@@ -15,7 +15,7 @@ func TestCollapseEdgesMergesDuplicates(t *testing.T) {
 		{0, 1}, // dup of e0
 		{2, 3}, // dup of e1
 	}, 5)
-	r := CollapseEdges(h)
+	r := tCollapseEdges(h)
 	if r.H.NumEdges() != 3 {
 		t.Fatalf("collapsed to %d edges, want 3", r.H.NumEdges())
 	}
@@ -33,7 +33,7 @@ func TestCollapseEdgesMergesDuplicates(t *testing.T) {
 
 func TestCollapseEdgesNoDuplicatesIdentity(t *testing.T) {
 	h := paperHypergraph()
-	r := CollapseEdges(h)
+	r := tCollapseEdges(h)
 	if r.H.NumEdges() != 4 || len(r.Classes) != 4 {
 		t.Fatal("collapse changed a duplicate-free hypergraph")
 	}
@@ -48,7 +48,7 @@ func TestCollapseNodesMergesDuplicateMemberships(t *testing.T) {
 		{0, 1, 2, 3, 4},
 		{3, 4},
 	}, 5)
-	r := CollapseNodes(h)
+	r := tCollapseNodes(h)
 	if r.H.NumNodes() != 2 {
 		t.Fatalf("collapsed to %d nodes, want 2", r.H.NumNodes())
 	}
@@ -68,7 +68,7 @@ func TestCollapseNodesAndEdges(t *testing.T) {
 		{2},
 		{0, 1},
 	}, 3)
-	r, nodeClasses := CollapseNodesAndEdges(h)
+	r, nodeClasses := tCollapseNodesAndEdges(h)
 	if len(nodeClasses) != 2 { // {0,1} merge (same membership {e0,e2}), {2}
 		t.Fatalf("node classes = %v", nodeClasses)
 	}
@@ -80,8 +80,8 @@ func TestCollapseNodesAndEdges(t *testing.T) {
 func TestCollapseIdempotent(t *testing.T) {
 	f := func(seed int64) bool {
 		h := randomHypergraph(20, 8, 3, seed) // small node space: duplicates likely
-		once := CollapseEdges(h)
-		twice := CollapseEdges(once.H)
+		once := tCollapseEdges(h)
+		twice := tCollapseEdges(once.H)
 		return twice.H.NumEdges() == once.H.NumEdges()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
@@ -92,7 +92,7 @@ func TestCollapseIdempotent(t *testing.T) {
 func TestCollapsePreservesDistinctSets(t *testing.T) {
 	f := func(seed int64) bool {
 		h := randomHypergraph(25, 8, 3, seed)
-		r := CollapseEdges(h)
+		r := tCollapseEdges(h)
 		// Every original hyperedge's set must equal its representative's.
 		for k, class := range r.Classes {
 			for _, orig := range class {
@@ -182,7 +182,7 @@ func TestRestrictToNodes(t *testing.T) {
 
 func TestToplexify(t *testing.T) {
 	h := FromSets([][]uint32{{0, 1, 2}, {0, 1}, {3}, {3}}, 4)
-	tp := Toplexify(h)
+	tp := tToplexify(h)
 	if tp.NumEdges() != 2 {
 		t.Fatalf("toplexified to %d edges, want 2 ({0,1,2} and one {3})", tp.NumEdges())
 	}
@@ -195,7 +195,7 @@ func TestHyperBFSDirectionOptimizingAgrees(t *testing.T) {
 	f := func(seed int64) bool {
 		h := randomHypergraph(40, 50, 6, seed)
 		want := hyperBFSOracle(h, 0)
-		got := HyperBFSDirectionOptimizing(h, 0)
+		got := tHyperBFSDirectionOptimizing(h, 0)
 		return reflect.DeepEqual(got.EdgeLevel, want.EdgeLevel) &&
 			reflect.DeepEqual(got.NodeLevel, want.NodeLevel)
 	}
@@ -216,7 +216,7 @@ func TestHyperBFSDirectionOptimizingDenseInput(t *testing.T) {
 	}
 	h := FromSets(sets, 500)
 	want := hyperBFSOracle(h, 0)
-	got := HyperBFSDirectionOptimizing(h, 0)
+	got := tHyperBFSDirectionOptimizing(h, 0)
 	if !reflect.DeepEqual(got.EdgeLevel, want.EdgeLevel) || !reflect.DeepEqual(got.NodeLevel, want.NodeLevel) {
 		t.Fatal("direction-optimizing BFS differs on dense input")
 	}

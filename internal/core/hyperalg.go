@@ -13,10 +13,10 @@ import (
 // Hypernodes in no hyperedge are dangling; their mass is redistributed
 // uniformly. This is the hypergraph PageRank of the MESH / HyperX algorithm
 // suites, computed without materializing a projection.
-func HyperPageRank(h *Hypergraph, damping, tol float64, maxIter int) []float64 {
+func HyperPageRank(eng *parallel.Engine, h *Hypergraph, damping, tol float64, maxIter int) ([]float64, error) {
 	nv, ne := h.NumNodes(), h.NumEdges()
 	if nv == 0 {
-		return nil
+		return nil, eng.Err()
 	}
 	rank := make([]float64, nv)
 	next := make([]float64, nv)
@@ -27,11 +27,13 @@ func HyperPageRank(h *Hypergraph, damping, tol float64, maxIter int) []float64 {
 	}
 	nodeDeg := h.NodeDegrees()
 	edgeSize := h.EdgeDegrees()
-	p := parallel.Default()
 
 	for iter := 0; iter < maxIter; iter++ {
+		if err := eng.Err(); err != nil {
+			return nil, err
+		}
 		// Step 1: push node mass onto hyperedges (rank/deg per incidence).
-		dangling := parallel.Reduce(nv, 0.0, func(lo, hi int, acc float64) float64 {
+		dangling := parallel.ReduceWith(eng, nv, 0.0, func(lo, hi int, acc float64) float64 {
 			for v := lo; v < hi; v++ {
 				if nodeDeg[v] == 0 {
 					acc += rank[v]
@@ -39,7 +41,7 @@ func HyperPageRank(h *Hypergraph, damping, tol float64, maxIter int) []float64 {
 			}
 			return acc
 		}, func(a, b float64) float64 { return a + b })
-		p.For(parallel.Blocked(0, ne), func(_, lo, hi int) {
+		eng.ForN(ne, func(_, lo, hi int) {
 			for e := lo; e < hi; e++ {
 				sum := 0.0
 				for _, v := range h.Edges.Row(e) {
@@ -50,7 +52,7 @@ func HyperPageRank(h *Hypergraph, damping, tol float64, maxIter int) []float64 {
 		})
 		// Step 2: spread hyperedge mass uniformly over members.
 		base := (1-damping)*inv + damping*dangling*inv
-		p.For(parallel.Blocked(0, nv), func(_, lo, hi int) {
+		eng.ForN(nv, func(_, lo, hi int) {
 			for v := lo; v < hi; v++ {
 				sum := 0.0
 				for _, e := range h.Nodes.Row(v) {
@@ -61,7 +63,7 @@ func HyperPageRank(h *Hypergraph, damping, tol float64, maxIter int) []float64 {
 				next[v] = base + damping*sum
 			}
 		})
-		delta := parallel.Reduce(nv, 0.0, func(lo, hi int, acc float64) float64 {
+		delta := parallel.ReduceWith(eng, nv, 0.0, func(lo, hi int, acc float64) float64 {
 			for v := lo; v < hi; v++ {
 				acc += math.Abs(next[v] - rank[v])
 			}
@@ -72,7 +74,10 @@ func HyperPageRank(h *Hypergraph, damping, tol float64, maxIter int) []float64 {
 			break
 		}
 	}
-	return rank
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	return rank, nil
 }
 
 // HyperCoreness computes the hypergraph k-core number of every hypernode

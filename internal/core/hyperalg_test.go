@@ -8,20 +8,20 @@ import (
 
 func TestHyperPageRankSumsToOne(t *testing.T) {
 	h := randomHypergraph(50, 80, 6, 3)
-	pr := HyperPageRank(h, 0.85, 1e-10, 300)
+	pr := tHyperPageRank(h, 0.85, 1e-10, 300)
 	sum := 0.0
 	for _, v := range pr {
 		sum += v
 	}
 	if math.Abs(sum-1) > 1e-6 {
-		t.Fatalf("HyperPageRank sums to %v", sum)
+		t.Fatalf("tHyperPageRank sums to %v", sum)
 	}
 }
 
 func TestHyperPageRankSymmetricInput(t *testing.T) {
 	// Fully symmetric hypergraph: every node in both edges -> uniform rank.
 	h := FromSets([][]uint32{{0, 1, 2}, {0, 1, 2}}, 3)
-	pr := HyperPageRank(h, 0.85, 1e-12, 500)
+	pr := tHyperPageRank(h, 0.85, 1e-12, 500)
 	for i, v := range pr {
 		if math.Abs(v-1.0/3.0) > 1e-9 {
 			t.Fatalf("rank[%d] = %v, want 1/3", i, v)
@@ -32,7 +32,7 @@ func TestHyperPageRankSymmetricInput(t *testing.T) {
 func TestHyperPageRankHubNode(t *testing.T) {
 	// Node 0 is in every hyperedge; others in one each.
 	h := FromSets([][]uint32{{0, 1}, {0, 2}, {0, 3}, {0, 4}}, 5)
-	pr := HyperPageRank(h, 0.85, 1e-10, 300)
+	pr := tHyperPageRank(h, 0.85, 1e-10, 300)
 	for i := 1; i < 5; i++ {
 		if pr[0] <= pr[i] {
 			t.Fatalf("hub rank %v not above %v", pr[0], pr[i])
@@ -42,7 +42,7 @@ func TestHyperPageRankHubNode(t *testing.T) {
 
 func TestHyperPageRankDanglingNodes(t *testing.T) {
 	h := FromSets([][]uint32{{0, 1}}, 4) // nodes 2, 3 dangling
-	pr := HyperPageRank(h, 0.85, 1e-12, 500)
+	pr := tHyperPageRank(h, 0.85, 1e-12, 500)
 	sum := 0.0
 	for _, v := range pr {
 		sum += v
@@ -56,7 +56,7 @@ func TestHyperPageRankDanglingNodes(t *testing.T) {
 }
 
 func TestHyperPageRankEmpty(t *testing.T) {
-	if HyperPageRank(FromSets(nil, 0), 0.85, 1e-10, 10) != nil {
+	if tHyperPageRank(FromSets(nil, 0), 0.85, 1e-10, 10) != nil {
 		t.Fatal("empty hypergraph should give nil")
 	}
 }

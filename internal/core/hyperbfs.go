@@ -48,30 +48,38 @@ func newHyperBFSResult(ne, nv int) *HyperBFSResult {
 // index spaces, and — as the paper notes for all bipartite-representation
 // algorithms — two of every algorithm-specific structure are maintained, one
 // per index space.
-func HyperBFSTopDown(h *Hypergraph, srcEdge int) *HyperBFSResult {
+func HyperBFSTopDown(eng *parallel.Engine, h *Hypergraph, srcEdge int) (*HyperBFSResult, error) {
 	r := newHyperBFSResult(h.NumEdges(), h.NumNodes())
 	r.EdgeLevel[srcEdge] = 0
-	p := parallel.Default()
 	edgeFrontier := []uint32{uint32(srcEdge)}
 	var nodeFrontier []uint32
 	for depth := int32(1); len(edgeFrontier) > 0 || len(nodeFrontier) > 0; depth++ {
+		if err := eng.Err(); err != nil {
+			return nil, err
+		}
 		if depth%2 == 1 {
-			nodeFrontier = expandFrontier(p, edgeFrontier, h.Edges.Row, r.NodeLevel, depth)
+			nodeFrontier = expandFrontier(eng, edgeFrontier, h.Edges.Row, r.NodeLevel, depth)
 			edgeFrontier = nil
 		} else {
-			edgeFrontier = expandFrontier(p, nodeFrontier, h.Nodes.Row, r.EdgeLevel, depth)
+			edgeFrontier = expandFrontier(eng, nodeFrontier, h.Nodes.Row, r.EdgeLevel, depth)
 			nodeFrontier = nil
 		}
 	}
-	return r
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 // expandFrontier claims unvisited targets of every frontier member with a
 // CAS on the target level array, returning the next frontier.
-func expandFrontier(p *parallel.Pool, frontier []uint32, row func(int) []uint32, level []int32, depth int32) []uint32 {
-	next := parallel.NewTLS(p, func() []uint32 { return nil })
-	p.For(parallel.Blocked(0, len(frontier)), func(w, lo, hi int) {
+func expandFrontier(eng *parallel.Engine, frontier []uint32, row func(int) []uint32, level []int32, depth int32) []uint32 {
+	next := parallel.NewTLSFor(eng, func() []uint32 { return nil })
+	eng.ForN(len(frontier), func(w, lo, hi int) {
 		buf := next.Get(w)
+		if cap(*buf) == 0 {
+			*buf = eng.GrabU32(w)
+		}
 		for i := lo; i < hi; i++ {
 			for _, t := range row(int(frontier[i])) {
 				if atomic.LoadInt32(&level[t]) == -1 &&
@@ -82,40 +90,48 @@ func expandFrontier(p *parallel.Pool, frontier []uint32, row func(int) []uint32,
 		}
 	})
 	var out []uint32
-	next.All(func(v *[]uint32) { out = append(out, *v...) })
+	next.Each(func(w int, v *[]uint32) {
+		out = append(out, *v...)
+		eng.StashU32(w, *v)
+	})
 	return out
 }
 
 // HyperBFSBottomUp runs a parallel bottom-up BFS on the bipartite
 // representation: each round, every unvisited entity of the side being
 // expanded scans its incidence list for a frontier member.
-func HyperBFSBottomUp(h *Hypergraph, srcEdge int) *HyperBFSResult {
+func HyperBFSBottomUp(eng *parallel.Engine, h *Hypergraph, srcEdge int) (*HyperBFSResult, error) {
 	ne, nv := h.NumEdges(), h.NumNodes()
 	r := newHyperBFSResult(ne, nv)
 	r.EdgeLevel[srcEdge] = 0
-	p := parallel.Default()
 	edgeFront := parallel.NewBitset(ne)
 	edgeFront.Set(srcEdge)
 	var nodeFront *parallel.Bitset
 	for depth := int32(1); ; depth++ {
+		if err := eng.Err(); err != nil {
+			return nil, err
+		}
 		var awake int64
 		if depth%2 == 1 {
-			nodeFront, awake = bottomUpStep(p, nv, h.Nodes.Row, edgeFront, r.NodeLevel, depth)
+			nodeFront, awake = bottomUpStep(eng, nv, h.Nodes.Row, edgeFront, r.NodeLevel, depth)
 		} else {
-			edgeFront, awake = bottomUpStep(p, ne, h.Edges.Row, nodeFront, r.EdgeLevel, depth)
+			edgeFront, awake = bottomUpStep(eng, ne, h.Edges.Row, nodeFront, r.EdgeLevel, depth)
 		}
 		if awake == 0 {
-			return r
+			if err := eng.Err(); err != nil {
+				return nil, err
+			}
+			return r, nil
 		}
 	}
 }
 
 // bottomUpStep marks every unvisited entity adjacent to the previous side's
 // frontier, writing its level and setting it in the next frontier bitmap.
-func bottomUpStep(p *parallel.Pool, n int, row func(int) []uint32, front *parallel.Bitset, level []int32, depth int32) (*parallel.Bitset, int64) {
+func bottomUpStep(eng *parallel.Engine, n int, row func(int) []uint32, front *parallel.Bitset, level []int32, depth int32) (*parallel.Bitset, int64) {
 	next := parallel.NewBitset(n)
 	var awake atomic.Int64
-	p.For(parallel.Blocked(0, n), func(_, lo, hi int) {
+	eng.ForN(n, func(_, lo, hi int) {
 		local := int64(0)
 		for v := lo; v < hi; v++ {
 			if level[v] != -1 {
@@ -147,11 +163,10 @@ const (
 // the frontier's incidence volume against the unexplored remainder of the
 // side being expanded — the bipartite analogue of the direction-optimizing
 // BFS that AdjoinBFS gets for free from the graph library.
-func HyperBFSDirectionOptimizing(h *Hypergraph, srcEdge int) *HyperBFSResult {
+func HyperBFSDirectionOptimizing(eng *parallel.Engine, h *Hypergraph, srcEdge int) (*HyperBFSResult, error) {
 	ne, nv := h.NumEdges(), h.NumNodes()
 	r := newHyperBFSResult(ne, nv)
 	r.EdgeLevel[srcEdge] = 0
-	p := parallel.Default()
 
 	frontier := []uint32{uint32(srcEdge)}
 	onEdges := true // the side the frontier lives on
@@ -159,6 +174,9 @@ func HyperBFSDirectionOptimizing(h *Hypergraph, srcEdge int) *HyperBFSResult {
 	var exploredInc int64
 
 	for depth := int32(1); len(frontier) > 0; depth++ {
+		if err := eng.Err(); err != nil {
+			return nil, err
+		}
 		// Volume of incidences leaving the frontier.
 		var frontInc int64
 		rowOut := h.Edges.Row
@@ -185,17 +203,20 @@ func HyperBFSDirectionOptimizing(h *Hypergraph, srcEdge int) *HyperBFSResult {
 			}
 			var awake int64
 			var next *parallel.Bitset
-			next, awake = bottomUpStep(p, nOther, rowIn, front, level, depth)
+			next, awake = bottomUpStep(eng, nOther, rowIn, front, level, depth)
 			if awake == 0 {
-				return r
+				break
 			}
 			frontier = bitsetToList(next)
 		} else {
-			frontier = expandFrontier(p, frontier, func(i int) []uint32 { return rowOut(i) }, level, depth)
+			frontier = expandFrontier(eng, frontier, func(i int) []uint32 { return rowOut(i) }, level, depth)
 		}
 		onEdges = !onEdges
 	}
-	return r
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 func frontierSpace(onEdges bool, ne, nv int) int {
@@ -218,11 +239,14 @@ func bitsetToList(b *parallel.Bitset) []uint32 {
 // AdjoinBFS runs the direction-optimizing BFS of the graph library on the
 // adjoin representation from hyperedge srcEdge, then splits the shared-space
 // levels back into the two index spaces. Level semantics match HyperBFS.
-func AdjoinBFS(a *AdjoinGraph, srcEdge int) *HyperBFSResult {
-	res := graph.BFSDirectionOptimizing(a.G, a.EdgeID(srcEdge))
+func AdjoinBFS(eng *parallel.Engine, a *AdjoinGraph, srcEdge int) (*HyperBFSResult, error) {
+	res := graph.BFSDirectionOptimizing(eng, a.G, a.EdgeID(srcEdge))
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
 	edgeLvl, nodeLvl := SplitResult(a, res.Level)
 	return &HyperBFSResult{
 		EdgeLevel: append([]int32(nil), edgeLvl...),
 		NodeLevel: append([]int32(nil), nodeLvl...),
-	}
+	}, nil
 }

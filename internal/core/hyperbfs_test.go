@@ -41,8 +41,8 @@ func checkHyperBFS(t *testing.T, h *Hypergraph, src int) {
 	t.Helper()
 	want := hyperBFSOracle(h, src)
 	for name, fn := range map[string]func(*Hypergraph, int) *HyperBFSResult{
-		"topdown":  HyperBFSTopDown,
-		"bottomup": HyperBFSBottomUp,
+		"topdown":  tHyperBFSTopDown,
+		"bottomup": tHyperBFSBottomUp,
 	} {
 		got := fn(h, src)
 		for e := range want.EdgeLevel {
@@ -56,10 +56,10 @@ func checkHyperBFS(t *testing.T, h *Hypergraph, src int) {
 			}
 		}
 	}
-	// AdjoinBFS must agree too: levels on the adjoin graph count the same
+	// tAdjoinBFS must agree too: levels on the adjoin graph count the same
 	// bipartite hops.
-	a := Adjoin(h)
-	got := AdjoinBFS(a, src)
+	a := tAdjoin(h)
+	got := tAdjoinBFS(a, src)
 	for e := range want.EdgeLevel {
 		if got.EdgeLevel[e] != want.EdgeLevel[e] {
 			t.Fatalf("adjoin: edge level[%d] = %d, want %d", e, got.EdgeLevel[e], want.EdgeLevel[e])
@@ -75,7 +75,7 @@ func checkHyperBFS(t *testing.T, h *Hypergraph, src int) {
 func TestHyperBFSPaperExample(t *testing.T) {
 	h := paperHypergraph()
 	checkHyperBFS(t, h, 0)
-	r := HyperBFSTopDown(h, 0)
+	r := tHyperBFSTopDown(h, 0)
 	// From e0: nodes {0,1,2} at level 1; edges e1 (via node 2) and e3 (via
 	// node 0) at level 2; their nodes at level 3; e2 at level 4.
 	if r.EdgeLevel[0] != 0 || r.EdgeLevel[1] != 2 || r.EdgeLevel[3] != 2 || r.EdgeLevel[2] != 4 {
@@ -92,7 +92,7 @@ func TestHyperBFSPaperExample(t *testing.T) {
 func TestHyperBFSDisconnected(t *testing.T) {
 	h := FromSets([][]uint32{{0, 1}, {2, 3}}, 4)
 	checkHyperBFS(t, h, 0)
-	r := HyperBFSTopDown(h, 0)
+	r := tHyperBFSTopDown(h, 0)
 	if r.EdgeLevel[1] != -1 || r.NodeLevel[2] != -1 {
 		t.Fatal("second component should be unreachable")
 	}
@@ -112,7 +112,7 @@ func TestHyperBFSRandomAgreement(t *testing.T) {
 	f := func(seed int64) bool {
 		h := randomHypergraph(25, 40, 6, seed)
 		want := hyperBFSOracle(h, 0)
-		for _, fn := range []func(*Hypergraph, int) *HyperBFSResult{HyperBFSTopDown, HyperBFSBottomUp} {
+		for _, fn := range []func(*Hypergraph, int) *HyperBFSResult{tHyperBFSTopDown, tHyperBFSBottomUp} {
 			got := fn(h, 0)
 			for e := range want.EdgeLevel {
 				if got.EdgeLevel[e] != want.EdgeLevel[e] {
@@ -134,7 +134,7 @@ func TestHyperBFSRandomAgreement(t *testing.T) {
 
 func TestHyperBFSSingleEdge(t *testing.T) {
 	h := FromSets([][]uint32{{0, 1, 2}}, 3)
-	r := HyperBFSTopDown(h, 0)
+	r := tHyperBFSTopDown(h, 0)
 	for v := 0; v < 3; v++ {
 		if r.NodeLevel[v] != 1 {
 			t.Fatalf("node level = %v", r.NodeLevel)

@@ -33,7 +33,7 @@ func (r *HyperCCResult) NumComponents() int {
 // builds HyperCC on: labels initialize to distinct IDs in the shared space
 // and each round pushes minima across the incidence lists — hyperedges pull
 // from and push to their hypernodes — until a fixpoint.
-func HyperCC(h *Hypergraph) *HyperCCResult {
+func HyperCC(eng *parallel.Engine, h *Hypergraph) (*HyperCCResult, error) {
 	ne, nv := h.NumEdges(), h.NumNodes()
 	edgeComp := make([]uint32, ne)
 	nodeComp := make([]uint32, nv)
@@ -43,10 +43,12 @@ func HyperCC(h *Hypergraph) *HyperCCResult {
 	for v := range nodeComp {
 		nodeComp[v] = uint32(ne + v)
 	}
-	p := parallel.Default()
 	for {
+		if err := eng.Err(); err != nil {
+			return nil, err
+		}
 		var changed atomic.Bool
-		p.For(parallel.Blocked(0, ne), func(_, lo, hi int) {
+		eng.ForN(ne, func(_, lo, hi int) {
 			c := false
 			for e := lo; e < hi; e++ {
 				m := parallel.LoadU32(&edgeComp[e])
@@ -72,7 +74,10 @@ func HyperCC(h *Hypergraph) *HyperCCResult {
 			break
 		}
 	}
-	return canonicalizeHyperCC(edgeComp, nodeComp)
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	return canonicalizeHyperCC(edgeComp, nodeComp), nil
 }
 
 // canonicalizeHyperCC renames labels to the minimum shared-space member ID.
@@ -115,18 +120,21 @@ const (
 // graph CC algorithm on the adjoin representation — no hypergraph-specific
 // algorithm needed, which is the point of the adjoin technique — and
 // splitting the result back into the two index spaces.
-func AdjoinCC(a *AdjoinGraph, alg AdjoinCCAlgorithm) *HyperCCResult {
+func AdjoinCC(eng *parallel.Engine, a *AdjoinGraph, alg AdjoinCCAlgorithm) (*HyperCCResult, error) {
 	var comp []uint32
 	switch alg {
 	case AdjoinLabelPropagation:
-		comp = graph.CCLabelPropagation(a.G)
+		comp = graph.CCLabelPropagation(eng, a.G)
 	default:
-		comp = graph.CCAfforest(a.G)
+		comp = graph.CCAfforest(eng, a.G)
+	}
+	if err := eng.Err(); err != nil {
+		return nil, err
 	}
 	comp = graph.CanonicalizeComponents(comp)
 	edgeComp, nodeComp := SplitResult(a, comp)
 	return &HyperCCResult{
 		EdgeComp: append([]uint32(nil), edgeComp...),
 		NodeComp: append([]uint32(nil), nodeComp...),
-	}
+	}, nil
 }

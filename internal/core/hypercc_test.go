@@ -49,10 +49,10 @@ func checkHyperCC(t *testing.T, h *Hypergraph) {
 	t.Helper()
 	want := hyperCCOracle(h)
 	algs := map[string]func() *HyperCCResult{
-		"hypercc":         func() *HyperCCResult { return HyperCC(h) },
-		"adjoin-afforest": func() *HyperCCResult { return AdjoinCC(Adjoin(h), AdjoinAfforest) },
+		"hypercc":         func() *HyperCCResult { return tHyperCC(h) },
+		"adjoin-afforest": func() *HyperCCResult { return tAdjoinCC(tAdjoin(h), AdjoinAfforest) },
 		"adjoin-labelprop": func() *HyperCCResult {
-			return AdjoinCC(Adjoin(h), AdjoinLabelPropagation)
+			return tAdjoinCC(tAdjoin(h), AdjoinLabelPropagation)
 		},
 	}
 	for name, fn := range algs {
@@ -69,7 +69,7 @@ func checkHyperCC(t *testing.T, h *Hypergraph) {
 func TestHyperCCPaperExampleOneComponent(t *testing.T) {
 	h := paperHypergraph()
 	checkHyperCC(t, h)
-	r := HyperCC(h)
+	r := tHyperCC(h)
 	if r.NumComponents() != 1 {
 		t.Fatalf("NumComponents = %d, want 1", r.NumComponents())
 	}
@@ -83,7 +83,7 @@ func TestHyperCCPaperExampleOneComponent(t *testing.T) {
 func TestHyperCCTwoComponents(t *testing.T) {
 	h := FromSets([][]uint32{{0, 1}, {1, 2}, {3, 4}}, 5)
 	checkHyperCC(t, h)
-	r := HyperCC(h)
+	r := tHyperCC(h)
 	if r.NumComponents() != 2 {
 		t.Fatalf("NumComponents = %d, want 2", r.NumComponents())
 	}
@@ -99,7 +99,7 @@ func TestHyperCCIsolatedNodes(t *testing.T) {
 	// Nodes 2 and 3 are in no hyperedge: each is its own component.
 	h := FromSets([][]uint32{{0, 1}}, 4)
 	checkHyperCC(t, h)
-	r := HyperCC(h)
+	r := tHyperCC(h)
 	if r.NumComponents() != 3 {
 		t.Fatalf("NumComponents = %d, want 3", r.NumComponents())
 	}
@@ -109,7 +109,7 @@ func TestHyperCCEmptyHyperedge(t *testing.T) {
 	// An empty hyperedge forms a singleton component.
 	h := FromSets([][]uint32{{}, {0}}, 1)
 	checkHyperCC(t, h)
-	if got := HyperCC(h).NumComponents(); got != 2 {
+	if got := tHyperCC(h).NumComponents(); got != 2 {
 		t.Fatalf("NumComponents = %d, want 2", got)
 	}
 }
@@ -118,11 +118,11 @@ func TestHyperCCRandomAgreement(t *testing.T) {
 	f := func(seed int64) bool {
 		h := randomHypergraph(30, 30, 4, seed)
 		want := hyperCCOracle(h)
-		got := HyperCC(h)
+		got := tHyperCC(h)
 		if !reflect.DeepEqual(got.EdgeComp, want.EdgeComp) || !reflect.DeepEqual(got.NodeComp, want.NodeComp) {
 			return false
 		}
-		ad := AdjoinCC(Adjoin(h), AdjoinAfforest)
+		ad := tAdjoinCC(tAdjoin(h), AdjoinAfforest)
 		return reflect.DeepEqual(ad.EdgeComp, want.EdgeComp) && reflect.DeepEqual(ad.NodeComp, want.NodeComp)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
@@ -138,7 +138,7 @@ func TestHyperCCManyComponents(t *testing.T) {
 	}
 	h := FromSets(sets, 100)
 	checkHyperCC(t, h)
-	if got := HyperCC(h).NumComponents(); got != 50 {
+	if got := tHyperCC(h).NumComponents(); got != 50 {
 		t.Fatalf("NumComponents = %d, want 50", got)
 	}
 }

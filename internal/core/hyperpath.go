@@ -24,7 +24,7 @@ type HyperTree struct {
 
 // BuildHyperTree runs a parallel top-down BFS from srcEdge recording
 // parents on both sides.
-func BuildHyperTree(h *Hypergraph, srcEdge int) *HyperTree {
+func BuildHyperTree(eng *parallel.Engine, h *Hypergraph, srcEdge int) (*HyperTree, error) {
 	ne, nv := h.NumEdges(), h.NumNodes()
 	t := &HyperTree{
 		HyperBFSResult: newHyperBFSResult(ne, nv),
@@ -39,25 +39,33 @@ func BuildHyperTree(h *Hypergraph, srcEdge int) *HyperTree {
 		t.NodeParent[i] = -1
 	}
 	t.EdgeLevel[srcEdge] = 0
-	p := parallel.Default()
 	edgeFrontier := []uint32{uint32(srcEdge)}
 	var nodeFrontier []uint32
 	for depth := int32(1); len(edgeFrontier) > 0 || len(nodeFrontier) > 0; depth++ {
+		if err := eng.Err(); err != nil {
+			return nil, err
+		}
 		if depth%2 == 1 {
-			nodeFrontier = expandWithParents(p, edgeFrontier, h.Edges.Row, t.NodeLevel, t.NodeParent, depth)
+			nodeFrontier = expandWithParents(eng, edgeFrontier, h.Edges.Row, t.NodeLevel, t.NodeParent, depth)
 			edgeFrontier = nil
 		} else {
-			edgeFrontier = expandWithParents(p, nodeFrontier, h.Nodes.Row, t.EdgeLevel, t.EdgeParent, depth)
+			edgeFrontier = expandWithParents(eng, nodeFrontier, h.Nodes.Row, t.EdgeLevel, t.EdgeParent, depth)
 			nodeFrontier = nil
 		}
 	}
-	return t
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
-func expandWithParents(p *parallel.Pool, frontier []uint32, row func(int) []uint32, level, parent []int32, depth int32) []uint32 {
-	next := parallel.NewTLS(p, func() []uint32 { return nil })
-	p.For(parallel.Blocked(0, len(frontier)), func(w, lo, hi int) {
+func expandWithParents(eng *parallel.Engine, frontier []uint32, row func(int) []uint32, level, parent []int32, depth int32) []uint32 {
+	next := parallel.NewTLSFor(eng, func() []uint32 { return nil })
+	eng.ForN(len(frontier), func(w, lo, hi int) {
 		buf := next.Get(w)
+		if cap(*buf) == 0 {
+			*buf = eng.GrabU32(w)
+		}
 		for i := lo; i < hi; i++ {
 			u := frontier[i]
 			for _, tgt := range row(int(u)) {
@@ -70,7 +78,10 @@ func expandWithParents(p *parallel.Pool, frontier []uint32, row func(int) []uint
 		}
 	})
 	var out []uint32
-	next.All(func(v *[]uint32) { out = append(out, *v...) })
+	next.Each(func(w int, v *[]uint32) {
+		out = append(out, *v...)
+		eng.StashU32(w, *v)
+	})
 	return out
 }
 

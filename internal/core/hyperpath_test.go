@@ -8,12 +8,12 @@ import (
 
 func TestHyperTreePaperExample(t *testing.T) {
 	h := paperHypergraph()
-	tr := BuildHyperTree(h, 0)
+	tr := tBuildHyperTree(h, 0)
 	if !tr.Verify(h) {
 		t.Fatal("hypertree invariants violated")
 	}
 	// Levels must match plain HyperBFS.
-	want := HyperBFSTopDown(h, 0)
+	want := tHyperBFSTopDown(h, 0)
 	if !reflect.DeepEqual(tr.EdgeLevel, want.EdgeLevel) || !reflect.DeepEqual(tr.NodeLevel, want.NodeLevel) {
 		t.Fatal("hypertree levels differ from HyperBFS")
 	}
@@ -21,7 +21,7 @@ func TestHyperTreePaperExample(t *testing.T) {
 
 func TestHyperPathToEdge(t *testing.T) {
 	h := paperHypergraph()
-	tr := BuildHyperTree(h, 0)
+	tr := tBuildHyperTree(h, 0)
 	// e2 is at level 4: path e0 -> node -> e -> node -> e2 (5 steps).
 	path := tr.HyperPathToEdge(2)
 	if len(path) != 5 {
@@ -52,7 +52,7 @@ func TestHyperPathToEdge(t *testing.T) {
 
 func TestHyperPathToNode(t *testing.T) {
 	h := paperHypergraph()
-	tr := BuildHyperTree(h, 0)
+	tr := tBuildHyperTree(h, 0)
 	path := tr.HyperPathToNode(5) // node 5 is at level 5 (via e2)
 	if len(path) != 6 {
 		t.Fatalf("path = %v", path)
@@ -65,7 +65,7 @@ func TestHyperPathToNode(t *testing.T) {
 
 func TestHyperPathUnreachable(t *testing.T) {
 	h := FromSets([][]uint32{{0, 1}, {2, 3}}, 4)
-	tr := BuildHyperTree(h, 0)
+	tr := tBuildHyperTree(h, 0)
 	if tr.HyperPathToEdge(1) != nil {
 		t.Fatal("unreachable edge path should be nil")
 	}
@@ -80,7 +80,7 @@ func TestHyperPathUnreachable(t *testing.T) {
 func TestHyperTreeRandomVerify(t *testing.T) {
 	f := func(seed int64) bool {
 		h := randomHypergraph(30, 40, 5, seed)
-		tr := BuildHyperTree(h, 0)
+		tr := tBuildHyperTree(h, 0)
 		if !tr.Verify(h) {
 			return false
 		}

@@ -130,7 +130,7 @@ func TestAdjoinMatrixSymmetryFromIncidence(t *testing.T) {
 	// A_G = [[0, B^t],[B, 0]] means: shared-space entry (e, ne+v) exists
 	// iff incidence (e, v) exists, and the matrix is symmetric.
 	h := paperHypergraph()
-	a := Adjoin(h)
+	a := tAdjoin(h)
 	ne := h.NumEdges()
 	for e := 0; e < ne; e++ {
 		row := map[uint32]bool{}

@@ -13,12 +13,11 @@ import (
 // superset test: any f containing e appears exactly |e| times among the
 // incidence lists of e's vertices, so tallying those lists finds every
 // superset in O(Σ_{v∈e} d(v)) without pairwise subset checks.
-func Toplexes(h *Hypergraph) []uint32 {
+func Toplexes(eng *parallel.Engine, h *Hypergraph) []uint32 {
 	ne := h.NumEdges()
-	p := parallel.Default()
-	tls := parallel.NewTLS(p, func() []uint32 { return nil })
-	counts := parallel.NewTLS(p, func() map[uint32]int { return map[uint32]int{} })
-	p.For(parallel.Blocked(0, ne), func(w, lo, hi int) {
+	tls := parallel.NewTLSFor(eng, func() []uint32 { return nil })
+	counts := parallel.NewTLSFor(eng, func() map[uint32]int { return map[uint32]int{} })
+	eng.ForN(ne, func(w, lo, hi int) {
 		buf := tls.Get(w)
 		cnt := *counts.Get(w)
 		for e := lo; e < hi; e++ {

@@ -8,7 +8,7 @@ import (
 
 func TestToplexesPaperExample(t *testing.T) {
 	// No hyperedge of the running example contains another: all are toplexes.
-	got := Toplexes(paperHypergraph())
+	got := tToplexes(paperHypergraph())
 	if !reflect.DeepEqual(got, []uint32{0, 1, 2, 3}) {
 		t.Fatalf("toplexes = %v", got)
 	}
@@ -21,7 +21,7 @@ func TestToplexesStrictContainment(t *testing.T) {
 		{1, 2, 3}, // toplex
 		{3},       // contained in e2
 	}, 4)
-	got := Toplexes(h)
+	got := tToplexes(h)
 	if !reflect.DeepEqual(got, []uint32{0, 2}) {
 		t.Fatalf("toplexes = %v, want [0 2]", got)
 	}
@@ -33,7 +33,7 @@ func TestToplexesDuplicateSetsKeepSmallestID(t *testing.T) {
 		{0, 1},
 		{2},
 	}, 3)
-	got := Toplexes(h)
+	got := tToplexes(h)
 	if !reflect.DeepEqual(got, []uint32{0, 2}) {
 		t.Fatalf("toplexes = %v, want [0 2]", got)
 	}
@@ -42,7 +42,7 @@ func TestToplexesDuplicateSetsKeepSmallestID(t *testing.T) {
 func TestToplexesChain(t *testing.T) {
 	// Nested chain {0} ⊂ {0,1} ⊂ {0,1,2} ⊂ {0,1,2,3}: only the largest wins.
 	h := FromSets([][]uint32{{0}, {0, 1}, {0, 1, 2}, {0, 1, 2, 3}}, 4)
-	got := Toplexes(h)
+	got := tToplexes(h)
 	if !reflect.DeepEqual(got, []uint32{3}) {
 		t.Fatalf("toplexes = %v, want [3]", got)
 	}
@@ -51,19 +51,19 @@ func TestToplexesChain(t *testing.T) {
 func TestToplexesEmptyEdges(t *testing.T) {
 	// An empty edge is dominated by any non-empty edge.
 	h := FromSets([][]uint32{{}, {0}}, 1)
-	if got := Toplexes(h); !reflect.DeepEqual(got, []uint32{1}) {
+	if got := tToplexes(h); !reflect.DeepEqual(got, []uint32{1}) {
 		t.Fatalf("toplexes = %v, want [1]", got)
 	}
 	// Two empty edges: smallest ID survives only if nothing else exists.
 	h2 := FromSets([][]uint32{{}, {}}, 0)
-	if got := Toplexes(h2); !reflect.DeepEqual(got, []uint32{0}) {
+	if got := tToplexes(h2); !reflect.DeepEqual(got, []uint32{0}) {
 		t.Fatalf("toplexes = %v, want [0]", got)
 	}
 }
 
 func TestToplexesSingleEdge(t *testing.T) {
 	h := FromSets([][]uint32{{0, 1, 2}}, 3)
-	if got := Toplexes(h); !reflect.DeepEqual(got, []uint32{0}) {
+	if got := tToplexes(h); !reflect.DeepEqual(got, []uint32{0}) {
 		t.Fatalf("toplexes = %v", got)
 	}
 }
@@ -71,7 +71,7 @@ func TestToplexesSingleEdge(t *testing.T) {
 func TestToplexesMatchBruteForce(t *testing.T) {
 	f := func(seed int64) bool {
 		h := randomHypergraph(25, 12, 5, seed) // small node space forces containments
-		return reflect.DeepEqual(Toplexes(h), ToplexesBruteForce(h))
+		return reflect.DeepEqual(tToplexes(h), ToplexesBruteForce(h))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
@@ -82,7 +82,7 @@ func TestToplexCoverInvariant(t *testing.T) {
 	// Every hyperedge must be contained in some toplex.
 	f := func(seed int64) bool {
 		h := randomHypergraph(20, 10, 4, seed)
-		tops := Toplexes(h)
+		tops := tToplexes(h)
 		for e := 0; e < h.NumEdges(); e++ {
 			covered := false
 			for _, f := range tops {

@@ -12,33 +12,34 @@ import (
 // partials are summed. For undirected graphs each pair is counted twice by
 // the textbook formulation, so scores are halved; with normalized=true they
 // are further scaled by 1/((n-1)(n-2)).
-func BetweennessCentrality(g *Graph, normalized bool) []float64 {
+func BetweennessCentrality(eng *parallel.Engine, g *Graph, normalized bool) []float64 {
 	n := g.NumVertices()
 	sources := make([]int, n)
 	for i := range sources {
 		sources[i] = i
 	}
-	return betweenness(g, sources, normalized, float64(n))
+	return betweenness(eng, g, sources, normalized, float64(n))
 }
 
 // ApproxBetweennessCentrality estimates betweenness from k sampled sources
 // (Brandes–Pich style), scaling contributions by n/k.
-func ApproxBetweennessCentrality(g *Graph, k int, seed int64, normalized bool) []float64 {
+func ApproxBetweennessCentrality(eng *parallel.Engine, g *Graph, k int, seed int64, normalized bool) []float64 {
 	n := g.NumVertices()
 	if k >= n {
-		return BetweennessCentrality(g, normalized)
+		return BetweennessCentrality(eng, g, normalized)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	perm := rng.Perm(n)
-	return betweenness(g, perm[:k], normalized, float64(n))
+	return betweenness(eng, g, perm[:k], normalized, float64(n))
 }
 
-func betweenness(g *Graph, sources []int, normalized bool, n float64) []float64 {
-	p := parallel.Default()
-	partials := parallel.NewTLS(p, func() []float64 { return make([]float64, g.NumVertices()) })
+func betweenness(eng *parallel.Engine, g *Graph, sources []int, normalized bool, n float64) []float64 {
+	partials := parallel.NewTLSFor(eng, func() []float64 { return make([]float64, g.NumVertices()) })
 	scale := n / float64(len(sources))
 
-	p.For(parallel.BlockedGrain(0, len(sources), 1), func(w, lo, hi int) {
+	// Grain 1: each source is one grain, so cancellation is observed between
+	// single-source Brandes accumulations.
+	eng.For(parallel.BlockedGrain(0, len(sources), 1), func(w, lo, hi int) {
 		score := *partials.Get(w)
 		st := newBrandesState(g.NumVertices())
 		for i := lo; i < hi; i++ {

@@ -10,15 +10,14 @@ import (
 // weighted graph with the Dijkstra-based variant of Brandes' algorithm,
 // parallelized over sources. Arc weights must be positive. Unweighted
 // graphs fall back to the BFS-based implementation.
-func WeightedBetweennessCentrality(g *Graph, normalized bool) []float64 {
+func WeightedBetweennessCentrality(eng *parallel.Engine, g *Graph, normalized bool) []float64 {
 	if !g.Weighted() {
-		return BetweennessCentrality(g, normalized)
+		return BetweennessCentrality(eng, g, normalized)
 	}
 	n := g.NumVertices()
-	p := parallel.Default()
-	partials := parallel.NewTLS(p, func() []float64 { return make([]float64, n) })
+	partials := parallel.NewTLSFor(eng, func() []float64 { return make([]float64, n) })
 
-	p.For(parallel.BlockedGrain(0, n, 1), func(w, lo, hi int) {
+	eng.For(parallel.BlockedGrain(0, n, 1), func(w, lo, hi int) {
 		score := *partials.Get(w)
 		st := newWeightedBrandesState(n)
 		for src := lo; src < hi; src++ {

@@ -28,8 +28,8 @@ func unitWeightedCopy(g *Graph) *Graph {
 
 func TestWeightedBCUnweightedFallback(t *testing.T) {
 	g := randomGraph(40, 100, 1)
-	a := WeightedBetweennessCentrality(g, false) // no weights: falls back
-	b := BetweennessCentrality(g, false)
+	a := WeightedBetweennessCentrality(teng, g, false) // no weights: falls back
+	b := BetweennessCentrality(teng, g, false)
 	for i := range a {
 		if math.Abs(a[i]-b[i]) > 1e-9 {
 			t.Fatalf("fallback differs at %d", i)
@@ -41,8 +41,8 @@ func TestWeightedBCUnitWeightsMatchBFS(t *testing.T) {
 	f := func(seed int64) bool {
 		g := randomGraph(30, 70, seed)
 		wg := unitWeightedCopy(g)
-		a := WeightedBetweennessCentrality(wg, false)
-		b := BetweennessCentrality(g, false)
+		a := WeightedBetweennessCentrality(teng, wg, false)
+		b := BetweennessCentrality(teng, g, false)
 		for i := range a {
 			if math.Abs(a[i]-b[i]) > 1e-6 {
 				return false
@@ -58,7 +58,7 @@ func TestWeightedBCUnitWeightsMatchBFS(t *testing.T) {
 func TestWeightedBCUniformScalingInvariant(t *testing.T) {
 	// Multiplying all weights by a constant must not change BC.
 	g := weightedRandomGraph(30, 80, 3)
-	a := WeightedBetweennessCentrality(g, false)
+	a := WeightedBetweennessCentrality(teng, g, false)
 	scaled := g.CSR().Clone()
 	for i := range scaled.Val {
 		scaled.Val[i] *= 7.5
@@ -67,7 +67,7 @@ func TestWeightedBCUniformScalingInvariant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := WeightedBetweennessCentrality(sg, false)
+	b := WeightedBetweennessCentrality(teng, sg, false)
 	for i := range a {
 		if math.Abs(a[i]-b[i]) > 1e-6 {
 			t.Fatalf("scaling changed BC at %d: %v vs %v", i, a[i], b[i])
@@ -90,7 +90,7 @@ func TestWeightedBCWeightedDetour(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bc := WeightedBetweennessCentrality(g, false)
+	bc := WeightedBetweennessCentrality(teng, g, false)
 	if bc[1] != 1 { // pair (0,2) routes through 1
 		t.Fatalf("BC[1] = %v, want 1", bc[1])
 	}
@@ -101,8 +101,8 @@ func TestWeightedBCWeightedDetour(t *testing.T) {
 
 func TestWeightedBCNormalized(t *testing.T) {
 	g := weightedRandomGraph(20, 60, 9)
-	raw := WeightedBetweennessCentrality(g, false)
-	norm := WeightedBetweennessCentrality(g, true)
+	raw := WeightedBetweennessCentrality(teng, g, false)
+	norm := WeightedBetweennessCentrality(teng, g, true)
 	n := float64(g.NumVertices())
 	for i := range raw {
 		if math.Abs(norm[i]-raw[i]/((n-1)*(n-2))) > 1e-9 {

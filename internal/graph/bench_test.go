@@ -12,9 +12,9 @@ func benchGraph(b *testing.B) *Graph {
 func BenchmarkBFSVariants(b *testing.B) {
 	g := benchGraph(b)
 	for name, fn := range map[string]func(*Graph, int) *BFSResult{
-		"topdown":  BFSTopDown,
-		"bottomup": BFSBottomUp,
-		"diropt":   BFSDirectionOptimizing,
+		"topdown":  tBFSTopDown,
+		"bottomup": tBFSBottomUp,
+		"diropt":   tBFSDirectionOptimizing,
 	} {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -27,9 +27,9 @@ func BenchmarkBFSVariants(b *testing.B) {
 func BenchmarkCCVariants(b *testing.B) {
 	g := benchGraph(b)
 	for name, fn := range map[string]func(*Graph) []uint32{
-		"labelprop": CCLabelPropagation,
-		"sv":        CCShiloachVishkin,
-		"afforest":  CCAfforest,
+		"labelprop": tCCLabelPropagation,
+		"sv":        tCCShiloachVishkin,
+		"afforest":  tCCAfforest,
 	} {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -43,7 +43,7 @@ func BenchmarkDeltaStepping(b *testing.B) {
 	g := weightedRandomGraph(10000, 80000, 2)
 	b.Run("auto-delta", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			_ = DeltaStepping(g, 0, 0)
+			_ = DeltaStepping(teng, g, 0, 0)
 		}
 	})
 }
@@ -52,7 +52,7 @@ func BenchmarkBetweennessApprox(b *testing.B) {
 	g := randomGraph(2000, 12000, 3)
 	b.Run("k=32", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			_ = ApproxBetweennessCentrality(g, 32, 1, true)
+			_ = ApproxBetweennessCentrality(teng, g, 32, 1, true)
 		}
 	})
 }
@@ -60,13 +60,13 @@ func BenchmarkBetweennessApprox(b *testing.B) {
 func BenchmarkPageRank(b *testing.B) {
 	g := benchGraph(b)
 	for i := 0; i < b.N; i++ {
-		_ = PageRank(g, 0.85, 1e-8, 100)
+		_ = PageRank(teng, g, 0.85, 1e-8, 100)
 	}
 }
 
 func BenchmarkTriangleCount(b *testing.B) {
 	g := randomGraph(10000, 100000, 4)
 	for i := 0; i < b.N; i++ {
-		_ = TriangleCount(g)
+		_ = TriangleCount(teng, g)
 	}
 }

@@ -34,17 +34,32 @@ func newBFSResult(n int) *BFSResult {
 	return r
 }
 
+// mergeFrontier collects the per-worker next-frontier buffers into frontier
+// and returns the buffers to the engine's scratch arenas for the next round.
+func mergeFrontier(eng *parallel.Engine, frontier []uint32, next *parallel.TLS[[]uint32]) []uint32 {
+	frontier = frontier[:0]
+	next.Each(func(w int, v *[]uint32) {
+		frontier = append(frontier, *v...)
+		eng.StashU32(w, *v)
+	})
+	return frontier
+}
+
 // BFSTopDown runs a parallel top-down BFS from src: each round expands the
 // frontier by claiming unvisited neighbors with a CAS on the parent array.
-func BFSTopDown(g *Graph, src int) *BFSResult {
+// A cancelled engine stops the traversal at the next round boundary,
+// returning the partial result.
+func BFSTopDown(eng *parallel.Engine, g *Graph, src int) *BFSResult {
 	r := newBFSResult(g.NumVertices())
 	r.Level[src] = 0
 	frontier := []uint32{uint32(src)}
-	p := parallel.Default()
-	for depth := int32(1); len(frontier) > 0; depth++ {
-		next := parallel.NewTLS(p, func() []uint32 { return nil })
-		p.For(parallel.Blocked(0, len(frontier)), func(w, lo, hi int) {
+	for depth := int32(1); len(frontier) > 0 && !eng.Cancelled(); depth++ {
+		next := parallel.NewTLSFor(eng, func() []uint32 { return nil })
+		eng.ForN(len(frontier), func(w, lo, hi int) {
 			buf := next.Get(w)
+			if cap(*buf) == 0 {
+				*buf = eng.GrabU32(w)
+			}
 			for i := lo; i < hi; i++ {
 				u := frontier[i]
 				for _, v := range g.Row(int(u)) {
@@ -56,8 +71,7 @@ func BFSTopDown(g *Graph, src int) *BFSResult {
 				}
 			}
 		})
-		frontier = frontier[:0]
-		next.All(func(v *[]uint32) { frontier = append(frontier, *v...) })
+		frontier = mergeFrontier(eng, frontier, next)
 	}
 	return r
 }
@@ -66,17 +80,16 @@ func BFSTopDown(g *Graph, src int) *BFSResult {
 // unvisited vertex scans its neighbors for a frontier member and adopts the
 // first one found as its parent (Beamer et al.'s bottom-up step, used for
 // the large-frontier middle rounds of road-free graphs).
-func BFSBottomUp(g *Graph, src int) *BFSResult {
+func BFSBottomUp(eng *parallel.Engine, g *Graph, src int) *BFSResult {
 	n := g.NumVertices()
 	r := newBFSResult(n)
 	r.Level[src] = 0
 	front := parallel.NewBitset(n)
 	front.Set(src)
-	p := parallel.Default()
-	for depth := int32(1); ; depth++ {
+	for depth := int32(1); !eng.Cancelled(); depth++ {
 		next := parallel.NewBitset(n)
 		var awake atomic.Int64
-		p.For(parallel.Blocked(0, n), func(_, lo, hi int) {
+		eng.ForN(n, func(_, lo, hi int) {
 			local := int64(0)
 			for v := lo; v < hi; v++ {
 				if r.Level[v] != unreachable {
@@ -111,33 +124,34 @@ const (
 // BFSDirectionOptimizing runs Beamer's direction-optimizing BFS: top-down
 // rounds while the frontier is small, bottom-up rounds while it is a large
 // fraction of the graph. This is the algorithm behind AdjoinBFS in the paper.
-func BFSDirectionOptimizing(g *Graph, src int) *BFSResult {
+func BFSDirectionOptimizing(eng *parallel.Engine, g *Graph, src int) *BFSResult {
 	n := g.NumVertices()
 	r := newBFSResult(n)
 	r.Level[src] = 0
-	p := parallel.Default()
 
 	frontier := []uint32{uint32(src)}
 	edgesUnexplored := int64(g.NumArcs() - g.Degree(src))
 	edgesFrontier := int64(g.Degree(src))
 	bottomUp := false
 
-	for depth := int32(1); len(frontier) > 0; depth++ {
+	for depth := int32(1); len(frontier) > 0 && !eng.Cancelled(); depth++ {
 		if !bottomUp && edgesFrontier > edgesUnexplored/doAlpha {
 			bottomUp = true
 		} else if bottomUp && int64(len(frontier)) < int64(n)/doBeta {
 			bottomUp = false
 		}
 
-		var nextList []uint32
+		next := parallel.NewTLSFor(eng, func() []uint32 { return nil })
 		if bottomUp {
 			front := parallel.NewBitset(n)
 			for _, u := range frontier {
 				front.Set(int(u))
 			}
-			next := parallel.NewTLS(p, func() []uint32 { return nil })
-			p.For(parallel.Blocked(0, n), func(w, lo, hi int) {
+			eng.ForN(n, func(w, lo, hi int) {
 				buf := next.Get(w)
+				if cap(*buf) == 0 {
+					*buf = eng.GrabU32(w)
+				}
 				for v := lo; v < hi; v++ {
 					if r.Level[v] != unreachable {
 						continue
@@ -152,11 +166,12 @@ func BFSDirectionOptimizing(g *Graph, src int) *BFSResult {
 					}
 				}
 			})
-			next.All(func(v *[]uint32) { nextList = append(nextList, *v...) })
 		} else {
-			next := parallel.NewTLS(p, func() []uint32 { return nil })
-			p.For(parallel.Blocked(0, len(frontier)), func(w, lo, hi int) {
+			eng.ForN(len(frontier), func(w, lo, hi int) {
 				buf := next.Get(w)
+				if cap(*buf) == 0 {
+					*buf = eng.GrabU32(w)
+				}
 				for i := lo; i < hi; i++ {
 					u := frontier[i]
 					for _, v := range g.Row(int(u)) {
@@ -168,10 +183,9 @@ func BFSDirectionOptimizing(g *Graph, src int) *BFSResult {
 					}
 				}
 			})
-			next.All(func(v *[]uint32) { nextList = append(nextList, *v...) })
 		}
 
-		frontier = nextList
+		frontier = mergeFrontier(eng, frontier, next)
 		var ef int64
 		for _, u := range frontier {
 			ef += int64(g.Degree(int(u)))

@@ -67,9 +67,9 @@ func runAllBFS(t *testing.T, g *Graph, src int) {
 	t.Helper()
 	want := bfsOracle(g, src)
 	for name, fn := range map[string]func(*Graph, int) *BFSResult{
-		"topdown":  BFSTopDown,
-		"bottomup": BFSBottomUp,
-		"diropt":   BFSDirectionOptimizing,
+		"topdown":  tBFSTopDown,
+		"bottomup": tBFSBottomUp,
+		"diropt":   tBFSDirectionOptimizing,
 	} {
 		r := fn(g, src)
 		checkLevels(t, name, r.Level, want)
@@ -90,7 +90,7 @@ func TestBFSComplete(t *testing.T) {
 func TestBFSDisconnected(t *testing.T) {
 	g := buildGraph(6, [][2]uint32{{0, 1}, {1, 2}, {4, 5}})
 	runAllBFS(t, g, 0)
-	r := BFSTopDown(g, 0)
+	r := tBFSTopDown(g, 0)
 	if r.Level[3] != -1 || r.Level[4] != -1 {
 		t.Fatal("vertices in other components should be unreachable")
 	}
@@ -101,7 +101,7 @@ func TestBFSDisconnected(t *testing.T) {
 
 func TestBFSSingleVertex(t *testing.T) {
 	g := buildGraph(1, nil)
-	r := BFSTopDown(g, 0)
+	r := tBFSTopDown(g, 0)
 	if r.Level[0] != 0 || r.Reached() != 1 {
 		t.Fatal("single-vertex BFS wrong")
 	}
@@ -125,7 +125,7 @@ func TestBFSRandomAgreement(t *testing.T) {
 	f := func(seed int64) bool {
 		g := randomGraph(60, 150, seed)
 		want := bfsOracle(g, 0)
-		for _, fn := range []func(*Graph, int) *BFSResult{BFSTopDown, BFSBottomUp, BFSDirectionOptimizing} {
+		for _, fn := range []func(*Graph, int) *BFSResult{tBFSTopDown, tBFSBottomUp, tBFSDirectionOptimizing} {
 			r := fn(g, 0)
 			for v := range want {
 				if r.Level[v] != want[v] {
@@ -142,9 +142,9 @@ func TestBFSRandomAgreement(t *testing.T) {
 
 func TestBFSDeterministicLevels(t *testing.T) {
 	g := randomGraph(200, 600, 9)
-	a := BFSTopDown(g, 0)
+	a := tBFSTopDown(g, 0)
 	for i := 0; i < 5; i++ {
-		b := BFSTopDown(g, 0)
+		b := tBFSTopDown(g, 0)
 		for v := range a.Level {
 			if a.Level[v] != b.Level[v] {
 				t.Fatalf("levels differ across runs at %d", v)

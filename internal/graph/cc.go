@@ -11,16 +11,15 @@ import (
 // propagation: every vertex starts with its own ID as label, and each round
 // propagates the minimum label across every edge until a fixpoint. Simple,
 // parallel, and the algorithm Hygra's CC (and NWHy's HyperCC) is built on.
-func CCLabelPropagation(g *Graph) []uint32 {
+func CCLabelPropagation(eng *parallel.Engine, g *Graph) []uint32 {
 	n := g.NumVertices()
 	comp := make([]uint32, n)
 	for i := range comp {
 		comp[i] = uint32(i)
 	}
-	p := parallel.Default()
 	for {
 		var changed atomic.Bool
-		p.For(parallel.Blocked(0, n), func(_, lo, hi int) {
+		eng.ForN(n, func(_, lo, hi int) {
 			c := false
 			for u := lo; u < hi; u++ {
 				cu := parallel.LoadU32(&comp[u])
@@ -40,7 +39,7 @@ func CCLabelPropagation(g *Graph) []uint32 {
 				changed.Store(true)
 			}
 		})
-		if !changed.Load() {
+		if !changed.Load() || eng.Cancelled() {
 			break
 		}
 	}
@@ -51,18 +50,17 @@ func CCLabelPropagation(g *Graph) []uint32 {
 // Shiloach–Vishkin PRAM algorithm: alternating hook (attach a tree root to a
 // smaller-labelled neighbor's tree) and shortcut (pointer-jump every label to
 // its grandparent) phases until no hook fires.
-func CCShiloachVishkin(g *Graph) []uint32 {
+func CCShiloachVishkin(eng *parallel.Engine, g *Graph) []uint32 {
 	n := g.NumVertices()
 	comp := make([]uint32, n)
 	for i := range comp {
 		comp[i] = uint32(i)
 	}
-	p := parallel.Default()
 	for {
 		var changed atomic.Bool
 		// Hook phase: for every arc (u, v), if comp[u] < comp[v] and comp[v]
 		// is a root, hook it.
-		p.For(parallel.Blocked(0, n), func(_, lo, hi int) {
+		eng.ForN(n, func(_, lo, hi int) {
 			c := false
 			for u := lo; u < hi; u++ {
 				for _, v := range g.Row(u) {
@@ -82,7 +80,7 @@ func CCShiloachVishkin(g *Graph) []uint32 {
 		// Shortcut phase: pointer jumping until every label points at a root.
 		for {
 			var jumped atomic.Bool
-			p.For(parallel.Blocked(0, n), func(_, lo, hi int) {
+			eng.ForN(n, func(_, lo, hi int) {
 				j := false
 				for u := lo; u < hi; u++ {
 					cu := parallel.LoadU32(&comp[u])
@@ -96,11 +94,11 @@ func CCShiloachVishkin(g *Graph) []uint32 {
 					jumped.Store(true)
 				}
 			})
-			if !jumped.Load() {
+			if !jumped.Load() || eng.Cancelled() {
 				break
 			}
 		}
-		if !changed.Load() {
+		if !changed.Load() || eng.Cancelled() {
 			break
 		}
 	}
@@ -116,16 +114,15 @@ const afforestNeighborRounds = 2
 // identify the (almost surely giant) most frequent component by sampling,
 // then finish the remaining edges only for vertices outside that component —
 // skipping most of the edge list on real-world graphs.
-func CCAfforest(g *Graph) []uint32 {
+func CCAfforest(eng *parallel.Engine, g *Graph) []uint32 {
 	n := g.NumVertices()
 	comp := make([]uint32, n)
 	for i := range comp {
 		comp[i] = uint32(i)
 	}
-	p := parallel.Default()
 
 	for r := 0; r < afforestNeighborRounds; r++ {
-		p.For(parallel.Blocked(0, n), func(_, lo, hi int) {
+		eng.ForN(n, func(_, lo, hi int) {
 			for u := lo; u < hi; u++ {
 				row := g.Row(u)
 				if r < len(row) {
@@ -133,12 +130,12 @@ func CCAfforest(g *Graph) []uint32 {
 				}
 			}
 		})
-		compress(p, comp)
+		compress(eng, comp)
 	}
 
 	giant := sampleFrequentComponent(comp)
 
-	p.For(parallel.Blocked(0, n), func(_, lo, hi int) {
+	eng.ForN(n, func(_, lo, hi int) {
 		for u := lo; u < hi; u++ {
 			if parallel.LoadU32(&comp[u]) == giant {
 				continue
@@ -149,7 +146,7 @@ func CCAfforest(g *Graph) []uint32 {
 			}
 		}
 	})
-	compress(p, comp)
+	compress(eng, comp)
 	return comp
 }
 
@@ -176,8 +173,8 @@ func link(u, v uint32, comp []uint32) {
 }
 
 // compress performs full path compression so every label points at its root.
-func compress(p *parallel.Pool, comp []uint32) {
-	p.For(parallel.Blocked(0, len(comp)), func(_, lo, hi int) {
+func compress(eng *parallel.Engine, comp []uint32) {
+	eng.ForN(len(comp), func(_, lo, hi int) {
 		for u := lo; u < hi; u++ {
 			for {
 				c := parallel.LoadU32(&comp[u])

@@ -41,9 +41,9 @@ func ccOracle(g *Graph) []uint32 {
 }
 
 var ccAlgorithms = map[string]func(*Graph) []uint32{
-	"labelprop": CCLabelPropagation,
-	"sv":        CCShiloachVishkin,
-	"afforest":  CCAfforest,
+	"labelprop": tCCLabelPropagation,
+	"sv":        tCCShiloachVishkin,
+	"afforest":  tCCAfforest,
 }
 
 func checkCC(t *testing.T, g *Graph) {
@@ -63,7 +63,7 @@ func TestCCComplete(t *testing.T) { checkCC(t, completeGraph(10)) }
 func TestCCDisconnected(t *testing.T) {
 	g := buildGraph(10, [][2]uint32{{0, 1}, {2, 3}, {3, 4}, {7, 8}})
 	checkCC(t, g)
-	comp := CCLabelPropagation(g)
+	comp := tCCLabelPropagation(g)
 	if NumComponents(comp) != 6 {
 		t.Fatalf("NumComponents = %d, want 6 (three pairs + {5},{6},{9} singletons... actually components {0,1},{2,3,4},{7,8},{5},{6},{9})", NumComponents(comp))
 	}
@@ -94,7 +94,7 @@ func TestCCManySmallComponents(t *testing.T) {
 	}
 	g := buildGraph(300, pairs)
 	checkCC(t, g)
-	if got := NumComponents(CCAfforest(g)); got != 100 {
+	if got := NumComponents(tCCAfforest(g)); got != 100 {
 		t.Fatalf("NumComponents = %d, want 100", got)
 	}
 }

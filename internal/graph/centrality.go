@@ -28,18 +28,17 @@ func bfsDistances(g *Graph, src int, dist []int32, queue []uint32) []uint32 {
 
 // perSourceScan computes fn over the BFS distance vector of every source in
 // parallel (one sequential BFS per source, sources distributed over workers).
-func perSourceScan(g *Graph, fn func(src int, dist []int32, reached []uint32) float64) []float64 {
+func perSourceScan(eng *parallel.Engine, g *Graph, fn func(src int, dist []int32, reached []uint32) float64) []float64 {
 	n := g.NumVertices()
 	out := make([]float64, n)
-	p := parallel.Default()
 	type scratch struct {
 		dist  []int32
 		queue []uint32
 	}
-	tls := parallel.NewTLS(p, func() scratch {
+	tls := parallel.NewTLSFor(eng, func() scratch {
 		return scratch{dist: make([]int32, n), queue: make([]uint32, 0, n)}
 	})
-	p.For(parallel.BlockedGrain(0, n, 1), func(w, lo, hi int) {
+	eng.For(parallel.BlockedGrain(0, n, 1), func(w, lo, hi int) {
 		s := tls.Get(w)
 		for src := lo; src < hi; src++ {
 			reached := bfsDistances(g, src, s.dist, s.queue)
@@ -54,9 +53,9 @@ func perSourceScan(g *Graph, fn func(src int, dist []int32, reached []uint32) fl
 // (n_reachable - 1) / sum-of-distances within its component, following the
 // Wasserman–Faust convention of scaling by the reachable fraction:
 // ((r-1)/(n-1)) * ((r-1)/sum). Vertices with no reachable peers score 0.
-func ClosenessCentrality(g *Graph) []float64 {
+func ClosenessCentrality(eng *parallel.Engine, g *Graph) []float64 {
 	n := g.NumVertices()
-	return perSourceScan(g, func(src int, dist []int32, reached []uint32) float64 {
+	return perSourceScan(eng, g, func(src int, dist []int32, reached []uint32) float64 {
 		var sum int64
 		for _, v := range reached {
 			sum += int64(dist[v])
@@ -75,9 +74,9 @@ func ClosenessCentrality(g *Graph) []float64 {
 
 // HarmonicClosenessCentrality computes sum over other vertices of 1/d(u,v)
 // (0 for unreachable pairs), normalized by n-1.
-func HarmonicClosenessCentrality(g *Graph) []float64 {
+func HarmonicClosenessCentrality(eng *parallel.Engine, g *Graph) []float64 {
 	n := g.NumVertices()
-	return perSourceScan(g, func(src int, dist []int32, reached []uint32) float64 {
+	return perSourceScan(eng, g, func(src int, dist []int32, reached []uint32) float64 {
 		sum := 0.0
 		for _, v := range reached {
 			if d := dist[v]; d > 0 {
@@ -93,8 +92,8 @@ func HarmonicClosenessCentrality(g *Graph) []float64 {
 
 // Eccentricity computes, for every vertex, the greatest hop distance to any
 // vertex reachable from it. Isolated vertices score 0.
-func Eccentricity(g *Graph) []float64 {
-	return perSourceScan(g, func(src int, dist []int32, reached []uint32) float64 {
+func Eccentricity(eng *parallel.Engine, g *Graph) []float64 {
+	return perSourceScan(eng, g, func(src int, dist []int32, reached []uint32) float64 {
 		var ecc int32
 		for _, v := range reached {
 			if dist[v] > ecc {
@@ -122,7 +121,7 @@ func EccentricityOf(g *Graph, src int) float64 {
 // PageRank runs damped power iteration until the L1 change drops below tol
 // or maxIter rounds, returning scores summing to ~1. Dangling mass is
 // redistributed uniformly.
-func PageRank(g *Graph, damping float64, tol float64, maxIter int) []float64 {
+func PageRank(eng *parallel.Engine, g *Graph, damping float64, tol float64, maxIter int) []float64 {
 	n := g.NumVertices()
 	if n == 0 {
 		return nil
@@ -134,9 +133,8 @@ func PageRank(g *Graph, damping float64, tol float64, maxIter int) []float64 {
 		rank[i] = inv
 	}
 	deg := g.Degrees()
-	p := parallel.Default()
-	for iter := 0; iter < maxIter; iter++ {
-		dangling := parallel.Reduce(n, 0.0, func(lo, hi int, acc float64) float64 {
+	for iter := 0; iter < maxIter && !eng.Cancelled(); iter++ {
+		dangling := parallel.ReduceWith(eng, n, 0.0, func(lo, hi int, acc float64) float64 {
 			for i := lo; i < hi; i++ {
 				if deg[i] == 0 {
 					acc += rank[i]
@@ -148,7 +146,7 @@ func PageRank(g *Graph, damping float64, tol float64, maxIter int) []float64 {
 		// Pull-based update: next[v] = base + d * sum_{u->v} rank[u]/deg[u].
 		// The graph is symmetric, so pulling over v's row visits its
 		// in-neighbors.
-		p.For(parallel.Blocked(0, n), func(_, lo, hi int) {
+		eng.ForN(n, func(_, lo, hi int) {
 			for v := lo; v < hi; v++ {
 				sum := 0.0
 				for _, u := range g.Row(v) {
@@ -157,7 +155,7 @@ func PageRank(g *Graph, damping float64, tol float64, maxIter int) []float64 {
 				next[v] = base + damping*sum
 			}
 		})
-		delta := parallel.Reduce(n, 0.0, func(lo, hi int, acc float64) float64 {
+		delta := parallel.ReduceWith(eng, n, 0.0, func(lo, hi int, acc float64) float64 {
 			for i := lo; i < hi; i++ {
 				d := next[i] - rank[i]
 				if d < 0 {
@@ -234,9 +232,9 @@ func Coreness(g *Graph) []int {
 // TriangleCount counts undirected triangles: for every edge (u, v) with
 // u < v, intersect the neighbor sets above v. Requires a symmetric graph
 // with sorted rows (as built by FromEdgeList).
-func TriangleCount(g *Graph) int64 {
+func TriangleCount(eng *parallel.Engine, g *Graph) int64 {
 	n := g.NumVertices()
-	return parallel.Reduce(n, int64(0),
+	return parallel.ReduceWith(eng, n, int64(0),
 		func(lo, hi int, acc int64) int64 {
 			for u := lo; u < hi; u++ {
 				row := g.Row(u)

@@ -89,7 +89,7 @@ func weightedRandomGraph(n, m int, seed int64) *Graph {
 func TestDeltaSteppingUnweightedMatchesBFS(t *testing.T) {
 	g := randomGraph(100, 300, 4)
 	want := bfsOracle(g, 0)
-	r := DeltaStepping(g, 0, 1)
+	r := DeltaStepping(teng, g, 0, 1)
 	for v := range want {
 		if want[v] == -1 {
 			if !math.IsInf(r.Dist[v], 1) {
@@ -107,7 +107,7 @@ func TestDeltaSteppingWeightedMatchesDijkstra(t *testing.T) {
 	for _, delta := range []float64{0, 0.5, 3, 100} {
 		g := weightedRandomGraph(80, 240, 7)
 		want := dijkstraOracle(g, 0)
-		r := DeltaStepping(g, 0, delta)
+		r := DeltaStepping(teng, g, 0, delta)
 		for v := range want {
 			if math.IsInf(want[v], 1) != math.IsInf(r.Dist[v], 1) {
 				t.Fatalf("delta=%v: reachability mismatch at %d", delta, v)
@@ -123,7 +123,7 @@ func TestDeltaSteppingPropertyAgainstDijkstra(t *testing.T) {
 	f := func(seed int64) bool {
 		g := weightedRandomGraph(40, 100, seed)
 		want := dijkstraOracle(g, 0)
-		r := DeltaStepping(g, 0, 0)
+		r := DeltaStepping(teng, g, 0, 0)
 		for v := range want {
 			if math.IsInf(want[v], 1) != math.IsInf(r.Dist[v], 1) {
 				return false
@@ -141,7 +141,7 @@ func TestDeltaSteppingPropertyAgainstDijkstra(t *testing.T) {
 
 func TestSSSPPath(t *testing.T) {
 	g := pathGraph(6)
-	r := DeltaStepping(g, 0, 1)
+	r := DeltaStepping(teng, g, 0, 1)
 	path := r.PathTo(5)
 	want := []uint32{0, 1, 2, 3, 4, 5}
 	if len(path) != len(want) {
@@ -159,7 +159,7 @@ func TestSSSPPath(t *testing.T) {
 
 func TestSSSPPathUnreachable(t *testing.T) {
 	g := buildGraph(4, [][2]uint32{{0, 1}})
-	r := DeltaStepping(g, 0, 1)
+	r := DeltaStepping(teng, g, 0, 1)
 	if r.PathTo(3) != nil {
 		t.Fatal("path to unreachable vertex should be nil")
 	}
@@ -167,7 +167,7 @@ func TestSSSPPathUnreachable(t *testing.T) {
 
 func TestSSSPParentsConsistent(t *testing.T) {
 	g := weightedRandomGraph(60, 200, 13)
-	r := DeltaStepping(g, 0, 0)
+	r := DeltaStepping(teng, g, 0, 0)
 	for v := range r.Dist {
 		if v == 0 || math.IsInf(r.Dist[v], 1) {
 			continue
@@ -245,7 +245,7 @@ func bcOracle(g *Graph, normalized bool) []float64 {
 func TestBetweennessPathGraph(t *testing.T) {
 	// On a path 0-1-2-3-4, vertex 2 lies on paths {0,1}x{3,4} plus
 	// (1,3): BC(2) = 4... counting unordered pairs through 2: (0,3),(0,4),(1,3),(1,4) = 4.
-	got := BetweennessCentrality(pathGraph(5), false)
+	got := BetweennessCentrality(teng, pathGraph(5), false)
 	want := []float64{0, 3, 4, 3, 0}
 	for i := range want {
 		if !almostEqual(got[i], want[i]) {
@@ -255,7 +255,7 @@ func TestBetweennessPathGraph(t *testing.T) {
 }
 
 func TestBetweennessCompleteGraphZero(t *testing.T) {
-	got := BetweennessCentrality(completeGraph(6), false)
+	got := BetweennessCentrality(teng, completeGraph(6), false)
 	for i, v := range got {
 		if !almostEqual(v, 0) {
 			t.Fatalf("BC[%d] = %v on complete graph, want 0", i, v)
@@ -269,11 +269,11 @@ func TestBetweennessStar(t *testing.T) {
 	for i := 1; i <= 5; i++ {
 		pairs = append(pairs, [2]uint32{0, uint32(i)})
 	}
-	got := BetweennessCentrality(buildGraph(6, pairs), false)
+	got := BetweennessCentrality(teng, buildGraph(6, pairs), false)
 	if !almostEqual(got[0], 10) {
 		t.Fatalf("hub BC = %v, want 10", got[0])
 	}
-	norm := BetweennessCentrality(buildGraph(6, pairs), true)
+	norm := BetweennessCentrality(teng, buildGraph(6, pairs), true)
 	if !almostEqual(norm[0], 10.0/(5*4)) {
 		t.Fatalf("normalized hub BC = %v", norm[0])
 	}
@@ -282,7 +282,7 @@ func TestBetweennessStar(t *testing.T) {
 func TestBetweennessMatchesOracle(t *testing.T) {
 	f := func(seed int64) bool {
 		g := randomGraph(30, 60, seed)
-		got := BetweennessCentrality(g, false)
+		got := BetweennessCentrality(teng, g, false)
 		want := bcOracle(g, false)
 		for i := range want {
 			if math.Abs(got[i]-want[i]) > 1e-6 {
@@ -298,8 +298,8 @@ func TestBetweennessMatchesOracle(t *testing.T) {
 
 func TestApproxBetweennessAllSourcesIsExact(t *testing.T) {
 	g := randomGraph(25, 60, 3)
-	exact := BetweennessCentrality(g, false)
-	approx := ApproxBetweennessCentrality(g, 25, 1, false)
+	exact := BetweennessCentrality(teng, g, false)
+	approx := ApproxBetweennessCentrality(teng, g, 25, 1, false)
 	for i := range exact {
 		if math.Abs(exact[i]-approx[i]) > 1e-9 {
 			t.Fatal("k = n approximation should equal exact")
@@ -314,7 +314,7 @@ func TestApproxBetweennessReasonable(t *testing.T) {
 		pairs = append(pairs, [2]uint32{0, uint32(i)})
 	}
 	g := buildGraph(41, pairs)
-	got := ApproxBetweennessCentrality(g, 10, 2, false)
+	got := ApproxBetweennessCentrality(teng, g, 10, 2, false)
 	for i := 1; i <= 40; i++ {
 		if got[0] <= got[i] {
 			t.Fatalf("hub score %v not above leaf %v", got[0], got[i])
@@ -326,7 +326,7 @@ func TestApproxBetweennessReasonable(t *testing.T) {
 
 func TestClosenessPathEndpoints(t *testing.T) {
 	g := pathGraph(5) // distances from 0: 0+1+2+3+4 = 10
-	got := ClosenessCentrality(g)
+	got := ClosenessCentrality(teng, g)
 	if !almostEqual(got[0], 4.0/10.0) {
 		t.Fatalf("closeness[0] = %v, want 0.4", got[0])
 	}
@@ -339,7 +339,7 @@ func TestClosenessPathEndpoints(t *testing.T) {
 func TestClosenessDisconnectedScaled(t *testing.T) {
 	// Two components of sizes 2 and 3 over n=5: Wasserman–Faust scaling.
 	g := buildGraph(5, [][2]uint32{{0, 1}, {2, 3}, {3, 4}})
-	got := ClosenessCentrality(g)
+	got := ClosenessCentrality(teng, g)
 	// Vertex 0: reaches 1 at distance 1. c = (1/1) * (1/4) = 0.25.
 	if !almostEqual(got[0], 0.25) {
 		t.Fatalf("closeness[0] = %v, want 0.25", got[0])
@@ -352,14 +352,14 @@ func TestClosenessDisconnectedScaled(t *testing.T) {
 
 func TestClosenessIsolatedVertexZero(t *testing.T) {
 	g := buildGraph(3, [][2]uint32{{0, 1}})
-	if got := ClosenessCentrality(g); got[2] != 0 {
+	if got := ClosenessCentrality(teng, g); got[2] != 0 {
 		t.Fatalf("isolated closeness = %v", got[2])
 	}
 }
 
 func TestHarmonicPath(t *testing.T) {
 	g := pathGraph(3)
-	got := HarmonicClosenessCentrality(g)
+	got := HarmonicClosenessCentrality(teng, g)
 	// Vertex 0: 1/1 + 1/2 = 1.5, normalized by n-1=2 -> 0.75.
 	if !almostEqual(got[0], 0.75) {
 		t.Fatalf("harmonic[0] = %v", got[0])
@@ -372,7 +372,7 @@ func TestHarmonicPath(t *testing.T) {
 
 func TestHarmonicDisconnected(t *testing.T) {
 	g := buildGraph(4, [][2]uint32{{0, 1}})
-	got := HarmonicClosenessCentrality(g)
+	got := HarmonicClosenessCentrality(teng, g)
 	if !almostEqual(got[0], 1.0/3.0) {
 		t.Fatalf("harmonic[0] = %v, want 1/3", got[0])
 	}
@@ -383,7 +383,7 @@ func TestHarmonicDisconnected(t *testing.T) {
 
 func TestEccentricityPath(t *testing.T) {
 	g := pathGraph(5)
-	got := Eccentricity(g)
+	got := Eccentricity(teng, g)
 	want := []float64{4, 3, 2, 3, 4}
 	for i := range want {
 		if got[i] != want[i] {
@@ -397,7 +397,7 @@ func TestEccentricityPath(t *testing.T) {
 
 func TestEccentricityDisconnectedPerComponent(t *testing.T) {
 	g := buildGraph(5, [][2]uint32{{0, 1}, {2, 3}, {3, 4}})
-	got := Eccentricity(g)
+	got := Eccentricity(teng, g)
 	if got[0] != 1 || got[2] != 2 || got[3] != 1 {
 		t.Fatalf("ecc = %v", got)
 	}
@@ -407,7 +407,7 @@ func TestEccentricityDisconnectedPerComponent(t *testing.T) {
 
 func TestPageRankSumsToOne(t *testing.T) {
 	g := randomGraph(100, 400, 8)
-	pr := PageRank(g, 0.85, 1e-10, 200)
+	pr := PageRank(teng, g, 0.85, 1e-10, 200)
 	sum := 0.0
 	for _, v := range pr {
 		sum += v
@@ -423,7 +423,7 @@ func TestPageRankCycleUniform(t *testing.T) {
 	for i := 0; i < n; i++ {
 		pairs = append(pairs, [2]uint32{uint32(i), uint32((i + 1) % n)})
 	}
-	pr := PageRank(buildGraph(n, pairs), 0.85, 1e-12, 500)
+	pr := PageRank(teng, buildGraph(n, pairs), 0.85, 1e-12, 500)
 	for i, v := range pr {
 		if math.Abs(v-0.1) > 1e-6 {
 			t.Fatalf("cycle PageRank[%d] = %v, want 0.1", i, v)
@@ -436,7 +436,7 @@ func TestPageRankStarHubHighest(t *testing.T) {
 	for i := 1; i <= 20; i++ {
 		pairs = append(pairs, [2]uint32{0, uint32(i)})
 	}
-	pr := PageRank(buildGraph(21, pairs), 0.85, 1e-10, 200)
+	pr := PageRank(teng, buildGraph(21, pairs), 0.85, 1e-10, 200)
 	for i := 1; i <= 20; i++ {
 		if pr[0] <= pr[i] {
 			t.Fatalf("hub rank %v not above leaf %v", pr[0], pr[i])
@@ -447,7 +447,7 @@ func TestPageRankStarHubHighest(t *testing.T) {
 func TestPageRankDanglingMass(t *testing.T) {
 	// Graph with an isolated (dangling, degree-0) vertex must still sum to 1.
 	g := buildGraph(3, [][2]uint32{{0, 1}})
-	pr := PageRank(g, 0.85, 1e-12, 500)
+	pr := PageRank(teng, g, 0.85, 1e-12, 500)
 	sum := pr[0] + pr[1] + pr[2]
 	if math.Abs(sum-1) > 1e-9 {
 		t.Fatalf("sum = %v", sum)
@@ -515,13 +515,13 @@ func TestCorenessInvariantDegreeBound(t *testing.T) {
 // --- Triangles ---
 
 func TestTriangleCountK4(t *testing.T) {
-	if got := TriangleCount(completeGraph(4)); got != 4 {
+	if got := TriangleCount(teng, completeGraph(4)); got != 4 {
 		t.Fatalf("K4 triangles = %d, want 4", got)
 	}
 }
 
 func TestTriangleCountPathZero(t *testing.T) {
-	if got := TriangleCount(pathGraph(10)); got != 0 {
+	if got := TriangleCount(teng, pathGraph(10)); got != 0 {
 		t.Fatalf("path triangles = %d", got)
 	}
 }
@@ -543,7 +543,7 @@ func TestTriangleCountMatchesBruteForce(t *testing.T) {
 				}
 			}
 		}
-		return TriangleCount(g) == want
+		return TriangleCount(teng, g) == want
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
 		t.Fatal(err)

@@ -43,20 +43,19 @@ func dijkstraInto(g *Graph, src int, dist []float64, done []bool, pq *distHeap, 
 
 // perSourceWeightedScan runs fn over every source's weighted distance
 // vector in parallel.
-func perSourceWeightedScan(g *Graph, fn func(src int, dist []float64, reached []uint32) float64) []float64 {
+func perSourceWeightedScan(eng *parallel.Engine, g *Graph, fn func(src int, dist []float64, reached []uint32) float64) []float64 {
 	n := g.NumVertices()
 	out := make([]float64, n)
-	p := parallel.Default()
 	type scratch struct {
 		dist  []float64
 		done  []bool
 		pq    distHeap
 		order []uint32
 	}
-	tls := parallel.NewTLS(p, func() scratch {
+	tls := parallel.NewTLSFor(eng, func() scratch {
 		return scratch{dist: make([]float64, n), done: make([]bool, n), order: make([]uint32, 0, n)}
 	})
-	p.For(parallel.BlockedGrain(0, n, 1), func(w, lo, hi int) {
+	eng.For(parallel.BlockedGrain(0, n, 1), func(w, lo, hi int) {
 		s := tls.Get(w)
 		for src := lo; src < hi; src++ {
 			reached := dijkstraInto(g, src, s.dist, s.done, &s.pq, s.order)
@@ -70,9 +69,9 @@ func perSourceWeightedScan(g *Graph, fn func(src int, dist []float64, reached []
 // WeightedClosenessCentrality computes closeness over weighted shortest
 // paths with the Wasserman–Faust reachable-fraction scaling (matching the
 // unweighted ClosenessCentrality convention).
-func WeightedClosenessCentrality(g *Graph) []float64 {
+func WeightedClosenessCentrality(eng *parallel.Engine, g *Graph) []float64 {
 	n := g.NumVertices()
-	return perSourceWeightedScan(g, func(src int, dist []float64, reached []uint32) float64 {
+	return perSourceWeightedScan(eng, g, func(src int, dist []float64, reached []uint32) float64 {
 		sum := 0.0
 		for _, v := range reached {
 			sum += dist[v]
@@ -91,8 +90,8 @@ func WeightedClosenessCentrality(g *Graph) []float64 {
 
 // WeightedEccentricity computes each vertex's greatest weighted shortest-
 // path distance to any reachable vertex.
-func WeightedEccentricity(g *Graph) []float64 {
-	return perSourceWeightedScan(g, func(src int, dist []float64, reached []uint32) float64 {
+func WeightedEccentricity(eng *parallel.Engine, g *Graph) []float64 {
+	return perSourceWeightedScan(eng, g, func(src int, dist []float64, reached []uint32) float64 {
 		ecc := 0.0
 		for _, v := range reached {
 			if !math.IsInf(dist[v], 1) && dist[v] > ecc {
@@ -105,9 +104,9 @@ func WeightedEccentricity(g *Graph) []float64 {
 
 // WeightedHarmonicCloseness computes the harmonic closeness over weighted
 // shortest paths, normalized by n-1.
-func WeightedHarmonicCloseness(g *Graph) []float64 {
+func WeightedHarmonicCloseness(eng *parallel.Engine, g *Graph) []float64 {
 	n := g.NumVertices()
-	return perSourceWeightedScan(g, func(src int, dist []float64, reached []uint32) float64 {
+	return perSourceWeightedScan(eng, g, func(src int, dist []float64, reached []uint32) float64 {
 		sum := 0.0
 		for _, v := range reached {
 			if d := dist[v]; d > 0 {

@@ -12,8 +12,8 @@ func TestWeightedClosenessUnitMatchesUnweighted(t *testing.T) {
 	f := func(seed int64) bool {
 		g := randomGraph(30, 70, seed)
 		wg := unitWeightedCopy(g)
-		a := WeightedClosenessCentrality(wg)
-		b := ClosenessCentrality(g)
+		a := WeightedClosenessCentrality(teng, wg)
+		b := ClosenessCentrality(teng, g)
 		for i := range a {
 			if math.Abs(a[i]-b[i]) > 1e-9 {
 				return false
@@ -29,8 +29,8 @@ func TestWeightedClosenessUnitMatchesUnweighted(t *testing.T) {
 func TestWeightedEccentricityUnitMatchesUnweighted(t *testing.T) {
 	g := randomGraph(40, 90, 2)
 	wg := unitWeightedCopy(g)
-	a := WeightedEccentricity(wg)
-	b := Eccentricity(g)
+	a := WeightedEccentricity(teng, wg)
+	b := Eccentricity(teng, g)
 	for i := range a {
 		if math.Abs(a[i]-b[i]) > 1e-9 {
 			t.Fatalf("ecc differs at %d: %v vs %v", i, a[i], b[i])
@@ -41,8 +41,8 @@ func TestWeightedEccentricityUnitMatchesUnweighted(t *testing.T) {
 func TestWeightedHarmonicUnitMatchesUnweighted(t *testing.T) {
 	g := randomGraph(40, 90, 3)
 	wg := unitWeightedCopy(g)
-	a := WeightedHarmonicCloseness(wg)
-	b := HarmonicClosenessCentrality(g)
+	a := WeightedHarmonicCloseness(teng, wg)
+	b := HarmonicClosenessCentrality(teng, g)
 	for i := range a {
 		if math.Abs(a[i]-b[i]) > 1e-9 {
 			t.Fatalf("harmonic differs at %d", i)
@@ -53,11 +53,11 @@ func TestWeightedHarmonicUnitMatchesUnweighted(t *testing.T) {
 func TestWeightedClosenessDistances(t *testing.T) {
 	// Path 0 -1.0- 1 -3.0- 2: closeness(1) = 2/4, scaled by full reach = 1.
 	g := weightedPath(t, []float64{1, 3})
-	c := WeightedClosenessCentrality(g)
+	c := WeightedClosenessCentrality(teng, g)
 	if math.Abs(c[1]-2.0/4.0) > 1e-9 {
 		t.Fatalf("closeness[1] = %v", c[1])
 	}
-	ecc := WeightedEccentricity(g)
+	ecc := WeightedEccentricity(teng, g)
 	if ecc[0] != 4 || ecc[1] != 3 || ecc[2] != 4 {
 		t.Fatalf("ecc = %v", ecc)
 	}

@@ -7,12 +7,12 @@ import (
 // Diameter computes the exact diameter (longest shortest path, per
 // component) by running a BFS from every vertex in parallel. O(n·m); use
 // ApproxDiameter for large graphs.
-func Diameter(g *Graph) int {
+func Diameter(eng *parallel.Engine, g *Graph) int {
 	n := g.NumVertices()
 	if n == 0 {
 		return 0
 	}
-	return parallel.Reduce(n, 0,
+	return parallel.ReduceWith(eng, n, 0,
 		func(lo, hi, acc int) int {
 			dist := make([]int32, n)
 			var queue []uint32
@@ -69,8 +69,8 @@ func ApproxDiameter(g *Graph, start, rounds int) int {
 // Radius computes the exact radius: the minimum eccentricity over vertices
 // in the largest component (vertices with no neighbors are skipped so a
 // lone isolated vertex does not force radius 0).
-func Radius(g *Graph) int {
-	ecc := Eccentricity(g)
+func Radius(eng *parallel.Engine, g *Graph) int {
+	ecc := Eccentricity(eng, g)
 	radius := -1
 	for v, e := range ecc {
 		if g.Degree(v) == 0 {

@@ -6,26 +6,26 @@ import (
 )
 
 func TestDiameterPath(t *testing.T) {
-	if d := Diameter(pathGraph(10)); d != 9 {
+	if d := Diameter(teng, pathGraph(10)); d != 9 {
 		t.Fatalf("path diameter = %d, want 9", d)
 	}
 }
 
 func TestDiameterComplete(t *testing.T) {
-	if d := Diameter(completeGraph(6)); d != 1 {
+	if d := Diameter(teng, completeGraph(6)); d != 1 {
 		t.Fatalf("K6 diameter = %d, want 1", d)
 	}
 }
 
 func TestDiameterDisconnectedPerComponent(t *testing.T) {
 	g := buildGraph(7, [][2]uint32{{0, 1}, {1, 2}, {4, 5}, {5, 6}})
-	if d := Diameter(g); d != 2 {
+	if d := Diameter(teng, g); d != 2 {
 		t.Fatalf("diameter = %d, want 2", d)
 	}
 }
 
 func TestDiameterEmpty(t *testing.T) {
-	if Diameter(buildGraph(3, nil)) != 0 {
+	if Diameter(teng, buildGraph(3, nil)) != 0 {
 		t.Fatal("edgeless diameter != 0")
 	}
 }
@@ -33,7 +33,7 @@ func TestDiameterEmpty(t *testing.T) {
 func TestApproxDiameterNeverExceedsExact(t *testing.T) {
 	f := func(seed int64) bool {
 		g := randomGraph(60, 120, seed)
-		exact := Diameter(g)
+		exact := Diameter(teng, g)
 		approx := ApproxDiameter(g, 0, 4)
 		return approx <= exact
 	}
@@ -52,14 +52,14 @@ func TestApproxDiameterExactOnPath(t *testing.T) {
 
 func TestRadiusPath(t *testing.T) {
 	// Path of 5: center has eccentricity 2.
-	if r := Radius(pathGraph(5)); r != 2 {
+	if r := Radius(teng, pathGraph(5)); r != 2 {
 		t.Fatalf("radius = %d, want 2", r)
 	}
 }
 
 func TestRadiusIgnoresIsolated(t *testing.T) {
 	g := buildGraph(4, [][2]uint32{{0, 1}, {1, 2}})
-	if r := Radius(g); r != 1 {
+	if r := Radius(teng, g); r != 1 {
 		t.Fatalf("radius = %d, want 1 (vertex 3 isolated)", r)
 	}
 }

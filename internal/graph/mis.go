@@ -13,7 +13,7 @@ import (
 // pool, and the round repeats until the pool drains. The result is maximal
 // (no vertex can be added) though not maximum, and deterministic for a
 // given seed.
-func MaximalIndependentSet(g *Graph, seed int64) []bool {
+func MaximalIndependentSet(eng *parallel.Engine, g *Graph, seed int64) []bool {
 	n := g.NumVertices()
 	const (
 		undecided int32 = iota
@@ -23,10 +23,9 @@ func MaximalIndependentSet(g *Graph, seed int64) []bool {
 	state := make([]int32, n)
 	prio := make([]uint64, n)
 	rng := rand.New(rand.NewSource(seed))
-	p := parallel.Default()
 
 	remaining := int64(n)
-	for remaining > 0 {
+	for remaining > 0 && !eng.Cancelled() {
 		// New priorities each round (drawn sequentially for determinism).
 		for i := range prio {
 			if state[i] == undecided {
@@ -35,7 +34,7 @@ func MaximalIndependentSet(g *Graph, seed int64) []bool {
 		}
 		var decided atomic.Int64
 		// Select local minima among undecided vertices.
-		p.For(parallel.Blocked(0, n), func(_, lo, hi int) {
+		eng.ForN(n, func(_, lo, hi int) {
 			for v := lo; v < hi; v++ {
 				if state[v] != undecided {
 					continue
@@ -67,7 +66,7 @@ func MaximalIndependentSet(g *Graph, seed int64) []bool {
 			}
 		})
 		// Knock out neighbors of newly selected vertices.
-		p.For(parallel.Blocked(0, n), func(_, lo, hi int) {
+		eng.ForN(n, func(_, lo, hi int) {
 			for v := lo; v < hi; v++ {
 				if atomic.LoadInt32(&state[v]) != undecided {
 					continue

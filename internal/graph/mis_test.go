@@ -7,7 +7,7 @@ import (
 
 func TestMISPath(t *testing.T) {
 	g := pathGraph(10)
-	set := MaximalIndependentSet(g, 1)
+	set := MaximalIndependentSet(teng, g, 1)
 	if !IsMaximalIndependentSet(g, set) {
 		t.Fatal("not a maximal independent set")
 	}
@@ -15,7 +15,7 @@ func TestMISPath(t *testing.T) {
 
 func TestMISComplete(t *testing.T) {
 	g := completeGraph(8)
-	set := MaximalIndependentSet(g, 2)
+	set := MaximalIndependentSet(teng, g, 2)
 	count := 0
 	for _, in := range set {
 		if in {
@@ -32,7 +32,7 @@ func TestMISComplete(t *testing.T) {
 
 func TestMISEmptyGraphAllIn(t *testing.T) {
 	g := buildGraph(5, nil)
-	set := MaximalIndependentSet(g, 3)
+	set := MaximalIndependentSet(teng, g, 3)
 	for v, in := range set {
 		if !in {
 			t.Fatalf("isolated vertex %d excluded", v)
@@ -46,7 +46,7 @@ func TestMISStar(t *testing.T) {
 		pairs = append(pairs, [2]uint32{0, uint32(i)})
 	}
 	g := buildGraph(30, pairs)
-	set := MaximalIndependentSet(g, 5)
+	set := MaximalIndependentSet(teng, g, 5)
 	if !IsMaximalIndependentSet(g, set) {
 		t.Fatal("invalid MIS on star")
 	}
@@ -68,7 +68,7 @@ func TestMISStar(t *testing.T) {
 
 func TestMISSelfLoopTolerated(t *testing.T) {
 	g := buildGraph(3, [][2]uint32{{0, 0}, {0, 1}, {1, 2}})
-	set := MaximalIndependentSet(g, 7)
+	set := MaximalIndependentSet(teng, g, 7)
 	if !IsMaximalIndependentSet(g, set) {
 		t.Fatal("invalid MIS with self-loop")
 	}
@@ -77,7 +77,7 @@ func TestMISSelfLoopTolerated(t *testing.T) {
 func TestMISRandomProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		g := randomGraph(80, 200, seed)
-		return IsMaximalIndependentSet(g, MaximalIndependentSet(g, seed))
+		return IsMaximalIndependentSet(g, MaximalIndependentSet(teng, g, seed))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
@@ -86,8 +86,8 @@ func TestMISRandomProperty(t *testing.T) {
 
 func TestMISDeterministicForSeed(t *testing.T) {
 	g := randomGraph(60, 150, 4)
-	a := MaximalIndependentSet(g, 9)
-	b := MaximalIndependentSet(g, 9)
+	a := MaximalIndependentSet(teng, g, 9)
+	b := MaximalIndependentSet(teng, g, 9)
 	for v := range a {
 		if a[v] != b[v] {
 			t.Fatal("MIS not deterministic for fixed seed")

@@ -25,7 +25,7 @@ type SSSPResult struct {
 // delta <= 0 picks a heuristic delta = max(1e-9, avg weight). Parents are
 // reconstructed in a deterministic post-pass: the parent of v is the
 // smallest-ID neighbor u with dist[u] + w(u,v) == dist[v].
-func DeltaStepping(g *Graph, src int, delta float64) *SSSPResult {
+func DeltaStepping(eng *parallel.Engine, g *Graph, src int, delta float64) *SSSPResult {
 	n := g.NumVertices()
 	distBits := make([]uint64, n)
 	for i := range distBits {
@@ -35,7 +35,6 @@ func DeltaStepping(g *Graph, src int, delta float64) *SSSPResult {
 		delta = defaultDelta(g)
 	}
 	distBits[src] = math.Float64bits(0)
-	p := parallel.Default()
 
 	// Non-negative float64 bit patterns order identically to the floats, so
 	// an atomic u64-min implements the distance relaxation.
@@ -53,13 +52,13 @@ func DeltaStepping(g *Graph, src int, delta float64) *SSSPResult {
 
 	base := 0.0
 	bucket := []uint32{uint32(src)}
-	for len(bucket) > 0 {
+	for len(bucket) > 0 && !eng.Cancelled() {
 		upper := base + delta
 		// Settle light edges of this bucket to a fixpoint.
 		active := bucket
-		for len(active) > 0 {
-			moved := parallel.NewTLS(p, func() []uint32 { return nil })
-			p.For(parallel.Blocked(0, len(active)), func(w, lo, hi int) {
+		for len(active) > 0 && !eng.Cancelled() {
+			moved := parallel.NewTLSFor(eng, func() []uint32 { return nil })
+			eng.ForN(len(active), func(w, lo, hi int) {
 				buf := moved.Get(w)
 				for i := lo; i < hi; i++ {
 					u := active[i]
@@ -84,7 +83,7 @@ func DeltaStepping(g *Graph, src int, delta float64) *SSSPResult {
 			moved.All(func(v *[]uint32) { active = append(active, *v...) })
 		}
 		// Heavy edges of everything settled in this bucket, once.
-		p.For(parallel.Blocked(0, n), func(_, lo, hi int) {
+		eng.ForN(n, func(_, lo, hi int) {
 			for u := lo; u < hi; u++ {
 				du := dist(uint32(u))
 				if du < base || du >= upper {
@@ -102,7 +101,7 @@ func DeltaStepping(g *Graph, src int, delta float64) *SSSPResult {
 			}
 		})
 		// Jump to the lowest non-empty bucket at or above upper.
-		base, bucket = nextBucket(p, distBits, upper, delta)
+		base, bucket = nextBucket(eng, distBits, upper, delta)
 	}
 
 	r := &SSSPResult{Dist: make([]float64, n), Parent: make([]int32, n)}
@@ -117,7 +116,7 @@ func DeltaStepping(g *Graph, src int, delta float64) *SSSPResult {
 	}
 	// Deterministic parent reconstruction. Scanning v's own (symmetric)
 	// adjacency keeps each write local to its owner.
-	p.For(parallel.Blocked(0, n), func(_, lo, hi int) {
+	eng.ForN(n, func(_, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			if v == src || math.IsInf(r.Dist[v], 1) {
 				continue
@@ -137,8 +136,8 @@ func DeltaStepping(g *Graph, src int, delta float64) *SSSPResult {
 
 // nextBucket finds the lowest non-empty delta-bucket at or above lower,
 // returning its base and members. An empty slice means traversal is done.
-func nextBucket(p *parallel.Pool, distBits []uint64, lower, delta float64) (float64, []uint32) {
-	minDist := parallel.Reduce(len(distBits), math.MaxFloat64,
+func nextBucket(eng *parallel.Engine, distBits []uint64, lower, delta float64) (float64, []uint32) {
+	minDist := parallel.ReduceWith(eng, len(distBits), math.MaxFloat64,
 		func(lo, hi int, acc float64) float64 {
 			for i := lo; i < hi; i++ {
 				d := math.Float64frombits(distBits[i])
@@ -154,8 +153,8 @@ func nextBucket(p *parallel.Pool, distBits []uint64, lower, delta float64) (floa
 	}
 	bucketLo := math.Floor(minDist/delta) * delta
 	bucketHi := bucketLo + delta
-	tls := parallel.NewTLS(p, func() []uint32 { return nil })
-	p.For(parallel.Blocked(0, len(distBits)), func(w, lo, hi int) {
+	tls := parallel.NewTLSFor(eng, func() []uint32 { return nil })
+	eng.ForN(len(distBits), func(w, lo, hi int) {
 		buf := tls.Get(w)
 		for i := lo; i < hi; i++ {
 			d := math.Float64frombits(distBits[i])

@@ -1,0 +1,21 @@
+package hygra
+
+import (
+	"nwhy/internal/core"
+	"nwhy/internal/parallel"
+)
+
+// teng is the engine the package tests run on; wrapper funcs restore the
+// engine-less signatures the tests were written against and discard the
+// (always-nil without cancellation) errors.
+var teng = parallel.SharedEngine()
+
+func tBFS(h *core.Hypergraph, srcEdge int) (edgeLevel, nodeLevel []int32) {
+	el, nl, _ := BFS(teng, h, srcEdge)
+	return el, nl
+}
+
+func tCC(h *core.Hypergraph) (edgeComp, nodeComp []uint32) {
+	ec, nc, _ := CC(teng, h)
+	return ec, nc
+}

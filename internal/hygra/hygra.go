@@ -24,10 +24,9 @@ type vertexSubset []uint32
 // edgeMap applies the Hygra edgeMap primitive: for every active entity in
 // the frontier, visit its incidence list and claim unvisited targets with
 // compare-and-swap, producing the next frontier on the opposite side.
-func edgeMap(frontier vertexSubset, row func(int) []uint32, visited []int32, round int32) vertexSubset {
-	p := parallel.Default()
-	tls := parallel.NewTLS(p, func() vertexSubset { return nil })
-	p.For(parallel.Blocked(0, len(frontier)), func(w, lo, hi int) {
+func edgeMap(eng *parallel.Engine, frontier vertexSubset, row func(int) []uint32, visited []int32, round int32) vertexSubset {
+	tls := parallel.NewTLSFor(eng, func() vertexSubset { return nil })
+	eng.ForN(len(frontier), func(w, lo, hi int) {
 		out := tls.Get(w)
 		for i := lo; i < hi; i++ {
 			for _, t := range row(int(frontier[i])) {
@@ -43,9 +42,10 @@ func edgeMap(frontier vertexSubset, row func(int) []uint32, visited []int32, rou
 	return next
 }
 
-// BFS runs Hygra's top-down hypergraph BFS from hyperedge srcEdge,
+// BFS runs Hygra's top-down hypergraph BFS from hyperedge srcEdge on eng,
 // returning bipartite-hop levels for both index spaces (-1 = unreachable).
-func BFS(h *core.Hypergraph, srcEdge int) (edgeLevel, nodeLevel []int32) {
+// A cancelled engine aborts at the next half-step and returns eng.Err().
+func BFS(eng *parallel.Engine, h *core.Hypergraph, srcEdge int) (edgeLevel, nodeLevel []int32, err error) {
 	ne, nv := h.NumEdges(), h.NumNodes()
 	edgeLevel = make([]int32, ne)
 	nodeLevel = make([]int32, nv)
@@ -59,22 +59,26 @@ func BFS(h *core.Hypergraph, srcEdge int) (edgeLevel, nodeLevel []int32) {
 	frontier := vertexSubset{uint32(srcEdge)}
 	onEdges := true
 	for round := int32(1); len(frontier) > 0; round++ {
+		if err := eng.Err(); err != nil {
+			return nil, nil, err
+		}
 		if onEdges {
-			frontier = edgeMap(frontier, h.Edges.Row, nodeLevel, round)
+			frontier = edgeMap(eng, frontier, h.Edges.Row, nodeLevel, round)
 		} else {
-			frontier = edgeMap(frontier, h.Nodes.Row, edgeLevel, round)
+			frontier = edgeMap(eng, frontier, h.Nodes.Row, edgeLevel, round)
 		}
 		onEdges = !onEdges
 	}
-	return edgeLevel, nodeLevel
+	return edgeLevel, nodeLevel, eng.Err()
 }
 
 // CC runs Hygra's label-propagation connected components on the bipartite
 // structure: hyperedge and hypernode labels live in one shared label space
 // and each round flat-maps the full incidence relation both ways, writing
 // minima, until no label changes. Returns canonical minimum-member labels
-// in the shared space [0, ne+nv).
-func CC(h *core.Hypergraph) (edgeComp, nodeComp []uint32) {
+// in the shared space [0, ne+nv). A cancelled engine aborts between rounds
+// and returns eng.Err().
+func CC(eng *parallel.Engine, h *core.Hypergraph) (edgeComp, nodeComp []uint32, err error) {
 	ne, nv := h.NumEdges(), h.NumNodes()
 	edgeComp = make([]uint32, ne)
 	nodeComp = make([]uint32, nv)
@@ -84,11 +88,13 @@ func CC(h *core.Hypergraph) (edgeComp, nodeComp []uint32) {
 	for v := range nodeComp {
 		nodeComp[v] = uint32(ne + v)
 	}
-	p := parallel.Default()
 	for {
+		if err := eng.Err(); err != nil {
+			return nil, nil, err
+		}
 		var changed atomic.Bool
 		// Edge side -> node side.
-		p.For(parallel.Blocked(0, ne), func(_, lo, hi int) {
+		eng.ForN(ne, func(_, lo, hi int) {
 			c := false
 			for e := lo; e < hi; e++ {
 				ce := parallel.LoadU32(&edgeComp[e])
@@ -103,7 +109,7 @@ func CC(h *core.Hypergraph) (edgeComp, nodeComp []uint32) {
 			}
 		})
 		// Node side -> edge side.
-		p.For(parallel.Blocked(0, nv), func(_, lo, hi int) {
+		eng.ForN(nv, func(_, lo, hi int) {
 			c := false
 			for v := lo; v < hi; v++ {
 				cv := parallel.LoadU32(&nodeComp[v])
@@ -140,5 +146,5 @@ func CC(h *core.Hypergraph) (edgeComp, nodeComp []uint32) {
 	for v := range nodeComp {
 		nodeComp[v] = minOf[nodeComp[v]]
 	}
-	return edgeComp, nodeComp
+	return edgeComp, nodeComp, eng.Err()
 }

@@ -38,8 +38,8 @@ func randomHypergraph(ne, nv, maxSize int, seed int64) *core.Hypergraph {
 func TestHygraBFSMatchesNWHy(t *testing.T) {
 	f := func(seed int64) bool {
 		h := randomHypergraph(30, 40, 5, seed)
-		el, nl := BFS(h, 0)
-		want := core.HyperBFSTopDown(h, 0)
+		el, nl := tBFS(h, 0)
+		want, _ := core.HyperBFSTopDown(teng, h, 0)
 		return reflect.DeepEqual(el, want.EdgeLevel) && reflect.DeepEqual(nl, want.NodeLevel)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
@@ -48,7 +48,7 @@ func TestHygraBFSMatchesNWHy(t *testing.T) {
 }
 
 func TestHygraBFSPaperExample(t *testing.T) {
-	el, nl := BFS(paperHypergraph(), 0)
+	el, nl := tBFS(paperHypergraph(), 0)
 	if el[0] != 0 || el[1] != 2 || el[3] != 2 || el[2] != 4 {
 		t.Fatalf("edge levels = %v", el)
 	}
@@ -60,8 +60,8 @@ func TestHygraBFSPaperExample(t *testing.T) {
 func TestHygraCCMatchesNWHy(t *testing.T) {
 	f := func(seed int64) bool {
 		h := randomHypergraph(30, 30, 4, seed)
-		ec, nc := CC(h)
-		want := core.HyperCC(h)
+		ec, nc := tCC(h)
+		want, _ := core.HyperCC(teng, h)
 		return reflect.DeepEqual(ec, want.EdgeComp) && reflect.DeepEqual(nc, want.NodeComp)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
@@ -71,7 +71,7 @@ func TestHygraCCMatchesNWHy(t *testing.T) {
 
 func TestHygraCCDisconnected(t *testing.T) {
 	h := core.FromSets([][]uint32{{0, 1}, {1, 2}, {3, 4}}, 5)
-	ec, _ := CC(h)
+	ec, _ := tCC(h)
 	if ec[0] != ec[1] || ec[0] == ec[2] {
 		t.Fatalf("edge components = %v", ec)
 	}
@@ -79,7 +79,7 @@ func TestHygraCCDisconnected(t *testing.T) {
 
 func TestHygraBFSDisconnected(t *testing.T) {
 	h := core.FromSets([][]uint32{{0, 1}, {2, 3}}, 4)
-	el, nl := BFS(h, 1)
+	el, nl := tBFS(h, 1)
 	if el[0] != -1 || nl[0] != -1 || el[1] != 0 || nl[2] != 1 {
 		t.Fatalf("levels = %v / %v", el, nl)
 	}

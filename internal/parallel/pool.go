@@ -27,48 +27,88 @@ type task struct {
 	wg *sync.WaitGroup
 }
 
+// taskRing is a growable circular buffer of tasks supporting O(1) push/pop
+// at the back and O(1) pop at the front. Both the worker deques and the
+// injector queue dequeue from the front (steal / FIFO submit order), which
+// with a plain slice cost an O(n) copy per dequeue.
+type taskRing struct {
+	buf  []task
+	head int // index of the front element
+	n    int // number of live elements
+}
+
+func (r *taskRing) len() int { return r.n }
+
+// pushBack appends t, doubling the buffer when full.
+func (r *taskRing) pushBack(t task) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = t
+	r.n++
+}
+
+// popBack removes the most recently pushed task (LIFO end).
+func (r *taskRing) popBack() (task, bool) {
+	if r.n == 0 {
+		return task{}, false
+	}
+	i := (r.head + r.n - 1) % len(r.buf)
+	t := r.buf[i]
+	r.buf[i] = task{}
+	r.n--
+	return t, true
+}
+
+// popFront removes the oldest task (FIFO end).
+func (r *taskRing) popFront() (task, bool) {
+	if r.n == 0 {
+		return task{}, false
+	}
+	t := r.buf[r.head]
+	r.buf[r.head] = task{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return t, true
+}
+
+func (r *taskRing) grow() {
+	nb := make([]task, max(2*len(r.buf), 8))
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = nb
+	r.head = 0
+}
+
 // worker holds one scheduler participant's local deque.
 type worker struct {
 	mu    sync.Mutex
-	deque []task
+	deque taskRing
 	rng   *rand.Rand
 }
 
 // push adds t to the bottom (LIFO end) of the deque.
 func (w *worker) push(t task) {
 	w.mu.Lock()
-	w.deque = append(w.deque, t)
+	w.deque.pushBack(t)
 	w.mu.Unlock()
 }
 
 // pop removes a task from the bottom (LIFO end). Used by the owner.
 func (w *worker) pop() (task, bool) {
 	w.mu.Lock()
-	n := len(w.deque)
-	if n == 0 {
-		w.mu.Unlock()
-		return task{}, false
-	}
-	t := w.deque[n-1]
-	w.deque[n-1] = task{}
-	w.deque = w.deque[:n-1]
+	t, ok := w.deque.popBack()
 	w.mu.Unlock()
-	return t, true
+	return t, ok
 }
 
 // steal removes a task from the top (FIFO end). Used by thieves.
 func (w *worker) steal() (task, bool) {
 	w.mu.Lock()
-	if len(w.deque) == 0 {
-		w.mu.Unlock()
-		return task{}, false
-	}
-	t := w.deque[0]
-	copy(w.deque, w.deque[1:])
-	w.deque[len(w.deque)-1] = task{}
-	w.deque = w.deque[:len(w.deque)-1]
+	t, ok := w.deque.popFront()
 	w.mu.Unlock()
-	return t, true
+	return t, ok
 }
 
 // Pool is a fixed-size work-stealing scheduler. The zero value is not usable;
@@ -79,7 +119,7 @@ type Pool struct {
 
 	// injector receives tasks submitted from outside the pool's workers.
 	injectMu sync.Mutex
-	inject   []task
+	inject   taskRing
 
 	// pending counts tasks that are queued somewhere but not yet taken.
 	// Workers park only when pending is zero.
@@ -125,7 +165,7 @@ func (p *Pool) Close() {
 // submit enqueues a task from outside the pool.
 func (p *Pool) submit(t task) {
 	p.injectMu.Lock()
-	p.inject = append(p.inject, t)
+	p.inject.pushBack(t)
 	p.injectMu.Unlock()
 	p.pending.Add(1)
 	p.wake()
@@ -153,16 +193,9 @@ func (p *Pool) wake() {
 // takeInjected removes one task from the injector queue.
 func (p *Pool) takeInjected() (task, bool) {
 	p.injectMu.Lock()
-	if len(p.inject) == 0 {
-		p.injectMu.Unlock()
-		return task{}, false
-	}
-	t := p.inject[0]
-	copy(p.inject, p.inject[1:])
-	p.inject[len(p.inject)-1] = task{}
-	p.inject = p.inject[:len(p.inject)-1]
+	t, ok := p.inject.popFront()
 	p.injectMu.Unlock()
-	return t, true
+	return t, ok
 }
 
 // find locates a runnable task for worker id, or returns false.

@@ -224,3 +224,13 @@ func (t *TLS[T]) All(fn func(v *T)) {
 		}
 	}
 }
+
+// Each invokes fn for each touched slot along with its worker id, so callers
+// can return per-worker scratch to the matching engine arena.
+func (t *TLS[T]) Each(fn func(w int, v *T)) {
+	for w := range t.slots {
+		if t.used[w] {
+			fn(w, &t.slots[w])
+		}
+	}
+}

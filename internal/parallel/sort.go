@@ -7,12 +7,22 @@ import "sort"
 // sorted runs merge pairwise in parallel rounds. Not stable. Falls back to
 // sort.Slice for small inputs where parallelism cannot pay for itself.
 func Sort[T any](s []T, less func(a, b T) bool) {
+	sortOn(Default(), s, less)
+}
+
+// SortOn is Sort scheduled on engine e's pool instead of the shared default
+// pool, so a construction bound to a private engine stays within its thread
+// budget through its final canonicalization pass.
+func SortOn[T any](e *Engine, s []T, less func(a, b T) bool) {
+	sortOn(e.pool(), s, less)
+}
+
+func sortOn[T any](p *Pool, s []T, less func(a, b T) bool) {
 	const serialCutoff = 1 << 13
 	if len(s) < serialCutoff {
 		sort.Slice(s, func(a, b int) bool { return less(s[a], s[b]) })
 		return
 	}
-	p := Default()
 	nchunks := p.NumWorkers()
 	if nchunks < 2 {
 		sort.Slice(s, func(a, b int) bool { return less(s[a], s[b]) })

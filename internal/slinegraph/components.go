@@ -1,7 +1,6 @@
 package slinegraph
 
 import (
-	"nwhy/internal/countmap"
 	"nwhy/internal/parallel"
 	"nwhy/internal/unionfind"
 )
@@ -17,18 +16,16 @@ import (
 // Returned labels cover the full ID space [0, in.IDSpace()); hyperedges in
 // the same s-component share the minimum member ID, every other ID is a
 // singleton.
-func SComponentsDirect(in Input, s int, o Options) []uint32 {
-	queue := orderQueue(in.EdgeIDs(), in, o)
+func SComponentsDirect(eng *parallel.Engine, in Input, s int, o Options) ([]uint32, error) {
+	queue := orderQueue(eng, in.EdgeIDs(), in, o)
 	forest := unionfind.New(in.IDSpace())
-	wq := newWorkQueue(queue, queueGrain(len(queue)))
-	p := parallel.Default()
-	cntTLS := parallel.NewTLS(p, func() *countmap.Map { return countmap.New(64) })
-	drain(wq, func(w int, e uint32) {
+	wq := newWorkQueue(queue, queueGrain(eng, len(queue)))
+	cntTLS, release := countTLS(eng)
+	drain(eng, wq, func(w int, e uint32) {
 		if in.EdgeDegree(e) < s {
 			return
 		}
-		cnt := *cntTLS.Get(w)
-		cnt.Clear()
+		cnt := getCount(eng, cntTLS, w)
 		for _, v := range in.Incidence(e) {
 			for _, f := range in.EdgesOf(v) {
 				if f > e && in.EdgeDegree(f) >= s {
@@ -42,6 +39,10 @@ func SComponentsDirect(in Input, s int, o Options) []uint32 {
 			}
 		})
 	})
+	release()
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
 	forest.Compress()
-	return forest.Labels()
+	return forest.Labels(), nil
 }

@@ -10,8 +10,8 @@ import (
 
 // componentsViaMaterialize is the reference: build the s-line graph, run CC.
 func componentsViaMaterialize(h *core.Hypergraph, s int) []uint32 {
-	lg := ToLineGraph(h.NumEdges(), Hashmap(h, s, Options{}))
-	return graph.CanonicalizeComponents(graph.CCAfforest(lg))
+	lg := ToLineGraph(h.NumEdges(), tHashmap(h, s, Options{}))
+	return graph.CanonicalizeComponents(graph.CCAfforest(teng, lg))
 }
 
 func TestSComponentsDirectMatchesMaterialized(t *testing.T) {
@@ -19,7 +19,7 @@ func TestSComponentsDirectMatchesMaterialized(t *testing.T) {
 		h := randomHypergraph(40, 25, 6, seed)
 		for s := 1; s <= 3; s++ {
 			want := componentsViaMaterialize(h, s)
-			got := SComponentsDirect(FromHypergraph(h), s, Options{})
+			got := tSComponentsDirect(FromHypergraph(h), s, Options{})
 			if len(got) != len(want) {
 				return false
 			}
@@ -39,14 +39,14 @@ func TestSComponentsDirectMatchesMaterialized(t *testing.T) {
 func TestSComponentsDirectPaperExample(t *testing.T) {
 	h := paperHypergraph()
 	// s=1: the line graph is a 4-cycle -> one component labeled 0.
-	got := SComponentsDirect(FromHypergraph(h), 1, Options{})
+	got := tSComponentsDirect(FromHypergraph(h), 1, Options{})
 	for e := 0; e < 4; e++ {
 		if got[e] != 0 {
 			t.Fatalf("s=1 components = %v", got[:4])
 		}
 	}
 	// s=2: no s-line edges -> all singletons.
-	got2 := SComponentsDirect(FromHypergraph(h), 2, Options{})
+	got2 := tSComponentsDirect(FromHypergraph(h), 2, Options{})
 	for e := 0; e < 4; e++ {
 		if got2[e] != uint32(e) {
 			t.Fatalf("s=2 components = %v", got2[:4])
@@ -56,9 +56,9 @@ func TestSComponentsDirectPaperExample(t *testing.T) {
 
 func TestSComponentsDirectOnAdjoin(t *testing.T) {
 	h := randomHypergraph(30, 20, 5, 9)
-	a := core.Adjoin(h)
-	want := SComponentsDirect(FromHypergraph(h), 2, Options{})
-	got := SComponentsDirect(FromAdjoin(a), 2, Options{})
+	a := core.Adjoin(teng, h)
+	want := tSComponentsDirect(FromHypergraph(h), 2, Options{})
+	got := tSComponentsDirect(FromAdjoin(a), 2, Options{})
 	// Adjoin ID space is larger, but the hyperedge prefix must agree.
 	for e := 0; e < h.NumEdges(); e++ {
 		if got[e] != want[e] {
@@ -69,9 +69,9 @@ func TestSComponentsDirectOnAdjoin(t *testing.T) {
 
 func TestSComponentsDirectDeterministic(t *testing.T) {
 	h := randomHypergraph(50, 30, 6, 4)
-	a := SComponentsDirect(FromHypergraph(h), 2, Options{})
+	a := tSComponentsDirect(FromHypergraph(h), 2, Options{})
 	for i := 0; i < 5; i++ {
-		b := SComponentsDirect(FromHypergraph(h), 2, Options{Partition: CyclicPartition})
+		b := tSComponentsDirect(FromHypergraph(h), 2, Options{Partition: CyclicPartition})
 		for e := range a {
 			if a[e] != b[e] {
 				t.Fatal("direct components not deterministic across partitions")

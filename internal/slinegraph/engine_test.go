@@ -1,0 +1,67 @@
+package slinegraph
+
+import (
+	"nwhy/internal/core"
+	"nwhy/internal/parallel"
+	"nwhy/internal/sparse"
+)
+
+// teng is the engine the package tests run on; wrapper funcs restore the
+// engine-less signatures the table-driven tests were written against and
+// discard the (always-nil without cancellation) errors.
+var teng = parallel.SharedEngine()
+
+func tNaive(h *core.Hypergraph, s int) []sparse.Edge {
+	r, _ := Naive(teng, h, s)
+	return r
+}
+
+func tIntersection(h *core.Hypergraph, s int, o Options) []sparse.Edge {
+	r, _ := Intersection(teng, h, s, o)
+	return r
+}
+
+func tHashmap(h *core.Hypergraph, s int, o Options) []sparse.Edge {
+	r, _ := Hashmap(teng, h, s, o)
+	return r
+}
+
+func tEnsemble(h *core.Hypergraph, ss []int, o Options) map[int][]sparse.Edge {
+	r, _ := Ensemble(teng, h, ss, o)
+	return r
+}
+
+func tEnsembleQueue(in Input, ss []int, o Options) map[int][]sparse.Edge {
+	r, _ := EnsembleQueue(teng, in, ss, o)
+	return r
+}
+
+func tCliqueExpansion(h *core.Hypergraph, o Options) []sparse.Edge {
+	r, _ := CliqueExpansion(teng, h, o)
+	return r
+}
+
+func tQueueHashmap(in Input, s int, o Options) []sparse.Edge {
+	r, _ := QueueHashmap(teng, in, s, o)
+	return r
+}
+
+func tQueueIntersection(in Input, s int, o Options) []sparse.Edge {
+	r, _ := QueueIntersection(teng, in, s, o)
+	return r
+}
+
+func tSComponentsDirect(in Input, s int, o Options) []uint32 {
+	r, _ := SComponentsDirect(teng, in, s, o)
+	return r
+}
+
+func tHashmapWeighted(h *core.Hypergraph, s int, o Options) []WeightedPair {
+	r, _ := HashmapWeighted(teng, h, s, o)
+	return r
+}
+
+func tQueueHashmapWeighted(in Input, s int, o Options) []WeightedPair {
+	r, _ := QueueHashmapWeighted(teng, in, s, o)
+	return r
+}

@@ -127,13 +127,13 @@ func (r renamedInput) EdgeDegree(e uint32) int { return r.base.EdgeDegree(r.toOl
 // canonPairs normalizes an s-line edge list: U < V per pair, sorted,
 // deduplicated. All construction algorithms return canonical lists so
 // results are directly comparable across algorithms and representations.
-func canonPairs(pairs []sparse.Edge) []sparse.Edge {
+func canonPairs(eng *parallel.Engine, pairs []sparse.Edge) []sparse.Edge {
 	for i, e := range pairs {
 		if e.U > e.V {
 			pairs[i] = sparse.Edge{U: e.V, V: e.U}
 		}
 	}
-	parallel.Sort(pairs, func(a, b sparse.Edge) bool {
+	parallel.SortOn(eng, pairs, func(a, b sparse.Edge) bool {
 		if a.U != b.U {
 			return a.U < b.U
 		}

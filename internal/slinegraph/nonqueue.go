@@ -2,18 +2,16 @@ package slinegraph
 
 import (
 	"nwhy/internal/core"
-	"nwhy/internal/countmap"
 	"nwhy/internal/parallel"
 	"nwhy/internal/sparse"
 )
 
 // Naive computes the s-line graph by set-intersecting every hyperedge pair:
 // the O(|E|² · Δ) baseline every other algorithm is measured against.
-func Naive(h *core.Hypergraph, s int) []sparse.Edge {
+func Naive(eng *parallel.Engine, h *core.Hypergraph, s int) ([]sparse.Edge, error) {
 	ne := h.NumEdges()
-	p := parallel.Default()
-	tls := parallel.NewTLS(p, func() []sparse.Edge { return nil })
-	p.For(parallel.Blocked(0, ne), func(w, lo, hi int) {
+	tls := parallel.NewTLSFor(eng, func() []sparse.Edge { return nil })
+	eng.ForN(ne, func(w, lo, hi int) {
 		buf := tls.Get(w)
 		for i := lo; i < hi; i++ {
 			if h.EdgeDegree(i) < s {
@@ -30,7 +28,10 @@ func Naive(h *core.Hypergraph, s int) []sparse.Edge {
 			}
 		}
 	})
-	return collectTLS(tls)
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	return collectTLS(eng, tls), nil
 }
 
 // relabeled applies Options.Relabel to the biadjacency pair, returning the
@@ -46,18 +47,17 @@ func relabeled(h *core.Hypergraph, o Options) (edges, nodes *sparse.CSR, perm []
 // s by the degree filter, and set-intersect incidence lists with early
 // termination. This and Hashmap are the non-queue algorithms Figure 9
 // compares the queue-based ones against.
-func Intersection(h *core.Hypergraph, s int, o Options) []sparse.Edge {
+func Intersection(eng *parallel.Engine, h *core.Hypergraph, s int, o Options) ([]sparse.Edge, error) {
 	edges, nodes, perm := relabeled(h, o)
 	ne := edges.NumRows()
 	deg := edges.Degrees()
-	p := parallel.Default()
-	tls := parallel.NewTLS(p, func() []sparse.Edge { return nil })
+	tls := parallel.NewTLSFor(eng, func() []sparse.Edge { return nil })
 	type scratch struct {
 		stamp []uint32 // stamp[j] == i+1 means j already considered for i
 		cand  []uint32
 	}
-	scratchTLS := parallel.NewTLS(p, func() scratch { return scratch{stamp: make([]uint32, ne)} })
-	o.forIndices(ne, func(w, i int) {
+	scratchTLS := parallel.NewTLSFor(eng, func() scratch { return scratch{stamp: make([]uint32, ne)} })
+	o.forIndices(eng, ne, func(w, i int) {
 		if deg[i] < s {
 			return
 		}
@@ -80,26 +80,27 @@ func Intersection(h *core.Hypergraph, s int, o Options) []sparse.Edge {
 			}
 		}
 	})
-	return collectTLS(tls)
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	return collectTLS(eng, tls), nil
 }
 
 // Hashmap is the hashmap-counting algorithm of Liu et al. (IPDPS'22): for
 // each hyperedge, tally overlap counts with every later hyperedge through
 // the two-level incidence walk, then emit the pairs whose tally reaches s.
 // One pass; no set intersections.
-func Hashmap(h *core.Hypergraph, s int, o Options) []sparse.Edge {
+func Hashmap(eng *parallel.Engine, h *core.Hypergraph, s int, o Options) ([]sparse.Edge, error) {
 	edges, nodes, perm := relabeled(h, o)
 	ne := edges.NumRows()
 	deg := edges.Degrees()
-	p := parallel.Default()
-	tls := parallel.NewTLS(p, func() []sparse.Edge { return nil })
-	cntTLS := parallel.NewTLS(p, func() *countmap.Map { return countmap.New(64) })
-	o.forIndices(ne, func(w, i int) {
+	tls := parallel.NewTLSFor(eng, func() []sparse.Edge { return nil })
+	cntTLS, release := countTLS(eng)
+	o.forIndices(eng, ne, func(w, i int) {
 		if deg[i] < s {
 			return
 		}
-		cnt := *cntTLS.Get(w)
-		cnt.Clear()
+		cnt := getCount(eng, cntTLS, w)
 		for _, v := range edges.Row(i) {
 			for _, j := range nodes.Row(int(v)) {
 				if int(j) > i && deg[j] >= s {
@@ -114,15 +115,19 @@ func Hashmap(h *core.Hypergraph, s int, o Options) []sparse.Edge {
 			}
 		})
 	})
-	return collectTLS(tls)
+	release()
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	return collectTLS(eng, tls), nil
 }
 
 // Ensemble computes the s-line graphs for every s in ss in a single
 // counting pass (Liu et al., IPDPS'22): overlap tallies are computed once
 // and each pair is emitted into every bucket whose threshold it meets.
-func Ensemble(h *core.Hypergraph, ss []int, o Options) map[int][]sparse.Edge {
+func Ensemble(eng *parallel.Engine, h *core.Hypergraph, ss []int, o Options) (map[int][]sparse.Edge, error) {
 	if len(ss) == 0 {
-		return nil
+		return nil, eng.Err()
 	}
 	smin := ss[0]
 	for _, s := range ss {
@@ -133,22 +138,20 @@ func Ensemble(h *core.Hypergraph, ss []int, o Options) map[int][]sparse.Edge {
 	edges, nodes, perm := relabeled(h, o)
 	ne := edges.NumRows()
 	deg := edges.Degrees()
-	p := parallel.Default()
 	type buckets map[int][]sparse.Edge
-	tls := parallel.NewTLS(p, func() buckets {
+	tls := parallel.NewTLSFor(eng, func() buckets {
 		b := buckets{}
 		for _, s := range ss {
 			b[s] = nil
 		}
 		return b
 	})
-	cntTLS := parallel.NewTLS(p, func() *countmap.Map { return countmap.New(64) })
-	o.forIndices(ne, func(w, i int) {
+	cntTLS, release := countTLS(eng)
+	o.forIndices(eng, ne, func(w, i int) {
 		if deg[i] < smin {
 			return
 		}
-		cnt := *cntTLS.Get(w)
-		cnt.Clear()
+		cnt := getCount(eng, cntTLS, w)
 		for _, v := range edges.Row(i) {
 			for _, j := range nodes.Row(int(v)) {
 				if int(j) > i && deg[j] >= smin {
@@ -165,21 +168,25 @@ func Ensemble(h *core.Hypergraph, ss []int, o Options) map[int][]sparse.Edge {
 			}
 		})
 	})
+	release()
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
 	out := map[int][]sparse.Edge{}
 	for _, s := range ss {
 		var all []sparse.Edge
 		tls.All(func(b *buckets) { all = append(all, (*b)[s]...) })
-		out[s] = canonPairs(all)
+		out[s] = canonPairs(eng, all)
 	}
-	return out
+	return out, nil
 }
 
 // EnsembleQueue computes the s-line graphs for every s in ss in one
 // queue-driven counting pass — the ensemble construction generalized to
 // arbitrary ID spaces via the Input interface, like Algorithm 1.
-func EnsembleQueue(in Input, ss []int, o Options) map[int][]sparse.Edge {
+func EnsembleQueue(eng *parallel.Engine, in Input, ss []int, o Options) (map[int][]sparse.Edge, error) {
 	if len(ss) == 0 {
-		return nil
+		return nil, eng.Err()
 	}
 	smin := ss[0]
 	for _, s := range ss {
@@ -187,24 +194,22 @@ func EnsembleQueue(in Input, ss []int, o Options) map[int][]sparse.Edge {
 			smin = s
 		}
 	}
-	queue := orderQueue(in.EdgeIDs(), in, o)
-	wq := newWorkQueue(queue, queueGrain(len(queue)))
-	p := parallel.Default()
+	queue := orderQueue(eng, in.EdgeIDs(), in, o)
+	wq := newWorkQueue(queue, queueGrain(eng, len(queue)))
 	type buckets map[int][]sparse.Edge
-	tls := parallel.NewTLS(p, func() buckets {
+	tls := parallel.NewTLSFor(eng, func() buckets {
 		b := buckets{}
 		for _, s := range ss {
 			b[s] = nil
 		}
 		return b
 	})
-	cntTLS := parallel.NewTLS(p, func() *countmap.Map { return countmap.New(64) })
-	drain(wq, func(w int, e uint32) {
+	cntTLS, release := countTLS(eng)
+	drain(eng, wq, func(w int, e uint32) {
 		if in.EdgeDegree(e) < smin {
 			return
 		}
-		cnt := *cntTLS.Get(w)
-		cnt.Clear()
+		cnt := getCount(eng, cntTLS, w)
 		for _, v := range in.Incidence(e) {
 			for _, f := range in.EdgesOf(v) {
 				if f > e && in.EdgeDegree(f) >= smin {
@@ -221,13 +226,17 @@ func EnsembleQueue(in Input, ss []int, o Options) map[int][]sparse.Edge {
 			}
 		})
 	})
+	release()
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
 	out := map[int][]sparse.Edge{}
 	for _, s := range ss {
 		var all []sparse.Edge
 		tls.All(func(b *buckets) { all = append(all, (*b)[s]...) })
-		out[s] = canonPairs(all)
+		out[s] = canonPairs(eng, all)
 	}
-	return out
+	return out, nil
 }
 
 // CliqueExpansion computes the clique-expansion graph of h: each hyperedge
@@ -235,6 +244,6 @@ func EnsembleQueue(in Input, ss []int, o Options) map[int][]sparse.Edge {
 // 1-line graph of the dual hypergraph, so it reuses the Hashmap
 // construction on H* (Listing 2's to_two_graph_hashmap_cyclic(hypernodes,
 // hyperedges, ..., 1, ...)). Vertex IDs of the result are hypernode IDs.
-func CliqueExpansion(h *core.Hypergraph, o Options) []sparse.Edge {
-	return Hashmap(h.Dual(), 1, o)
+func CliqueExpansion(eng *parallel.Engine, h *core.Hypergraph, o Options) ([]sparse.Edge, error) {
+	return Hashmap(eng, h.Dual(), 1, o)
 }

@@ -1,6 +1,7 @@
 package slinegraph
 
 import (
+	"nwhy/internal/countmap"
 	"nwhy/internal/parallel"
 	"nwhy/internal/sparse"
 )
@@ -39,18 +40,19 @@ type Options struct {
 	Relabel sparse.Order
 }
 
-// forIndices runs body(worker, i) over [0, n) under the selected partition.
-func (o Options) forIndices(n int, body func(worker, i int)) {
-	p := parallel.Default()
+// forIndices runs body(worker, i) over [0, n) on eng under the selected
+// partition. A cancelled engine stops scheduling chunks at grain boundaries;
+// callers surface eng.Err() to report the abort.
+func (o Options) forIndices(eng *parallel.Engine, n int, body func(worker, i int)) {
 	switch o.Partition {
 	case CyclicPartition:
-		p.ForCyclic(parallel.Cyclic(0, n, o.NumBins), func(w, start, end, stride int) {
+		eng.ForCyclic(eng.Cyclic(0, n, o.NumBins), func(w, start, end, stride int) {
 			for i := start; i < end; i += stride {
 				body(w, i)
 			}
 		})
 	default:
-		p.For(parallel.Blocked(0, n), func(w, lo, hi int) {
+		eng.For(eng.Blocked(0, n), func(w, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				body(w, i)
 			}
@@ -59,8 +61,53 @@ func (o Options) forIndices(n int, body func(worker, i int)) {
 }
 
 // collectTLS gathers per-worker edge buffers into one canonical list.
-func collectTLS(tls *parallel.TLS[[]sparse.Edge]) []sparse.Edge {
+func collectTLS(eng *parallel.Engine, tls *parallel.TLS[[]sparse.Edge]) []sparse.Edge {
 	var out []sparse.Edge
 	tls.All(func(v *[]sparse.Edge) { out = append(out, *v...) })
-	return canonPairs(out)
+	return canonPairs(eng, out)
+}
+
+// grabCount fetches a reusable countmap from worker w's arena on eng, falling
+// back to a fresh map when the arena has none. Constructions stash the maps
+// back with stashCount so repeated runs on one engine stop allocating their
+// hash tables.
+func grabCount(eng *parallel.Engine, w int) *countmap.Map {
+	if v, ok := eng.Grab(w, countKey); ok {
+		return v.(*countmap.Map)
+	}
+	return countmap.New(64)
+}
+
+// stashCount returns a countmap to worker w's arena for reuse.
+func stashCount(eng *parallel.Engine, w int, m *countmap.Map) {
+	if m == nil {
+		return
+	}
+	m.Clear()
+	eng.Stash(w, countKey, m)
+}
+
+// countKey is the arena key the construction algorithms share their
+// countmap scratch under.
+const countKey = "slinegraph.countmap"
+
+// countTLS lazily binds one arena countmap per worker; release returns every
+// bound map to the arenas once the construction's loops are done.
+func countTLS(eng *parallel.Engine) (tls *parallel.TLS[*countmap.Map], release func()) {
+	tls = parallel.NewTLSFor(eng, func() *countmap.Map { return nil })
+	release = func() {
+		tls.Each(func(w int, v **countmap.Map) { stashCount(eng, w, *v) })
+	}
+	return tls, release
+}
+
+// getCount returns worker w's countmap from tls, binding one from the arena
+// on first use, cleared and ready to tally.
+func getCount(eng *parallel.Engine, tls *parallel.TLS[*countmap.Map], w int) *countmap.Map {
+	cp := tls.Get(w)
+	if *cp == nil {
+		*cp = grabCount(eng, w)
+	}
+	(*cp).Clear()
+	return *cp
 }

@@ -5,7 +5,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"nwhy/internal/countmap"
 	"nwhy/internal/parallel"
 	"nwhy/internal/sparse"
 )
@@ -40,14 +39,15 @@ func (q *workQueue[T]) next() []T {
 	return q.items[lo:hi]
 }
 
-// drain runs body over every queue item using all pool workers.
-func drain[T any](q *workQueue[T], body func(worker int, item T)) {
-	p := parallel.Default()
+// drain runs body over every queue item using all of eng's workers. A
+// cancelled engine stops fetching at the next chunk boundary, leaving the
+// rest of the queue unprocessed; callers surface eng.Err().
+func drain[T any](eng *parallel.Engine, q *workQueue[T], body func(worker int, item T)) {
 	var wg sync.WaitGroup
-	for w := 0; w < p.NumWorkers(); w++ {
+	for w := 0; w < eng.NumWorkers(); w++ {
 		wg.Add(1)
-		p.Go(func(worker int) {
-			for {
+		eng.Go(func(worker int) {
+			for !eng.Cancelled() {
 				chunk := q.next()
 				if chunk == nil {
 					return
@@ -65,7 +65,7 @@ func drain[T any](q *workQueue[T], body func(worker int, item T)) {
 // degree becomes a simple sort of the queue (no physical CSR relabeling
 // needed — the versatility argument for the queue-based algorithms), and
 // cyclic partitioning becomes a round-robin interleave of the queue order.
-func orderQueue(queue []uint32, in Input, o Options) []uint32 {
+func orderQueue(eng *parallel.Engine, queue []uint32, in Input, o Options) []uint32 {
 	switch o.Relabel {
 	case sparse.Ascending:
 		sort.SliceStable(queue, func(a, b int) bool {
@@ -79,7 +79,7 @@ func orderQueue(queue []uint32, in Input, o Options) []uint32 {
 	if o.Partition == CyclicPartition {
 		bins := o.NumBins
 		if bins <= 0 {
-			bins = 4 * parallel.NumWorkers()
+			bins = 4 * eng.NumWorkers()
 		}
 		if bins > len(queue) {
 			bins = len(queue)
@@ -97,8 +97,8 @@ func orderQueue(queue []uint32, in Input, o Options) []uint32 {
 	return queue
 }
 
-func queueGrain(n int) int {
-	g := n / (16 * parallel.NumWorkers())
+func queueGrain(eng *parallel.Engine, n int) int {
+	g := n / (16 * eng.NumWorkers())
 	if g < 1 {
 		g = 1
 	}
@@ -112,18 +112,16 @@ func queueGrain(n int) int {
 // higher-ID neighbor through the two-level incidence walk, and emit pairs
 // whose tally reaches s. Enqueuing is linear in |E|, so the complexity
 // matches the non-queue Hashmap algorithm.
-func QueueHashmap(in Input, s int, o Options) []sparse.Edge {
-	queue := orderQueue(in.EdgeIDs(), in, o) // Alg 1, line 2: enqueue all IDs
-	wq := newWorkQueue(queue, queueGrain(len(queue)))
-	p := parallel.Default()
-	results := parallel.NewTLS(p, func() []sparse.Edge { return nil }) // L_t(H)
-	cntTLS := parallel.NewTLS(p, func() *countmap.Map { return countmap.New(64) })
-	drain(wq, func(w int, e uint32) {
+func QueueHashmap(eng *parallel.Engine, in Input, s int, o Options) ([]sparse.Edge, error) {
+	queue := orderQueue(eng, in.EdgeIDs(), in, o) // Alg 1, line 2: enqueue all IDs
+	wq := newWorkQueue(queue, queueGrain(eng, len(queue)))
+	results := parallel.NewTLSFor(eng, func() []sparse.Edge { return nil }) // L_t(H)
+	cntTLS, release := countTLS(eng)
+	drain(eng, wq, func(w int, e uint32) {
 		if in.EdgeDegree(e) < s { // Alg 1, line 6
 			return
 		}
-		cnt := *cntTLS.Get(w) // Alg 1, line 8: overlap_count
-		cnt.Clear()
+		cnt := getCount(eng, cntTLS, w)     // Alg 1, line 8: overlap_count
 		for _, v := range in.Incidence(e) { // line 9
 			for _, f := range in.EdgesOf(v) { // line 10: (i < j)
 				if f > e && in.EdgeDegree(f) >= s {
@@ -138,7 +136,11 @@ func QueueHashmap(in Input, s int, o Options) []sparse.Edge {
 			}
 		})
 	})
-	return collectTLS(results) // line 15: union of every L_t(H)
+	release()
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	return collectTLS(eng, results), nil // line 15: union of every L_t(H)
 }
 
 // QueueIntersection is the paper's Algorithm 2: a two-phase queue-based
@@ -149,15 +151,14 @@ func QueueHashmap(in Input, s int, o Options) []sparse.Edge {
 // two incidence lists, emitting pairs with at least s common hypernodes.
 // The second phase is a single flat loop over pairs, giving finer-grained
 // load balancing than the three-level nest of the non-queue Intersection.
-func QueueIntersection(in Input, s int, o Options) []sparse.Edge {
-	queue := orderQueue(in.EdgeIDs(), in, o)
-	p := parallel.Default()
+func QueueIntersection(eng *parallel.Engine, in Input, s int, o Options) ([]sparse.Edge, error) {
+	queue := orderQueue(eng, in.EdgeIDs(), in, o)
 
 	// Phase 1 (Alg 2, lines 1-6): build the pair queue.
-	pairTLS := parallel.NewTLS(p, func() []sparse.Edge { return nil }) // queue_t
-	stampTLS := parallel.NewTLS(p, func() []uint32 { return make([]uint32, in.IDSpace()) })
-	wq := newWorkQueue(queue, queueGrain(len(queue)))
-	drain(wq, func(w int, e uint32) {
+	pairTLS := parallel.NewTLSFor(eng, func() []sparse.Edge { return nil }) // queue_t
+	stampTLS := parallel.NewTLSFor(eng, func() []uint32 { return make([]uint32, in.IDSpace()) })
+	wq := newWorkQueue(queue, queueGrain(eng, len(queue)))
+	drain(eng, wq, func(w int, e uint32) {
 		if in.EdgeDegree(e) < s {
 			return
 		}
@@ -173,16 +174,22 @@ func QueueIntersection(in Input, s int, o Options) []sparse.Edge {
 			}
 		}
 	})
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
 	var pairs []sparse.Edge // line 6: queue <- union of every queue_t
 	pairTLS.All(func(v *[]sparse.Edge) { pairs = append(pairs, *v...) })
 
 	// Phase 2 (lines 7-13): set-intersect each queued pair.
-	results := parallel.NewTLS(p, func() []sparse.Edge { return nil }) // L_t(H)
-	pq := newWorkQueue(pairs, queueGrain(len(pairs)))
-	drain(pq, func(w int, pr sparse.Edge) {
+	results := parallel.NewTLSFor(eng, func() []sparse.Edge { return nil }) // L_t(H)
+	pq := newWorkQueue(pairs, queueGrain(eng, len(pairs)))
+	drain(eng, pq, func(w int, pr sparse.Edge) {
 		if _, ok := countCommonGE(in.Incidence(pr.U), in.Incidence(pr.V), s); ok { // line 10-11
 			*results.Get(w) = append(*results.Get(w), pr) // line 12
 		}
 	})
-	return collectTLS(results) // line 13
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	return collectTLS(eng, results), nil // line 13
 }

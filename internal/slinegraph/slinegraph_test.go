@@ -47,11 +47,11 @@ func pairs(ps ...[2]uint32) []sparse.Edge {
 func allAlgorithms(h *core.Hypergraph, s int) map[string][]sparse.Edge {
 	o := Options{}
 	return map[string][]sparse.Edge{
-		"naive":        Naive(h, s),
-		"intersection": Intersection(h, s, o),
-		"hashmap":      Hashmap(h, s, o),
-		"queue1":       QueueHashmap(FromHypergraph(h), s, o),
-		"queue2":       QueueIntersection(FromHypergraph(h), s, o),
+		"naive":        tNaive(h, s),
+		"intersection": tIntersection(h, s, o),
+		"hashmap":      tHashmap(h, s, o),
+		"queue1":       tQueueHashmap(FromHypergraph(h), s, o),
+		"queue2":       tQueueIntersection(FromHypergraph(h), s, o),
 	}
 }
 
@@ -112,7 +112,7 @@ func TestAllAlgorithmsAgreeOnRandomInputs(t *testing.T) {
 	f := func(seed int64) bool {
 		h := randomHypergraph(40, 25, 6, seed)
 		for s := 1; s <= 4; s++ {
-			want := Naive(h, s)
+			want := tNaive(h, s)
 			for name, got := range allAlgorithms(h, s) {
 				if !reflect.DeepEqual(got, want) {
 					t.Logf("%s disagrees with naive at s=%d (seed %d)", name, s, seed)
@@ -131,9 +131,9 @@ func TestSLineMonotonicityProperty(t *testing.T) {
 	// edges(s+1) ⊆ edges(s): higher thresholds only remove edges.
 	f := func(seed int64) bool {
 		h := randomHypergraph(30, 20, 6, seed)
-		prev := Hashmap(h, 1, Options{})
+		prev := tHashmap(h, 1, Options{})
 		for s := 2; s <= 5; s++ {
-			cur := Hashmap(h, s, Options{})
+			cur := tHashmap(h, s, Options{})
 			set := map[sparse.Edge]bool{}
 			for _, e := range prev {
 				set[e] = true
@@ -154,15 +154,15 @@ func TestSLineMonotonicityProperty(t *testing.T) {
 
 func TestOptionsMatrixAllEquivalent(t *testing.T) {
 	h := randomHypergraph(50, 30, 6, 77)
-	want := Naive(h, 2)
+	want := tNaive(h, 2)
 	for _, part := range []Partition{BlockedPartition, CyclicPartition} {
 		for _, rel := range []sparse.Order{sparse.NoOrder, sparse.Ascending, sparse.Descending} {
 			o := Options{Partition: part, Relabel: rel, NumBins: 8}
 			for name, got := range map[string][]sparse.Edge{
-				"intersection": Intersection(h, 2, o),
-				"hashmap":      Hashmap(h, 2, o),
-				"queue1":       QueueHashmap(FromHypergraph(h), 2, o),
-				"queue2":       QueueIntersection(FromHypergraph(h), 2, o),
+				"intersection": tIntersection(h, 2, o),
+				"hashmap":      tHashmap(h, 2, o),
+				"queue1":       tQueueHashmap(FromHypergraph(h), 2, o),
+				"queue2":       tQueueIntersection(FromHypergraph(h), 2, o),
 			} {
 				if !reflect.DeepEqual(got, want) {
 					t.Errorf("%s with %v/%v differs from naive", name, part, rel)
@@ -176,13 +176,13 @@ func TestQueueAlgorithmsOnAdjoinInput(t *testing.T) {
 	// The queue-based algorithms must produce identical s-line graphs when
 	// fed the adjoin representation directly — the versatility claim.
 	h := randomHypergraph(40, 25, 5, 3)
-	a := core.Adjoin(h)
+	a := core.Adjoin(teng, h)
 	for s := 1; s <= 3; s++ {
-		want := Naive(h, s)
-		if got := QueueHashmap(FromAdjoin(a), s, Options{}); !reflect.DeepEqual(got, want) {
+		want := tNaive(h, s)
+		if got := tQueueHashmap(FromAdjoin(a), s, Options{}); !reflect.DeepEqual(got, want) {
 			t.Errorf("QueueHashmap on adjoin, s=%d: %v want %v", s, got, want)
 		}
-		if got := QueueIntersection(FromAdjoin(a), s, Options{}); !reflect.DeepEqual(got, want) {
+		if got := tQueueIntersection(FromAdjoin(a), s, Options{}); !reflect.DeepEqual(got, want) {
 			t.Errorf("QueueIntersection on adjoin, s=%d: %v want %v", s, got, want)
 		}
 	}
@@ -194,10 +194,10 @@ func TestQueueAlgorithmsOnRenamedIDs(t *testing.T) {
 	h := paperHypergraph()
 	rename := map[uint32]uint32{0: 11, 1: 3, 2: 29, 3: 17}
 	in := Renamed(FromHypergraph(h), rename, 32)
-	got1 := QueueHashmap(in, 1, Options{})
-	got2 := QueueIntersection(in, 1, Options{})
+	got1 := tQueueHashmap(in, 1, Options{})
+	got2 := tQueueIntersection(in, 1, Options{})
 	// Cycle e0-e1-e2-e3-e0 renames to 11-3-29-17-11.
-	want := canonPairs(pairs([2]uint32{11, 3}, [2]uint32{11, 17}, [2]uint32{3, 29}, [2]uint32{29, 17}))
+	want := canonPairs(teng, pairs([2]uint32{11, 3}, [2]uint32{11, 17}, [2]uint32{3, 29}, [2]uint32{29, 17}))
 	if !reflect.DeepEqual(got1, want) {
 		t.Errorf("QueueHashmap renamed: %v, want %v", got1, want)
 	}
@@ -220,14 +220,14 @@ func TestQueueAlgorithmsRenamedInvariance(t *testing.T) {
 		in := Renamed(FromHypergraph(h), rename, space)
 		for s := 1; s <= 3; s++ {
 			want := map[sparse.Edge]bool{}
-			for _, e := range Naive(h, s) {
+			for _, e := range tNaive(h, s) {
 				u, v := rename[e.U], rename[e.V]
 				if u > v {
 					u, v = v, u
 				}
 				want[sparse.Edge{U: u, V: v}] = true
 			}
-			for _, algo := range []func(Input, int, Options) []sparse.Edge{QueueHashmap, QueueIntersection} {
+			for _, algo := range []func(Input, int, Options) []sparse.Edge{tQueueHashmap, tQueueIntersection} {
 				got := algo(in, s, Options{})
 				if len(got) != len(want) {
 					return false
@@ -249,9 +249,9 @@ func TestQueueAlgorithmsRenamedInvariance(t *testing.T) {
 func TestEnsembleMatchesIndividualRuns(t *testing.T) {
 	h := randomHypergraph(40, 25, 6, 9)
 	ss := []int{1, 2, 3, 5}
-	got := Ensemble(h, ss, Options{})
+	got := tEnsemble(h, ss, Options{})
 	for _, s := range ss {
-		want := Hashmap(h, s, Options{})
+		want := tHashmap(h, s, Options{})
 		if !reflect.DeepEqual(got[s], want) {
 			t.Errorf("ensemble s=%d differs from hashmap", s)
 		}
@@ -261,15 +261,15 @@ func TestEnsembleMatchesIndividualRuns(t *testing.T) {
 func TestEnsembleQueueMatchesEnsemble(t *testing.T) {
 	h := randomHypergraph(40, 25, 6, 17)
 	ss := []int{1, 2, 4}
-	want := Ensemble(h, ss, Options{})
-	got := EnsembleQueue(FromHypergraph(h), ss, Options{})
+	want := tEnsemble(h, ss, Options{})
+	got := tEnsembleQueue(FromHypergraph(h), ss, Options{})
 	for _, s := range ss {
 		if !reflect.DeepEqual(got[s], want[s]) {
 			t.Errorf("queue ensemble s=%d differs", s)
 		}
 	}
 	// And on the adjoin representation.
-	gotAdj := EnsembleQueue(FromAdjoin(core.Adjoin(h)), ss, Options{})
+	gotAdj := tEnsembleQueue(FromAdjoin(core.Adjoin(teng, h)), ss, Options{})
 	for _, s := range ss {
 		if !reflect.DeepEqual(gotAdj[s], want[s]) {
 			t.Errorf("adjoin queue ensemble s=%d differs", s)
@@ -278,13 +278,13 @@ func TestEnsembleQueueMatchesEnsemble(t *testing.T) {
 }
 
 func TestEnsembleQueueEmpty(t *testing.T) {
-	if EnsembleQueue(FromHypergraph(paperHypergraph()), nil, Options{}) != nil {
+	if tEnsembleQueue(FromHypergraph(paperHypergraph()), nil, Options{}) != nil {
 		t.Fatal("EnsembleQueue(nil) should be nil")
 	}
 }
 
 func TestEnsembleEmptyThresholds(t *testing.T) {
-	if got := Ensemble(paperHypergraph(), nil, Options{}); got != nil {
+	if got := tEnsemble(paperHypergraph(), nil, Options{}); got != nil {
 		t.Fatalf("Ensemble(nil) = %v", got)
 	}
 }
@@ -292,7 +292,7 @@ func TestEnsembleEmptyThresholds(t *testing.T) {
 func TestCliqueExpansionPaperExample(t *testing.T) {
 	// Clique expansion of the running example: each hyperedge becomes a
 	// clique over its members.
-	got := CliqueExpansion(paperHypergraph(), Options{})
+	got := tCliqueExpansion(paperHypergraph(), Options{})
 	want := map[sparse.Edge]bool{}
 	for _, set := range [][]uint32{{0, 1, 2}, {2, 3, 4}, {4, 5, 6}, {0, 6, 7, 8}} {
 		for i := 0; i < len(set); i++ {
@@ -317,8 +317,8 @@ func TestCliqueExpansionPaperExample(t *testing.T) {
 
 func TestCliqueExpansionIsDualOneLine(t *testing.T) {
 	h := randomHypergraph(20, 15, 5, 21)
-	a := CliqueExpansion(h, Options{})
-	b := Naive(h.Dual(), 1)
+	a := tCliqueExpansion(h, Options{})
+	b := tNaive(h.Dual(), 1)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("clique expansion != 1-line graph of dual")
 	}
@@ -326,7 +326,7 @@ func TestCliqueExpansionIsDualOneLine(t *testing.T) {
 
 func TestToLineGraph(t *testing.T) {
 	h := paperHypergraph()
-	lg := ToLineGraph(h.NumEdges(), Hashmap(h, 1, Options{}))
+	lg := ToLineGraph(h.NumEdges(), tHashmap(h, 1, Options{}))
 	if lg.NumVertices() != 4 {
 		t.Fatalf("line graph vertices = %d", lg.NumVertices())
 	}
@@ -353,7 +353,7 @@ func TestDegreeFilterExcludesSmallEdges(t *testing.T) {
 func TestSelfPairsNeverEmitted(t *testing.T) {
 	f := func(seed int64) bool {
 		h := randomHypergraph(20, 10, 4, seed)
-		for _, e := range Hashmap(h, 1, Options{}) {
+		for _, e := range tHashmap(h, 1, Options{}) {
 			if e.U == e.V {
 				return false
 			}
@@ -375,7 +375,7 @@ func TestWorkQueueDrainsExactlyOnce(t *testing.T) {
 	}
 	wq := newWorkQueue(items, 7)
 	var seen [1000]int32
-	drain(wq, func(_ int, it uint32) {
+	drain(teng, wq, func(_ int, it uint32) {
 		seen[it]++
 	})
 	for i, c := range seen {
@@ -388,7 +388,7 @@ func TestWorkQueueDrainsExactlyOnce(t *testing.T) {
 func TestOrderQueueCyclicPermutation(t *testing.T) {
 	h := paperHypergraph()
 	in := FromHypergraph(h)
-	q := orderQueue(in.EdgeIDs(), in, Options{Partition: CyclicPartition, NumBins: 2})
+	q := orderQueue(teng, in.EdgeIDs(), in, Options{Partition: CyclicPartition, NumBins: 2})
 	// 4 items, 2 bins: [0 2 1 3].
 	if !reflect.DeepEqual(q, []uint32{0, 2, 1, 3}) {
 		t.Fatalf("cyclic queue order = %v", q)
@@ -406,11 +406,11 @@ func TestOrderQueueCyclicPermutation(t *testing.T) {
 func TestOrderQueueDegreeSort(t *testing.T) {
 	h := paperHypergraph() // degrees 3,3,3,4
 	in := FromHypergraph(h)
-	q := orderQueue(in.EdgeIDs(), in, Options{Relabel: sparse.Descending})
+	q := orderQueue(teng, in.EdgeIDs(), in, Options{Relabel: sparse.Descending})
 	if q[0] != 3 {
 		t.Fatalf("descending queue should start with e3 (degree 4): %v", q)
 	}
-	q = orderQueue(in.EdgeIDs(), in, Options{Relabel: sparse.Ascending})
+	q = orderQueue(teng, in.EdgeIDs(), in, Options{Relabel: sparse.Ascending})
 	if q[3] != 3 {
 		t.Fatalf("ascending queue should end with e3: %v", q)
 	}

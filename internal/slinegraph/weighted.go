@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"nwhy/internal/core"
-	"nwhy/internal/countmap"
 	"nwhy/internal/graph"
 	"nwhy/internal/parallel"
 	"nwhy/internal/sparse"
@@ -23,19 +22,17 @@ type WeightedPair struct {
 // HashmapWeighted is the hashmap-counting construction retaining overlap
 // strengths. It produces the same pair set as Hashmap plus the exact
 // overlap count per pair.
-func HashmapWeighted(h *core.Hypergraph, s int, o Options) []WeightedPair {
+func HashmapWeighted(eng *parallel.Engine, h *core.Hypergraph, s int, o Options) ([]WeightedPair, error) {
 	edges, nodes, perm := relabeled(h, o)
 	ne := edges.NumRows()
 	deg := edges.Degrees()
-	p := parallel.Default()
-	tls := parallel.NewTLS(p, func() []WeightedPair { return nil })
-	cntTLS := parallel.NewTLS(p, func() *countmap.Map { return countmap.New(64) })
-	o.forIndices(ne, func(w, i int) {
+	tls := parallel.NewTLSFor(eng, func() []WeightedPair { return nil })
+	cntTLS, release := countTLS(eng)
+	o.forIndices(eng, ne, func(w, i int) {
 		if deg[i] < s {
 			return
 		}
-		cnt := *cntTLS.Get(w)
-		cnt.Clear()
+		cnt := getCount(eng, cntTLS, w)
 		for _, v := range edges.Row(i) {
 			for _, j := range nodes.Row(int(v)) {
 				if int(j) > i && deg[j] >= s {
@@ -50,25 +47,27 @@ func HashmapWeighted(h *core.Hypergraph, s int, o Options) []WeightedPair {
 			}
 		})
 	})
+	release()
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
 	var out []WeightedPair
 	tls.All(func(v *[]WeightedPair) { out = append(out, *v...) })
-	return canonWeighted(out)
+	return canonWeighted(out), nil
 }
 
 // QueueHashmapWeighted is Algorithm 1 retaining overlap strengths; like
 // QueueHashmap it accepts any Input (bipartite, adjoin, renamed).
-func QueueHashmapWeighted(in Input, s int, o Options) []WeightedPair {
-	queue := orderQueue(in.EdgeIDs(), in, o)
-	wq := newWorkQueue(queue, queueGrain(len(queue)))
-	p := parallel.Default()
-	results := parallel.NewTLS(p, func() []WeightedPair { return nil })
-	cntTLS := parallel.NewTLS(p, func() *countmap.Map { return countmap.New(64) })
-	drain(wq, func(w int, e uint32) {
+func QueueHashmapWeighted(eng *parallel.Engine, in Input, s int, o Options) ([]WeightedPair, error) {
+	queue := orderQueue(eng, in.EdgeIDs(), in, o)
+	wq := newWorkQueue(queue, queueGrain(eng, len(queue)))
+	results := parallel.NewTLSFor(eng, func() []WeightedPair { return nil })
+	cntTLS, release := countTLS(eng)
+	drain(eng, wq, func(w int, e uint32) {
 		if in.EdgeDegree(e) < s {
 			return
 		}
-		cnt := *cntTLS.Get(w)
-		cnt.Clear()
+		cnt := getCount(eng, cntTLS, w)
 		for _, v := range in.Incidence(e) {
 			for _, f := range in.EdgesOf(v) {
 				if f > e && in.EdgeDegree(f) >= s {
@@ -83,9 +82,13 @@ func QueueHashmapWeighted(in Input, s int, o Options) []WeightedPair {
 			}
 		})
 	})
+	release()
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
 	var out []WeightedPair
 	results.All(func(v *[]WeightedPair) { out = append(out, *v...) })
-	return canonWeighted(out)
+	return canonWeighted(out), nil
 }
 
 // canonWeighted normalizes weighted pairs: U < V, sorted, deduplicated.

@@ -10,7 +10,7 @@ import (
 
 func TestHashmapWeightedStrengths(t *testing.T) {
 	h := overlapHypergraph() // |e0∩e1|=3, |e0∩e2|=2, |e1∩e2|=3
-	wp := HashmapWeighted(h, 1, Options{})
+	wp := tHashmapWeighted(h, 1, Options{})
 	want := map[[2]uint32]int{{0, 1}: 3, {0, 2}: 2, {1, 2}: 3}
 	if len(wp) != len(want) {
 		t.Fatalf("got %v", wp)
@@ -26,12 +26,12 @@ func TestWeightedMatchesUnweightedPairs(t *testing.T) {
 	f := func(seed int64) bool {
 		h := randomHypergraph(30, 20, 5, seed)
 		for s := 1; s <= 3; s++ {
-			plain := Hashmap(h, s, Options{})
-			weighted := Unweight(HashmapWeighted(h, s, Options{}))
+			plain := tHashmap(h, s, Options{})
+			weighted := Unweight(tHashmapWeighted(h, s, Options{}))
 			if !reflect.DeepEqual(plain, weighted) {
 				return false
 			}
-			qw := Unweight(QueueHashmapWeighted(FromHypergraph(h), s, Options{}))
+			qw := Unweight(tQueueHashmapWeighted(FromHypergraph(h), s, Options{}))
 			if !reflect.DeepEqual(plain, qw) {
 				return false
 			}
@@ -46,7 +46,7 @@ func TestWeightedMatchesUnweightedPairs(t *testing.T) {
 func TestWeightedOverlapsAreExact(t *testing.T) {
 	f := func(seed int64) bool {
 		h := randomHypergraph(25, 15, 5, seed)
-		for _, p := range HashmapWeighted(h, 1, Options{}) {
+		for _, p := range tHashmapWeighted(h, 1, Options{}) {
 			if exactOverlap(h.EdgeIncidence(int(p.U)), h.EdgeIncidence(int(p.V))) != p.Overlap {
 				return false
 			}
@@ -61,7 +61,7 @@ func TestWeightedOverlapsAreExact(t *testing.T) {
 func TestWeightedOverlapAtLeastS(t *testing.T) {
 	h := randomHypergraph(40, 20, 6, 11)
 	for s := 2; s <= 4; s++ {
-		for _, p := range HashmapWeighted(h, s, Options{}) {
+		for _, p := range tHashmapWeighted(h, s, Options{}) {
 			if p.Overlap < s {
 				t.Fatalf("s=%d pair with overlap %d", s, p.Overlap)
 			}
@@ -90,9 +90,9 @@ func exactOverlap(a, b []uint32) int {
 
 func TestQueueHashmapWeightedOnAdjoin(t *testing.T) {
 	h := randomHypergraph(30, 20, 5, 5)
-	a := core.Adjoin(h)
-	want := HashmapWeighted(h, 2, Options{})
-	got := QueueHashmapWeighted(FromAdjoin(a), 2, Options{})
+	a := core.Adjoin(teng, h)
+	want := tHashmapWeighted(h, 2, Options{})
+	got := tQueueHashmapWeighted(FromAdjoin(a), 2, Options{})
 	if !reflect.DeepEqual(got, want) {
 		t.Fatal("weighted queue construction on adjoin differs")
 	}
@@ -100,7 +100,7 @@ func TestQueueHashmapWeightedOnAdjoin(t *testing.T) {
 
 func TestToWeightedLineGraph(t *testing.T) {
 	h := overlapHypergraph()
-	wp := HashmapWeighted(h, 1, Options{})
+	wp := tHashmapWeighted(h, 1, Options{})
 	g := ToWeightedLineGraph(h.NumEdges(), wp)
 	if !g.Weighted() {
 		t.Fatal("line graph not weighted")

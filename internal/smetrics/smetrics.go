@@ -11,6 +11,7 @@ import (
 
 	"nwhy/internal/core"
 	"nwhy/internal/graph"
+	"nwhy/internal/parallel"
 	"nwhy/internal/slinegraph"
 	"nwhy/internal/sparse"
 )
@@ -26,24 +27,43 @@ type SLineGraph struct {
 	// Pairs is the canonical s-line edge list (U < V, sorted).
 	Pairs []sparse.Edge
 
-	h *core.Hypergraph
+	h   *core.Hypergraph
+	eng *parallel.Engine
 }
 
 // Build constructs the s-line graph of h with the hashmap algorithm and
-// default options.
-func Build(h *core.Hypergraph, s int) *SLineGraph {
-	return BuildWith(h, s, slinegraph.Hashmap(h, s, slinegraph.Options{}))
+// default options, running on eng. The handle binds eng: every subsequent
+// s-metric query schedules on it and observes its context.
+func Build(eng *parallel.Engine, h *core.Hypergraph, s int) (*SLineGraph, error) {
+	pairs, err := slinegraph.Hashmap(eng, h, s, slinegraph.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return BuildWith(eng, h, s, pairs), nil
 }
 
 // BuildWith wraps an already-constructed s-line edge list (from any of the
-// construction algorithms — they all produce identical canonical lists).
-func BuildWith(h *core.Hypergraph, s int, pairs []sparse.Edge) *SLineGraph {
+// construction algorithms — they all produce identical canonical lists),
+// binding eng for the s-metric queries.
+func BuildWith(eng *parallel.Engine, h *core.Hypergraph, s int, pairs []sparse.Edge) *SLineGraph {
 	return &SLineGraph{
 		S:     s,
 		G:     slinegraph.ToLineGraph(h.NumEdges(), pairs),
 		Pairs: pairs,
 		h:     h,
+		eng:   eng,
 	}
+}
+
+// Engine returns the engine the handle's queries run on.
+func (l *SLineGraph) Engine() *parallel.Engine { return l.eng }
+
+// WithEngine returns a shallow copy of the handle bound to eng — the hook
+// the facade uses to attach a context-carrying engine for one call chain.
+func (l *SLineGraph) WithEngine(eng *parallel.Engine) *SLineGraph {
+	c := *l
+	c.eng = eng
+	return &c
 }
 
 // NumVertices reports the number of line-graph vertices (= hyperedges of h).
@@ -67,7 +87,7 @@ func (l *SLineGraph) Eligible(e int) bool { return l.h.EdgeDegree(e) >= l.S }
 // (canonical minimum-member labels). Hyperedges with no s-neighbors are
 // singleton components.
 func (l *SLineGraph) SConnectedComponents() []uint32 {
-	return graph.CanonicalizeComponents(graph.CCAfforest(l.G))
+	return graph.CanonicalizeComponents(graph.CCAfforest(l.eng, l.G))
 }
 
 // IsSConnected reports whether all eligible hyperedges form a single
@@ -93,14 +113,14 @@ func (l *SLineGraph) IsSConnected() bool {
 // SDistance reports the s-walk length between hyperedges src and dst: the
 // hop distance in the s-line graph, or -1 if no s-walk connects them.
 func (l *SLineGraph) SDistance(src, dst int) int {
-	r := graph.BFSTopDown(l.G, src)
+	r := graph.BFSTopDown(l.eng, l.G, src)
 	return int(r.Level[dst])
 }
 
 // SPath returns one shortest s-walk from src to dst as a hyperedge ID
 // sequence (inclusive), or nil if none exists.
 func (l *SLineGraph) SPath(src, dst int) []uint32 {
-	r := graph.BFSTopDown(l.G, src)
+	r := graph.BFSTopDown(l.eng, l.G, src)
 	if r.Level[dst] < 0 {
 		return nil
 	}
@@ -118,13 +138,13 @@ func (l *SLineGraph) SPath(src, dst int) []uint32 {
 // SBetweennessCentrality computes betweenness centrality of every hyperedge
 // over s-walks.
 func (l *SLineGraph) SBetweennessCentrality(normalized bool) []float64 {
-	return graph.BetweennessCentrality(l.G, normalized)
+	return graph.BetweennessCentrality(l.eng, l.G, normalized)
 }
 
 // SClosenessCentrality computes closeness centrality over s-walks for every
 // hyperedge.
 func (l *SLineGraph) SClosenessCentrality() []float64 {
-	return graph.ClosenessCentrality(l.G)
+	return graph.ClosenessCentrality(l.eng, l.G)
 }
 
 // SClosenessCentralityOf computes one hyperedge's s-closeness.
@@ -134,13 +154,13 @@ func (l *SLineGraph) SClosenessCentralityOf(e int) float64 {
 
 // SHarmonicClosenessCentrality computes harmonic closeness over s-walks.
 func (l *SLineGraph) SHarmonicClosenessCentrality() []float64 {
-	return graph.HarmonicClosenessCentrality(l.G)
+	return graph.HarmonicClosenessCentrality(l.eng, l.G)
 }
 
 // SEccentricity computes every hyperedge's s-eccentricity: the longest
 // shortest s-walk from it.
 func (l *SLineGraph) SEccentricity() []float64 {
-	return graph.Eccentricity(l.G)
+	return graph.Eccentricity(l.eng, l.G)
 }
 
 // SEccentricityOf computes one hyperedge's s-eccentricity.
@@ -162,7 +182,7 @@ func (l *SLineGraph) SDiameter() float64 {
 
 // SPageRank runs PageRank on the s-line graph.
 func (l *SLineGraph) SPageRank(damping, tol float64, maxIter int) []float64 {
-	return graph.PageRank(l.G, damping, tol, maxIter)
+	return graph.PageRank(l.eng, l.G, damping, tol, maxIter)
 }
 
 // SCoreness computes k-core numbers on the s-line graph.
@@ -173,5 +193,5 @@ func (l *SLineGraph) SCoreness() []int {
 // SMaximalIndependentSet computes a maximal set of pairwise non-s-adjacent
 // hyperedges (Luby's algorithm on the s-line graph).
 func (l *SLineGraph) SMaximalIndependentSet(seed int64) []bool {
-	return graph.MaximalIndependentSet(l.G, seed)
+	return graph.MaximalIndependentSet(l.eng, l.G, seed)
 }

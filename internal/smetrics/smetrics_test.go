@@ -31,7 +31,7 @@ func paperHypergraph() *core.Hypergraph {
 }
 
 func TestBuildShape(t *testing.T) {
-	l := Build(paperHypergraph(), 1)
+	l := tBuild(paperHypergraph(), 1)
 	if l.NumVertices() != 4 || l.NumEdges() != 4 {
 		t.Fatalf("1-line graph: %d vertices, %d edges", l.NumVertices(), l.NumEdges())
 	}
@@ -41,7 +41,7 @@ func TestBuildShape(t *testing.T) {
 }
 
 func TestSDegreeAndNeighbors(t *testing.T) {
-	l := Build(paperHypergraph(), 1)
+	l := tBuild(paperHypergraph(), 1)
 	// Cycle e0-e1-e2-e3: every hyperedge has s-degree 2.
 	for e := 0; e < 4; e++ {
 		if l.SDegree(e) != 2 {
@@ -54,7 +54,7 @@ func TestSDegreeAndNeighbors(t *testing.T) {
 }
 
 func TestSConnectedComponents(t *testing.T) {
-	l := Build(paperHypergraph(), 1)
+	l := tBuild(paperHypergraph(), 1)
 	comp := l.SConnectedComponents()
 	for e := 1; e < 4; e++ {
 		if comp[e] != comp[0] {
@@ -65,7 +65,7 @@ func TestSConnectedComponents(t *testing.T) {
 		t.Fatal("IsSConnected should be true at s=1")
 	}
 	// At s=2 the paper example's line graph has no edges: 4 singletons.
-	l2 := Build(paperHypergraph(), 2)
+	l2 := tBuild(paperHypergraph(), 2)
 	if l2.IsSConnected() {
 		t.Fatal("IsSConnected should be false at s=2")
 	}
@@ -82,7 +82,7 @@ func TestSConnectedComponents(t *testing.T) {
 func TestIsSConnectedIgnoresIneligible(t *testing.T) {
 	// Hyperedge {9} has |e| = 1 < s = 2: inert, must not break connectivity.
 	h := core.FromSets([][]uint32{{0, 1, 2}, {1, 2, 3}, {9}}, 10)
-	l := Build(h, 2)
+	l := tBuild(h, 2)
 	if !l.IsSConnected() {
 		t.Fatal("ineligible hyperedge should be ignored by IsSConnected")
 	}
@@ -93,13 +93,13 @@ func TestIsSConnectedIgnoresIneligible(t *testing.T) {
 
 func TestIsSConnectedVacuouslyFalse(t *testing.T) {
 	h := core.FromSets([][]uint32{{0}}, 1)
-	if Build(h, 2).IsSConnected() {
+	if tBuild(h, 2).IsSConnected() {
 		t.Fatal("no eligible hyperedges should mean not s-connected")
 	}
 }
 
 func TestSDistanceChain(t *testing.T) {
-	l := Build(chainHypergraph(), 2)
+	l := tBuild(chainHypergraph(), 2)
 	if d := l.SDistance(0, 4); d != 4 {
 		t.Fatalf("SDistance(0,4) = %d, want 4", d)
 	}
@@ -113,14 +113,14 @@ func TestSDistanceChain(t *testing.T) {
 
 func TestSDistanceUnreachable(t *testing.T) {
 	h := core.FromSets([][]uint32{{0, 1}, {5, 6}}, 7)
-	l := Build(h, 1)
+	l := tBuild(h, 1)
 	if d := l.SDistance(0, 1); d != -1 {
 		t.Fatalf("SDistance across components = %d, want -1", d)
 	}
 }
 
 func TestSPathChain(t *testing.T) {
-	l := Build(chainHypergraph(), 2)
+	l := tBuild(chainHypergraph(), 2)
 	got := l.SPath(0, 4)
 	want := []uint32{0, 1, 2, 3, 4}
 	if !reflect.DeepEqual(got, want) {
@@ -133,13 +133,13 @@ func TestSPathChain(t *testing.T) {
 
 func TestSPathNil(t *testing.T) {
 	h := core.FromSets([][]uint32{{0, 1}, {5, 6}}, 7)
-	if Build(h, 1).SPath(0, 1) != nil {
+	if tBuild(h, 1).SPath(0, 1) != nil {
 		t.Fatal("SPath across components should be nil")
 	}
 }
 
 func TestSBetweennessChain(t *testing.T) {
-	l := Build(chainHypergraph(), 2)
+	l := tBuild(chainHypergraph(), 2)
 	bc := l.SBetweennessCentrality(false)
 	// Path of 5: middle vertex has BC 4 (pairs (0,3),(0,4),(1,3),(1,4)).
 	if bc[2] != 4 {
@@ -151,7 +151,7 @@ func TestSBetweennessChain(t *testing.T) {
 }
 
 func TestSClosenessChain(t *testing.T) {
-	l := Build(chainHypergraph(), 2)
+	l := tBuild(chainHypergraph(), 2)
 	c := l.SClosenessCentrality()
 	// Middle of a 5-path: distances 2+1+1+2 = 6 -> 4/6.
 	if math.Abs(c[2]-4.0/6.0) > 1e-9 {
@@ -163,7 +163,7 @@ func TestSClosenessChain(t *testing.T) {
 }
 
 func TestSHarmonicChain(t *testing.T) {
-	l := Build(chainHypergraph(), 2)
+	l := tBuild(chainHypergraph(), 2)
 	hc := l.SHarmonicClosenessCentrality()
 	// Vertex 0: 1 + 1/2 + 1/3 + 1/4 = 2.0833.., / 4.
 	want := (1 + 0.5 + 1.0/3 + 0.25) / 4
@@ -173,7 +173,7 @@ func TestSHarmonicChain(t *testing.T) {
 }
 
 func TestSEccentricityChain(t *testing.T) {
-	l := Build(chainHypergraph(), 2)
+	l := tBuild(chainHypergraph(), 2)
 	ecc := l.SEccentricity()
 	want := []float64{4, 3, 2, 3, 4}
 	if !reflect.DeepEqual(ecc, want) {
@@ -189,10 +189,10 @@ func TestSEccentricityChain(t *testing.T) {
 
 func TestBuildWithMatchesBuild(t *testing.T) {
 	h := chainHypergraph()
-	viaQueue := BuildWith(h, 2, slinegraph.QueueIntersection(slinegraph.FromHypergraph(h), 2, slinegraph.Options{}))
-	direct := Build(h, 2)
+	viaQueue := tBuildWith(h, 2, tQueueIntersection(slinegraph.FromHypergraph(h), 2, slinegraph.Options{}))
+	direct := tBuild(h, 2)
 	if viaQueue.NumEdges() != direct.NumEdges() {
-		t.Fatal("BuildWith(queue2) differs from Build")
+		t.Fatal("tBuildWith(queue2) differs from Build")
 	}
 	if !reflect.DeepEqual(viaQueue.SConnectedComponents(), direct.SConnectedComponents()) {
 		t.Fatal("components differ")
@@ -200,7 +200,7 @@ func TestBuildWithMatchesBuild(t *testing.T) {
 }
 
 func TestSPageRankAndCoreness(t *testing.T) {
-	l := Build(chainHypergraph(), 2)
+	l := tBuild(chainHypergraph(), 2)
 	pr := l.SPageRank(0.85, 1e-10, 200)
 	sum := 0.0
 	for _, v := range pr {

@@ -3,6 +3,7 @@ package smetrics
 import (
 	"nwhy/internal/core"
 	"nwhy/internal/graph"
+	"nwhy/internal/parallel"
 	"nwhy/internal/slinegraph"
 )
 
@@ -17,14 +18,18 @@ type WeightedSLineGraph struct {
 	WG *graph.Graph
 }
 
-// BuildWeighted constructs the strength-annotated s-line graph of h.
-func BuildWeighted(h *core.Hypergraph, s int) *WeightedSLineGraph {
-	wp := slinegraph.HashmapWeighted(h, s, slinegraph.Options{})
+// BuildWeighted constructs the strength-annotated s-line graph of h on eng,
+// binding eng for the weighted s-metric queries.
+func BuildWeighted(eng *parallel.Engine, h *core.Hypergraph, s int) (*WeightedSLineGraph, error) {
+	wp, err := slinegraph.HashmapWeighted(eng, h, s, slinegraph.Options{})
+	if err != nil {
+		return nil, err
+	}
 	return &WeightedSLineGraph{
-		SLineGraph: BuildWith(h, s, slinegraph.Unweight(wp)),
+		SLineGraph: BuildWith(eng, h, s, slinegraph.Unweight(wp)),
 		Strengths:  wp,
 		WG:         slinegraph.ToWeightedLineGraph(h.NumEdges(), wp),
-	}
+	}, nil
 }
 
 // Strength reports |e ∩ f| for an s-line edge, or 0 if the pair is not
@@ -55,13 +60,13 @@ func (l *WeightedSLineGraph) Strength(e, f int) int {
 // hyperedges: the minimum over s-walks of the sum of 1/overlap along the
 // walk. Returns +Inf when unreachable.
 func (l *WeightedSLineGraph) SDistanceWeighted(src, dst int) float64 {
-	r := graph.DeltaStepping(l.WG, src, 0)
+	r := graph.DeltaStepping(l.eng, l.WG, src, 0)
 	return r.Dist[dst]
 }
 
 // SPathWeighted returns the minimum strength-weighted s-walk, or nil.
 func (l *WeightedSLineGraph) SPathWeighted(src, dst int) []uint32 {
-	r := graph.DeltaStepping(l.WG, src, 0)
+	r := graph.DeltaStepping(l.eng, l.WG, src, 0)
 	return r.PathTo(dst)
 }
 
@@ -69,23 +74,23 @@ func (l *WeightedSLineGraph) SPathWeighted(src, dst int) []uint32 {
 // strength-weighted s-walks (Dijkstra-based Brandes on the weighted line
 // graph): hyperedges bridging strong-overlap chains score highest.
 func (l *WeightedSLineGraph) SBetweennessCentralityWeighted(normalized bool) []float64 {
-	return graph.WeightedBetweennessCentrality(l.WG, normalized)
+	return graph.WeightedBetweennessCentrality(l.eng, l.WG, normalized)
 }
 
 // SClosenessCentralityWeighted computes closeness over strength-weighted
 // s-walks.
 func (l *WeightedSLineGraph) SClosenessCentralityWeighted() []float64 {
-	return graph.WeightedClosenessCentrality(l.WG)
+	return graph.WeightedClosenessCentrality(l.eng, l.WG)
 }
 
 // SHarmonicClosenessCentralityWeighted computes harmonic closeness over
 // strength-weighted s-walks.
 func (l *WeightedSLineGraph) SHarmonicClosenessCentralityWeighted() []float64 {
-	return graph.WeightedHarmonicCloseness(l.WG)
+	return graph.WeightedHarmonicCloseness(l.eng, l.WG)
 }
 
 // SEccentricityWeighted computes eccentricity over strength-weighted
 // s-walks.
 func (l *WeightedSLineGraph) SEccentricityWeighted() []float64 {
-	return graph.WeightedEccentricity(l.WG)
+	return graph.WeightedEccentricity(l.eng, l.WG)
 }

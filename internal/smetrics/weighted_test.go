@@ -18,7 +18,7 @@ func strengthChain() *core.Hypergraph {
 }
 
 func TestWeightedStrengthLookup(t *testing.T) {
-	l := BuildWeighted(strengthChain(), 1)
+	l := tBuildWeighted(strengthChain(), 1)
 	if got := l.Strength(0, 1); got != 3 {
 		t.Fatalf("Strength(0,1) = %d, want 3", got)
 	}
@@ -34,7 +34,7 @@ func TestWeightedStrengthLookup(t *testing.T) {
 }
 
 func TestWeightedDistance(t *testing.T) {
-	l := BuildWeighted(strengthChain(), 1)
+	l := tBuildWeighted(strengthChain(), 1)
 	// 0 -> 1 costs 1/3; 1 -> 2 costs 1/1. Total 4/3.
 	got := l.SDistanceWeighted(0, 2)
 	if math.Abs(got-4.0/3.0) > 1e-9 {
@@ -55,7 +55,7 @@ func TestWeightedDistancePrefersStrongPath(t *testing.T) {
 		{10, 20},           // e2: |e0∩e2|=1, |e2∩e3|=1
 		{3, 4, 5, 20},      // e3
 	}, 21)
-	l := BuildWeighted(h, 1)
+	l := tBuildWeighted(h, 1)
 	d := l.SDistanceWeighted(0, 3)
 	if math.Abs(d-2.0/3.0) > 1e-9 {
 		t.Fatalf("weighted distance = %v, want 2/3", d)
@@ -68,7 +68,7 @@ func TestWeightedDistancePrefersStrongPath(t *testing.T) {
 
 func TestWeightedUnreachable(t *testing.T) {
 	h := core.FromSets([][]uint32{{0, 1}, {5, 6}}, 7)
-	l := BuildWeighted(h, 1)
+	l := tBuildWeighted(h, 1)
 	if !math.IsInf(l.SDistanceWeighted(0, 1), 1) {
 		t.Fatal("unreachable weighted distance should be +Inf")
 	}
@@ -86,7 +86,7 @@ func TestWeightedBetweennessRoutesThroughStrongBridge(t *testing.T) {
 		{10, 20},
 		{3, 4, 5, 20},
 	}, 21)
-	l := BuildWeighted(h, 1)
+	l := tBuildWeighted(h, 1)
 	bc := l.SBetweennessCentralityWeighted(false)
 	if bc[1] <= bc[2] {
 		t.Fatalf("strong bridge BC %v not above weak bridge %v", bc[1], bc[2])
@@ -99,7 +99,7 @@ func TestWeightedBetweennessRoutesThroughStrongBridge(t *testing.T) {
 }
 
 func TestWeightedClosenessFamily(t *testing.T) {
-	l := BuildWeighted(strengthChain(), 1)
+	l := tBuildWeighted(strengthChain(), 1)
 	// Weighted distances: d(0,1)=1/3, d(1,2)=1, d(0,2)=4/3.
 	c := l.SClosenessCentralityWeighted()
 	// Vertex 1: sum = 1/3 + 1 = 4/3; c = 2/(4/3) = 1.5 (full reach, n=3).
@@ -119,8 +119,8 @@ func TestWeightedClosenessFamily(t *testing.T) {
 
 func TestWeightedEmbedsPlainSLineGraph(t *testing.T) {
 	h := strengthChain()
-	l := BuildWeighted(h, 1)
-	plain := Build(h, 1)
+	l := tBuildWeighted(h, 1)
+	plain := tBuild(h, 1)
 	if l.NumEdges() != plain.NumEdges() {
 		t.Fatal("weighted wrapper changed the pair set")
 	}

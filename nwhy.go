@@ -20,6 +20,7 @@
 package nwhy
 
 import (
+	"context"
 	"fmt"
 
 	"nwhy/internal/core"
@@ -29,18 +30,65 @@ import (
 	"nwhy/internal/sparse"
 )
 
+// Engine is the execution context hypergraph computations run on: a
+// work-stealing worker pool, per-worker reusable scratch, and an optional
+// context.Context observed at grain boundaries. See NewEngine, SharedEngine,
+// and (*Engine).WithContext.
+type Engine = parallel.Engine
+
+// NewEngine creates an engine with an owned pool of workers threads
+// (workers < 1 means GOMAXPROCS). Close it when done; two engines can run
+// computations concurrently under independent thread budgets.
+func NewEngine(workers int) *Engine { return parallel.NewEngine(workers) }
+
+// SharedEngine returns the process-wide engine every handle binds by
+// default. SetNumThreads resizes its pool.
+func SharedEngine() *Engine { return parallel.SharedEngine() }
+
 // NWHypergraph is the user-facing hypergraph handle (the Python API's
-// NWHypergraph class).
+// NWHypergraph class). Every computation it exposes runs on the engine the
+// handle is bound to (SharedEngine unless NewWithEngine/WithEngine said
+// otherwise).
 type NWHypergraph struct {
-	h *core.Hypergraph
+	h   *core.Hypergraph
+	eng *Engine
 	// adjoin is built lazily on first use.
 	adjoin *core.AdjoinGraph
 }
 
+// engine resolves the handle's bound engine, defaulting to the shared one
+// so zero-value and Wrap-built handles keep working.
+func (g *NWHypergraph) engine() *Engine {
+	if g.eng != nil {
+		return g.eng
+	}
+	return parallel.SharedEngine()
+}
+
+// Engine returns the engine the handle's computations run on.
+func (g *NWHypergraph) Engine() *Engine { return g.engine() }
+
+// WithEngine returns a shallow copy of the handle bound to eng: its
+// computations schedule on eng's pool and observe eng's context. The
+// underlying hypergraph (and cached adjoin graph) is shared, so deriving
+// per-call handles is cheap.
+func (g *NWHypergraph) WithEngine(eng *Engine) *NWHypergraph {
+	c := *g
+	c.eng = eng
+	return &c
+}
+
 // New builds a hypergraph from parallel incidence arrays: incidence k says
 // hyperedge edgeIDs[k] contains hypernode nodeIDs[k] (optionally with
-// weights[k]). It mirrors nwhy.NWHypergraph(row, col, weight).
+// weights[k]). It mirrors nwhy.NWHypergraph(row, col, weight) and binds the
+// shared engine.
 func New(edgeIDs, nodeIDs []uint32, weights []float64) (*NWHypergraph, error) {
+	return NewWithEngine(parallel.SharedEngine(), edgeIDs, nodeIDs, weights)
+}
+
+// NewWithEngine is New binding an explicit engine: every computation on the
+// returned handle schedules on eng.
+func NewWithEngine(eng *Engine, edgeIDs, nodeIDs []uint32, weights []float64) (*NWHypergraph, error) {
 	if len(edgeIDs) != len(nodeIDs) {
 		return nil, fmt.Errorf("nwhy: %d edge IDs vs %d node IDs", len(edgeIDs), len(nodeIDs))
 	}
@@ -48,6 +96,10 @@ func New(edgeIDs, nodeIDs []uint32, weights []float64) (*NWHypergraph, error) {
 		return nil, fmt.Errorf("nwhy: %d weights for %d incidences", len(weights), len(edgeIDs))
 	}
 	bel := sparse.NewBiEdgeList(0, 0)
+	bel.Edges = make([]sparse.Edge, 0, len(edgeIDs))
+	if weights != nil {
+		bel.Weights = make([]float64, 0, len(edgeIDs))
+	}
 	for k := range edgeIDs {
 		if weights != nil {
 			bel.AddWeighted(edgeIDs[k], nodeIDs[k], weights[k])
@@ -56,7 +108,7 @@ func New(edgeIDs, nodeIDs []uint32, weights []float64) (*NWHypergraph, error) {
 		}
 	}
 	bel.Dedup()
-	return &NWHypergraph{h: core.FromBiEdgeList(bel)}, nil
+	return &NWHypergraph{h: core.FromBiEdgeList(bel), eng: eng}, nil
 }
 
 // FromSets builds a hypergraph from explicit hyperedge member sets.
@@ -105,7 +157,7 @@ func (g *NWHypergraph) NumNodes() int { return g.h.NumNodes() }
 // matrix).
 func (g *NWHypergraph) NumIncidences() int { return g.h.NumIncidences() }
 
-// EdgeSizeDist reports hyperedge e's member count |e|.
+// EdgeDegree reports hyperedge e's member count |e|.
 func (g *NWHypergraph) EdgeDegree(e int) int { return g.h.EdgeDegree(e) }
 
 // NodeDegree reports hypernode v's hyperedge count d(v).
@@ -117,9 +169,9 @@ func (g *NWHypergraph) Incidence(e int) []uint32 { return g.h.EdgeIncidence(e) }
 // Memberships returns hypernode v's hyperedges.
 func (g *NWHypergraph) Memberships(v int) []uint32 { return g.h.NodeIncidence(v) }
 
-// Dual returns the dual hypergraph H* (shares storage).
+// Dual returns the dual hypergraph H* (shares storage and engine).
 func (g *NWHypergraph) Dual() *NWHypergraph {
-	return &NWHypergraph{h: g.h.Dual()}
+	return &NWHypergraph{h: g.h.Dual(), eng: g.eng}
 }
 
 // Stats computes the Table I characteristics row.
@@ -128,36 +180,38 @@ func (g *NWHypergraph) Stats() core.Stats { return core.ComputeStats(g.h) }
 // Adjoin returns the adjoin representation (built on first call, cached).
 func (g *NWHypergraph) Adjoin() *core.AdjoinGraph {
 	if g.adjoin == nil {
-		g.adjoin = core.Adjoin(g.h)
+		g.adjoin = core.Adjoin(g.engine(), g.h)
 	}
 	return g.adjoin
 }
 
 // Toplexes returns the IDs of the maximal hyperedges (paper Algorithm 3).
-func (g *NWHypergraph) Toplexes() []uint32 { return core.Toplexes(g.h) }
+func (g *NWHypergraph) Toplexes() []uint32 { return core.Toplexes(g.engine(), g.h) }
 
 // Toplexify returns the hypergraph restricted to its toplexes.
-func (g *NWHypergraph) Toplexify() *NWHypergraph { return Wrap(core.Toplexify(g.h)) }
+func (g *NWHypergraph) Toplexify() *NWHypergraph {
+	return Wrap(core.Toplexify(g.engine(), g.h)).WithEngine(g.engine())
+}
 
 // CollapseEdges merges duplicate hyperedges into representatives, returning
 // the reduced hypergraph and the equivalence classes (the Python API's
 // collapse_edges()).
 func (g *NWHypergraph) CollapseEdges() (*NWHypergraph, [][]uint32) {
-	r := core.CollapseEdges(g.h)
+	r := core.CollapseEdges(g.engine(), g.h)
 	return Wrap(r.H), r.Classes
 }
 
 // CollapseNodes merges hypernodes with identical hyperedge memberships
 // (collapse_nodes()).
 func (g *NWHypergraph) CollapseNodes() (*NWHypergraph, [][]uint32) {
-	r := core.CollapseNodes(g.h)
+	r := core.CollapseNodes(g.engine(), g.h)
 	return Wrap(r.H), r.Classes
 }
 
 // CollapseNodesAndEdges collapses duplicate hypernodes, then duplicate
 // hyperedges (collapse_nodes_and_edges()).
 func (g *NWHypergraph) CollapseNodesAndEdges() (*NWHypergraph, [][]uint32) {
-	r, _ := core.CollapseNodesAndEdges(g.h)
+	r, _ := core.CollapseNodesAndEdges(g.engine(), g.h)
 	return Wrap(r.H), r.Classes
 }
 
@@ -183,8 +237,10 @@ func (g *NWHypergraph) RestrictToNodes(nodeIDs []uint32) *NWHypergraph {
 // Validate checks structural invariants of the representation.
 func (g *NWHypergraph) Validate() error { return g.h.Validate() }
 
-// SetNumThreads sets the worker count of the shared parallel runtime, the
+// SetNumThreads sets the worker count of the shared engine's pool, the
 // analogue of constraining oneTBB's concurrency. n < 1 resets to GOMAXPROCS.
+// It is a compatibility shim over the explicit-engine API: handles bound to
+// their own engine (NewWithEngine / WithEngine) are unaffected.
 func SetNumThreads(n int) { parallel.SetNumWorkers(n) }
 
 // NumThreads reports the current worker count.
@@ -192,7 +248,17 @@ func NumThreads() int { return parallel.NumWorkers() }
 
 // CliqueExpansion computes the clique-expansion graph of the hypergraph
 // (the 1-line graph of the dual): each hyperedge becomes a clique over its
-// members. Returned pairs are hypernode ID pairs.
+// members. Returned pairs are hypernode ID pairs. If the bound engine's
+// context is cancelled the result is nil; use CliqueExpansionCtx to observe
+// the error.
 func (g *NWHypergraph) CliqueExpansion() []sparse.Edge {
-	return slinegraph.CliqueExpansion(g.h, slinegraph.Options{})
+	pairs, _ := slinegraph.CliqueExpansion(g.engine(), g.h, slinegraph.Options{})
+	return pairs
+}
+
+// CliqueExpansionCtx is CliqueExpansion bounded by ctx: the construction
+// aborts at the next grain boundary once ctx is cancelled and returns
+// ctx.Err().
+func (g *NWHypergraph) CliqueExpansionCtx(ctx context.Context) ([]sparse.Edge, error) {
+	return slinegraph.CliqueExpansion(g.engine().WithContext(ctx), g.h, slinegraph.Options{})
 }

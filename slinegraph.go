@@ -1,6 +1,8 @@
 package nwhy
 
 import (
+	"context"
+
 	"nwhy/internal/slinegraph"
 	"nwhy/internal/smetrics"
 	"nwhy/internal/sparse"
@@ -78,19 +80,36 @@ func (g *NWHypergraph) SLineGraph(s int, edges bool) *SLineGraph {
 }
 
 // SLineGraphWith constructs the s-line graph with explicit algorithm and
-// partition options.
+// partition options. If the bound engine's context is cancelled the result
+// is nil; use SLineGraphCtx to observe the error.
 func (g *NWHypergraph) SLineGraphWith(s int, edges bool, o ConstructOptions) *SLineGraph {
+	l, _ := g.slgOn(g.engine(), s, edges, o)
+	return l
+}
+
+// SLineGraphCtx is SLineGraphWith bounded by ctx: the construction aborts at
+// the next grain boundary once ctx is cancelled and returns ctx.Err(). The
+// returned handle stays bound to the handle's engine (without ctx), so
+// subsequent s-metric queries are not affected by an expired deadline.
+func (g *NWHypergraph) SLineGraphCtx(ctx context.Context, s int, edges bool, o ConstructOptions) (*SLineGraph, error) {
+	return g.slgOn(g.engine().WithContext(ctx), s, edges, o)
+}
+
+func (g *NWHypergraph) slgOn(eng *Engine, s int, edges bool, o ConstructOptions) (*SLineGraph, error) {
 	h := g.h
 	if !edges {
 		h = g.h.Dual()
 	}
-	var pairs []sparse.Edge
+	var (
+		pairs []sparse.Edge
+		err   error
+	)
 	opts := o.internal()
 	switch o.Algorithm {
 	case AlgoNaive:
-		pairs = slinegraph.Naive(h, s)
+		pairs, err = slinegraph.Naive(eng, h, s)
 	case AlgoIntersection:
-		pairs = slinegraph.Intersection(h, s, opts)
+		pairs, err = slinegraph.Intersection(eng, h, s, opts)
 	case AlgoQueueHashmap, AlgoQueueIntersection:
 		var in slinegraph.Input
 		if o.UseAdjoin && edges {
@@ -99,14 +118,17 @@ func (g *NWHypergraph) SLineGraphWith(s int, edges bool, o ConstructOptions) *SL
 			in = slinegraph.FromHypergraph(h)
 		}
 		if o.Algorithm == AlgoQueueHashmap {
-			pairs = slinegraph.QueueHashmap(in, s, opts)
+			pairs, err = slinegraph.QueueHashmap(eng, in, s, opts)
 		} else {
-			pairs = slinegraph.QueueIntersection(in, s, opts)
+			pairs, err = slinegraph.QueueIntersection(eng, in, s, opts)
 		}
 	default:
-		pairs = slinegraph.Hashmap(h, s, opts)
+		pairs, err = slinegraph.Hashmap(eng, h, s, opts)
 	}
-	return &SLineGraph{smetrics.BuildWith(h, s, pairs)}
+	if err != nil {
+		return nil, err
+	}
+	return &SLineGraph{smetrics.BuildWith(g.engine(), h, s, pairs)}, nil
 }
 
 // WeightedSLineGraph is the strength-annotated s-line graph handle: every
@@ -119,7 +141,8 @@ type WeightedSLineGraph struct {
 // SLineGraphWeighted constructs the s-line graph over hyperedges with
 // overlap strengths retained.
 func (g *NWHypergraph) SLineGraphWeighted(s int) *WeightedSLineGraph {
-	return &WeightedSLineGraph{smetrics.BuildWeighted(g.h, s)}
+	l, _ := smetrics.BuildWeighted(g.engine(), g.h, s)
+	return &WeightedSLineGraph{l}
 }
 
 // SLineGraphEnsembleQueue computes the s-line graphs for several values of
@@ -132,10 +155,10 @@ func (g *NWHypergraph) SLineGraphEnsembleQueue(ss []int, useAdjoin bool) map[int
 	} else {
 		in = slinegraph.FromHypergraph(g.h)
 	}
-	byS := slinegraph.EnsembleQueue(in, ss, slinegraph.Options{})
+	byS, _ := slinegraph.EnsembleQueue(g.engine(), in, ss, slinegraph.Options{})
 	out := make(map[int]*SLineGraph, len(ss))
 	for s, pairs := range byS {
-		out[s] = &SLineGraph{smetrics.BuildWith(g.h, s, pairs)}
+		out[s] = &SLineGraph{smetrics.BuildWith(g.engine(), g.h, s, pairs)}
 	}
 	return out
 }
@@ -146,8 +169,20 @@ func (g *NWHypergraph) SLineGraphEnsembleQueue(ss []int, useAdjoin bool) map[int
 // construction discovers them. Labels are canonical minimum-member IDs over
 // [0, NumEdges()).
 func (g *NWHypergraph) SConnectedComponentsDirect(s int) []uint32 {
-	labels := slinegraph.SComponentsDirect(slinegraph.FromHypergraph(g.h), s, slinegraph.Options{})
-	return labels[:g.NumEdges()]
+	labels, _ := g.SConnectedComponentsDirectCtx(context.Background(), s)
+	return labels
+}
+
+// SConnectedComponentsDirectCtx is SConnectedComponentsDirect bounded by
+// ctx: the queue drain stops at the next chunk boundary once ctx is
+// cancelled and ctx.Err() is returned.
+func (g *NWHypergraph) SConnectedComponentsDirectCtx(ctx context.Context, s int) ([]uint32, error) {
+	eng := g.engine().WithContext(ctx)
+	labels, err := slinegraph.SComponentsDirect(eng, slinegraph.FromHypergraph(g.h), s, slinegraph.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return labels[:g.NumEdges()], nil
 }
 
 // SLineGraphEnsemble constructs the s-line graphs for several values of s
@@ -157,10 +192,10 @@ func (g *NWHypergraph) SLineGraphEnsemble(ss []int, edges bool) map[int]*SLineGr
 	if !edges {
 		h = g.h.Dual()
 	}
-	byS := slinegraph.Ensemble(h, ss, slinegraph.Options{})
+	byS, _ := slinegraph.Ensemble(g.engine(), h, ss, slinegraph.Options{})
 	out := make(map[int]*SLineGraph, len(ss))
 	for s, pairs := range byS {
-		out[s] = &SLineGraph{smetrics.BuildWith(h, s, pairs)}
+		out[s] = &SLineGraph{smetrics.BuildWith(g.engine(), h, s, pairs)}
 	}
 	return out
 }
