@@ -9,6 +9,7 @@
 //	nwhy-bench -exp fig7 -threads 1,2,4 -reps 3
 //	nwhy-bench -exp fig8
 //	nwhy-bench -exp fig9 -s 1,2,4,8
+//	nwhy-bench -exp frontier
 //	nwhy-bench -exp ablation
 //	nwhy-bench -exp all
 package main
@@ -39,7 +40,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("nwhy-bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: table1 | fig7 | fig8 | fig9 | ablation | all")
+		exp      = fs.String("exp", "all", "experiment: table1 | fig7 | fig8 | fig9 | frontier | ablation | all")
 		scale    = fs.Float64("scale", 0.5, "dataset scale factor")
 		threads  = fs.String("threads", "", "comma-separated thread counts (default 1,2,..,max(4,GOMAXPROCS))")
 		ss       = fs.String("s", "1,2,4,8", "comma-separated s values for fig9")
@@ -83,10 +84,11 @@ func run(args []string, w io.Writer) error {
 		"fig7":     func() { fig7(w, presets, *scale, threadList, *reps) },
 		"fig8":     func() { fig8(w, presets, *scale, threadList, *reps) },
 		"fig9":     func() { fig9(w, presets, *scale, sList, *reps, *quick) },
+		"frontier": func() { frontierSweep(w, presets, *scale, *reps) },
 		"ablation": func() { ablation(w, presets, *scale, *reps) },
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "fig7", "fig8", "fig9", "ablation"} {
+		for _, name := range []string{"table1", "fig7", "fig8", "fig9", "frontier", "ablation"} {
 			known[name]()
 		}
 		return nil
@@ -299,6 +301,38 @@ func fig9(w io.Writer, presets []gen.Preset, scale float64, sList []int, reps in
 				fmt.Fprintf(w, "%15.2fx", float64(best[i])/float64(hashmap))
 			}
 			fmt.Fprintf(w, "%16s  (%d line edges)\n", hashmap.Round(time.Microsecond), edges)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// frontierSweep prints, per dataset, the HyperBFS runtime under each
+// frontier strategy — forced push, forced pull, and the direction-optimizing
+// auto switch — alongside the adjoin and Hygra-baseline formulations, all on
+// the shared frontier.EdgeMap substrate. Sourced at the maximum-degree
+// hyperedge like Figure 8.
+func frontierSweep(w io.Writer, presets []gen.Preset, scale float64, reps int) {
+	fmt.Fprintf(w, "== Frontier strategy sweep: HyperBFS push vs pull vs auto (scale %.2f) ==\n", scale)
+	variants := []struct {
+		name string
+		v    nwhy.BFSVariant
+	}{
+		{"push", nwhy.BFSTopDown},
+		{"pull", nwhy.BFSBottomUp},
+		{"auto", nwhy.BFSDirectionOptimizing},
+		{"adjoin", nwhy.BFSAdjoin},
+		{"hygra", nwhy.BFSHygraBaseline},
+	}
+	for _, p := range presets {
+		g := build(p, scale)
+		g.Adjoin()
+		src := maxDegreeEdge(g)
+		reach := g.BFS(src, nwhy.BFSTopDown)
+		fmt.Fprintf(w, "-- %s (|E|=%d |V|=%d, source e%d reaches %d edges + %d nodes) --\n",
+			p.Name, g.NumEdges(), g.NumNodes(), src, reach.ReachedEdges(), reach.ReachedNodes())
+		for _, v := range variants {
+			d := measure(reps, func() { g.BFS(src, v.v) })
+			fmt.Fprintf(w, "  %-8s %12s\n", v.name, d.Round(time.Microsecond))
 		}
 	}
 	fmt.Fprintln(w)

@@ -63,6 +63,20 @@ func TestBenchFig9Quick(t *testing.T) {
 	}
 }
 
+func TestBenchFrontier(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-exp", "frontier", "-scale", "0.02", "-reps", "1", "-datasets", "rand1-mini"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Frontier strategy sweep", "push", "pull", "auto", "adjoin", "hygra", "reaches"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("frontier output missing %s: %q", want, s)
+		}
+	}
+}
+
 func TestBenchAblation(t *testing.T) {
 	var out bytes.Buffer
 	err := run([]string{"-exp", "ablation", "-scale", "0.02", "-reps", "1", "-datasets", "rand1-mini"}, &out)

@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"nwhy/internal/frontier"
 	"nwhy/internal/graph"
 	"nwhy/internal/parallel"
 )
@@ -43,197 +44,67 @@ func newHyperBFSResult(ne, nv int) *HyperBFSResult {
 	return r
 }
 
-// HyperBFSTopDown runs a parallel top-down BFS on the bipartite
-// representation from hyperedge srcEdge. Rounds alternate between the two
-// index spaces, and — as the paper notes for all bipartite-representation
-// algorithms — two of every algorithm-specific structure are maintained, one
-// per index space.
-func HyperBFSTopDown(eng *parallel.Engine, h *Hypergraph, srcEdge int) (*HyperBFSResult, error) {
-	r := newHyperBFSResult(h.NumEdges(), h.NumNodes())
+// hyperBFSWith is the one bipartite BFS loop behind all three variants: a
+// frontier.EdgeMap traversal that alternates between the two index spaces
+// each half-step — as the paper notes for all bipartite-representation
+// algorithms, two of every algorithm-specific structure are maintained, one
+// per index space — run under the given direction strategy. The engine is
+// checked for cancellation at every round boundary; an aborted traversal
+// returns eng.Err().
+func hyperBFSWith(eng *parallel.Engine, h *Hypergraph, srcEdge int, strategy frontier.Strategy) (*HyperBFSResult, error) {
+	ne, nv := h.NumEdges(), h.NumNodes()
+	r := newHyperBFSResult(ne, nv)
 	r.EdgeLevel[srcEdge] = 0
-	edgeFrontier := []uint32{uint32(srcEdge)}
-	var nodeFrontier []uint32
-	for depth := int32(1); len(edgeFrontier) > 0 || len(nodeFrontier) > 0; depth++ {
-		if err := eng.Err(); err != nil {
-			return nil, err
+	st := frontier.NewState(int64(h.NumIncidences()), strategy)
+	f := frontier.Single(eng, ne, uint32(srcEdge))
+	onEdges := true // the side the frontier lives on
+	for depth := int32(1); !f.Empty(); depth++ {
+		if eng.Cancelled() {
+			f.Release(eng)
+			return nil, eng.Err()
 		}
-		if depth%2 == 1 {
-			nodeFrontier = expandFrontier(eng, edgeFrontier, h.Edges.Row, r.NodeLevel, depth)
-			edgeFrontier = nil
-		} else {
-			edgeFrontier = expandFrontier(eng, nodeFrontier, h.Nodes.Row, r.EdgeLevel, depth)
-			nodeFrontier = nil
+		level, outRow, inRow, nDst := r.NodeLevel, h.Edges.Row, h.Nodes.Row, nv
+		if !onEdges {
+			level, outRow, inRow, nDst = r.EdgeLevel, h.Nodes.Row, h.Edges.Row, ne
 		}
+		d := depth
+		f = st.EdgeMap(eng, f, nDst, outRow, inRow,
+			func(_, t uint32) bool {
+				return atomic.CompareAndSwapInt32(&level[t], -1, d)
+			},
+			func(t uint32) bool { return atomic.LoadInt32(&level[t]) == -1 })
+		onEdges = !onEdges
 	}
+	f.Release(eng)
 	if err := eng.Err(); err != nil {
 		return nil, err
 	}
 	return r, nil
 }
 
-// expandFrontier claims unvisited targets of every frontier member with a
-// CAS on the target level array, returning the next frontier.
-func expandFrontier(eng *parallel.Engine, frontier []uint32, row func(int) []uint32, level []int32, depth int32) []uint32 {
-	next := parallel.NewTLSFor(eng, func() []uint32 { return nil })
-	eng.ForN(len(frontier), func(w, lo, hi int) {
-		buf := next.Get(w)
-		if cap(*buf) == 0 {
-			*buf = eng.GrabU32(w)
-		}
-		for i := lo; i < hi; i++ {
-			for _, t := range row(int(frontier[i])) {
-				if atomic.LoadInt32(&level[t]) == -1 &&
-					atomic.CompareAndSwapInt32(&level[t], -1, depth) {
-					*buf = append(*buf, t)
-				}
-			}
-		}
-	})
-	var out []uint32
-	next.Each(func(w int, v *[]uint32) {
-		out = append(out, *v...)
-		eng.StashU32(w, *v)
-	})
-	return out
+// HyperBFSTopDown runs a parallel top-down BFS on the bipartite
+// representation from hyperedge srcEdge: every half-step scatters the
+// frontier over its incidence lists, claiming unvisited entities of the
+// other index space with a CAS.
+func HyperBFSTopDown(eng *parallel.Engine, h *Hypergraph, srcEdge int) (*HyperBFSResult, error) {
+	return hyperBFSWith(eng, h, srcEdge, frontier.ForcePush)
 }
 
 // HyperBFSBottomUp runs a parallel bottom-up BFS on the bipartite
-// representation: each round, every unvisited entity of the side being
+// representation: each half-step, every unvisited entity of the side being
 // expanded scans its incidence list for a frontier member.
 func HyperBFSBottomUp(eng *parallel.Engine, h *Hypergraph, srcEdge int) (*HyperBFSResult, error) {
-	ne, nv := h.NumEdges(), h.NumNodes()
-	r := newHyperBFSResult(ne, nv)
-	r.EdgeLevel[srcEdge] = 0
-	edgeFront := parallel.NewBitset(ne)
-	edgeFront.Set(srcEdge)
-	var nodeFront *parallel.Bitset
-	for depth := int32(1); ; depth++ {
-		if err := eng.Err(); err != nil {
-			return nil, err
-		}
-		var awake int64
-		if depth%2 == 1 {
-			nodeFront, awake = bottomUpStep(eng, nv, h.Nodes.Row, edgeFront, r.NodeLevel, depth)
-		} else {
-			edgeFront, awake = bottomUpStep(eng, ne, h.Edges.Row, nodeFront, r.EdgeLevel, depth)
-		}
-		if awake == 0 {
-			if err := eng.Err(); err != nil {
-				return nil, err
-			}
-			return r, nil
-		}
-	}
+	return hyperBFSWith(eng, h, srcEdge, frontier.ForcePull)
 }
 
-// bottomUpStep marks every unvisited entity adjacent to the previous side's
-// frontier, writing its level and setting it in the next frontier bitmap.
-func bottomUpStep(eng *parallel.Engine, n int, row func(int) []uint32, front *parallel.Bitset, level []int32, depth int32) (*parallel.Bitset, int64) {
-	next := parallel.NewBitset(n)
-	var awake atomic.Int64
-	eng.ForN(n, func(_, lo, hi int) {
-		local := int64(0)
-		for v := lo; v < hi; v++ {
-			if level[v] != -1 {
-				continue
-			}
-			for _, u := range row(v) {
-				if front.Get(int(u)) {
-					level[v] = depth
-					next.Set(v)
-					local++
-					break
-				}
-			}
-		}
-		awake.Add(local)
-	})
-	return next, awake.Load()
-}
-
-// hyperDOAlpha/hyperDOBeta are the direction-switch thresholds for the
-// hybrid bipartite BFS, following Beamer's heuristics.
-const (
-	hyperDOAlpha = 15
-	hyperDOBeta  = 18
-)
-
-// HyperBFSDirectionOptimizing runs a hybrid BFS on the bipartite
-// representation: each half-step picks top-down or bottom-up by comparing
-// the frontier's incidence volume against the unexplored remainder of the
-// side being expanded — the bipartite analogue of the direction-optimizing
-// BFS that AdjoinBFS gets for free from the graph library.
+// HyperBFSDirectionOptimizing runs the hybrid BFS on the bipartite
+// representation: each half-step picks top-down or bottom-up through
+// frontier.State's alpha/beta heuristics over the incidence volume — the
+// bipartite analogue (alternating edge→node and node→edge pulls) of the
+// direction-optimizing BFS that AdjoinBFS gets for free from the graph
+// library.
 func HyperBFSDirectionOptimizing(eng *parallel.Engine, h *Hypergraph, srcEdge int) (*HyperBFSResult, error) {
-	ne, nv := h.NumEdges(), h.NumNodes()
-	r := newHyperBFSResult(ne, nv)
-	r.EdgeLevel[srcEdge] = 0
-
-	frontier := []uint32{uint32(srcEdge)}
-	onEdges := true // the side the frontier lives on
-	incTotal := int64(h.NumIncidences())
-	var exploredInc int64
-
-	for depth := int32(1); len(frontier) > 0; depth++ {
-		if err := eng.Err(); err != nil {
-			return nil, err
-		}
-		// Volume of incidences leaving the frontier.
-		var frontInc int64
-		rowOut := h.Edges.Row
-		rowIn := h.Nodes.Row
-		nOther := nv
-		level := r.NodeLevel
-		if !onEdges {
-			rowOut, rowIn = h.Nodes.Row, h.Edges.Row
-			nOther = ne
-			level = r.EdgeLevel
-		}
-		for _, u := range frontier {
-			frontInc += int64(len(rowOut(int(u))))
-		}
-		exploredInc += frontInc
-		bottomUp := frontInc > (incTotal-exploredInc)/hyperDOAlpha &&
-			len(frontier) > nOther/hyperDOBeta
-
-		if bottomUp {
-			// Bitmap over the frontier's own side.
-			front := parallel.NewBitset(frontierSpace(onEdges, ne, nv))
-			for _, u := range frontier {
-				front.Set(int(u))
-			}
-			var awake int64
-			var next *parallel.Bitset
-			next, awake = bottomUpStep(eng, nOther, rowIn, front, level, depth)
-			if awake == 0 {
-				break
-			}
-			frontier = bitsetToList(next)
-		} else {
-			frontier = expandFrontier(eng, frontier, func(i int) []uint32 { return rowOut(i) }, level, depth)
-		}
-		onEdges = !onEdges
-	}
-	if err := eng.Err(); err != nil {
-		return nil, err
-	}
-	return r, nil
-}
-
-func frontierSpace(onEdges bool, ne, nv int) int {
-	if onEdges {
-		return ne
-	}
-	return nv
-}
-
-func bitsetToList(b *parallel.Bitset) []uint32 {
-	var out []uint32
-	for i := 0; i < b.Len(); i++ {
-		if b.Get(i) {
-			out = append(out, uint32(i))
-		}
-	}
-	return out
+	return hyperBFSWith(eng, h, srcEdge, frontier.Auto)
 }
 
 // AdjoinBFS runs the direction-optimizing BFS of the graph library on the

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"nwhy/internal/parallel"
+)
+
+// countdownCtx is a context.Context whose Err starts reporting
+// context.Canceled after the first n calls — a deterministic way to cancel
+// an engine partway through a multi-round traversal without timing races.
+type countdownCtx struct {
+	context.Context
+	left atomic.Int64
+}
+
+func newCountdownCtx(n int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.left.Store(n)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.left.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// pathHypergraph chains k hyperedges e_i = {v_i, v_{i+1}}, giving a
+// traversal of ~2k rounds from e_0.
+func pathHypergraph(k int) *Hypergraph {
+	sets := make([][]uint32, k)
+	for i := range sets {
+		sets[i] = []uint32{uint32(i), uint32(i + 1)}
+	}
+	return FromSets(sets, k+1)
+}
+
+// TestHyperBFSCancelledBetweenRounds is the regression test for the round
+// loop ignoring cancellation: a context that expires after the traversal is
+// underway must abort HyperBFS at a round boundary and surface the error,
+// for every variant.
+func TestHyperBFSCancelledBetweenRounds(t *testing.T) {
+	h := pathHypergraph(200)
+	variants := map[string]func(*parallel.Engine, *Hypergraph, int) (*HyperBFSResult, error){
+		"topdown":  HyperBFSTopDown,
+		"bottomup": HyperBFSBottomUp,
+		"diropt":   HyperBFSDirectionOptimizing,
+	}
+	for name, fn := range variants {
+		// Let a handful of cancellation checks pass, then trip: the
+		// ~400-round traversal cannot have finished by then.
+		eng := teng.WithContext(newCountdownCtx(20))
+		r, err := fn(eng, h, 0)
+		if err == nil {
+			t.Fatalf("%s: expected cancellation error, got nil (result %v)", name, r != nil)
+		}
+		if r != nil {
+			t.Fatalf("%s: expected nil result on cancellation", name)
+		}
+	}
+}
+
+// TestHyperBFSPreCancelled asserts an already-expired context aborts before
+// any round runs.
+func TestHyperBFSPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := teng.WithContext(ctx)
+	if _, err := HyperBFSTopDown(eng, pathHypergraph(3), 0); err == nil {
+		t.Fatal("expected error from pre-cancelled engine")
+	}
+}

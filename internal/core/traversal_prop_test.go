@@ -1,0 +1,109 @@
+// Package core_test holds cross-package traversal properties: every BFS
+// formulation in the repo — the three bipartite HyperBFS strategies, the
+// Hygra-style baseline, and the adjoin-representation BFS — must report
+// identical levels on random hypergraphs now that they all run on the one
+// frontier.EdgeMap substrate. External package because hygra imports core.
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nwhy/internal/core"
+	"nwhy/internal/gen"
+	"nwhy/internal/graph"
+	"nwhy/internal/hygra"
+	"nwhy/internal/parallel"
+)
+
+var pteng = parallel.SharedEngine()
+
+func levelsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTraversalVariantsAgree asserts that push, pull, direction-optimizing,
+// Hygra-baseline, and adjoin BFS all compute the same edge and node levels
+// from the same source on random hypergraphs.
+func TestTraversalVariantsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		h := gen.Uniform(30, 40, 5, seed)
+		base, err := core.HyperBFSTopDown(pteng, h, 0)
+		if err != nil {
+			return false
+		}
+		for _, fn := range []func(*parallel.Engine, *core.Hypergraph, int) (*core.HyperBFSResult, error){
+			core.HyperBFSBottomUp,
+			core.HyperBFSDirectionOptimizing,
+		} {
+			r, err := fn(pteng, h, 0)
+			if err != nil || !levelsEqual(r.EdgeLevel, base.EdgeLevel) || !levelsEqual(r.NodeLevel, base.NodeLevel) {
+				return false
+			}
+		}
+		el, nl, err := hygra.BFS(pteng, h, 0)
+		if err != nil || !levelsEqual(el, base.EdgeLevel) || !levelsEqual(nl, base.NodeLevel) {
+			return false
+		}
+		ar, err := core.AdjoinBFS(pteng, core.Adjoin(pteng, h), 0)
+		if err != nil || !levelsEqual(ar.EdgeLevel, base.EdgeLevel) || !levelsEqual(ar.NodeLevel, base.NodeLevel) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGraphBFSStrategiesAgreeWithValidParents asserts, on the adjoin graph
+// of random hypergraphs, that the three graph.BFS strategies report
+// identical levels and that every reported parent is a genuine BFS tree
+// edge: an in-neighbor exactly one level closer to the source.
+func TestGraphBFSStrategiesAgreeWithValidParents(t *testing.T) {
+	f := func(seed int64) bool {
+		h := gen.Uniform(25, 35, 5, seed)
+		g := core.Adjoin(pteng, h).G
+		src := 0
+		base := graph.BFSTopDown(pteng, g, src)
+		for _, r := range []*graph.BFSResult{
+			graph.BFSBottomUp(pteng, g, src),
+			graph.BFSDirectionOptimizing(pteng, g, src),
+		} {
+			if !levelsEqual(r.Level, base.Level) {
+				return false
+			}
+			for v := range r.Level {
+				if r.Level[v] <= 0 {
+					continue // source or unreachable: no parent required
+				}
+				p := r.Parent[v]
+				if p < 0 || r.Level[p] != r.Level[v]-1 {
+					return false
+				}
+				adjacent := false
+				for _, u := range g.Row(v) {
+					if int32(u) == p {
+						adjacent = true
+						break
+					}
+				}
+				if !adjacent {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package frontier
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// benchBFS traverses the benchmark graph once under one strategy.
+func benchBFS(b *testing.B, strategy Strategy) {
+	adj := randAdj(1<<14, 8, 42)
+	m := arcCount(adj)
+	row := func(u int) []uint32 { return adj[u] }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		level := make([]int32, len(adj))
+		for j := range level {
+			level[j] = -1
+		}
+		level[0] = 0
+		st := NewState(m, strategy)
+		f := Single(teng, len(adj), 0)
+		for depth := int32(1); !f.Empty(); depth++ {
+			d := depth
+			f = st.EdgeMap(teng, f, len(adj), row, row,
+				func(_, v uint32) bool {
+					return atomic.CompareAndSwapInt32(&level[v], -1, d)
+				},
+				func(v uint32) bool { return atomic.LoadInt32(&level[v]) == -1 })
+		}
+		f.Release(teng)
+	}
+}
+
+func BenchmarkEdgeMapPush(b *testing.B) { benchBFS(b, ForcePush) }
+func BenchmarkEdgeMapPull(b *testing.B) { benchBFS(b, ForcePull) }
+func BenchmarkEdgeMapAuto(b *testing.B) { benchBFS(b, Auto) }

@@ -1,0 +1,239 @@
+package frontier
+
+import "nwhy/internal/parallel"
+
+// Adj returns the adjacency (incidence) list of one entity. Push-direction
+// rounds call it on frontier members; pull-direction rounds call it on
+// candidate targets.
+type Adj func(u int) []uint32
+
+// Visit attempts to claim target t discovered from source u, returning
+// whether the claim succeeded. In push direction many workers race on one
+// target, so Visit must decide with an atomic (CAS for BFS parent claims,
+// atomic write-min for label propagation). In pull direction each target is
+// owned by a single worker, but sources are only read, so the same atomic
+// implementation is reused.
+type Visit func(u, t uint32) bool
+
+// Pending reports whether target t still wants a visit. Push rounds use it
+// as a cheap pre-filter before the atomic Visit; pull rounds additionally
+// use it as the scan-break condition: once a target stops pending
+// mid-scan (a BFS target that just got claimed), the rest of its incidence
+// list is skipped — the bottom-up early exit of Beamer's BFS. A nil Pending
+// means every target is always eligible (label propagation), so pull rounds
+// scan full incidence lists.
+type Pending func(t uint32) bool
+
+// Strategy selects how EdgeMap picks the expansion direction each round.
+type Strategy int
+
+const (
+	// Auto switches between push and pull with the alpha/beta heuristics —
+	// direction-optimizing traversal.
+	Auto Strategy = iota
+	// ForcePush always expands top-down (sparse frontier, scatter).
+	ForcePush
+	// ForcePull always expands bottom-up (dense frontier, gather).
+	ForcePull
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case ForcePush:
+		return "push"
+	case ForcePull:
+		return "pull"
+	default:
+		return "auto"
+	}
+}
+
+// Direction-optimizing switch thresholds (Beamer, Asanović, Patterson
+// 2013): switch push → pull when the frontier's out-arc volume exceeds a
+// 1/DefaultAlpha fraction of the unexplored arcs, and pull → push when the
+// frontier shrinks below a 1/DefaultBeta fraction of the target space.
+const (
+	DefaultAlpha = 15
+	DefaultBeta  = 18
+)
+
+// State carries one traversal's direction-optimization bookkeeping across
+// EdgeMap rounds: the running unexplored-arc estimate behind the alpha
+// heuristic and the current direction (the heuristics have hysteresis, so
+// direction is state, not a pure function of the frontier).
+type State struct {
+	// Strategy fixes the direction (ForcePush/ForcePull) or lets the
+	// alpha/beta heuristics choose (Auto).
+	Strategy Strategy
+	// Alpha and Beta override the switch thresholds; 0 means the defaults.
+	Alpha, Beta int
+	// TotalArcs is the total directed arc (or incidence) volume of the
+	// structure being traversed, the denominator of the alpha heuristic.
+	// 0 disables the heuristics: Auto degrades to push-only.
+	TotalArcs int64
+	// Dedup must be set when Visit can succeed for one target from several
+	// sources in one round (label propagation's write-min). Push rounds
+	// then deduplicate the next frontier through its bitmap; BFS-style
+	// exactly-one-claim visits leave it false and skip that cost.
+	Dedup bool
+	// Revisits marks traversals whose entities re-enter the frontier
+	// (label propagation). Beamer's unexplored-arc accounting assumes each
+	// arc is explored once and is meaningless under revisits, so Auto then
+	// uses Ligra's stateless rule instead: pull while |frontier| + its arc
+	// volume exceeds TotalArcs/Alpha.
+	Revisits bool
+
+	unexplored int64
+	started    bool
+	pull       bool
+}
+
+// NewState returns direction-optimization state for one traversal of a
+// structure with totalArcs directed arcs.
+func NewState(totalArcs int64, strategy Strategy) *State {
+	return &State{Strategy: strategy, TotalArcs: totalArcs}
+}
+
+func (st *State) alpha() int64 {
+	if st.Alpha > 0 {
+		return int64(st.Alpha)
+	}
+	return DefaultAlpha
+}
+
+func (st *State) beta() int64 {
+	if st.Beta > 0 {
+		return int64(st.Beta)
+	}
+	return DefaultBeta
+}
+
+// decide picks the direction for this round and updates the bookkeeping.
+func (st *State) decide(f *Frontier, nDst int, outRow Adj, canPull bool) bool {
+	if !canPull || st.Strategy == ForcePush {
+		st.pull = false
+		return false
+	}
+	if st.Strategy == ForcePull {
+		st.pull = true
+		return true
+	}
+	if st.TotalArcs <= 0 {
+		return false
+	}
+	var vol int64
+	for _, u := range f.Members() {
+		vol += int64(len(outRow(int(u))))
+	}
+	if st.Revisits {
+		st.pull = int64(f.Len())+vol > st.TotalArcs/st.alpha()
+		return st.pull
+	}
+	if !st.started {
+		st.started = true
+		st.unexplored = st.TotalArcs
+	}
+	st.unexplored -= vol
+	if st.pull {
+		if int64(f.Len()) < int64(nDst)/st.beta() {
+			st.pull = false
+		}
+	} else if vol > st.unexplored/st.alpha() {
+		st.pull = true
+	}
+	return st.pull
+}
+
+// EdgeMap runs one frontier expansion round: it maps f (a frontier over the
+// source space) through the incidence structure and returns the frontier of
+// targets Visit claimed, over the target space [0, nDst). The direction is
+// chosen per round by st:
+//
+//   - push (top-down): scatter from each frontier member u over outRow(u),
+//     claiming targets with the atomic Visit;
+//   - pull (bottom-up): gather per pending target t over inRow(t), scanning
+//     for a frontier member and stopping early once t stops pending.
+//
+// outRow and inRow are the two orientations of the same incidence relation
+// (equal for symmetric graphs; the two bipartite sides for hypergraphs). A
+// nil inRow disables pull. EdgeMap consumes f: its buffers are recycled
+// into eng's scratch arenas, so steady-state traversals stop allocating.
+//
+// A cancelled engine stops scheduling grains mid-round (the round's partial
+// result is a valid sub-frontier); traversal loops check eng at round
+// boundaries as usual.
+func (st *State) EdgeMap(eng *parallel.Engine, f *Frontier, nDst int, outRow, inRow Adj, visit Visit, pending Pending) *Frontier {
+	if st.decide(f, nDst, outRow, inRow != nil) {
+		return st.pullRound(eng, f, nDst, inRow, visit, pending)
+	}
+	return st.pushRound(eng, f, nDst, outRow, visit, pending)
+}
+
+// pushRound scatters the sparse frontier over its out-incidences.
+func (st *State) pushRound(eng *parallel.Engine, f *Frontier, nDst int, outRow Adj, visit Visit, pending Pending) *Frontier {
+	members := f.Members()
+	var dedup *parallel.Bitset
+	if st.Dedup {
+		dedup = grabBits(eng, nDst)
+	}
+	tls := parallel.NewTLSFor(eng, func() []uint32 { return nil })
+	eng.ForN(len(members), func(w, lo, hi int) {
+		buf := tls.Get(w)
+		if cap(*buf) == 0 {
+			*buf = eng.GrabU32(w)
+		}
+		for i := lo; i < hi; i++ {
+			u := members[i]
+			for _, t := range outRow(int(u)) {
+				if pending != nil && !pending(t) {
+					continue
+				}
+				if visit(u, t) && (dedup == nil || dedup.TestAndSet(int(t))) {
+					*buf = append(*buf, t)
+				}
+			}
+		}
+	})
+	next := &Frontier{n: nDst, bits: dedup}
+	f.Release(eng)
+	next.list = parallel.FlattenTLS(eng.GrabU32(0), tls, eng.StashU32)
+	return next
+}
+
+// pullRound gathers per target over its in-incidences, testing frontier
+// membership against the dense bitmap. It produces the next frontier's
+// bitmap as a by-product, so consecutive pull rounds never rebuild it.
+func (st *State) pullRound(eng *parallel.Engine, f *Frontier, nDst int, inRow Adj, visit Visit, pending Pending) *Frontier {
+	src := f.Dense(eng)
+	nextBits := grabBits(eng, nDst)
+	tls := parallel.NewTLSFor(eng, func() []uint32 { return nil })
+	eng.ForN(nDst, func(w, lo, hi int) {
+		buf := tls.Get(w)
+		if cap(*buf) == 0 {
+			*buf = eng.GrabU32(w)
+		}
+		for t := lo; t < hi; t++ {
+			tt := uint32(t)
+			if pending != nil && !pending(tt) {
+				continue
+			}
+			claimed := false
+			for _, u := range inRow(t) {
+				if src.Get(int(u)) && visit(u, tt) {
+					claimed = true
+				}
+				if pending != nil && !pending(tt) {
+					break
+				}
+			}
+			if claimed {
+				nextBits.Set(t)
+				*buf = append(*buf, tt)
+			}
+		}
+	})
+	next := &Frontier{n: nDst, bits: nextBits}
+	f.Release(eng)
+	next.list = parallel.FlattenTLS(eng.GrabU32(0), tls, eng.StashU32)
+	return next
+}

@@ -3,6 +3,7 @@ package graph
 import (
 	"sync/atomic"
 
+	"nwhy/internal/frontier"
 	"nwhy/internal/parallel"
 )
 
@@ -34,46 +35,36 @@ func newBFSResult(n int) *BFSResult {
 	return r
 }
 
-// mergeFrontier collects the per-worker next-frontier buffers into frontier
-// and returns the buffers to the engine's scratch arenas for the next round.
-func mergeFrontier(eng *parallel.Engine, frontier []uint32, next *parallel.TLS[[]uint32]) []uint32 {
-	frontier = frontier[:0]
-	next.Each(func(w int, v *[]uint32) {
-		frontier = append(frontier, *v...)
-		eng.StashU32(w, *v)
-	})
-	return frontier
+// bfsWith is the one BFS loop behind all three variants: a frontier.EdgeMap
+// traversal whose visit claims vertices with a CAS on the level array, run
+// under the given direction strategy. A cancelled engine stops the
+// traversal at the next round boundary, returning the partial result.
+func bfsWith(eng *parallel.Engine, g *Graph, src int, strategy frontier.Strategy) *BFSResult {
+	n := g.NumVertices()
+	r := newBFSResult(n)
+	r.Level[src] = 0
+	st := frontier.NewState(int64(g.NumArcs()), strategy)
+	f := frontier.Single(eng, n, uint32(src))
+	for depth := int32(1); !f.Empty() && !eng.Cancelled(); depth++ {
+		d := depth
+		f = st.EdgeMap(eng, f, n, g.Row, g.Row,
+			func(u, v uint32) bool {
+				if atomic.CompareAndSwapInt32(&r.Level[v], unreachable, d) {
+					r.Parent[v] = int32(u)
+					return true
+				}
+				return false
+			},
+			func(v uint32) bool { return atomic.LoadInt32(&r.Level[v]) == unreachable })
+	}
+	f.Release(eng)
+	return r
 }
 
 // BFSTopDown runs a parallel top-down BFS from src: each round expands the
-// frontier by claiming unvisited neighbors with a CAS on the parent array.
-// A cancelled engine stops the traversal at the next round boundary,
-// returning the partial result.
+// frontier by claiming unvisited neighbors with a CAS on the level array.
 func BFSTopDown(eng *parallel.Engine, g *Graph, src int) *BFSResult {
-	r := newBFSResult(g.NumVertices())
-	r.Level[src] = 0
-	frontier := []uint32{uint32(src)}
-	for depth := int32(1); len(frontier) > 0 && !eng.Cancelled(); depth++ {
-		next := parallel.NewTLSFor(eng, func() []uint32 { return nil })
-		eng.ForN(len(frontier), func(w, lo, hi int) {
-			buf := next.Get(w)
-			if cap(*buf) == 0 {
-				*buf = eng.GrabU32(w)
-			}
-			for i := lo; i < hi; i++ {
-				u := frontier[i]
-				for _, v := range g.Row(int(u)) {
-					if atomic.LoadInt32(&r.Level[v]) == unreachable &&
-						atomic.CompareAndSwapInt32(&r.Level[v], unreachable, depth) {
-						r.Parent[v] = int32(u)
-						*buf = append(*buf, v)
-					}
-				}
-			}
-		})
-		frontier = mergeFrontier(eng, frontier, next)
-	}
-	return r
+	return bfsWith(eng, g, src, frontier.ForcePush)
 }
 
 // BFSBottomUp runs a parallel bottom-up BFS from src: each round every
@@ -81,117 +72,13 @@ func BFSTopDown(eng *parallel.Engine, g *Graph, src int) *BFSResult {
 // first one found as its parent (Beamer et al.'s bottom-up step, used for
 // the large-frontier middle rounds of road-free graphs).
 func BFSBottomUp(eng *parallel.Engine, g *Graph, src int) *BFSResult {
-	n := g.NumVertices()
-	r := newBFSResult(n)
-	r.Level[src] = 0
-	front := parallel.NewBitset(n)
-	front.Set(src)
-	for depth := int32(1); !eng.Cancelled(); depth++ {
-		next := parallel.NewBitset(n)
-		var awake atomic.Int64
-		eng.ForN(n, func(_, lo, hi int) {
-			local := int64(0)
-			for v := lo; v < hi; v++ {
-				if r.Level[v] != unreachable {
-					continue
-				}
-				for _, u := range g.Row(v) {
-					if front.Get(int(u)) {
-						r.Level[v] = depth
-						r.Parent[v] = int32(u)
-						next.Set(v)
-						local++
-						break
-					}
-				}
-			}
-			awake.Add(local)
-		})
-		if awake.Load() == 0 {
-			break
-		}
-		front = next
-	}
-	return r
+	return bfsWith(eng, g, src, frontier.ForcePull)
 }
-
-// Direction-optimizing switch thresholds (Beamer, Asanović, Patterson 2013).
-const (
-	doAlpha = 15 // switch top-down -> bottom-up when m_frontier > m_unexplored / alpha
-	doBeta  = 18 // switch bottom-up -> top-down when n_frontier < n / beta
-)
 
 // BFSDirectionOptimizing runs Beamer's direction-optimizing BFS: top-down
 // rounds while the frontier is small, bottom-up rounds while it is a large
-// fraction of the graph. This is the algorithm behind AdjoinBFS in the paper.
+// fraction of the graph (frontier.State's alpha/beta switch). This is the
+// algorithm behind AdjoinBFS in the paper.
 func BFSDirectionOptimizing(eng *parallel.Engine, g *Graph, src int) *BFSResult {
-	n := g.NumVertices()
-	r := newBFSResult(n)
-	r.Level[src] = 0
-
-	frontier := []uint32{uint32(src)}
-	edgesUnexplored := int64(g.NumArcs() - g.Degree(src))
-	edgesFrontier := int64(g.Degree(src))
-	bottomUp := false
-
-	for depth := int32(1); len(frontier) > 0 && !eng.Cancelled(); depth++ {
-		if !bottomUp && edgesFrontier > edgesUnexplored/doAlpha {
-			bottomUp = true
-		} else if bottomUp && int64(len(frontier)) < int64(n)/doBeta {
-			bottomUp = false
-		}
-
-		next := parallel.NewTLSFor(eng, func() []uint32 { return nil })
-		if bottomUp {
-			front := parallel.NewBitset(n)
-			for _, u := range frontier {
-				front.Set(int(u))
-			}
-			eng.ForN(n, func(w, lo, hi int) {
-				buf := next.Get(w)
-				if cap(*buf) == 0 {
-					*buf = eng.GrabU32(w)
-				}
-				for v := lo; v < hi; v++ {
-					if r.Level[v] != unreachable {
-						continue
-					}
-					for _, u := range g.Row(v) {
-						if front.Get(int(u)) {
-							r.Level[v] = depth
-							r.Parent[v] = int32(u)
-							*buf = append(*buf, uint32(v))
-							break
-						}
-					}
-				}
-			})
-		} else {
-			eng.ForN(len(frontier), func(w, lo, hi int) {
-				buf := next.Get(w)
-				if cap(*buf) == 0 {
-					*buf = eng.GrabU32(w)
-				}
-				for i := lo; i < hi; i++ {
-					u := frontier[i]
-					for _, v := range g.Row(int(u)) {
-						if atomic.LoadInt32(&r.Level[v]) == unreachable &&
-							atomic.CompareAndSwapInt32(&r.Level[v], unreachable, depth) {
-							r.Parent[v] = int32(u)
-							*buf = append(*buf, v)
-						}
-					}
-				}
-			})
-		}
-
-		frontier = mergeFrontier(eng, frontier, next)
-		var ef int64
-		for _, u := range frontier {
-			ef += int64(g.Degree(int(u)))
-		}
-		edgesFrontier = ef
-		edgesUnexplored -= ef
-	}
-	return r
+	return bfsWith(eng, g, src, frontier.Auto)
 }

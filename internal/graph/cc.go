@@ -4,45 +4,34 @@ import (
 	"math/rand"
 	"sync/atomic"
 
+	"nwhy/internal/frontier"
 	"nwhy/internal/parallel"
 )
 
 // CCLabelPropagation computes connected components by minimum-label
 // propagation: every vertex starts with its own ID as label, and each round
-// propagates the minimum label across every edge until a fixpoint. Simple,
-// parallel, and the algorithm Hygra's CC (and NWHy's HyperCC) is built on.
+// the frontier of vertices whose label changed propagates its minimum over
+// the incident edges (an atomic write-min visit under frontier.EdgeMap)
+// until the frontier drains. Simple, parallel, and the algorithm Hygra's CC
+// (and NWHy's HyperCC) is built on; the first rounds run in pull direction
+// (the frontier is the whole graph), the convergence tail in push.
 func CCLabelPropagation(eng *parallel.Engine, g *Graph) []uint32 {
 	n := g.NumVertices()
 	comp := make([]uint32, n)
 	for i := range comp {
 		comp[i] = uint32(i)
 	}
-	for {
-		var changed atomic.Bool
-		eng.ForN(n, func(_, lo, hi int) {
-			c := false
-			for u := lo; u < hi; u++ {
-				cu := parallel.LoadU32(&comp[u])
-				for _, v := range g.Row(u) {
-					if parallel.MinU32(&comp[v], cu) {
-						c = true
-					}
-					if cv := parallel.LoadU32(&comp[v]); cv < cu {
-						cu = cv
-						if parallel.MinU32(&comp[u], cu) {
-							c = true
-						}
-					}
-				}
-			}
-			if c {
-				changed.Store(true)
-			}
-		})
-		if !changed.Load() || eng.Cancelled() {
-			break
-		}
+	st := frontier.NewState(int64(g.NumArcs()), frontier.Auto)
+	st.Dedup = true
+	st.Revisits = true
+	f := frontier.All(eng, n)
+	for !f.Empty() && !eng.Cancelled() {
+		f = st.EdgeMap(eng, f, n, g.Row, g.Row,
+			func(u, v uint32) bool {
+				return parallel.MinU32(&comp[v], parallel.LoadU32(&comp[u]))
+			}, nil)
 	}
+	f.Release(eng)
 	return comp
 }
 

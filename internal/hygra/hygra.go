@@ -2,45 +2,26 @@
 // evaluation compares NWHy against: HygraBFS (the top-down hypergraph BFS of
 // Shun's Hygra framework, PPoPP'20) and HygraCC (Hygra's label-propagation
 // connected components). The implementations follow Hygra's vertex-subset /
-// edge-map style: a frontier of active entities is flat-mapped over its
+// edge-map style: a frontier of active entities is mapped over its
 // incidence lists to produce the next frontier, alternating between the
 // hypernode side and the hyperedge side each half-step.
 //
-// These are deliberately independent re-implementations — they share no
-// traversal code with internal/core — so benchmark comparisons measure two
-// different codebases the way the paper's Figure 7/8 did.
+// The frontier machinery itself comes from internal/frontier — the one
+// frontier/EdgeMap implementation every traversal in this repository shares
+// — pinned to the push direction, which is what Hygra's sparse edgeMap
+// does. The kernels remain separate from internal/core's (different
+// algorithms, per-side rounds vs. interleaved label spaces), so benchmark
+// comparisons still measure two different algorithm formulations the way
+// the paper's Figure 7/8 did; only the frontier substrate is shared.
 package hygra
 
 import (
 	"sync/atomic"
 
 	"nwhy/internal/core"
+	"nwhy/internal/frontier"
 	"nwhy/internal/parallel"
 )
-
-// vertexSubset is Hygra's frontier abstraction (sparse form).
-type vertexSubset []uint32
-
-// edgeMap applies the Hygra edgeMap primitive: for every active entity in
-// the frontier, visit its incidence list and claim unvisited targets with
-// compare-and-swap, producing the next frontier on the opposite side.
-func edgeMap(eng *parallel.Engine, frontier vertexSubset, row func(int) []uint32, visited []int32, round int32) vertexSubset {
-	tls := parallel.NewTLSFor(eng, func() vertexSubset { return nil })
-	eng.ForN(len(frontier), func(w, lo, hi int) {
-		out := tls.Get(w)
-		for i := lo; i < hi; i++ {
-			for _, t := range row(int(frontier[i])) {
-				if atomic.LoadInt32(&visited[t]) == -1 &&
-					atomic.CompareAndSwapInt32(&visited[t], -1, round) {
-					*out = append(*out, t)
-				}
-			}
-		}
-	})
-	var next vertexSubset
-	tls.All(func(v *vertexSubset) { next = append(next, *v...) })
-	return next
-}
 
 // BFS runs Hygra's top-down hypergraph BFS from hyperedge srcEdge on eng,
 // returning bipartite-hop levels for both index spaces (-1 = unreachable).
@@ -56,28 +37,36 @@ func BFS(eng *parallel.Engine, h *core.Hypergraph, srcEdge int) (edgeLevel, node
 		nodeLevel[i] = -1
 	}
 	edgeLevel[srcEdge] = 0
-	frontier := vertexSubset{uint32(srcEdge)}
+	st := frontier.NewState(int64(h.NumIncidences()), frontier.ForcePush)
+	f := frontier.Single(eng, ne, uint32(srcEdge))
 	onEdges := true
-	for round := int32(1); len(frontier) > 0; round++ {
+	for round := int32(1); !f.Empty(); round++ {
 		if err := eng.Err(); err != nil {
+			f.Release(eng)
 			return nil, nil, err
 		}
-		if onEdges {
-			frontier = edgeMap(eng, frontier, h.Edges.Row, nodeLevel, round)
-		} else {
-			frontier = edgeMap(eng, frontier, h.Nodes.Row, edgeLevel, round)
+		visited, row, nDst := nodeLevel, h.Edges.Row, nv
+		if !onEdges {
+			visited, row, nDst = edgeLevel, h.Nodes.Row, ne
 		}
+		r := round
+		f = st.EdgeMap(eng, f, nDst, row, nil,
+			func(_, t uint32) bool {
+				return atomic.CompareAndSwapInt32(&visited[t], -1, r)
+			},
+			func(t uint32) bool { return atomic.LoadInt32(&visited[t]) == -1 })
 		onEdges = !onEdges
 	}
+	f.Release(eng)
 	return edgeLevel, nodeLevel, eng.Err()
 }
 
 // CC runs Hygra's label-propagation connected components on the bipartite
-// structure: hyperedge and hypernode labels live in one shared label space
-// and each round flat-maps the full incidence relation both ways, writing
-// minima, until no label changes. Returns canonical minimum-member labels
-// in the shared space [0, ne+nv). A cancelled engine aborts between rounds
-// and returns eng.Err().
+// structure: hyperedge and hypernode labels live in one shared label space,
+// and each round the frontiers of changed entities on both sides flat-map
+// their incidence lists, writing minima, until both frontiers drain.
+// Returns canonical minimum-member labels in the shared space [0, ne+nv).
+// A cancelled engine aborts between rounds and returns eng.Err().
 func CC(eng *parallel.Engine, h *core.Hypergraph) (edgeComp, nodeComp []uint32, err error) {
 	ne, nv := h.NumEdges(), h.NumNodes()
 	edgeComp = make([]uint32, ne)
@@ -88,45 +77,34 @@ func CC(eng *parallel.Engine, h *core.Hypergraph) (edgeComp, nodeComp []uint32, 
 	for v := range nodeComp {
 		nodeComp[v] = uint32(ne + v)
 	}
-	for {
+	newState := func() *frontier.State {
+		st := frontier.NewState(int64(h.NumIncidences()), frontier.Auto)
+		st.Dedup = true
+		st.Revisits = true
+		return st
+	}
+	stEdges, stNodes := newState(), newState()
+	edgeF, nodeF := frontier.All(eng, ne), frontier.All(eng, nv)
+	for !edgeF.Empty() || !nodeF.Empty() {
 		if err := eng.Err(); err != nil {
+			edgeF.Release(eng)
+			nodeF.Release(eng)
 			return nil, nil, err
 		}
-		var changed atomic.Bool
 		// Edge side -> node side.
-		eng.ForN(ne, func(_, lo, hi int) {
-			c := false
-			for e := lo; e < hi; e++ {
-				ce := parallel.LoadU32(&edgeComp[e])
-				for _, v := range h.Edges.Row(e) {
-					if parallel.MinU32(&nodeComp[v], ce) {
-						c = true
-					}
-				}
-			}
-			if c {
-				changed.Store(true)
-			}
-		})
+		nodeNext := stEdges.EdgeMap(eng, edgeF, nv, h.Edges.Row, h.Nodes.Row,
+			func(e, v uint32) bool {
+				return parallel.MinU32(&nodeComp[v], parallel.LoadU32(&edgeComp[e]))
+			}, nil)
 		// Node side -> edge side.
-		eng.ForN(nv, func(_, lo, hi int) {
-			c := false
-			for v := lo; v < hi; v++ {
-				cv := parallel.LoadU32(&nodeComp[v])
-				for _, e := range h.Nodes.Row(v) {
-					if parallel.MinU32(&edgeComp[e], cv) {
-						c = true
-					}
-				}
-			}
-			if c {
-				changed.Store(true)
-			}
-		})
-		if !changed.Load() {
-			break
-		}
+		edgeF = stNodes.EdgeMap(eng, nodeF, ne, h.Nodes.Row, h.Edges.Row,
+			func(v, e uint32) bool {
+				return parallel.MinU32(&edgeComp[e], parallel.LoadU32(&nodeComp[v]))
+			}, nil)
+		nodeF = nodeNext
 	}
+	edgeF.Release(eng)
+	nodeF.Release(eng)
 	// Canonicalize to minimum shared-space member per component.
 	minOf := map[uint32]uint32{}
 	note := func(c, id uint32) {

@@ -234,3 +234,23 @@ func (t *TLS[T]) Each(fn func(w int, v *T)) {
 		}
 	}
 }
+
+// FlattenTLS concatenates every touched per-worker buffer of tls into dst
+// (reusing dst's capacity; pass nil to allocate fresh) and returns the
+// result. It is the single merge path for per-worker append buffers: BFS
+// next-frontiers, s-line edge lists, and every other fan-in of TLS slices
+// go through it. If recycle is non-nil it is called with each worker's
+// buffer after draining — typically Engine.StashU32, returning frontier
+// buffers to the worker's scratch arena — and the slot is cleared so a
+// recycled buffer cannot be aliased by a later round.
+func FlattenTLS[T any](dst []T, tls *TLS[[]T], recycle func(w int, buf []T)) []T {
+	dst = dst[:0]
+	tls.Each(func(w int, v *[]T) {
+		dst = append(dst, *v...)
+		if recycle != nil {
+			recycle(w, *v)
+			*v = nil
+		}
+	})
+	return dst
+}

@@ -60,11 +60,10 @@ func (o Options) forIndices(eng *parallel.Engine, n int, body func(worker, i int
 	}
 }
 
-// collectTLS gathers per-worker edge buffers into one canonical list.
+// collectTLS gathers per-worker edge buffers into one canonical list
+// through the shared TLS merge path.
 func collectTLS(eng *parallel.Engine, tls *parallel.TLS[[]sparse.Edge]) []sparse.Edge {
-	var out []sparse.Edge
-	tls.All(func(v *[]sparse.Edge) { out = append(out, *v...) })
-	return canonPairs(eng, out)
+	return canonPairs(eng, parallel.FlattenTLS(nil, tls, nil))
 }
 
 // grabCount fetches a reusable countmap from worker w's arena on eng, falling

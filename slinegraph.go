@@ -185,6 +185,29 @@ func (g *NWHypergraph) SConnectedComponentsDirectCtx(ctx context.Context, s int)
 	return labels[:g.NumEdges()], nil
 }
 
+// SConnectedComponentsFrontier computes the s-connected components of the
+// hyperedges by frontier-parallel label propagation over the implicit
+// s-line adjacency (rows recomputed on demand, never materialized). It
+// shares the traversal substrate of every BFS/CC kernel; prefer
+// SConnectedComponentsDirect when union-find suits the workload. Labels are
+// canonical minimum-member IDs over [0, NumEdges()).
+func (g *NWHypergraph) SConnectedComponentsFrontier(s int) []uint32 {
+	labels, _ := g.SConnectedComponentsFrontierCtx(context.Background(), s)
+	return labels
+}
+
+// SConnectedComponentsFrontierCtx is SConnectedComponentsFrontier bounded by
+// ctx: the propagation stops between frontier rounds once ctx is cancelled
+// and ctx.Err() is returned.
+func (g *NWHypergraph) SConnectedComponentsFrontierCtx(ctx context.Context, s int) ([]uint32, error) {
+	eng := g.engine().WithContext(ctx)
+	labels, err := slinegraph.SComponentsFrontier(eng, slinegraph.FromHypergraph(g.h), s, slinegraph.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return labels[:g.NumEdges()], nil
+}
+
 // SLineGraphEnsemble constructs the s-line graphs for several values of s
 // in one counting pass.
 func (g *NWHypergraph) SLineGraphEnsemble(ss []int, edges bool) map[int]*SLineGraph {
