@@ -1,0 +1,95 @@
+// Command nwhy-lint runs NWHy-Go's static-analysis suite: repo-specific
+// checks that machine-enforce the engine and concurrency invariants
+// (engine-first kernels, pool-confined goroutines, no atomic/plain mixing
+// inside parallel regions, per-round cancellation, arena recycling).
+//
+// Usage:
+//
+//	go run ./cmd/nwhy-lint ./...          # lint the whole module
+//	go run ./cmd/nwhy-lint -list          # print the registered checks
+//	go run ./cmd/nwhy-lint -checks a,b .  # run a subset
+//
+// Diagnostics print as file:line:col: check: message. The exit status is 0
+// when the tree is clean, 1 when diagnostics were reported, and 2 on usage
+// or load errors. Individual findings can be silenced with a justified
+// suppression comment:
+//
+//	//nwhy:nolint(check-name) reason the invariant is safe to waive here
+//
+// The tool is built on the standard library only; it adds no module
+// dependencies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nwhy/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("nwhy-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the registered checks and exit")
+	checkList := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, c := range analysis.Checks() {
+			fmt.Fprintf(stdout, "%-20s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+
+	checks := analysis.Checks()
+	runningAll := true
+	if *checkList != "" {
+		runningAll = false
+		checks = checks[:0:0]
+		for _, name := range strings.Split(*checkList, ",") {
+			name = strings.TrimSpace(name)
+			c := analysis.LookupCheck(name)
+			if c == nil {
+				fmt.Fprintf(stderr, "nwhy-lint: unknown check %q (try -list)\n", name)
+				return 2
+			}
+			checks = append(checks, c)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "nwhy-lint:", err)
+		return 2
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "nwhy-lint:", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(root, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "nwhy-lint:", err)
+		return 2
+	}
+	diags := analysis.Run(pkgs, checks, analysis.Options{ReportUnusedSuppressions: runningAll})
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stdout, "nwhy-lint: %d diagnostic(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

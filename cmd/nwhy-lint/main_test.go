@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runLint invokes run with captured stdout/stderr and returns the exit
+// code plus both streams.
+func runLint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	dir := t.TempDir()
+	out, err := os.Create(filepath.Join(dir, "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	errf, err := os.Create(filepath.Join(dir, "err"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer errf.Close()
+	code = run(args, out, errf)
+	outData, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errData, err := os.ReadFile(errf.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(outData), string(errData)
+}
+
+func TestListMode(t *testing.T) {
+	code, stdout, _ := runLint(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range []string{"engine-first", "no-naked-goroutine", "atomic-mixing", "ctx-at-rounds", "tls-recycle"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout)
+		}
+	}
+}
+
+func TestUnknownCheckFlag(t *testing.T) {
+	code, _, stderr := runLint(t, "-checks", "no-such-check")
+	if code != 2 {
+		t.Errorf("unknown check exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown check") {
+		t.Errorf("stderr missing unknown-check message: %s", stderr)
+	}
+}
+
+// TestModuleIsClean is the CLI-level twin of the framework's
+// TestRepoIsClean: linting the whole module from inside a subdirectory
+// (module root discovery walks up) must exit 0 with no output.
+func TestModuleIsClean(t *testing.T) {
+	code, stdout, stderr := runLint(t, "./...")
+	if code != 0 {
+		t.Errorf("lint over the module exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("expected no diagnostics, got:\n%s", stdout)
+	}
+}

@@ -1,0 +1,199 @@
+// Package analysis is NWHy-Go's zero-dependency static-analysis framework:
+// a multi-pass AST analyzer runner with file/line diagnostics and
+// //nwhy:nolint suppressions, built on the standard library only (go/ast,
+// go/parser, go/token — no golang.org/x/tools).
+//
+// The framework exists to machine-enforce the engine and concurrency
+// invariants PRs 1–2 established by convention: every kernel threads an
+// explicit *parallel.Engine, all concurrency flows through the pool, shared
+// state inside parallel regions goes through atomics, multi-round drivers
+// observe cancellation, and arena scratch is recycled. Each invariant is a
+// registered Check; cmd/nwhy-lint runs them all over the module.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the check that produced it, and a
+// human-readable message.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// File is one parsed source file plus the lookup tables checks need.
+type File struct {
+	Name string // path on disk
+	AST  *ast.File
+	Test bool // *_test.go
+	// Imports maps each import's local name (alias or path base) to its
+	// import path, so checks can resolve selector expressions like
+	// parallel.MinU32 without type information.
+	Imports map[string]string
+
+	suppressions []suppression
+}
+
+// ImportsAs reports the local name path is imported under in this file
+// ("" if not imported).
+func (f *File) ImportsAs(path string) string {
+	for name, p := range f.Imports {
+		if p == path {
+			return name
+		}
+	}
+	return ""
+}
+
+// Package is one directory's worth of parsed files (test files included,
+// marked Test; external _test packages ride along in the same Package).
+type Package struct {
+	Path   string // import path
+	Module string // module path (the facade package has Path == Module)
+	Name   string
+	Fset   *token.FileSet
+	Files  []*File
+}
+
+// Check is one registered invariant: a stable name (the key used in
+// //nwhy:nolint suppressions), a one-line doc string, and the pass body.
+type Check struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass is one (check, package) run handed to Check.Run.
+type Pass struct {
+	Check *Check
+	Pkg   *Package
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Check:   p.Check.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+var registry []*Check
+
+// Register adds a check to the global registry. Checks register themselves
+// from init so cmd/nwhy-lint and the tests see one authoritative list.
+func Register(c *Check) {
+	for _, r := range registry {
+		if r.Name == c.Name {
+			panic("analysis: duplicate check " + c.Name)
+		}
+	}
+	registry = append(registry, c)
+}
+
+// Checks returns the registered checks sorted by name.
+func Checks() []*Check {
+	out := append([]*Check(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LookupCheck resolves a check by name.
+func LookupCheck(name string) *Check {
+	for _, c := range registry {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Options configures a Run.
+type Options struct {
+	// ReportUnusedSuppressions adds a diagnostic for every //nwhy:nolint
+	// that suppressed nothing. Set when running the full check suite (a
+	// partial run can legitimately leave suppressions unused).
+	ReportUnusedSuppressions bool
+}
+
+// Run executes the checks over the packages, applies //nwhy:nolint
+// suppressions, and returns the surviving diagnostics sorted by position.
+// Malformed suppressions (unknown check, missing reason) surface as
+// diagnostics of the pseudo-check "nolint" and cannot be suppressed.
+func Run(pkgs []*Package, checks []*Check, opts Options) []Diagnostic {
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		for _, c := range checks {
+			c.Run(&Pass{Check: c, Pkg: pkg, diags: &raw})
+		}
+	}
+
+	var out []Diagnostic
+	used := map[*suppression]bool{}
+	for _, d := range raw {
+		if s := matchSuppression(pkgs, d); s != nil {
+			used[s] = true
+			continue
+		}
+		out = append(out, d)
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for i := range f.suppressions {
+				s := &f.suppressions[i]
+				if s.err != "" {
+					out = append(out, Diagnostic{Pos: pkg.Fset.Position(s.pos), Check: "nolint", Message: s.err})
+				} else if opts.ReportUnusedSuppressions && !used[s] {
+					out = append(out, Diagnostic{
+						Pos:     pkg.Fset.Position(s.pos),
+						Check:   "nolint",
+						Message: fmt.Sprintf("unused suppression for %s", strings.Join(s.checks, ", ")),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+// walkFiles visits every non-test file of the pass's package.
+func (p *Pass) walkFiles(fn func(f *File)) {
+	for _, f := range p.Pkg.Files {
+		if f.Test {
+			continue
+		}
+		fn(f)
+	}
+}
+
+// funcDecls visits every function declaration in non-test files.
+func (p *Pass) funcDecls(fn func(f *File, d *ast.FuncDecl)) {
+	p.walkFiles(func(f *File) {
+		for _, decl := range f.AST.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(f, fd)
+			}
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+func init() {
+	Register(&Check{
+		Name: "atomic-mixing",
+		Doc: "a slice accessed atomically inside a parallel region must not " +
+			"also be plainly indexed in the same region",
+		Run: runAtomicMixing,
+	})
+}
+
+// runAtomicMixing hunts the race pattern that erodes silently as kernels
+// evolve: a shared array whose elements are claimed with sync/atomic or
+// internal/parallel atomic helpers in one place and plainly read or
+// written elsewhere in the same parallel region. The scope is one region —
+// the union of all function literals passed to a single Engine.For*/
+// Invoke/Go/EdgeMap/parallel.Reduce* call — because that is exactly where
+// concurrent execution overlaps; the ubiquitous and race-free
+// initialize-plainly-then-claim-atomically-in-a-later-phase pattern
+// (phases are separated by the loop's barrier) is deliberately not
+// flagged.
+//
+// The analysis is name-based (dotted selector paths like "state" or
+// "r.Level"); aliasing through extra assignments is out of scope, as is
+// proving that a flagged access is dominated by a successful CAS.
+func runAtomicMixing(p *Pass) {
+	if isParallelPkg(p.Pkg.Path) {
+		return
+	}
+	p.funcDecls(func(f *File, d *ast.FuncDecl) {
+		ast.Inspect(d, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			closures, isRegion := isParallelRegionCall(f, call)
+			if !isRegion || len(closures) == 0 {
+				return true
+			}
+			checkRegion(p, f, closures)
+			return true
+		})
+	})
+}
+
+// checkRegion inspects the closures of one parallel region together.
+func checkRegion(p *Pass, f *File, closures []*ast.FuncLit) {
+	// Pass 1: find atomic accesses — &base or &base[...] arguments to an
+	// atomic call — recording the bases and the argument spans.
+	atomicBases := map[string]bool{}
+	type span struct{ lo, hi token.Pos }
+	var atomicArgSpans []span
+	for _, cl := range closures {
+		ast.Inspect(cl, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(f, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				target := ast.Unparen(un.X)
+				base := ""
+				if ix, ok := target.(*ast.IndexExpr); ok {
+					base = pathOf(ix.X)
+				} else {
+					base = pathOf(target)
+				}
+				if base != "" {
+					atomicBases[base] = true
+					atomicArgSpans = append(atomicArgSpans, span{un.Pos(), un.End()})
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicBases) == 0 {
+		return
+	}
+	inAtomicArg := func(pos token.Pos) bool {
+		for _, s := range atomicArgSpans {
+			if pos >= s.lo && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+	// Pass 2: find plain element accesses of the same bases.
+	plain := map[string]token.Pos{}
+	for _, cl := range closures {
+		ast.Inspect(cl, func(n ast.Node) bool {
+			ix, ok := n.(*ast.IndexExpr)
+			if !ok {
+				return true
+			}
+			base := pathOf(ix.X)
+			if base == "" || !atomicBases[base] || inAtomicArg(ix.Pos()) {
+				return true
+			}
+			if cur, seen := plain[base]; !seen || ix.Pos() < cur {
+				plain[base] = ix.Pos()
+			}
+			return true
+		})
+	}
+	bases := make([]string, 0, len(plain))
+	for base := range plain {
+		bases = append(bases, base)
+	}
+	sort.Strings(bases)
+	for _, base := range bases {
+		p.Reportf(plain[base], "%s is accessed atomically in this parallel region; this plain element access races with those atomics", base)
+	}
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import "go/ast"
+
+func init() {
+	Register(&Check{
+		Name: "ctx-at-rounds",
+		Doc: "multi-round driver loops in kernels must observe cancellation " +
+			"(eng.Err / eng.Cancelled / ctx.Err) every round",
+		Run: runCtxAtRounds,
+	})
+}
+
+// runCtxAtRounds enforces the grain-boundary cancellation contract at the
+// next level up: a loop that repeatedly launches parallel work (a BFS
+// round loop, a PageRank iteration loop, an ensemble sweep) must check for
+// cancellation between rounds, otherwise a cancelled engine merely stops
+// scheduling grains while the driver keeps spinning rounds forever.
+//
+// "Launches parallel work" is computed package-locally: a function is
+// parallel if it contains a region call (Engine.For*/Invoke/Go/EdgeMap,
+// parallel.Reduce*) or calls another function of the same package that is,
+// transitively. A loop whose body (or condition) contains a parallel call
+// then needs a cancellation observer — a call to Err or Cancelled — in its
+// condition or body. Cross-package kernel calls (e.g. core driving
+// graph.CCAfforest) are resolved by name against the known region
+// vocabulary only, so the check under-approximates across packages rather
+// than guessing.
+func runCtxAtRounds(p *Pass) {
+	if !isKernelPkg(p.Pkg.Path) {
+		return
+	}
+	parallelFns := packageParallelFuncs(p)
+	p.funcDecls(func(f *File, d *ast.FuncDecl) {
+		ast.Inspect(d, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var cond ast.Expr
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body, cond = loop.Body, loop.Cond
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			if !launchesParallelWork(f, body, parallelFns) {
+				return true
+			}
+			if containsCancellationCheck(body) || (cond != nil && containsCancellationCheck(cond)) {
+				return true
+			}
+			p.Reportf(n.Pos(), "round loop launches parallel work but never observes cancellation; check eng.Err()/eng.Cancelled() each round")
+			return true
+		})
+	})
+}
+
+// packageParallelFuncs computes the transitive closure of package-local
+// functions that launch parallel work.
+func packageParallelFuncs(p *Pass) map[string]bool {
+	type fn struct {
+		decl *ast.FuncDecl
+		file *File
+	}
+	decls := map[string]fn{}
+	p.funcDecls(func(f *File, d *ast.FuncDecl) {
+		if d.Recv == nil { // methods are resolved through regionMethods instead
+			decls[d.Name.Name] = fn{d, f}
+		}
+	})
+	parallel := map[string]bool{}
+	for name, fd := range decls {
+		if containsRegionCall(fd.file, fd.decl.Body) {
+			parallel[name] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, fd := range decls {
+			if parallel[name] {
+				continue
+			}
+			callsParallel := false
+			ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+				if callsParallel {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if base, callee := selectorCall(call); base == "" && parallel[callee] {
+						callsParallel = true
+					}
+				}
+				return true
+			})
+			if callsParallel {
+				parallel[name] = true
+				changed = true
+			}
+		}
+	}
+	return parallel
+}
+
+func containsRegionCall(f *File, root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := isParallelRegionCall(f, call); ok {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// launchesParallelWork reports whether root contains a region call or a
+// call to a package-local parallel function.
+func launchesParallelWork(f *File, root ast.Node, parallelFns map[string]bool) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := isParallelRegionCall(f, call); ok {
+			found = true
+			return false
+		}
+		if base, callee := selectorCall(call); base == "" && parallelFns[callee] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression grammar is
+//
+//	//nwhy:nolint(check-a,check-b) reason text
+//
+// A suppression silences diagnostics of the listed checks on its own line
+// and on the line immediately below (so it works both as a trailing comment
+// and as a standalone comment above the offending line). The reason text is
+// mandatory: a suppression without one is itself a diagnostic, as is one
+// naming an unknown check, so suppressions stay few, targeted, and
+// justified.
+const nolintMarker = "nwhy:nolint("
+
+type suppression struct {
+	pos    token.Pos
+	line   int
+	checks []string
+	err    string // non-empty: malformed, reported as a "nolint" diagnostic
+}
+
+// parseSuppressions extracts every nwhy:nolint marker from a file's comments.
+func parseSuppressions(fset *token.FileSet, f *ast.File) []suppression {
+	var out []suppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			// Only directive-style comments count: //nwhy:nolint(...) with
+			// no space, like //go: directives. Prose that merely mentions
+			// the grammar (docs, examples) is ignored.
+			rest, ok := strings.CutPrefix(c.Text, "//"+nolintMarker)
+			if !ok {
+				continue
+			}
+			s := suppression{pos: c.Pos(), line: fset.Position(c.Pos()).Line}
+			j := strings.Index(rest, ")")
+			if j < 0 {
+				s.err = "malformed nwhy:nolint: missing closing parenthesis"
+				out = append(out, s)
+				continue
+			}
+			for _, name := range strings.Split(rest[:j], ",") {
+				name = strings.TrimSpace(name)
+				if name == "" {
+					continue
+				}
+				if LookupCheck(name) == nil {
+					s.err = "nwhy:nolint names unknown check " + quote(name)
+					break
+				}
+				s.checks = append(s.checks, name)
+			}
+			if s.err == "" && len(s.checks) == 0 {
+				s.err = "nwhy:nolint lists no checks"
+			}
+			if s.err == "" && strings.TrimSpace(rest[j+1:]) == "" {
+				s.err = "nwhy:nolint requires a reason after the check list"
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func quote(s string) string { return `"` + s + `"` }
+
+// matchSuppression finds a suppression covering diagnostic d, if any.
+func matchSuppression(pkgs []*Package, d Diagnostic) *suppression {
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			if f.Name != d.Pos.Filename {
+				continue
+			}
+			for i := range f.suppressions {
+				s := &f.suppressions[i]
+				if s.err != "" || (d.Pos.Line != s.line && d.Pos.Line != s.line+1) {
+					continue
+				}
+				for _, c := range s.checks {
+					if c == d.Check {
+						return s
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

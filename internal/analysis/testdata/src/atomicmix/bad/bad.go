@@ -1,0 +1,22 @@
+// Package bad mixes plain and atomic element access of the same slice
+// inside one parallel region.
+package bad
+
+import (
+	"sync/atomic"
+
+	"nwhy/internal/parallel"
+)
+
+// Claim reads state plainly and claims it atomically in the same region;
+// the plain read races with concurrent stores from other workers.
+func Claim(eng *parallel.Engine, state []int32, n int) {
+	eng.ForN(n, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if state[v] != 0 { // want atomic-mixing
+				continue
+			}
+			atomic.StoreInt32(&state[v], 1)
+		}
+	})
+}

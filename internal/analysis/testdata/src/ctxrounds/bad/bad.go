@@ -1,0 +1,27 @@
+// Package bad spins round loops that never observe cancellation.
+package bad
+
+import "nwhy/internal/parallel"
+
+// Drive launches parallel work every round without checking the engine.
+func Drive(eng *parallel.Engine, rounds, n int) {
+	for r := 0; r < rounds; r++ { // want ctx-at-rounds
+		eng.ForN(n, func(_, lo, hi int) {
+			_, _ = lo, hi
+		})
+	}
+}
+
+// DriveIndirect launches parallel work through a package-local helper; the
+// check closes over local calls, so the loop is still flagged.
+func DriveIndirect(eng *parallel.Engine, rounds, n int) {
+	for r := 0; r < rounds; r++ { // want ctx-at-rounds
+		step(eng, n)
+	}
+}
+
+func step(eng *parallel.Engine, n int) {
+	eng.ForN(n, func(_, lo, hi int) {
+		_, _ = lo, hi
+	})
+}

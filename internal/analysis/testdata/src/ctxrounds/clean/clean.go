@@ -1,0 +1,37 @@
+// Package clean observes cancellation at every round boundary, and its
+// serial loops need no check at all.
+package clean
+
+import "nwhy/internal/parallel"
+
+// Drive checks cancellation in the loop condition.
+func Drive(eng *parallel.Engine, rounds, n int) {
+	for r := 0; r < rounds && !eng.Cancelled(); r++ {
+		step(eng, n)
+	}
+}
+
+// DriveBody checks cancellation inside the loop body instead.
+func DriveBody(eng *parallel.Engine, rounds, n int) {
+	for r := 0; r < rounds; r++ {
+		if eng.Err() != nil {
+			return
+		}
+		step(eng, n)
+	}
+}
+
+func step(eng *parallel.Engine, n int) {
+	eng.ForN(n, func(_, lo, hi int) {
+		_, _ = lo, hi
+	})
+}
+
+// Sum is a serial loop; no parallel work, no cancellation required.
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

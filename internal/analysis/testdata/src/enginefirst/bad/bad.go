@@ -1,0 +1,24 @@
+// Package bad violates the engine-first discipline in every way the check
+// recognizes: a shared-engine reference outside the facade, package-level
+// engine bindings, an engine parameter that is not first, and a
+// default-pool loop entry point.
+package bad
+
+import "nwhy/internal/parallel"
+
+var shared = parallel.SharedEngine() // want engine-first engine-first
+
+var cached *parallel.Engine // want engine-first
+
+// BadOrder takes the engine second instead of first.
+func BadOrder(n int, eng *parallel.Engine) { // want engine-first
+	eng.ForN(n, func(_, lo, hi int) {
+		_, _ = lo, hi
+	})
+}
+
+// DefaultPool schedules on the process default pool behind the caller's
+// back.
+func DefaultPool(n int) {
+	parallel.For(0, n, func(i int) { _ = i }) // want engine-first
+}

@@ -1,0 +1,16 @@
+// Package bad launches concurrency outside the pool.
+package bad
+
+// Fire spins up a raw goroutine instead of routing through the engine.
+func Fire(done chan struct{}) {
+	go func() { // want no-naked-goroutine
+		close(done)
+	}()
+}
+
+// FireNamed hands a named function to a raw goroutine.
+func FireNamed(done chan struct{}) {
+	go fire(done) // want no-naked-goroutine
+}
+
+func fire(done chan struct{}) { close(done) }

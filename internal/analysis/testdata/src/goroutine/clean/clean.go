@@ -1,0 +1,11 @@
+// Package clean routes all concurrency through the engine's pool.
+package clean
+
+import "nwhy/internal/parallel"
+
+// Fire schedules the task on the engine's pool.
+func Fire(eng *parallel.Engine, done chan struct{}) {
+	eng.Go(func() {
+		close(done)
+	})
+}

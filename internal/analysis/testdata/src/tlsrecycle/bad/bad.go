@@ -1,0 +1,25 @@
+// Package bad leaks arena scratch out of the steady-state reuse loop.
+package bad
+
+import "nwhy/internal/parallel"
+
+// Leak grabs scratch and never stashes it back.
+func Leak(eng *parallel.Engine, n int) {
+	buf := eng.GrabU32(n) // want tls-recycle
+	for i := range buf {
+		buf[i] = 0
+	}
+}
+
+// EarlyReturn has an escape path between the grab and the stash.
+func EarlyReturn(eng *parallel.Engine, n int) int {
+	buf := eng.GrabU32(n)
+	if n == 0 {
+		return 0 // want tls-recycle
+	}
+	for i := range buf {
+		buf[i] = uint32(i)
+	}
+	eng.StashU32(buf)
+	return n
+}

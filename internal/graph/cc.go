@@ -110,7 +110,7 @@ func CCAfforest(eng *parallel.Engine, g *Graph) []uint32 {
 		comp[i] = uint32(i)
 	}
 
-	for r := 0; r < afforestNeighborRounds; r++ {
+	for r := 0; r < afforestNeighborRounds && !eng.Cancelled(); r++ {
 		eng.ForN(n, func(_, lo, hi int) {
 			for u := lo; u < hi; u++ {
 				row := g.Row(u)

@@ -36,7 +36,7 @@ func MaximalIndependentSet(eng *parallel.Engine, g *Graph, seed int64) []bool {
 		// Select local minima among undecided vertices.
 		eng.ForN(n, func(_, lo, hi int) {
 			for v := lo; v < hi; v++ {
-				if state[v] != undecided {
+				if atomic.LoadInt32(&state[v]) != undecided {
 					continue
 				}
 				win := true

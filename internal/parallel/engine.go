@@ -142,7 +142,9 @@ func (e *Engine) Cyclic(begin, end, bins int) CyclicRange {
 // For runs body over the blocked range on this engine. Cancellation is
 // observed at grain boundaries: once the bound context is cancelled no
 // further chunk executes (chunks already running finish). Callers detect an
-// aborted loop with Err.
+// aborted loop with Err. If body panics, remaining chunks are skipped and
+// the first panic is rethrown on the calling goroutine once in-flight
+// chunks finish — the engine and its arenas stay usable afterwards.
 func (e *Engine) For(r BlockedRange, body func(worker, lo, hi int)) {
 	if r.Len() <= 0 || e.Cancelled() {
 		return
@@ -151,26 +153,28 @@ func (e *Engine) For(r BlockedRange, body func(worker, lo, hi int)) {
 		r.Grain = autoGrainFor(r.Len(), e.NumWorkers())
 	}
 	p := e.pool()
+	var box panicBox
 	var wg sync.WaitGroup
 	wg.Add(1)
-	p.submit(task{wg: &wg, fn: func(w int) { e.forBlocked(p, w, r, body, &wg) }})
+	p.submit(task{wg: &wg, fn: func(w int) { e.forBlocked(p, w, r, body, &wg, &box) }})
 	wg.Wait()
+	box.rethrow()
 }
 
-func (e *Engine) forBlocked(p *Pool, w int, r BlockedRange, body func(worker, lo, hi int), wg *sync.WaitGroup) {
+func (e *Engine) forBlocked(p *Pool, w int, r BlockedRange, body func(worker, lo, hi int), wg *sync.WaitGroup, box *panicBox) {
 	for r.Divisible() {
-		if e.Cancelled() {
+		if e.Cancelled() || box.tripped.Load() {
 			return
 		}
 		left, right := r.Split()
 		wg.Add(1)
 		r = left
-		p.spawn(w, task{wg: wg, fn: func(w2 int) { e.forBlocked(p, w2, right, body, wg) }})
+		p.spawn(w, task{wg: wg, fn: func(w2 int) { e.forBlocked(p, w2, right, body, wg, box) }})
 	}
-	if e.Cancelled() {
+	if e.Cancelled() || box.tripped.Load() {
 		return
 	}
-	body(w, r.Begin, r.End)
+	box.guard(func() { body(w, r.Begin, r.End) })
 }
 
 // ForN runs body over [0, n) with automatic grain.
@@ -194,26 +198,28 @@ func (e *Engine) ForCyclic(r CyclicRange, body func(worker, start, end, stride i
 		return
 	}
 	p := e.pool()
+	var box panicBox
 	var wg sync.WaitGroup
 	wg.Add(1)
-	p.submit(task{wg: &wg, fn: func(w int) { e.forCyclic(p, w, r, body, &wg) }})
+	p.submit(task{wg: &wg, fn: func(w int) { e.forCyclic(p, w, r, body, &wg, &box) }})
 	wg.Wait()
+	box.rethrow()
 }
 
-func (e *Engine) forCyclic(p *Pool, w int, r CyclicRange, body func(worker, start, end, stride int), wg *sync.WaitGroup) {
+func (e *Engine) forCyclic(p *Pool, w int, r CyclicRange, body func(worker, start, end, stride int), wg *sync.WaitGroup, box *panicBox) {
 	for r.Divisible() {
-		if e.Cancelled() {
+		if e.Cancelled() || box.tripped.Load() {
 			return
 		}
 		left, right := r.Split()
 		wg.Add(1)
 		r = left
-		p.spawn(w, task{wg: wg, fn: func(w2 int) { e.forCyclic(p, w2, right, body, wg) }})
+		p.spawn(w, task{wg: wg, fn: func(w2 int) { e.forCyclic(p, w2, right, body, wg, box) }})
 	}
-	if e.Cancelled() {
+	if e.Cancelled() || box.tripped.Load() {
 		return
 	}
-	body(w, r.Begin+r.Offset, r.End, r.Stride)
+	box.guard(func() { body(w, r.Begin+r.Offset, r.End, r.Stride) })
 }
 
 // ForCyclicNeighbor is the cyclic neighbor range adaptor on this engine.
@@ -226,23 +232,26 @@ func (e *Engine) ForCyclicNeighbor(g Adjacency, bins int, body func(worker, u in
 }
 
 // Invoke runs all fns in parallel on this engine and waits. Functions not
-// yet started when the context is cancelled are skipped.
+// yet started when the context is cancelled are skipped. The first panic
+// raised by any fn is rethrown on the calling goroutine after all finish.
 func (e *Engine) Invoke(fns ...func()) {
 	if e.Cancelled() {
 		return
 	}
 	p := e.pool()
+	var box panicBox
 	var wg sync.WaitGroup
 	wg.Add(len(fns))
 	for _, fn := range fns {
 		fn := fn
 		p.submit(task{fn: func(int) {
-			if !e.Cancelled() {
-				fn()
+			if !e.Cancelled() && !box.tripped.Load() {
+				box.guard(fn)
 			}
 		}, wg: &wg})
 	}
 	wg.Wait()
+	box.rethrow()
 }
 
 // Go schedules fn on the engine's pool and returns immediately.

@@ -249,21 +249,64 @@ func (p *Pool) run(id int) {
 	}
 }
 
+// panicBox captures the first panic raised by any task of one structured
+// parallel call (For/ForCyclic/Invoke) so the coordinating goroutine can
+// rethrow it after wg.Wait. Without it a body panic would unwind a pool
+// worker's stack and tear down the whole process far from the call that
+// caused it — and leave the call's WaitGroup waiting forever. Later panics
+// of the same call are swallowed; sibling chunks are skipped once the box
+// has tripped.
+type panicBox struct {
+	tripped atomic.Bool
+	mu      sync.Mutex
+	val     any
+}
+
+// guard runs fn, capturing a panic into the box instead of letting it
+// unwind the worker. The capture happens-before the task's wg.Done, so the
+// coordinator's read after wg.Wait is ordered.
+func (b *panicBox) guard(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.mu.Lock()
+			if !b.tripped.Load() {
+				b.val = r
+				b.tripped.Store(true)
+			}
+			b.mu.Unlock()
+		}
+	}()
+	fn()
+}
+
+// rethrow re-raises the captured panic on the calling goroutine, if any.
+func (b *panicBox) rethrow() {
+	if b.tripped.Load() {
+		panic(b.val)
+	}
+}
+
 // Go schedules fn on the pool and returns immediately. done.Done is called
-// when fn completes.
+// when fn completes. Unlike the structured drivers (For/ForCyclic/Invoke),
+// Go does not capture panics: there is no coordinating call to rethrow on,
+// so a panicking fn crashes the process just like a panicking goroutine.
 func (p *Pool) Go(fn func(worker int), wg *sync.WaitGroup) {
 	p.submit(task{fn: fn, wg: wg})
 }
 
-// Invoke runs all fns in parallel on the pool and waits for completion.
+// Invoke runs all fns in parallel on the pool and waits for completion. If
+// any fn panics, the first panic is rethrown on the calling goroutine once
+// all fns have finished.
 func (p *Pool) Invoke(fns ...func()) {
+	var box panicBox
 	var wg sync.WaitGroup
 	wg.Add(len(fns))
 	for _, fn := range fns {
 		fn := fn
-		p.submit(task{fn: func(int) { fn() }, wg: &wg})
+		p.submit(task{fn: func(int) { box.guard(fn) }, wg: &wg})
 	}
 	wg.Wait()
+	box.rethrow()
 }
 
 var (

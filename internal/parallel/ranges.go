@@ -88,6 +88,8 @@ func (r CyclicRange) Split() (CyclicRange, CyclicRange) {
 
 // For runs body over the blocked range in parallel. body receives the worker
 // ID executing the chunk (for per-worker state) and the chunk bounds [lo, hi).
+// If body panics, remaining chunks are skipped and the first panic is
+// rethrown on the calling goroutine once in-flight chunks finish.
 func (p *Pool) For(r BlockedRange, body func(worker, lo, hi int)) {
 	if r.Len() <= 0 {
 		return
@@ -95,43 +97,59 @@ func (p *Pool) For(r BlockedRange, body func(worker, lo, hi int)) {
 	if r.Grain < 1 {
 		r.Grain = autoGrain(r.Len())
 	}
+	var box panicBox
 	var wg sync.WaitGroup
 	wg.Add(1)
-	p.submit(task{wg: &wg, fn: func(w int) { p.forBlocked(w, r, body, &wg) }})
+	p.submit(task{wg: &wg, fn: func(w int) { p.forBlocked(w, r, body, &wg, &box) }})
 	wg.Wait()
+	box.rethrow()
 }
 
-func (p *Pool) forBlocked(w int, r BlockedRange, body func(worker, lo, hi int), wg *sync.WaitGroup) {
+func (p *Pool) forBlocked(w int, r BlockedRange, body func(worker, lo, hi int), wg *sync.WaitGroup, box *panicBox) {
 	for r.Divisible() {
+		if box.tripped.Load() {
+			return
+		}
 		left, right := r.Split()
 		wg.Add(1)
 		r = left
-		p.spawn(w, task{wg: wg, fn: func(w2 int) { p.forBlocked(w2, right, body, wg) }})
+		p.spawn(w, task{wg: wg, fn: func(w2 int) { p.forBlocked(w2, right, body, wg, box) }})
 	}
-	body(w, r.Begin, r.End)
+	if box.tripped.Load() {
+		return
+	}
+	box.guard(func() { body(w, r.Begin, r.End) })
 }
 
 // ForCyclic runs body over the cyclic range in parallel. body receives the
 // worker ID and a strided sub-range: it must visit i = start; i < end;
-// i += stride.
+// i += stride. Panics propagate like For's.
 func (p *Pool) ForCyclic(r CyclicRange, body func(worker, start, end, stride int)) {
 	if r.End-r.Begin <= 0 {
 		return
 	}
+	var box panicBox
 	var wg sync.WaitGroup
 	wg.Add(1)
-	p.submit(task{wg: &wg, fn: func(w int) { p.forCyclic(w, r, body, &wg) }})
+	p.submit(task{wg: &wg, fn: func(w int) { p.forCyclic(w, r, body, &wg, &box) }})
 	wg.Wait()
+	box.rethrow()
 }
 
-func (p *Pool) forCyclic(w int, r CyclicRange, body func(worker, start, end, stride int), wg *sync.WaitGroup) {
+func (p *Pool) forCyclic(w int, r CyclicRange, body func(worker, start, end, stride int), wg *sync.WaitGroup, box *panicBox) {
 	for r.Divisible() {
+		if box.tripped.Load() {
+			return
+		}
 		left, right := r.Split()
 		wg.Add(1)
 		r = left
-		p.spawn(w, task{wg: wg, fn: func(w2 int) { p.forCyclic(w2, right, body, wg) }})
+		p.spawn(w, task{wg: wg, fn: func(w2 int) { p.forCyclic(w2, right, body, wg, box) }})
 	}
-	body(w, r.Begin+r.Offset, r.End, r.Stride)
+	if box.tripped.Load() {
+		return
+	}
+	box.guard(func() { body(w, r.Begin+r.Offset, r.End, r.Stride) })
 }
 
 // Adjacency is the minimal view of a CSR-like structure that the
