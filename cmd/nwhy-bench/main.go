@@ -11,6 +11,7 @@
 //	nwhy-bench -exp fig9 -s 1,2,4,8
 //	nwhy-bench -exp frontier
 //	nwhy-bench -exp ablation
+//	nwhy-bench -exp soverlap -s 1,2 -out BENCH_soverlap.json
 //	nwhy-bench -exp all
 package main
 
@@ -40,7 +41,8 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("nwhy-bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: table1 | fig7 | fig8 | fig9 | frontier | ablation | all")
+		exp      = fs.String("exp", "all", "experiment: table1 | fig7 | fig8 | fig9 | frontier | ablation | soverlap | all")
+		outJSON  = fs.String("out", "BENCH_soverlap.json", "JSON report path for -exp soverlap")
 		scale    = fs.Float64("scale", 0.5, "dataset scale factor")
 		threads  = fs.String("threads", "", "comma-separated thread counts (default 1,2,..,max(4,GOMAXPROCS))")
 		ss       = fs.String("s", "1,2,4,8", "comma-separated s values for fig9")
@@ -79,17 +81,20 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
-	known := map[string]func(){
-		"table1":   func() { table1(w, presets, *scale) },
-		"fig7":     func() { fig7(w, presets, *scale, threadList, *reps) },
-		"fig8":     func() { fig8(w, presets, *scale, threadList, *reps) },
-		"fig9":     func() { fig9(w, presets, *scale, sList, *reps, *quick) },
-		"frontier": func() { frontierSweep(w, presets, *scale, *reps) },
-		"ablation": func() { ablation(w, presets, *scale, *reps) },
+	known := map[string]func() error{
+		"table1":   func() error { table1(w, presets, *scale); return nil },
+		"fig7":     func() error { fig7(w, presets, *scale, threadList, *reps); return nil },
+		"fig8":     func() error { fig8(w, presets, *scale, threadList, *reps); return nil },
+		"fig9":     func() error { fig9(w, presets, *scale, sList, *reps, *quick); return nil },
+		"frontier": func() error { frontierSweep(w, presets, *scale, *reps); return nil },
+		"ablation": func() error { ablation(w, presets, *scale, *reps); return nil },
+		"soverlap": func() error { return soverlap(w, *scale, sList, *reps, *outJSON) },
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "fig7", "fig8", "fig9", "frontier", "ablation"} {
-			known[name]()
+		for _, name := range []string{"table1", "fig7", "fig8", "fig9", "frontier", "ablation", "soverlap"} {
+			if err := known[name](); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
@@ -97,8 +102,7 @@ func run(args []string, w io.Writer) error {
 	if !ok {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
-	fn()
-	return nil
+	return fn()
 }
 
 func parseInts(s string) ([]int, error) {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -87,6 +89,40 @@ func TestBenchAblation(t *testing.T) {
 	for _, want := range []string{"Ablations", "direct-unionfind", "input=adjoin", "partition=cyclic"} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("ablation output missing %s: %q", want, s)
+		}
+	}
+}
+
+func TestBenchSoverlap(t *testing.T) {
+	out := t.TempDir() + "/BENCH_soverlap.json"
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "soverlap", "-scale", "0.02", "-s", "2", "-reps", "1", "-out", out}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"S-overlap kernel sweep", "hashmap", "dense", "intersection", "queue", "alloc: pairs-path"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("soverlap output missing %s: %q", want, s)
+		}
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep soverlapReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if len(rep.Results) == 0 {
+		t.Fatal("empty report")
+	}
+	for _, r := range rep.Results {
+		if len(r.Sweep) != 12 { // 4 strategies x 3 schedules
+			t.Fatalf("%s s=%d: %d sweep entries, want 12", r.Dataset, r.S, len(r.Sweep))
+		}
+		if r.Alloc.PairsPathBytes == 0 || r.Alloc.DirectCSRBytes == 0 {
+			t.Fatalf("%s s=%d: allocation comparison missing: %+v", r.Dataset, r.S, r.Alloc)
 		}
 	}
 }

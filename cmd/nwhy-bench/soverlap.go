@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"nwhy"
+	"nwhy/internal/core"
+	"nwhy/internal/gen"
+	"nwhy/internal/slinegraph"
+	"nwhy/internal/smetrics"
+)
+
+// soverlapReport is the BENCH_soverlap.json schema: one entry per
+// (dataset, s) with the full strategy x schedule sweep and the
+// pairs-path vs direct-CSR allocation comparison.
+type soverlapReport struct {
+	Scale   float64          `json:"scale"`
+	Reps    int              `json:"reps"`
+	Workers int              `json:"workers"`
+	Results []soverlapResult `json:"results"`
+}
+
+type soverlapResult struct {
+	Dataset   string          `json:"dataset"`
+	NumEdges  int             `json:"num_edges"`
+	NumNodes  int             `json:"num_nodes"`
+	S         int             `json:"s"`
+	LineEdges int             `json:"line_edges"`
+	Sweep     []soverlapEntry `json:"sweep"`
+	Alloc     soverlapAlloc   `json:"alloc"`
+}
+
+type soverlapEntry struct {
+	Strategy string `json:"strategy"`
+	Schedule string `json:"schedule"`
+	Nanos    int64  `json:"ns"`
+}
+
+// soverlapAlloc compares heap traffic of the two smetrics build paths for
+// the same (dataset, s): the legacy pairs path materializes a global edge
+// list and re-sorts it into a CSR; the direct path scatters the kernel's
+// per-worker buffers straight into the CSR.
+type soverlapAlloc struct {
+	PairsPathBytes uint64 `json:"pairs_path_bytes"`
+	DirectCSRBytes uint64 `json:"direct_csr_bytes"`
+}
+
+// soverlapInputs are the skewed-degree sweep inputs: bipartite power-law
+// hypergraphs at two skew exponents, where work-per-hyperedge varies enough
+// for the schedule axis to matter.
+func soverlapInputs(scale float64) []struct {
+	name string
+	h    *core.Hypergraph
+} {
+	ne, nv := int(20000*scale), int(15000*scale)
+	return []struct {
+		name string
+		h    *core.Hypergraph
+	}{
+		{"powerlaw-1.6", gen.BipartitePowerLaw(ne, nv, 6, 1.6, 42)},
+		{"powerlaw-2.0", gen.BipartitePowerLaw(ne, nv, 6, 2.0, 42)},
+	}
+}
+
+// allocBytes reports the heap bytes allocated while fn runs (single
+// measurement after a forced GC; coarse but directional).
+func allocBytes(fn func()) uint64 {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	fn()
+	runtime.ReadMemStats(&m1)
+	return m1.TotalAlloc - m0.TotalAlloc
+}
+
+// soverlap runs the kernel strategy/schedule sweep on skewed-degree inputs,
+// prints a summary table, and writes the machine-readable report (including
+// the before/after allocation comparison of the CSR assembly) to outPath.
+func soverlap(w io.Writer, scale float64, sList []int, reps int, outPath string) error {
+	fmt.Fprintf(w, "== S-overlap kernel sweep: strategy x schedule (scale %.2f) ==\n", scale)
+	strategies := []nwhy.Strategy{nwhy.StrategyAuto, nwhy.StrategyHashmap, nwhy.StrategyDense, nwhy.StrategyIntersection}
+	schedules := []nwhy.Schedule{nwhy.ScheduleBlocked, nwhy.ScheduleCyclic, nwhy.ScheduleQueue}
+	report := soverlapReport{Scale: scale, Reps: reps, Workers: runtime.GOMAXPROCS(0)}
+	for _, in := range soverlapInputs(scale) {
+		g := nwhy.Wrap(in.h)
+		eng := g.Engine()
+		fmt.Fprintf(w, "-- %s (|E|=%d |V|=%d) --\n", in.name, g.NumEdges(), g.NumNodes())
+		for _, s := range sList {
+			res := soverlapResult{
+				Dataset: in.name, NumEdges: g.NumEdges(), NumNodes: g.NumNodes(), S: s,
+			}
+			fmt.Fprintf(w, "%-6s", fmt.Sprintf("s=%d", s))
+			for _, sched := range schedules {
+				fmt.Fprintf(w, "%24s", sched)
+			}
+			fmt.Fprintln(w)
+			for _, strat := range strategies {
+				fmt.Fprintf(w, "  %-12s", strat)
+				for _, sched := range schedules {
+					o := nwhy.ConstructOptions{Strategy: strat, Schedule: sched}
+					var lg *nwhy.SLineGraph
+					d := measure(reps, func() { lg = g.SLineGraphWith(s, true, o) })
+					res.LineEdges = lg.NumEdges()
+					res.Sweep = append(res.Sweep, soverlapEntry{
+						Strategy: strat.String(), Schedule: sched.String(), Nanos: d.Nanoseconds(),
+					})
+					fmt.Fprintf(w, "%24s", d.Round(time.Microsecond))
+				}
+				fmt.Fprintln(w)
+			}
+			// Before/after allocation comparison of the smetrics build:
+			// global pair list + re-sort vs direct per-worker CSR assembly.
+			hin := slinegraph.FromHypergraph(in.h)
+			res.Alloc.PairsPathBytes = allocBytes(func() {
+				pairs, err := slinegraph.Construct(eng, hin, s, slinegraph.Options{})
+				if err == nil {
+					smetrics.BuildWith(eng, in.h, s, pairs)
+				}
+			})
+			res.Alloc.DirectCSRBytes = allocBytes(func() {
+				_, _ = smetrics.BuildOptions(eng, in.h, s, slinegraph.Options{})
+			})
+			fmt.Fprintf(w, "  alloc: pairs-path %d B, direct-CSR %d B (%.2fx)\n",
+				res.Alloc.PairsPathBytes, res.Alloc.DirectCSRBytes,
+				float64(res.Alloc.DirectCSRBytes)/float64(max64(res.Alloc.PairsPathBytes, 1)))
+			report.Results = append(report.Results, res)
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "report written to %s\n\n", outPath)
+	return nil
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -7,6 +7,7 @@
 //
 //	slinegraph -preset livejournal-mini -s 2 -algo queue-hashmap -cyclic
 //	slinegraph -in file.mtx -s 3 -algo intersection -relabel desc -adjoin
+//	slinegraph -preset rand1-mini -s 2 -strategy dense -schedule queue -weighted
 package main
 
 import (
@@ -36,6 +37,9 @@ func run(args []string, stdout io.Writer) error {
 		scale      = fs.Float64("scale", 1.0, "preset scale factor")
 		s          = fs.Int("s", 1, "overlap threshold s")
 		algoName   = fs.String("algo", "hashmap", "naive | intersection | hashmap | queue-hashmap | queue-intersection")
+		strategy   = fs.String("strategy", "auto", "kernel overlap counter: auto | hashmap | dense | intersection")
+		schedule   = fs.String("schedule", "default", "kernel work schedule: default | blocked | cyclic | queue | auto")
+		weighted   = fs.Bool("weighted", false, "retain exact overlap strengths (weighted s-line graph)")
 		cyclic     = fs.Bool("cyclic", false, "use the cyclic range partition")
 		relabel    = fs.String("relabel", "none", "relabel-by-degree: none | asc | desc")
 		adjoin     = fs.Bool("adjoin", false, "feed queue algorithms the adjoin representation")
@@ -62,6 +66,27 @@ func run(args []string, stdout io.Writer) error {
 	order, ok := orders[*relabel]
 	if !ok {
 		return fmt.Errorf("unknown relabel order %q", *relabel)
+	}
+	strategies := map[string]nwhy.Strategy{
+		"auto":         nwhy.StrategyAuto,
+		"hashmap":      nwhy.StrategyHashmap,
+		"dense":        nwhy.StrategyDense,
+		"intersection": nwhy.StrategyIntersection,
+	}
+	strat, ok := strategies[*strategy]
+	if !ok {
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	schedules := map[string]nwhy.Schedule{
+		"default": nwhy.ScheduleDefault,
+		"blocked": nwhy.ScheduleBlocked,
+		"cyclic":  nwhy.ScheduleCyclic,
+		"queue":   nwhy.ScheduleQueue,
+		"auto":    nwhy.ScheduleAuto,
+	}
+	sched, ok := schedules[*schedule]
+	if !ok {
+		return fmt.Errorf("unknown schedule %q", *schedule)
 	}
 
 	var g *nwhy.NWHypergraph
@@ -91,19 +116,30 @@ func run(args []string, stdout io.Writer) error {
 		g.Adjoin() // pre-build outside timing
 	}
 
-	opts := nwhy.ConstructOptions{Algorithm: algo, Cyclic: *cyclic, Relabel: order, UseAdjoin: *adjoin}
+	opts := nwhy.ConstructOptions{
+		Algorithm: algo, Strategy: strat, Schedule: sched,
+		Cyclic: *cyclic, Relabel: order, UseAdjoin: *adjoin,
+	}
 	best := time.Duration(1 << 62)
-	var lg *nwhy.SLineGraph
+	var edges int
 	for r := 0; r < *reps; r++ {
 		t0 := time.Now()
-		lg = g.SLineGraphWith(*s, true, opts)
+		if *weighted {
+			edges = g.SLineGraphWeightedWith(*s, opts).NumEdges()
+		} else {
+			edges = g.SLineGraphWith(*s, true, opts).NumEdges()
+		}
 		if d := time.Since(t0); d < best {
 			best = d
 		}
 	}
+	label := algo.String()
+	if *weighted {
+		label = "weighted kernel"
+	}
 	fmt.Fprintf(stdout, "input: |E|=%d |V|=%d incidences=%d\n", g.NumEdges(), g.NumNodes(), g.NumIncidences())
-	fmt.Fprintf(stdout, "%d-line graph via %v (partition=%s relabel=%s adjoin=%v, %d threads): %d edges in %v\n",
-		*s, algo, partitionName(*cyclic), order, *adjoin, g.Engine().NumWorkers(), lg.NumEdges(), best.Round(time.Microsecond))
+	fmt.Fprintf(stdout, "%d-line graph via %s (strategy=%s schedule=%s partition=%s relabel=%s adjoin=%v, %d threads): %d edges in %v\n",
+		*s, label, strat, sched, partitionName(*cyclic), order, *adjoin, g.Engine().NumWorkers(), edges, best.Round(time.Microsecond))
 	if *components {
 		t0 := time.Now()
 		labels := g.SConnectedComponentsDirect(*s)

@@ -56,6 +56,8 @@ func TestSlinegraphErrors(t *testing.T) {
 		{},
 		{"-algo", "nope", "-preset", "rand1-mini"},
 		{"-relabel", "nope", "-preset", "rand1-mini"},
+		{"-strategy", "nope", "-preset", "rand1-mini"},
+		{"-schedule", "nope", "-preset", "rand1-mini"},
 		{"-preset", "nope"},
 		{"-in", "/nonexistent.mtx"},
 	}
@@ -63,6 +65,50 @@ func TestSlinegraphErrors(t *testing.T) {
 		if err := run(args, &bytes.Buffer{}); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// TestSlinegraphKernelAxesAgree: every -strategy x -schedule combination,
+// weighted or not, reports the naive edge count.
+func TestSlinegraphKernelAxesAgree(t *testing.T) {
+	edgeCount := func(args ...string) string {
+		t.Helper()
+		var out bytes.Buffer
+		if err := run(append([]string{"-preset", "rand1-mini", "-scale", "0.01", "-s", "2", "-reps", "1"}, args...), &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		s := out.String()
+		idx := strings.Index(s, " edges in")
+		if idx < 0 {
+			t.Fatalf("%v: no edge count in %q", args, s)
+		}
+		return s[strings.LastIndexByte(s[:idx], ' ')+1 : idx]
+	}
+	want := edgeCount("-algo", "naive")
+	for _, strat := range []string{"auto", "hashmap", "dense", "intersection"} {
+		for _, sched := range []string{"blocked", "cyclic", "queue", "auto"} {
+			if got := edgeCount("-strategy", strat, "-schedule", sched); got != want {
+				t.Fatalf("strategy=%s schedule=%s: %s edges, want %s", strat, sched, got, want)
+			}
+			if got := edgeCount("-strategy", strat, "-schedule", sched, "-weighted"); got != want {
+				t.Fatalf("weighted strategy=%s schedule=%s: %s edges, want %s", strat, sched, got, want)
+			}
+		}
+	}
+}
+
+func TestSlinegraphEchoesKernelAxes(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-preset", "rand1-mini", "-scale", "0.01", "-s", "2",
+		"-strategy", "dense", "-schedule", "queue", "-weighted", "-reps", "1",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "via weighted kernel (strategy=dense schedule=queue") {
+		t.Fatalf("kernel axes not echoed: %q", s)
 	}
 }
 

@@ -59,12 +59,12 @@ func TestBFSDeterministicAcrossThreadCounts(t *testing.T) {
 func TestSLineDeterministicAcrossThreadCounts(t *testing.T) {
 	hg := determinismFixture()
 	defer SetNumThreads(0)
-	want := hg.SLineGraph(2, true).Pairs
+	want := hg.SLineGraph(2, true).Pairs()
 	for _, threads := range []int{1, 2, 4, 8} {
 		SetNumThreads(threads)
 		for _, algo := range []Algorithm{AlgoHashmap, AlgoIntersection, AlgoQueueHashmap, AlgoQueueIntersection} {
 			for _, cyclic := range []bool{false, true} {
-				got := hg.SLineGraphWith(2, true, ConstructOptions{Algorithm: algo, Cyclic: cyclic}).Pairs
+				got := hg.SLineGraphWith(2, true, ConstructOptions{Algorithm: algo, Cyclic: cyclic}).Pairs()
 				if !reflect.DeepEqual(got, want) {
 					t.Fatalf("%v cyclic=%v at %d threads differs", algo, cyclic, threads)
 				}

@@ -35,7 +35,7 @@ func engineTestHypergraph(t *testing.T) *NWHypergraph {
 func TestTwoEnginesConcurrently(t *testing.T) {
 	g := engineTestHypergraph(t)
 	wantCC := g.ConnectedComponents(CCHyper)
-	wantPairs := g.SLineGraph(2, true).Pairs
+	wantPairs := g.SLineGraph(2, true).Pairs()
 
 	e1 := NewEngine(2)
 	defer e1.Close()
@@ -54,7 +54,7 @@ func TestTwoEnginesConcurrently(t *testing.T) {
 				errs <- label + ": HyperCC labels diverged"
 				return
 			}
-			if lg := gt.SLineGraph(2, true); !reflect.DeepEqual(lg.Pairs, wantPairs) {
+			if lg := gt.SLineGraph(2, true); !reflect.DeepEqual(lg.Pairs(), wantPairs) {
 				errs <- label + ": s-line pairs diverged"
 				return
 			}

@@ -57,9 +57,9 @@ func main() {
 	fmt.Printf("bipartite + Algorithm 2 (queue, descending, cyclic): %7d edges in %v\n",
 		q2.NumEdges(), time.Since(t0).Round(time.Millisecond))
 
-	same := reflect.DeepEqual(reference.Pairs, q1.Pairs) &&
-		reflect.DeepEqual(reference.Pairs, qa.Pairs) &&
-		reflect.DeepEqual(reference.Pairs, q2.Pairs)
+	same := reflect.DeepEqual(reference.Pairs(), q1.Pairs()) &&
+		reflect.DeepEqual(reference.Pairs(), qa.Pairs()) &&
+		reflect.DeepEqual(reference.Pairs(), q2.Pairs())
 	fmt.Println("all four constructions identical:", same)
 
 	// Finally, scatter the hyperedge IDs across a 4x larger sparse ID space
@@ -76,7 +76,7 @@ func main() {
 		len(renamed), time.Since(t0).Round(time.Millisecond))
 	ok := len(renamed) == reference.NumEdges()
 	for i, p := range renamed {
-		want := reference.Pairs[i]
+		want := reference.Pairs()[i]
 		if p.U != 4*want.U+3 || p.V != 4*want.V+3 {
 			ok = false
 			break

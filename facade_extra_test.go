@@ -92,7 +92,7 @@ func TestEnsembleQueueFacade(t *testing.T) {
 		byS := hg.SLineGraphEnsembleQueue([]int{1, 2, 3}, adjoin)
 		for s, lg := range byS {
 			want := hg.SLineGraph(s, true)
-			if !reflect.DeepEqual(lg.Pairs, want.Pairs) {
+			if !reflect.DeepEqual(lg.Pairs(), want.Pairs()) {
 				t.Fatalf("queue ensemble (adjoin=%v) s=%d differs", adjoin, s)
 			}
 		}

@@ -53,7 +53,7 @@ func TestPipelineGenerateSaveLoadAnalyze(t *testing.T) {
 	for s := 1; s <= 3; s++ {
 		a := orig.SLineGraph(s, true)
 		b := loaded.SLineGraphWith(s, true, ConstructOptions{Algorithm: AlgoQueueIntersection, UseAdjoin: true})
-		if !reflect.DeepEqual(a.Pairs, b.Pairs) {
+		if !reflect.DeepEqual(a.Pairs(), b.Pairs()) {
 			t.Fatalf("s=%d line graphs differ across pipeline", s)
 		}
 	}
@@ -86,7 +86,7 @@ func TestPipelineAdjoinFileFlow(t *testing.T) {
 	}
 	// Queue construction on the file-loaded adjoin graph.
 	pairs, _ := slinegraph.QueueHashmap(SharedEngine(), slinegraph.FromAdjoin(a), 2, slinegraph.Options{})
-	wantPairs := orig.SLineGraph(2, true).Pairs
+	wantPairs := orig.SLineGraph(2, true).Pairs()
 	if !reflect.DeepEqual(pairs, wantPairs) {
 		t.Fatal("adjoin-file s-line graph differs")
 	}
@@ -179,10 +179,10 @@ func TestPipelineWeightedAgainstPlain(t *testing.T) {
 		if plain.NumEdges() != weighted.NumEdges() {
 			t.Fatalf("s=%d: weighted pair count differs", s)
 		}
-		if !reflect.DeepEqual(ens[s].Pairs, plain.Pairs) {
+		if !reflect.DeepEqual(ens[s].Pairs(), plain.Pairs()) {
 			t.Fatalf("s=%d: ensemble differs", s)
 		}
-		if !reflect.DeepEqual(ensQ[s].Pairs, plain.Pairs) {
+		if !reflect.DeepEqual(ensQ[s].Pairs(), plain.Pairs()) {
 			t.Fatalf("s=%d: queue ensemble differs", s)
 		}
 		// Components via line graph CC == direct union-find.

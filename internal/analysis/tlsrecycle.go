@@ -36,8 +36,8 @@ var (
 // Two package-local wrapper patterns are understood so the check pairs at
 // the right altitude: a function that returns arena-grabbed scratch to its
 // caller (an ownership-transferring grab wrapper, e.g. slinegraph's
-// grabCount) is exempt itself and counts as a grab at its call sites, and
-// a function that contains a recycle (e.g. stashCount, or countTLS
+// grabCounter) is exempt itself and counts as a grab at its call sites, and
+// a function that contains a recycle (e.g. stashCounter, or counterTLS
 // returning a release closure) counts as a recycle at its call sites. The
 // frontier substrate is outside the kernel scope entirely: its
 // constructors transfer buffer ownership into the Frontier, recycled by

@@ -1,0 +1,189 @@
+package countmap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseBasicCounting(t *testing.T) {
+	d := NewDense(64)
+	d.Inc(10, 1)
+	d.Inc(10, 1)
+	d.Inc(20, 1)
+	if d.Get(10) != 2 || d.Get(20) != 1 || d.Get(30) != 0 {
+		t.Fatalf("counts: %d %d %d", d.Get(10), d.Get(20), d.Get(30))
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestDenseClearIsCheapAndComplete(t *testing.T) {
+	d := NewDense(128)
+	for i := uint32(0); i < 100; i++ {
+		d.Inc(i, 1)
+	}
+	d.Clear()
+	if d.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", d.Len())
+	}
+	for i := uint32(0); i < 100; i++ {
+		if d.Get(i) != 0 {
+			t.Fatalf("key %d survived Clear", i)
+		}
+	}
+	d.Inc(5, 1)
+	if d.Get(5) != 1 || d.Len() != 1 {
+		t.Fatal("counter broken after Clear")
+	}
+}
+
+func TestDenseResetGrows(t *testing.T) {
+	d := NewDense(4)
+	d.Inc(3, 7)
+	d.Reset(1000)
+	if d.Get(3) != 0 || d.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	d.Inc(999, 2)
+	if d.Get(999) != 2 {
+		t.Fatalf("Get(999) = %d after grow", d.Get(999))
+	}
+	// Shrinking reuses the existing arrays.
+	d.Reset(10)
+	if d.Get(999) != 0 {
+		t.Fatal("stale count visible after Reset")
+	}
+	d.Inc(9, 1)
+	if d.Get(9) != 1 {
+		t.Fatal("counter broken after shrink Reset")
+	}
+}
+
+func TestMapResetClears(t *testing.T) {
+	m := New(4)
+	m.Inc(9, 3)
+	m.Reset(1 << 20) // key space irrelevant for the hash map
+	if m.Get(9) != 0 || m.Len() != 0 {
+		t.Fatal("Map.Reset did not clear")
+	}
+}
+
+func TestDenseEpochWraparound(t *testing.T) {
+	d := NewDense(8)
+	d.Inc(1, 1)
+	d.epoch = ^uint32(0)
+	d.Clear()
+	if d.Get(1) != 0 {
+		t.Fatal("stale entry visible after wraparound reset")
+	}
+	d.Inc(2, 1)
+	if d.Get(2) != 1 {
+		t.Fatal("counter broken after wraparound")
+	}
+}
+
+// TestCountersAgreeProperty drives Map and Dense with the same operation
+// stream through the Counter interface and demands identical observable
+// state — the parity contract the kernel's pluggable counter axis relies on.
+func TestCountersAgreeProperty(t *testing.T) {
+	const space = 300
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var counters []Counter = []Counter{New(4), NewDense(0)}
+		for _, c := range counters {
+			c.Reset(space)
+		}
+		oracle := map[uint32]int32{}
+		for op := 0; op < 3000; op++ {
+			switch rng.Intn(12) {
+			case 0:
+				for _, c := range counters {
+					c.Clear()
+				}
+				oracle = map[uint32]int32{}
+			case 1:
+				for _, c := range counters {
+					c.Reset(space)
+				}
+				oracle = map[uint32]int32{}
+			default:
+				k := uint32(rng.Intn(space))
+				for _, c := range counters {
+					c.Inc(k, 1)
+				}
+				oracle[k]++
+			}
+		}
+		for _, c := range counters {
+			if c.Len() != len(oracle) {
+				return false
+			}
+			for k, v := range oracle {
+				if c.Get(k) != v {
+					return false
+				}
+			}
+			n := 0
+			c.Range(func(k uint32, v int32) {
+				if oracle[k] != v {
+					n = -1 << 30
+				}
+				n++
+			})
+			if n != len(oracle) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// benchCounters compares hashmap vs dense tallying across overlap densities:
+// each round simulates one hyperedge's counting pass touching `keys` distinct
+// neighbors out of a `space`-sized ID space (the fraction is the overlap
+// density), with `hits` increments per key, then a Clear — the exact access
+// pattern of the s-overlap kernel's two-level walk.
+func benchCounters(b *testing.B, space, keys, hits int) {
+	ks := make([]uint32, keys*hits)
+	rng := rand.New(rand.NewSource(42))
+	perm := rng.Perm(space)
+	for i := 0; i < keys; i++ {
+		for h := 0; h < hits; h++ {
+			ks[i*hits+h] = uint32(perm[i])
+		}
+	}
+	rng.Shuffle(len(ks), func(i, j int) { ks[i], ks[j] = ks[j], ks[i] })
+	run := func(b *testing.B, c Counter) {
+		c.Reset(space)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, k := range ks {
+				c.Inc(k, 1)
+			}
+			n := 0
+			c.Range(func(uint32, int32) { n++ })
+			if n != keys {
+				b.Fatalf("tallied %d keys, want %d", n, keys)
+			}
+			c.Clear()
+		}
+	}
+	b.Run("hashmap", func(b *testing.B) { run(b, New(64)) })
+	b.Run("dense", func(b *testing.B) { run(b, NewDense(0)) })
+}
+
+func BenchmarkCounterDensity(b *testing.B) {
+	const space = 1 << 16
+	for _, density := range []float64{0.001, 0.01, 0.1, 0.5} {
+		keys := int(float64(space) * density)
+		b.Run(fmt.Sprintf("density=%g", density), func(b *testing.B) {
+			benchCounters(b, space, keys, 3)
+		})
+	}
+}

@@ -1,0 +1,134 @@
+package parallel
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkQueueDrainsExactlyOnce(t *testing.T) {
+	eng := SharedEngine()
+	items := make([]uint32, 1000)
+	for i := range items {
+		items[i] = uint32(i)
+	}
+	wq := NewWorkQueue(items, 7)
+	var seen [1000]int32
+	Drain(eng, wq, func(_ int, it uint32) {
+		atomic.AddInt32(&seen[it], 1)
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("item %d processed %d times", i, c)
+		}
+	}
+}
+
+func TestWorkQueueEmpty(t *testing.T) {
+	wq := NewWorkQueue[int](nil, 4)
+	if wq.Len() != 0 {
+		t.Fatalf("Len = %d", wq.Len())
+	}
+	called := false
+	Drain(SharedEngine(), wq, func(_, _ int) { called = true })
+	if called {
+		t.Fatal("body called on empty queue")
+	}
+}
+
+func TestNewWorkQueueForGrain(t *testing.T) {
+	eng := NewEngine(2)
+	defer eng.Close()
+	// 64 items / (16 chunks * 2 workers) = grain 2.
+	wq := NewWorkQueueFor(eng, make([]int, 64))
+	if wq.grain != 2 {
+		t.Fatalf("grain = %d, want 2", wq.grain)
+	}
+	// Tiny queues clamp to grain 1.
+	if wq := NewWorkQueueFor(eng, make([]int, 3)); wq.grain != 1 {
+		t.Fatalf("tiny grain = %d, want 1", wq.grain)
+	}
+}
+
+// TestDrainCancellationStopsAtChunkBoundary is the deterministic mid-drain
+// cancellation regression test: on a single-worker engine, cancelling inside
+// a chunk lets that chunk finish, stops fetching at the boundary, surfaces
+// the error via Err, and leaves the engine (and its arenas) reusable.
+func TestDrainCancellationStopsAtChunkBoundary(t *testing.T) {
+	eng := NewEngine(1)
+	defer eng.Close()
+	// Stash a scratch buffer so we can check arenas survive the abort.
+	eng.StashU32(0, make([]uint32, 0, 64))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ceng := eng.WithContext(ctx)
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	var processed int
+	Drain(ceng, NewWorkQueue(items, 10), func(_, it int) {
+		processed++
+		if it == 4 { // mid-chunk: the enclosing chunk [0,10) still completes
+			cancel()
+		}
+	})
+	if processed != 10 {
+		t.Fatalf("processed %d items, want exactly the first chunk of 10", processed)
+	}
+	if ceng.Err() == nil {
+		t.Fatal("cancelled engine must surface Err")
+	}
+
+	// Arena scratch is still grabbable after the aborted drain.
+	if buf := eng.GrabU32(0); cap(buf) != 64 {
+		t.Fatalf("arena buffer lost after cancellation: cap=%d", cap(buf))
+	}
+
+	// The engine itself (sans cancelled context) drains a fresh queue fully.
+	var again int
+	Drain(eng, NewWorkQueue(items, 10), func(_, _ int) { again++ })
+	if again != 100 {
+		t.Fatalf("engine not reusable after cancellation: processed %d/100", again)
+	}
+}
+
+func TestDrainAlreadyCancelledRunsNothing(t *testing.T) {
+	eng := NewEngine(2)
+	defer eng.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	Drain(eng.WithContext(ctx), NewWorkQueue(make([]int, 50), 5), func(_, _ int) { called = true })
+	if called {
+		t.Fatal("body ran under a pre-cancelled engine")
+	}
+}
+
+func TestDrainPanicPropagates(t *testing.T) {
+	eng := NewEngine(2)
+	defer eng.Close()
+	items := make([]int, 200)
+	for i := range items {
+		items[i] = i
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Fatalf("recovered %v, want boom", r)
+			}
+		}()
+		Drain(eng, NewWorkQueue(items, 4), func(_, it int) {
+			if it == 17 {
+				panic("boom")
+			}
+		})
+		t.Fatal("Drain returned without rethrowing")
+	}()
+	// The engine stays usable after the rethrow.
+	var n atomic.Int64
+	Drain(eng, NewWorkQueue(items, 4), func(_, _ int) { n.Add(1) })
+	if n.Load() != 200 {
+		t.Fatalf("post-panic drain processed %d/200", n.Load())
+	}
+}

@@ -21,30 +21,13 @@ import (
 // the same s-component share the minimum member ID, every other ID is a
 // singleton.
 func SComponentsDirect(eng *parallel.Engine, in Input, s int, o Options) ([]uint32, error) {
-	queue := orderQueue(eng, in.EdgeIDs(), in, o)
 	forest := unionfind.New(in.IDSpace())
-	wq := newWorkQueue(queue, queueGrain(eng, len(queue)))
-	cntTLS, release := countTLS(eng)
-	drain(eng, wq, func(w int, e uint32) {
-		if in.EdgeDegree(e) < s {
-			return
-		}
-		cnt := getCount(eng, cntTLS, w)
-		for _, v := range in.Incidence(e) {
-			for _, f := range in.EdgesOf(v) {
-				if f > e && in.EdgeDegree(f) >= s {
-					cnt.Inc(f, 1)
-				}
-			}
-		}
-		cnt.Range(func(f uint32, c int32) {
-			if int(c) >= s {
-				forest.Union(e, f)
-			}
-		})
-	})
-	release()
-	if err := eng.Err(); err != nil {
+	if o.Schedule == DefaultSchedule {
+		o.Schedule = QueueSchedule
+	}
+	if err := construct(eng, in, s, o, false, func(_ int, e, f uint32, _ int32) {
+		forest.Union(e, f)
+	}); err != nil {
 		return nil, err
 	}
 	forest.Compress()

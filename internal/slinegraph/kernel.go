@@ -1,0 +1,482 @@
+package slinegraph
+
+import (
+	"sort"
+
+	"nwhy/internal/countmap"
+	"nwhy/internal/parallel"
+	"nwhy/internal/sparse"
+)
+
+// This file is the unified s-overlap construction kernel: one generic
+// count/filter/emit cycle parameterized along three orthogonal axes —
+// counter strategy (Counter), work schedule (Schedule), and emit mode
+// (threshold pairs vs exact overlaps, chosen by the entry point). Every
+// construction algorithm in this package — the queue-based Algorithms 1 and
+// 2, the non-queue hashmap and intersection heuristics, the weighted
+// variants, the ensembles, and the direct components builder — is a thin
+// wrapper pinning some of the axes.
+
+// Counter selects the per-worker overlap-counting strategy.
+type Counter int
+
+const (
+	// AutoCounter picks a strategy from s and the degree statistics of the
+	// input (see resolveAxes).
+	AutoCounter Counter = iota
+	// HashmapCounter tallies overlaps in a per-worker open-addressing hash
+	// map (countmap.Map): O(distinct neighbors) memory, the IPDPS'22 default.
+	HashmapCounter
+	// DenseCounter tallies overlaps in a per-worker stamp/counter array
+	// indexed by hyperedge ID: O(1) access with no probing, O(ID space)
+	// memory, the winner when hyperedges overlap much of the ID space.
+	DenseCounter
+	// IntersectionCounter skips tallying: candidates are deduplicated with a
+	// stamp array and each candidate pair is sorted-merge intersected with
+	// short-circuiting at s (the HiPC'21 heuristic).
+	IntersectionCounter
+)
+
+func (c Counter) String() string {
+	switch c {
+	case HashmapCounter:
+		return "hashmap"
+	case DenseCounter:
+		return "dense"
+	case IntersectionCounter:
+		return "intersection"
+	default:
+		return "auto"
+	}
+}
+
+// Schedule selects how hyperedges are distributed over workers.
+type Schedule int
+
+const (
+	// DefaultSchedule derives the schedule from Options.Partition: blocked
+	// or cyclic, matching the historical non-queue behaviour.
+	DefaultSchedule Schedule = iota
+	// BlockedSchedule assigns contiguous chunks (tbb::blocked_range).
+	BlockedSchedule
+	// CyclicSchedule assigns hyperedges round-robin with a stride.
+	CyclicSchedule
+	// QueueSchedule is the paper's dynamic work queue: workers fetch chunks
+	// with an atomic cursor, rebalancing skew regardless of order.
+	QueueSchedule
+	// AutoSchedule picks a schedule from the relabel order and degree skew
+	// (see resolveAxes).
+	AutoSchedule
+)
+
+func (s Schedule) String() string {
+	switch s {
+	case BlockedSchedule:
+		return "blocked"
+	case CyclicSchedule:
+		return "cyclic"
+	case QueueSchedule:
+		return "queue"
+	case AutoSchedule:
+		return "auto"
+	default:
+		return "default"
+	}
+}
+
+// overlapCounter is the per-worker strategy object of the kernel: process
+// yields every neighbor f > e with |e ∩ f| ≥ s. When exact is set the
+// yielded count is the true overlap size |e ∩ f| (needed by the weighted
+// and ensemble emit modes); otherwise it may be any value ≥ s reached after
+// short-circuiting. Counters are arena-recycled across runs via reset.
+type overlapCounter interface {
+	// reset prepares the counter for in's ID space. Called once per run when
+	// the counter is bound to a worker.
+	reset(in Input)
+	// process visits hyperedge e, yielding each (f, count) with f > e,
+	// deg(f) ≥ s and |e ∩ f| ≥ s.
+	process(in Input, e uint32, s int, exact bool, yield func(f uint32, c int32))
+}
+
+// tallyCounter counts overlaps through the two-level incidence walk into a
+// pluggable countmap.Counter (hashmap or dense). Tallies are always exact —
+// every shared hypernode increments — so it serves both emit modes.
+type tallyCounter struct {
+	c countmap.Counter
+}
+
+func (t *tallyCounter) reset(in Input) { t.c.Reset(in.IDSpace()) }
+
+func (t *tallyCounter) process(in Input, e uint32, s int, _ bool, yield func(f uint32, c int32)) {
+	t.c.Clear()
+	for _, v := range in.Incidence(e) { // Alg 1, line 9
+		for _, f := range in.EdgesOf(v) { // line 10: (i < j)
+			if f > e && in.EdgeDegree(f) >= s {
+				t.c.Inc(f, 1) // line 11
+			}
+		}
+	}
+	t.c.Range(func(f uint32, c int32) { // lines 12-14
+		if int(c) >= s {
+			yield(f, c)
+		}
+	})
+}
+
+// intersectionCounter implements the set-intersection strategy: collect the
+// candidate neighbors once (deduplicated with an epoch-stamped array, so no
+// per-call clearing), then sorted-merge intersect each candidate's incidence
+// list with e's, short-circuiting at s unless an exact count is required.
+type intersectionCounter struct {
+	stamp []uint32
+	cand  []uint32
+	epoch uint32
+}
+
+func (ic *intersectionCounter) reset(in Input) {
+	if n := in.IDSpace(); n > len(ic.stamp) {
+		ic.stamp = make([]uint32, n)
+		ic.epoch = 0
+	}
+}
+
+func (ic *intersectionCounter) process(in Input, e uint32, s int, exact bool, yield func(f uint32, c int32)) {
+	ic.epoch++
+	if ic.epoch == 0 { // stamp wraparound: hard reset
+		for i := range ic.stamp {
+			ic.stamp[i] = 0
+		}
+		ic.epoch = 1
+	}
+	ic.cand = ic.cand[:0]
+	re := in.Incidence(e)
+	for _, v := range re {
+		for _, f := range in.EdgesOf(v) {
+			if f <= e || in.EdgeDegree(f) < s || ic.stamp[f] == ic.epoch {
+				continue
+			}
+			ic.stamp[f] = ic.epoch
+			ic.cand = append(ic.cand, f)
+		}
+	}
+	for _, f := range ic.cand {
+		var c int
+		var ok bool
+		if exact {
+			c, ok = countCommonExact(re, in.Incidence(f), s)
+		} else {
+			c, ok = countCommonGE(re, in.Incidence(f), s)
+		}
+		if ok {
+			yield(f, int32(c))
+		}
+	}
+}
+
+// newCounter constructs a fresh counter of the resolved (non-Auto) kind.
+func newCounter(kind Counter) overlapCounter {
+	switch kind {
+	case DenseCounter:
+		return &tallyCounter{c: countmap.NewDense(0)}
+	case IntersectionCounter:
+		return &intersectionCounter{}
+	default:
+		return &tallyCounter{c: countmap.New(64)}
+	}
+}
+
+// counterKey is the arena key a counter kind's scratch is recycled under.
+func counterKey(kind Counter) string {
+	switch kind {
+	case DenseCounter:
+		return "slinegraph.counter.dense"
+	case IntersectionCounter:
+		return "slinegraph.counter.isect"
+	default:
+		return "slinegraph.counter.hashmap"
+	}
+}
+
+// grabCounter fetches a reusable counter of the given kind from worker w's
+// arena on eng, falling back to a fresh one. Runs stash counters back with
+// stashCounter so repeated constructions on one engine stop allocating
+// their hash tables and stamp arrays.
+func grabCounter(eng *parallel.Engine, w int, kind Counter) overlapCounter {
+	if v, ok := eng.Grab(w, counterKey(kind)); ok {
+		return v.(overlapCounter)
+	}
+	return newCounter(kind)
+}
+
+// stashCounter returns a counter to worker w's arena for reuse.
+func stashCounter(eng *parallel.Engine, w int, kind Counter, c overlapCounter) {
+	if c == nil {
+		return
+	}
+	eng.Stash(w, counterKey(kind), c)
+}
+
+// counterTLS lazily binds one arena counter per worker; release returns every
+// bound counter to the arenas once the construction's loops are done.
+func counterTLS(eng *parallel.Engine, kind Counter) (tls *parallel.TLS[overlapCounter], release func()) {
+	tls = parallel.NewTLSFor(eng, func() overlapCounter { return nil })
+	release = func() {
+		tls.Each(func(w int, v *overlapCounter) { stashCounter(eng, w, kind, *v) })
+	}
+	return tls, release
+}
+
+// getCounter returns worker w's counter from tls, binding one from the arena
+// (reset for in's ID space) on first use.
+func getCounter(eng *parallel.Engine, tls *parallel.TLS[overlapCounter], w int, kind Counter, in Input) overlapCounter {
+	cp := tls.Get(w)
+	if *cp == nil {
+		*cp = grabCounter(eng, w, kind)
+		(*cp).reset(in)
+	}
+	return *cp
+}
+
+// degreeStats computes the mean and maximum hyperedge degree over ids.
+func degreeStats(in Input, ids []uint32) (mean float64, max int) {
+	total := 0
+	for _, e := range ids {
+		d := in.EdgeDegree(e)
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	if len(ids) > 0 {
+		mean = float64(total) / float64(len(ids))
+	}
+	return mean, max
+}
+
+// resolveAxes turns Auto/Default axis values into concrete ones, following
+// the degree-based heuristics of Liu et al. (arXiv:2010.11448):
+//
+//   - Counter: a threshold s large relative to the mean degree favors the
+//     intersection strategy (the s short-circuit kills most merges early and
+//     few pairs survive the degree filter); when the expected candidate
+//     volume (mean × max degree) rivals the ID space, the dense array beats
+//     the hash map (no probing, every slot hit anyway); otherwise the
+//     hashmap is the safe default.
+//   - Schedule: a relabel order or a skewed degree distribution
+//     (max ≥ 8 × mean) begs for the dynamic queue's load rebalancing;
+//     otherwise the static schedules win on scheduling overhead, honoring
+//     the Partition option.
+func resolveAxes(in Input, s int, ids []uint32, o Options) (Counter, Schedule) {
+	ctr, sched := o.Counter, o.Schedule
+	if sched == DefaultSchedule {
+		if o.Partition == CyclicPartition {
+			sched = CyclicSchedule
+		} else {
+			sched = BlockedSchedule
+		}
+	}
+	if ctr == AutoCounter || sched == AutoSchedule {
+		mean, max := degreeStats(in, ids)
+		if ctr == AutoCounter {
+			switch {
+			case s >= 2 && float64(s) >= mean/2:
+				ctr = IntersectionCounter
+			case mean*float64(max) >= float64(in.IDSpace()):
+				ctr = DenseCounter
+			default:
+				ctr = HashmapCounter
+			}
+		}
+		if sched == AutoSchedule {
+			if o.Relabel != sparse.NoOrder || float64(max) >= 8*mean {
+				sched = QueueSchedule
+			} else if o.Partition == CyclicPartition {
+				sched = CyclicSchedule
+			} else {
+				sched = BlockedSchedule
+			}
+		}
+	}
+	return ctr, sched
+}
+
+// sortByDegree stably sorts ids by hyperedge degree per ord (NoOrder leaves
+// the slice untouched). For the queue schedule this is the paper's
+// relabel-by-degree without any physical CSR relabeling — only the work
+// order changes; for the static schedules it reorders the iteration space
+// the same way, so all schedules see identical orderings.
+func sortByDegree(ids []uint32, in Input, ord sparse.Order) []uint32 {
+	switch ord {
+	case sparse.Ascending:
+		sort.SliceStable(ids, func(a, b int) bool {
+			return in.EdgeDegree(ids[a]) < in.EdgeDegree(ids[b])
+		})
+	case sparse.Descending:
+		sort.SliceStable(ids, func(a, b int) bool {
+			return in.EdgeDegree(ids[a]) > in.EdgeDegree(ids[b])
+		})
+	}
+	return ids
+}
+
+// construct is the kernel body shared by every construction algorithm: order
+// the hyperedge IDs, distribute them per the schedule, and run the counter
+// strategy on each, yielding (worker, e, f, count) for every s-overlapping
+// pair with f > e. Each surviving pair is emitted exactly once. When exact
+// is set the count is the true |e ∩ f| (the weighted/ensemble emit modes);
+// otherwise counters may short-circuit at s. Returns eng.Err() so callers
+// surface mid-run cancellation.
+func construct(eng *parallel.Engine, in Input, s int, o Options, exact bool, emit func(w int, e, f uint32, c int32)) error {
+	ids := in.EdgeIDs()
+	ctr, sched := resolveAxes(in, s, ids, o)
+	if sched == QueueSchedule {
+		ids = orderQueue(eng, ids, in, o)
+	} else {
+		ids = sortByDegree(ids, in, o.Relabel)
+	}
+	tls, release := counterTLS(eng, ctr)
+	body := func(w int, e uint32) {
+		if in.EdgeDegree(e) < s { // Alg 1, line 6: degree filter
+			return
+		}
+		cnt := getCounter(eng, tls, w, ctr, in)
+		cnt.process(in, e, s, exact, func(f uint32, c int32) { emit(w, e, f, c) })
+	}
+	switch sched {
+	case QueueSchedule:
+		parallel.Drain(eng, parallel.NewWorkQueueFor(eng, ids), body)
+	case CyclicSchedule:
+		eng.ForCyclic(eng.Cyclic(0, len(ids), o.NumBins), func(w, start, end, stride int) {
+			for i := start; i < end; i += stride {
+				body(w, ids[i])
+			}
+		})
+	default:
+		eng.For(eng.Blocked(0, len(ids)), func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				body(w, ids[i])
+			}
+		})
+	}
+	release()
+	return eng.Err()
+}
+
+// Construct runs the kernel and collects the canonical s-line edge list.
+// It is the slice-output adapter over the kernel; the default smetrics path
+// uses ConstructCSR instead and never materializes this list.
+func Construct(eng *parallel.Engine, in Input, s int, o Options) ([]sparse.Edge, error) {
+	tls := parallel.NewTLSFor(eng, func() []sparse.Edge { return nil })
+	if err := construct(eng, in, s, o, false, func(w int, e, f uint32, _ int32) {
+		buf := tls.Get(w)
+		*buf = append(*buf, sparse.Edge{U: e, V: f})
+	}); err != nil {
+		return nil, err
+	}
+	return collectTLS(eng, tls), nil
+}
+
+// ConstructWeighted runs the kernel in exact-count mode and collects the
+// canonical weighted s-line edge list (each pair with its |e ∩ f|).
+func ConstructWeighted(eng *parallel.Engine, in Input, s int, o Options) ([]WeightedPair, error) {
+	tls := parallel.NewTLSFor(eng, func() []WeightedPair { return nil })
+	if err := construct(eng, in, s, o, true, func(w int, e, f uint32, c int32) {
+		buf := tls.Get(w)
+		*buf = append(*buf, WeightedPair{U: e, V: f, Overlap: int(c)})
+	}); err != nil {
+		return nil, err
+	}
+	return canonWeighted(parallel.FlattenTLS(nil, tls, nil)), nil
+}
+
+// ConstructCSR runs the kernel and assembles the symmetric s-line adjacency
+// directly into a sparse.CSR over in's ID space — the fast path consumed by
+// smetrics.Build. Per-worker sorted chunk buffers are counted into a degree
+// array, a parallel.ScanExclusive pass turns the counts into row offsets,
+// and the chunks scatter both arc directions straight into the CSR's column
+// storage; no global []sparse.Edge list ever exists.
+func ConstructCSR(eng *parallel.Engine, in Input, s int, o Options) (*sparse.CSR, error) {
+	tls := parallel.NewTLSFor(eng, func() []sparse.Edge { return nil })
+	if err := construct(eng, in, s, o, false, func(w int, e, f uint32, _ int32) {
+		buf := tls.Get(w)
+		*buf = append(*buf, sparse.Edge{U: e, V: f})
+	}); err != nil {
+		return nil, err
+	}
+	// Collect the per-worker chunks (the slice headers, not the pairs).
+	var chunks [][]sparse.Edge
+	tls.Each(func(_ int, v *[]sparse.Edge) {
+		if len(*v) > 0 {
+			chunks = append(chunks, *v)
+		}
+	})
+	n := in.IDSpace()
+	// Sort each chunk in parallel so the scatter below writes each row in
+	// near-sorted runs (FromParts' final row sort then works on almost-ordered
+	// data), and count both arc directions into the degree array.
+	counts := make([]int64, n)
+	sortAndCount := make([]func(), len(chunks))
+	for ci := range chunks {
+		chunk := chunks[ci]
+		sortAndCount[ci] = func() {
+			sort.Slice(chunk, func(a, b int) bool {
+				if chunk[a].U != chunk[b].U {
+					return chunk[a].U < chunk[b].U
+				}
+				return chunk[a].V < chunk[b].V
+			})
+			for _, p := range chunk {
+				parallel.AddI64(&counts[p.U], 1)
+				parallel.AddI64(&counts[p.V], 1)
+			}
+		}
+	}
+	eng.Invoke(sortAndCount...)
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	total := parallel.ScanExclusive(counts)
+	rowptr := make([]int64, n+1)
+	copy(rowptr, counts)
+	rowptr[n] = total
+	// The scanned array doubles as the per-row scatter cursors.
+	col := make([]uint32, total)
+	scatter := make([]func(), len(chunks))
+	for ci := range chunks {
+		chunk := chunks[ci]
+		scatter[ci] = func() {
+			for _, p := range chunk {
+				col[parallel.AddI64(&counts[p.U], 1)-1] = p.V
+				col[parallel.AddI64(&counts[p.V], 1)-1] = p.U
+			}
+		}
+	}
+	eng.Invoke(scatter...)
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	return sparse.FromParts(n, n, rowptr, col, nil), nil
+}
+
+// countCommonExact counts |a ∩ b| of two sorted slices exactly, pruning only
+// when the remaining elements cannot reach s. Returns (count, count >= s) —
+// the exact-mode sibling of countCommonGE.
+func countCommonExact(a, b []uint32, s int) (int, bool) {
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if c < s && c+min(len(a)-i, len(b)-j) < s {
+			return c, false
+		}
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c, c >= s
+}

@@ -1,0 +1,200 @@
+package slinegraph
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"nwhy/internal/gen"
+	"nwhy/internal/sparse"
+)
+
+func tConstruct(t *testing.T, in Input, s int, o Options) []sparse.Edge {
+	t.Helper()
+	r, err := Construct(teng, in, s, o)
+	if err != nil {
+		t.Fatalf("Construct: %v", err)
+	}
+	return r
+}
+
+// TestCrossStrategyDifferential is the kernel's differential property test:
+// on generated random hypergraphs, every (counter x schedule x relabel x
+// partition) combination must yield the identical canonicalized s-line edge
+// set for s in {1, 2, 3}.
+func TestCrossStrategyDifferential(t *testing.T) {
+	hs := map[string]Input{
+		"uniform":  FromHypergraph(gen.Uniform(60, 40, 5, 1)),
+		"powerlaw": FromHypergraph(gen.BipartitePowerLaw(50, 35, 4, 1.6, 2)),
+	}
+	counters := []Counter{AutoCounter, HashmapCounter, DenseCounter, IntersectionCounter}
+	schedules := []Schedule{DefaultSchedule, BlockedSchedule, CyclicSchedule, QueueSchedule, AutoSchedule}
+	relabels := []sparse.Order{sparse.NoOrder, sparse.Ascending, sparse.Descending}
+	partitions := []Partition{BlockedPartition, CyclicPartition}
+	for hname, in := range hs {
+		for s := 1; s <= 3; s++ {
+			want := tConstruct(t, in, s, Options{})
+			for _, ctr := range counters {
+				for _, sched := range schedules {
+					for _, rel := range relabels {
+						for _, part := range partitions {
+							o := Options{Counter: ctr, Schedule: sched, Relabel: rel, Partition: part, NumBins: 8}
+							got := tConstruct(t, in, s, o)
+							if !reflect.DeepEqual(got, want) {
+								t.Fatalf("%s s=%d counter=%v schedule=%v relabel=%v partition=%v: %d edges, want %d",
+									hname, s, ctr, sched, rel, part, len(got), len(want))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWeightedParityAcrossOptions is the weighted/unweighted parity test:
+// weighted output stripped of overlaps equals unweighted output for the
+// same options, across every axis combination.
+func TestWeightedParityAcrossOptions(t *testing.T) {
+	in := FromHypergraph(gen.Uniform(50, 30, 5, 7))
+	for _, ctr := range []Counter{HashmapCounter, DenseCounter, IntersectionCounter} {
+		for _, sched := range []Schedule{BlockedSchedule, CyclicSchedule, QueueSchedule} {
+			for _, rel := range []sparse.Order{sparse.NoOrder, sparse.Descending} {
+				o := Options{Counter: ctr, Schedule: sched, Relabel: rel}
+				for s := 1; s <= 3; s++ {
+					plain := tConstruct(t, in, s, o)
+					wp, err := ConstructWeighted(teng, in, s, o)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(Unweight(wp), plain) {
+						t.Fatalf("counter=%v schedule=%v relabel=%v s=%d: weighted pairs differ from unweighted", ctr, sched, rel, s)
+					}
+					for _, p := range wp {
+						if exactOverlap(in.Incidence(p.U), in.Incidence(p.V)) != p.Overlap {
+							t.Fatalf("counter=%v s=%d: pair (%d,%d) overlap %d not exact", ctr, s, p.U, p.V, p.Overlap)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConstructCSRMatchesPairsPath: the direct-CSR assembly must produce
+// exactly the adjacency the pairs-then-FromEdgeList path produces.
+func TestConstructCSRMatchesPairsPath(t *testing.T) {
+	for _, seed := range []int64{3, 9, 27} {
+		in := FromHypergraph(gen.Uniform(45, 30, 5, seed))
+		for s := 1; s <= 3; s++ {
+			for _, o := range []Options{
+				{},
+				{Counter: DenseCounter, Schedule: QueueSchedule},
+				{Counter: IntersectionCounter, Schedule: CyclicSchedule, Relabel: sparse.Ascending},
+			} {
+				csr, err := ConstructCSR(teng, in, s, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := csr.Validate(); err != nil {
+					t.Fatalf("seed=%d s=%d: %v", seed, s, err)
+				}
+				want := ToLineGraph(in.IDSpace(), tConstruct(t, in, s, o)).CSR()
+				if !csr.Equal(want) {
+					t.Fatalf("seed=%d s=%d %+v: direct CSR differs from pairs path", seed, s, o)
+				}
+			}
+		}
+	}
+}
+
+func TestConstructCSREmpty(t *testing.T) {
+	in := FromHypergraph(paperHypergraph())
+	csr, err := ConstructCSR(teng, in, 5, Options{}) // threshold above any overlap
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csr.NumRows() != in.IDSpace() || csr.NumEdges() != 0 {
+		t.Fatalf("empty line graph CSR: %d rows, %d edges", csr.NumRows(), csr.NumEdges())
+	}
+}
+
+// TestResolveAxesAuto pins the Auto heuristic's direction: high thresholds
+// pick intersection, dense overlap picks the dense counter, relabel orders
+// and skew pick the queue schedule.
+func TestResolveAxesAuto(t *testing.T) {
+	in := FromHypergraph(overlapHypergraph()) // degrees 4,4,4,2: mean 3.5
+	ids := in.EdgeIDs()
+
+	ctr, sched := resolveAxes(in, 3, ids, Options{})
+	if ctr != IntersectionCounter {
+		t.Fatalf("s=3 vs mean 3.5: counter %v, want intersection", ctr)
+	}
+	if sched != BlockedSchedule {
+		t.Fatalf("default schedule %v, want blocked", sched)
+	}
+
+	// s=1 keeps tallying; the tiny ID space (4) vs mean*max=14 forces dense.
+	if ctr, _ := resolveAxes(in, 1, ids, Options{}); ctr != DenseCounter {
+		t.Fatalf("dense-overlap input: counter %v, want dense", ctr)
+	}
+
+	// A sparse-overlap input falls back to the hashmap.
+	sp := FromHypergraph(gen.Uniform(500, 2000, 3, 4))
+	if ctr, _ := resolveAxes(sp, 1, sp.EdgeIDs(), Options{}); ctr != HashmapCounter {
+		t.Fatalf("sparse-overlap input: counter %v, want hashmap", ctr)
+	}
+
+	if _, sched := resolveAxes(in, 1, ids, Options{Schedule: AutoSchedule, Relabel: sparse.Descending}); sched != QueueSchedule {
+		t.Fatalf("relabel order should pick the queue schedule, got %v", sched)
+	}
+	if _, sched := resolveAxes(in, 1, ids, Options{Schedule: AutoSchedule, Partition: CyclicPartition}); sched != CyclicSchedule {
+		t.Fatalf("auto over cyclic partition: %v, want cyclic", sched)
+	}
+}
+
+func TestConstructSurfacesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := FromHypergraph(paperHypergraph())
+	for _, sched := range []Schedule{BlockedSchedule, CyclicSchedule, QueueSchedule} {
+		if _, err := Construct(teng.WithContext(ctx), in, 1, Options{Schedule: sched}); err == nil {
+			t.Fatalf("schedule %v: cancelled construct returned nil error", sched)
+		}
+	}
+	if _, err := ConstructCSR(teng.WithContext(ctx), in, 1, Options{}); err == nil {
+		t.Fatal("cancelled ConstructCSR returned nil error")
+	}
+}
+
+func TestAxisStrings(t *testing.T) {
+	for want, got := range map[string]fmt.Stringer{
+		"auto":         AutoCounter,
+		"hashmap":      HashmapCounter,
+		"dense":        DenseCounter,
+		"intersection": IntersectionCounter,
+		"default":      DefaultSchedule,
+		"blocked":      BlockedSchedule,
+		"cyclic":       CyclicSchedule,
+		"queue":        QueueSchedule,
+	} {
+		if got.String() != want {
+			t.Fatalf("String() = %q, want %q", got.String(), want)
+		}
+	}
+}
+
+func TestCountCommonExact(t *testing.T) {
+	a := []uint32{1, 3, 5, 7}
+	b := []uint32{3, 4, 5, 6, 7}
+	if c, ok := countCommonExact(a, b, 2); !ok || c != 3 {
+		t.Fatalf("countCommonExact = %d,%v want exact 3", c, ok)
+	}
+	if c, ok := countCommonExact(a, b, 3); !ok || c != 3 {
+		t.Fatalf("countCommonExact at threshold = %d,%v", c, ok)
+	}
+	if _, ok := countCommonExact(a, b, 4); ok {
+		t.Fatal("countCommonExact reported 4 common, only 3 exist")
+	}
+}

@@ -34,13 +34,6 @@ func Naive(eng *parallel.Engine, h *core.Hypergraph, s int) ([]sparse.Edge, erro
 	return collectTLS(eng, tls), nil
 }
 
-// relabeled applies Options.Relabel to the biadjacency pair, returning the
-// (possibly) relabeled CSRs and the perm mapping relabeled IDs back to
-// original ones.
-func relabeled(h *core.Hypergraph, o Options) (edges, nodes *sparse.CSR, perm []uint32) {
-	return sparse.RelabelHyperedges(h.Edges, h.Nodes, o.Relabel)
-}
-
 // Intersection is the set-intersection heuristic of Liu et al. (HiPC'21):
 // for each eligible hyperedge, collect the candidate neighbors j > i once
 // (deduplicated with a per-worker stamp array), skip those that cannot reach
@@ -48,42 +41,9 @@ func relabeled(h *core.Hypergraph, o Options) (edges, nodes *sparse.CSR, perm []
 // termination. This and Hashmap are the non-queue algorithms Figure 9
 // compares the queue-based ones against.
 func Intersection(eng *parallel.Engine, h *core.Hypergraph, s int, o Options) ([]sparse.Edge, error) {
-	edges, nodes, perm := relabeled(h, o)
-	ne := edges.NumRows()
-	deg := edges.Degrees()
-	tls := parallel.NewTLSFor(eng, func() []sparse.Edge { return nil })
-	type scratch struct {
-		stamp []uint32 // stamp[j] == i+1 means j already considered for i
-		cand  []uint32
-	}
-	scratchTLS := parallel.NewTLSFor(eng, func() scratch { return scratch{stamp: make([]uint32, ne)} })
-	o.forIndices(eng, ne, func(w, i int) {
-		if deg[i] < s {
-			return
-		}
-		sc := scratchTLS.Get(w)
-		buf := tls.Get(w)
-		sc.cand = sc.cand[:0]
-		ri := edges.Row(i)
-		for _, v := range ri {
-			for _, j := range nodes.Row(int(v)) {
-				if int(j) <= i || deg[j] < s || sc.stamp[j] == uint32(i)+1 {
-					continue
-				}
-				sc.stamp[j] = uint32(i) + 1
-				sc.cand = append(sc.cand, j)
-			}
-		}
-		for _, j := range sc.cand {
-			if _, ok := countCommonGE(ri, edges.Row(int(j)), s); ok {
-				*buf = append(*buf, sparse.Edge{U: perm[i], V: perm[j]})
-			}
-		}
-	})
-	if err := eng.Err(); err != nil {
-		return nil, err
-	}
-	return collectTLS(eng, tls), nil
+	o.Counter = IntersectionCounter
+	o.Schedule = DefaultSchedule
+	return Construct(eng, FromHypergraph(h), s, o)
 }
 
 // Hashmap is the hashmap-counting algorithm of Liu et al. (IPDPS'22): for
@@ -91,152 +51,67 @@ func Intersection(eng *parallel.Engine, h *core.Hypergraph, s int, o Options) ([
 // the two-level incidence walk, then emit the pairs whose tally reaches s.
 // One pass; no set intersections.
 func Hashmap(eng *parallel.Engine, h *core.Hypergraph, s int, o Options) ([]sparse.Edge, error) {
-	edges, nodes, perm := relabeled(h, o)
-	ne := edges.NumRows()
-	deg := edges.Degrees()
-	tls := parallel.NewTLSFor(eng, func() []sparse.Edge { return nil })
-	cntTLS, release := countTLS(eng)
-	o.forIndices(eng, ne, func(w, i int) {
-		if deg[i] < s {
-			return
+	o.Counter = HashmapCounter
+	o.Schedule = DefaultSchedule
+	return Construct(eng, FromHypergraph(h), s, o)
+}
+
+// ensemble is the multi-threshold emit mode over the kernel: one exact-count
+// pass at the minimum threshold, with each surviving pair emitted into every
+// bucket whose threshold its overlap meets.
+func ensemble(eng *parallel.Engine, in Input, ss []int, o Options) (map[int][]sparse.Edge, error) {
+	if len(ss) == 0 {
+		return nil, eng.Err()
+	}
+	smin := ss[0]
+	for _, s := range ss {
+		if s < smin {
+			smin = s
 		}
-		cnt := getCount(eng, cntTLS, w)
-		for _, v := range edges.Row(i) {
-			for _, j := range nodes.Row(int(v)) {
-				if int(j) > i && deg[j] >= s {
-					cnt.Inc(j, 1)
-				}
-			}
+	}
+	type buckets map[int][]sparse.Edge
+	tls := parallel.NewTLSFor(eng, func() buckets {
+		b := buckets{}
+		for _, s := range ss {
+			b[s] = nil
 		}
-		buf := tls.Get(w)
-		cnt.Range(func(j uint32, c int32) {
-			if int(c) >= s {
-				*buf = append(*buf, sparse.Edge{U: perm[i], V: perm[j]})
-			}
-		})
+		return b
 	})
-	release()
-	if err := eng.Err(); err != nil {
+	if err := construct(eng, in, smin, o, true, func(w int, e, f uint32, c int32) {
+		b := *tls.Get(w)
+		for _, s := range ss {
+			if int(c) >= s {
+				b[s] = append(b[s], sparse.Edge{U: e, V: f})
+			}
+		}
+	}); err != nil {
 		return nil, err
 	}
-	return collectTLS(eng, tls), nil
+	out := map[int][]sparse.Edge{}
+	for _, s := range ss {
+		var all []sparse.Edge
+		tls.All(func(b *buckets) { all = append(all, (*b)[s]...) })
+		out[s] = canonPairs(eng, all)
+	}
+	return out, nil
 }
 
 // Ensemble computes the s-line graphs for every s in ss in a single
 // counting pass (Liu et al., IPDPS'22): overlap tallies are computed once
 // and each pair is emitted into every bucket whose threshold it meets.
 func Ensemble(eng *parallel.Engine, h *core.Hypergraph, ss []int, o Options) (map[int][]sparse.Edge, error) {
-	if len(ss) == 0 {
-		return nil, eng.Err()
-	}
-	smin := ss[0]
-	for _, s := range ss {
-		if s < smin {
-			smin = s
-		}
-	}
-	edges, nodes, perm := relabeled(h, o)
-	ne := edges.NumRows()
-	deg := edges.Degrees()
-	type buckets map[int][]sparse.Edge
-	tls := parallel.NewTLSFor(eng, func() buckets {
-		b := buckets{}
-		for _, s := range ss {
-			b[s] = nil
-		}
-		return b
-	})
-	cntTLS, release := countTLS(eng)
-	o.forIndices(eng, ne, func(w, i int) {
-		if deg[i] < smin {
-			return
-		}
-		cnt := getCount(eng, cntTLS, w)
-		for _, v := range edges.Row(i) {
-			for _, j := range nodes.Row(int(v)) {
-				if int(j) > i && deg[j] >= smin {
-					cnt.Inc(j, 1)
-				}
-			}
-		}
-		b := *tls.Get(w)
-		cnt.Range(func(j uint32, c int32) {
-			for _, s := range ss {
-				if int(c) >= s {
-					b[s] = append(b[s], sparse.Edge{U: perm[i], V: perm[j]})
-				}
-			}
-		})
-	})
-	release()
-	if err := eng.Err(); err != nil {
-		return nil, err
-	}
-	out := map[int][]sparse.Edge{}
-	for _, s := range ss {
-		var all []sparse.Edge
-		tls.All(func(b *buckets) { all = append(all, (*b)[s]...) })
-		out[s] = canonPairs(eng, all)
-	}
-	return out, nil
+	o.Counter = HashmapCounter
+	o.Schedule = DefaultSchedule
+	return ensemble(eng, FromHypergraph(h), ss, o)
 }
 
 // EnsembleQueue computes the s-line graphs for every s in ss in one
 // queue-driven counting pass — the ensemble construction generalized to
 // arbitrary ID spaces via the Input interface, like Algorithm 1.
 func EnsembleQueue(eng *parallel.Engine, in Input, ss []int, o Options) (map[int][]sparse.Edge, error) {
-	if len(ss) == 0 {
-		return nil, eng.Err()
-	}
-	smin := ss[0]
-	for _, s := range ss {
-		if s < smin {
-			smin = s
-		}
-	}
-	queue := orderQueue(eng, in.EdgeIDs(), in, o)
-	wq := newWorkQueue(queue, queueGrain(eng, len(queue)))
-	type buckets map[int][]sparse.Edge
-	tls := parallel.NewTLSFor(eng, func() buckets {
-		b := buckets{}
-		for _, s := range ss {
-			b[s] = nil
-		}
-		return b
-	})
-	cntTLS, release := countTLS(eng)
-	drain(eng, wq, func(w int, e uint32) {
-		if in.EdgeDegree(e) < smin {
-			return
-		}
-		cnt := getCount(eng, cntTLS, w)
-		for _, v := range in.Incidence(e) {
-			for _, f := range in.EdgesOf(v) {
-				if f > e && in.EdgeDegree(f) >= smin {
-					cnt.Inc(f, 1)
-				}
-			}
-		}
-		b := *tls.Get(w)
-		cnt.Range(func(f uint32, c int32) {
-			for _, s := range ss {
-				if int(c) >= s {
-					b[s] = append(b[s], sparse.Edge{U: e, V: f})
-				}
-			}
-		})
-	})
-	release()
-	if err := eng.Err(); err != nil {
-		return nil, err
-	}
-	out := map[int][]sparse.Edge{}
-	for _, s := range ss {
-		var all []sparse.Edge
-		tls.All(func(b *buckets) { all = append(all, (*b)[s]...) })
-		out[s] = canonPairs(eng, all)
-	}
-	return out, nil
+	o.Counter = HashmapCounter
+	o.Schedule = QueueSchedule
+	return ensemble(eng, in, ss, o)
 }
 
 // CliqueExpansion computes the clique-expansion graph of h: each hyperedge

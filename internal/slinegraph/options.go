@@ -1,7 +1,6 @@
 package slinegraph
 
 import (
-	"nwhy/internal/countmap"
 	"nwhy/internal/parallel"
 	"nwhy/internal/sparse"
 )
@@ -27,86 +26,33 @@ func (p Partition) String() string {
 	return "blocked"
 }
 
-// Options configure a construction algorithm run.
+// Options configure a construction algorithm run. The zero value selects
+// the historical defaults: blocked distribution, no relabeling, hashmap
+// counting (via AutoCounter resolution) under the entry point's schedule.
 type Options struct {
-	// Partition selects blocked or cyclic work distribution.
+	// Partition selects blocked or cyclic work distribution. It feeds the
+	// DefaultSchedule resolution and the queue interleave; callers using the
+	// Schedule axis directly can ignore it.
 	Partition Partition
 	// NumBins is the cyclic stride count; <= 0 uses 4x the worker count.
 	NumBins int
 	// Relabel applies relabel-by-degree to the hyperedge IDs before
-	// construction. Non-queue algorithms physically relabel the CSR pair
-	// (and map results back); queue algorithms merely sort their work queue,
-	// which is the versatility the paper's Algorithms 1 and 2 demonstrate.
+	// construction. The kernel sorts its work order — queue contents or
+	// iteration space — rather than physically relabeling the CSR pair,
+	// which is the versatility the paper's queue-based algorithms
+	// demonstrate; results are always in the original ID space.
 	Relabel sparse.Order
-}
-
-// forIndices runs body(worker, i) over [0, n) on eng under the selected
-// partition. A cancelled engine stops scheduling chunks at grain boundaries;
-// callers surface eng.Err() to report the abort.
-func (o Options) forIndices(eng *parallel.Engine, n int, body func(worker, i int)) {
-	switch o.Partition {
-	case CyclicPartition:
-		eng.ForCyclic(eng.Cyclic(0, n, o.NumBins), func(w, start, end, stride int) {
-			for i := start; i < end; i += stride {
-				body(w, i)
-			}
-		})
-	default:
-		eng.For(eng.Blocked(0, n), func(w, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				body(w, i)
-			}
-		})
-	}
+	// Counter selects the overlap-counting strategy (kernel axis 1).
+	// AutoCounter (the zero value) resolves from s and degree statistics.
+	Counter Counter
+	// Schedule selects the work distribution (kernel axis 2).
+	// DefaultSchedule (the zero value) derives from Partition; the legacy
+	// Queue* entry points pin QueueSchedule.
+	Schedule Schedule
 }
 
 // collectTLS gathers per-worker edge buffers into one canonical list
 // through the shared TLS merge path.
 func collectTLS(eng *parallel.Engine, tls *parallel.TLS[[]sparse.Edge]) []sparse.Edge {
 	return canonPairs(eng, parallel.FlattenTLS(nil, tls, nil))
-}
-
-// grabCount fetches a reusable countmap from worker w's arena on eng, falling
-// back to a fresh map when the arena has none. Constructions stash the maps
-// back with stashCount so repeated runs on one engine stop allocating their
-// hash tables.
-func grabCount(eng *parallel.Engine, w int) *countmap.Map {
-	if v, ok := eng.Grab(w, countKey); ok {
-		return v.(*countmap.Map)
-	}
-	return countmap.New(64)
-}
-
-// stashCount returns a countmap to worker w's arena for reuse.
-func stashCount(eng *parallel.Engine, w int, m *countmap.Map) {
-	if m == nil {
-		return
-	}
-	m.Clear()
-	eng.Stash(w, countKey, m)
-}
-
-// countKey is the arena key the construction algorithms share their
-// countmap scratch under.
-const countKey = "slinegraph.countmap"
-
-// countTLS lazily binds one arena countmap per worker; release returns every
-// bound map to the arenas once the construction's loops are done.
-func countTLS(eng *parallel.Engine) (tls *parallel.TLS[*countmap.Map], release func()) {
-	tls = parallel.NewTLSFor(eng, func() *countmap.Map { return nil })
-	release = func() {
-		tls.Each(func(w int, v **countmap.Map) { stashCount(eng, w, *v) })
-	}
-	return tls, release
-}
-
-// getCount returns worker w's countmap from tls, binding one from the arena
-// on first use, cleared and ready to tally.
-func getCount(eng *parallel.Engine, tls *parallel.TLS[*countmap.Map], w int) *countmap.Map {
-	cp := tls.Get(w)
-	if *cp == nil {
-		*cp = grabCount(eng, w)
-	}
-	(*cp).Clear()
-	return *cp
 }

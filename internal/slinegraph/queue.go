@@ -1,81 +1,23 @@
 package slinegraph
 
 import (
-	"sort"
-	"sync"
-	"sync/atomic"
-
 	"nwhy/internal/parallel"
 	"nwhy/internal/sparse"
 )
 
-// workQueue is the shared work queue at the heart of the paper's Algorithms
-// 1 and 2: items are enqueued up front and workers repeatedly fetch chunks
-// with an atomic cursor until the queue drains. Fetching is dynamic, so the
-// load balances regardless of how work is distributed across items.
-type workQueue[T any] struct {
-	items  []T
-	cursor atomic.Int64
-	grain  int
-}
-
-func newWorkQueue[T any](items []T, grain int) *workQueue[T] {
-	if grain < 1 {
-		grain = 1
-	}
-	return &workQueue[T]{items: items, grain: grain}
-}
-
-// next returns the next chunk of work, or nil when the queue is drained.
-func (q *workQueue[T]) next() []T {
-	lo := q.cursor.Add(int64(q.grain)) - int64(q.grain)
-	if lo >= int64(len(q.items)) {
-		return nil
-	}
-	hi := lo + int64(q.grain)
-	if hi > int64(len(q.items)) {
-		hi = int64(len(q.items))
-	}
-	return q.items[lo:hi]
-}
-
-// drain runs body over every queue item using all of eng's workers. A
-// cancelled engine stops fetching at the next chunk boundary, leaving the
-// rest of the queue unprocessed; callers surface eng.Err().
-func drain[T any](eng *parallel.Engine, q *workQueue[T], body func(worker int, item T)) {
-	var wg sync.WaitGroup
-	for w := 0; w < eng.NumWorkers(); w++ {
-		wg.Add(1)
-		eng.Go(func(worker int) {
-			for !eng.Cancelled() {
-				chunk := q.next()
-				if chunk == nil {
-					return
-				}
-				for _, it := range chunk {
-					body(worker, it)
-				}
-			}
-		}, &wg)
-	}
-	wg.Wait()
-}
+// The paper's queue-based algorithms, expressed as kernel wrappers pinning
+// the schedule axis to the dynamic work queue (parallel.WorkQueue, promoted
+// out of this package). Algorithm 2's two phases — enqueue candidate pairs,
+// then set-intersect each — are fused into the kernel's single pass with an
+// inner intersection per candidate: the pair queue becomes the per-worker
+// candidate list of the intersection counter, and the result is identical.
 
 // orderQueue applies the Options to the work queue contents: relabel-by-
 // degree becomes a simple sort of the queue (no physical CSR relabeling
 // needed — the versatility argument for the queue-based algorithms), and
 // cyclic partitioning becomes a round-robin interleave of the queue order.
 func orderQueue(eng *parallel.Engine, queue []uint32, in Input, o Options) []uint32 {
-	switch o.Relabel {
-	case sparse.Ascending:
-		sort.SliceStable(queue, func(a, b int) bool {
-			return in.EdgeDegree(queue[a]) < in.EdgeDegree(queue[b])
-		})
-	case sparse.Descending:
-		sort.SliceStable(queue, func(a, b int) bool {
-			return in.EdgeDegree(queue[a]) > in.EdgeDegree(queue[b])
-		})
-	}
+	queue = sortByDegree(queue, in, o.Relabel)
 	if o.Partition == CyclicPartition {
 		bins := o.NumBins
 		if bins <= 0 {
@@ -97,14 +39,6 @@ func orderQueue(eng *parallel.Engine, queue []uint32, in Input, o Options) []uin
 	return queue
 }
 
-func queueGrain(eng *parallel.Engine, n int) int {
-	g := n / (16 * eng.NumWorkers())
-	if g < 1 {
-		g = 1
-	}
-	return g
-}
-
 // QueueHashmap is the paper's Algorithm 1: a single-phase queue-based
 // s-line-graph construction using hashmap counting. All hyperedge IDs —
 // original, permuted, or adjoin shared-space — are enqueued into a work
@@ -113,83 +47,19 @@ func queueGrain(eng *parallel.Engine, n int) int {
 // whose tally reaches s. Enqueuing is linear in |E|, so the complexity
 // matches the non-queue Hashmap algorithm.
 func QueueHashmap(eng *parallel.Engine, in Input, s int, o Options) ([]sparse.Edge, error) {
-	queue := orderQueue(eng, in.EdgeIDs(), in, o) // Alg 1, line 2: enqueue all IDs
-	wq := newWorkQueue(queue, queueGrain(eng, len(queue)))
-	results := parallel.NewTLSFor(eng, func() []sparse.Edge { return nil }) // L_t(H)
-	cntTLS, release := countTLS(eng)
-	drain(eng, wq, func(w int, e uint32) {
-		if in.EdgeDegree(e) < s { // Alg 1, line 6
-			return
-		}
-		cnt := getCount(eng, cntTLS, w)     // Alg 1, line 8: overlap_count
-		for _, v := range in.Incidence(e) { // line 9
-			for _, f := range in.EdgesOf(v) { // line 10: (i < j)
-				if f > e && in.EdgeDegree(f) >= s {
-					cnt.Inc(f, 1) // line 11
-				}
-			}
-		}
-		buf := results.Get(w)
-		cnt.Range(func(f uint32, c int32) { // lines 12-14
-			if int(c) >= s {
-				*buf = append(*buf, sparse.Edge{U: e, V: f})
-			}
-		})
-	})
-	release()
-	if err := eng.Err(); err != nil {
-		return nil, err
-	}
-	return collectTLS(eng, results), nil // line 15: union of every L_t(H)
+	o.Counter = HashmapCounter
+	o.Schedule = QueueSchedule
+	return Construct(eng, in, s, o)
 }
 
-// QueueIntersection is the paper's Algorithm 2: a two-phase queue-based
-// s-line-graph construction. Phase one walks the incidence structure and
-// enqueues every eligible hyperedge pair (deduplicated per source hyperedge
-// with a stamp array) into per-thread queues that merge into one shared
-// pair queue. Phase two fetches pairs from the queue and set-intersects the
-// two incidence lists, emitting pairs with at least s common hypernodes.
-// The second phase is a single flat loop over pairs, giving finer-grained
-// load balancing than the three-level nest of the non-queue Intersection.
+// QueueIntersection is the paper's Algorithm 2: queue-based s-line-graph
+// construction via candidate set-intersection. Candidate pairs are
+// deduplicated per source hyperedge with a stamp array and each candidate's
+// incidence list is sorted-merge intersected with e's, short-circuiting at
+// s common hypernodes (the kernel fuses the paper's two phases into one
+// pass; the emitted pair set is identical).
 func QueueIntersection(eng *parallel.Engine, in Input, s int, o Options) ([]sparse.Edge, error) {
-	queue := orderQueue(eng, in.EdgeIDs(), in, o)
-
-	// Phase 1 (Alg 2, lines 1-6): build the pair queue.
-	pairTLS := parallel.NewTLSFor(eng, func() []sparse.Edge { return nil }) // queue_t
-	stampTLS := parallel.NewTLSFor(eng, func() []uint32 { return make([]uint32, in.IDSpace()) })
-	wq := newWorkQueue(queue, queueGrain(eng, len(queue)))
-	drain(eng, wq, func(w int, e uint32) {
-		if in.EdgeDegree(e) < s {
-			return
-		}
-		stamp := *stampTLS.Get(w)
-		buf := pairTLS.Get(w)
-		for _, v := range in.Incidence(e) {
-			for _, f := range in.EdgesOf(v) {
-				if f <= e || in.EdgeDegree(f) < s || stamp[f] == e+1 {
-					continue
-				}
-				stamp[f] = e + 1
-				*buf = append(*buf, sparse.Edge{U: e, V: f}) // line 5
-			}
-		}
-	})
-	if err := eng.Err(); err != nil {
-		return nil, err
-	}
-	var pairs []sparse.Edge // line 6: queue <- union of every queue_t
-	pairTLS.All(func(v *[]sparse.Edge) { pairs = append(pairs, *v...) })
-
-	// Phase 2 (lines 7-13): set-intersect each queued pair.
-	results := parallel.NewTLSFor(eng, func() []sparse.Edge { return nil }) // L_t(H)
-	pq := newWorkQueue(pairs, queueGrain(eng, len(pairs)))
-	drain(eng, pq, func(w int, pr sparse.Edge) {
-		if _, ok := countCommonGE(in.Incidence(pr.U), in.Incidence(pr.V), s); ok { // line 10-11
-			*results.Get(w) = append(*results.Get(w), pr) // line 12
-		}
-	})
-	if err := eng.Err(); err != nil {
-		return nil, err
-	}
-	return collectTLS(eng, results), nil // line 13
+	o.Counter = IntersectionCounter
+	o.Schedule = QueueSchedule
+	return Construct(eng, in, s, o)
 }

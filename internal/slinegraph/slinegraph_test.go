@@ -368,23 +368,6 @@ func TestSelfPairsNeverEmitted(t *testing.T) {
 	}
 }
 
-func TestWorkQueueDrainsExactlyOnce(t *testing.T) {
-	items := make([]uint32, 1000)
-	for i := range items {
-		items[i] = uint32(i)
-	}
-	wq := newWorkQueue(items, 7)
-	var seen [1000]int32
-	drain(teng, wq, func(_ int, it uint32) {
-		seen[it]++
-	})
-	for i, c := range seen {
-		if c != 1 {
-			t.Fatalf("item %d processed %d times", i, c)
-		}
-	}
-}
-
 func TestOrderQueueCyclicPermutation(t *testing.T) {
 	h := paperHypergraph()
 	in := FromHypergraph(h)

@@ -14,6 +14,10 @@ import (
 // proportional to this strength; keeping it enables strength-weighted
 // s-metrics (e.g. distances where strongly-overlapping hyperedges are
 // closer).
+//
+// The weighted constructions are the kernel's exact-count emit mode — the
+// same construct body as the unweighted ones, so there is no duplicated
+// counting or drain loop here.
 type WeightedPair struct {
 	U, V    uint32
 	Overlap int
@@ -23,72 +27,17 @@ type WeightedPair struct {
 // strengths. It produces the same pair set as Hashmap plus the exact
 // overlap count per pair.
 func HashmapWeighted(eng *parallel.Engine, h *core.Hypergraph, s int, o Options) ([]WeightedPair, error) {
-	edges, nodes, perm := relabeled(h, o)
-	ne := edges.NumRows()
-	deg := edges.Degrees()
-	tls := parallel.NewTLSFor(eng, func() []WeightedPair { return nil })
-	cntTLS, release := countTLS(eng)
-	o.forIndices(eng, ne, func(w, i int) {
-		if deg[i] < s {
-			return
-		}
-		cnt := getCount(eng, cntTLS, w)
-		for _, v := range edges.Row(i) {
-			for _, j := range nodes.Row(int(v)) {
-				if int(j) > i && deg[j] >= s {
-					cnt.Inc(j, 1)
-				}
-			}
-		}
-		buf := tls.Get(w)
-		cnt.Range(func(j uint32, c int32) {
-			if int(c) >= s {
-				*buf = append(*buf, WeightedPair{U: perm[i], V: perm[j], Overlap: int(c)})
-			}
-		})
-	})
-	release()
-	if err := eng.Err(); err != nil {
-		return nil, err
-	}
-	var out []WeightedPair
-	tls.All(func(v *[]WeightedPair) { out = append(out, *v...) })
-	return canonWeighted(out), nil
+	o.Counter = HashmapCounter
+	o.Schedule = DefaultSchedule
+	return ConstructWeighted(eng, FromHypergraph(h), s, o)
 }
 
 // QueueHashmapWeighted is Algorithm 1 retaining overlap strengths; like
 // QueueHashmap it accepts any Input (bipartite, adjoin, renamed).
 func QueueHashmapWeighted(eng *parallel.Engine, in Input, s int, o Options) ([]WeightedPair, error) {
-	queue := orderQueue(eng, in.EdgeIDs(), in, o)
-	wq := newWorkQueue(queue, queueGrain(eng, len(queue)))
-	results := parallel.NewTLSFor(eng, func() []WeightedPair { return nil })
-	cntTLS, release := countTLS(eng)
-	drain(eng, wq, func(w int, e uint32) {
-		if in.EdgeDegree(e) < s {
-			return
-		}
-		cnt := getCount(eng, cntTLS, w)
-		for _, v := range in.Incidence(e) {
-			for _, f := range in.EdgesOf(v) {
-				if f > e && in.EdgeDegree(f) >= s {
-					cnt.Inc(f, 1)
-				}
-			}
-		}
-		buf := results.Get(w)
-		cnt.Range(func(f uint32, c int32) {
-			if int(c) >= s {
-				*buf = append(*buf, WeightedPair{U: e, V: f, Overlap: int(c)})
-			}
-		})
-	})
-	release()
-	if err := eng.Err(); err != nil {
-		return nil, err
-	}
-	var out []WeightedPair
-	results.All(func(v *[]WeightedPair) { out = append(out, *v...) })
-	return canonWeighted(out), nil
+	o.Counter = HashmapCounter
+	o.Schedule = QueueSchedule
+	return ConstructWeighted(eng, in, s, o)
 }
 
 // canonWeighted normalizes weighted pairs: U < V, sorted, deduplicated.

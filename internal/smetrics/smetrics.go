@@ -8,6 +8,7 @@ package smetrics
 
 import (
 	"math"
+	"sync"
 
 	"nwhy/internal/core"
 	"nwhy/internal/graph"
@@ -24,35 +25,94 @@ type SLineGraph struct {
 	S int
 	// G is the line graph: vertex e is hyperedge e of the source hypergraph.
 	G *graph.Graph
-	// Pairs is the canonical s-line edge list (U < V, sorted).
-	Pairs []sparse.Edge
+
+	// pairs lazily materializes the canonical edge list from G. It is a
+	// shared pointer (not an inline sync.Once) so WithEngine's shallow copy
+	// neither copies a lock nor recomputes the list.
+	pairs *pairsBox
 
 	h   *core.Hypergraph
 	eng *parallel.Engine
 }
 
-// Build constructs the s-line graph of h with the hashmap algorithm and
-// default options, running on eng. The handle binds eng: every subsequent
-// s-metric query schedules on it and observes its context.
+// pairsBox holds the lazily-extracted canonical s-line edge list, shared
+// across every WithEngine copy of a handle.
+type pairsBox struct {
+	once sync.Once
+	list []sparse.Edge
+}
+
+// Build constructs the s-line graph of h on eng with Auto counter/schedule
+// resolution, assembling the adjacency CSR directly from the kernel's
+// per-worker buffers — the default path never materializes a global edge
+// list (Pairs extracts one lazily on demand). The handle binds eng: every
+// subsequent s-metric query schedules on it and observes its context.
 func Build(eng *parallel.Engine, h *core.Hypergraph, s int) (*SLineGraph, error) {
-	pairs, err := slinegraph.Hashmap(eng, h, s, slinegraph.Options{})
+	return BuildOptions(eng, h, s, slinegraph.Options{Schedule: slinegraph.AutoSchedule})
+}
+
+// BuildOptions is Build with explicit construction options (counter
+// strategy, schedule, relabel order, partition), still on the direct-CSR
+// fast path.
+func BuildOptions(eng *parallel.Engine, h *core.Hypergraph, s int, o slinegraph.Options) (*SLineGraph, error) {
+	csr, err := slinegraph.ConstructCSR(eng, slinegraph.FromHypergraph(h), s, o)
 	if err != nil {
 		return nil, err
 	}
-	return BuildWith(eng, h, s, pairs), nil
+	return BuildCSR(eng, h, s, csr)
+}
+
+// BuildCSR wraps an already-assembled symmetric s-line adjacency (from
+// slinegraph.ConstructCSR), binding eng for the s-metric queries.
+func BuildCSR(eng *parallel.Engine, h *core.Hypergraph, s int, csr *sparse.CSR) (*SLineGraph, error) {
+	g, err := graph.FromCSR(csr)
+	if err != nil {
+		return nil, err
+	}
+	return &SLineGraph{
+		S:     s,
+		G:     g,
+		pairs: &pairsBox{},
+		h:     h,
+		eng:   eng,
+	}, nil
 }
 
 // BuildWith wraps an already-constructed s-line edge list (from any of the
 // construction algorithms — they all produce identical canonical lists),
 // binding eng for the s-metric queries.
 func BuildWith(eng *parallel.Engine, h *core.Hypergraph, s int, pairs []sparse.Edge) *SLineGraph {
+	box := &pairsBox{list: pairs}
+	box.once.Do(func() {}) // already populated
 	return &SLineGraph{
 		S:     s,
 		G:     slinegraph.ToLineGraph(h.NumEdges(), pairs),
-		Pairs: pairs,
+		pairs: box,
 		h:     h,
 		eng:   eng,
 	}
+}
+
+// Pairs returns the canonical s-line edge list (U < V, sorted). Handles on
+// the direct-CSR path extract it from the adjacency on first call (rows are
+// sorted, so walking the upper triangle yields canonical order directly);
+// handles built from a pair list return that list.
+func (l *SLineGraph) Pairs() []sparse.Edge {
+	l.pairs.once.Do(func() {
+		c := l.G.CSR()
+		out := make([]sparse.Edge, 0, c.NumEdges()/2)
+		for u := 0; u < c.NumRows(); u++ {
+			for _, v := range c.Row(u) {
+				if v > uint32(u) {
+					out = append(out, sparse.Edge{U: uint32(u), V: v})
+				}
+			}
+		}
+		if len(out) > 0 {
+			l.pairs.list = out
+		}
+	})
+	return l.pairs.list
 }
 
 // Engine returns the engine the handle's queries run on.
@@ -69,8 +129,9 @@ func (l *SLineGraph) WithEngine(eng *parallel.Engine) *SLineGraph {
 // NumVertices reports the number of line-graph vertices (= hyperedges of h).
 func (l *SLineGraph) NumVertices() int { return l.G.NumVertices() }
 
-// NumEdges reports the number of s-line edges.
-func (l *SLineGraph) NumEdges() int { return len(l.Pairs) }
+// NumEdges reports the number of s-line edges (each stored as two arcs of
+// the symmetric adjacency).
+func (l *SLineGraph) NumEdges() int { return l.G.NumArcs() / 2 }
 
 // SDegree reports hyperedge e's s-degree: the number of hyperedges sharing
 // at least s hypernodes with it.

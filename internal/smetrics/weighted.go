@@ -21,7 +21,13 @@ type WeightedSLineGraph struct {
 // BuildWeighted constructs the strength-annotated s-line graph of h on eng,
 // binding eng for the weighted s-metric queries.
 func BuildWeighted(eng *parallel.Engine, h *core.Hypergraph, s int) (*WeightedSLineGraph, error) {
-	wp, err := slinegraph.HashmapWeighted(eng, h, s, slinegraph.Options{})
+	return BuildWeightedOptions(eng, h, s, slinegraph.Options{})
+}
+
+// BuildWeightedOptions is BuildWeighted with explicit construction options,
+// running the kernel's exact-count emit mode under any counter/schedule.
+func BuildWeightedOptions(eng *parallel.Engine, h *core.Hypergraph, s int, o slinegraph.Options) (*WeightedSLineGraph, error) {
+	wp, err := slinegraph.ConstructWeighted(eng, slinegraph.FromHypergraph(h), s, o)
 	if err != nil {
 		return nil, err
 	}

@@ -162,6 +162,19 @@ func FromPairs(nrows, ncols int, pairs []Edge, weights []float64) *CSR {
 	return c
 }
 
+// FromParts adopts prebuilt CSR storage: rowptr must have length nrows+1
+// with rowptr[0] == 0 and rowptr[nrows] == len(col), and col (plus val, when
+// non-nil, aligned with it) must hold each row's entries in its
+// rowptr-delimited window, in any order — FromParts sorts the rows in place.
+// The caller must not reuse the slices afterwards. It is the assembly entry
+// point for builders that scatter directly into CSR storage (the s-overlap
+// kernel's direct-CSR path) instead of routing through a global pair list.
+func FromParts(nrows, ncols int, rowptr []int64, col []uint32, val []float64) *CSR {
+	c := &CSR{nrows: nrows, ncols: ncols, RowPtr: rowptr, Col: col, Val: val}
+	c.sortRows()
+	return c
+}
+
 // sortRows sorts each row's columns ascending (carrying weights along).
 func (c *CSR) sortRows() {
 	parallel.For(c.nrows, func(_, lo, hi int) {

@@ -140,15 +140,15 @@ func TestAllConstructionAlgorithmsAgree(t *testing.T) {
 	for _, algo := range []Algorithm{AlgoHashmap, AlgoIntersection, AlgoQueueHashmap, AlgoQueueIntersection} {
 		for _, cyclic := range []bool{false, true} {
 			got := hg.SLineGraphWith(1, true, ConstructOptions{Algorithm: algo, Cyclic: cyclic})
-			if !reflect.DeepEqual(got.Pairs, want.Pairs) {
-				t.Fatalf("%v cyclic=%v: %v want %v", algo, cyclic, got.Pairs, want.Pairs)
+			if !reflect.DeepEqual(got.Pairs(), want.Pairs()) {
+				t.Fatalf("%v cyclic=%v: %v want %v", algo, cyclic, got.Pairs(), want.Pairs())
 			}
 		}
 	}
 	// Queue algorithms on the adjoin representation.
 	for _, algo := range []Algorithm{AlgoQueueHashmap, AlgoQueueIntersection} {
 		got := hg.SLineGraphWith(1, true, ConstructOptions{Algorithm: algo, UseAdjoin: true})
-		if !reflect.DeepEqual(got.Pairs, want.Pairs) {
+		if !reflect.DeepEqual(got.Pairs(), want.Pairs()) {
 			t.Fatalf("%v on adjoin differs", algo)
 		}
 	}
@@ -180,7 +180,7 @@ func TestEnsembleFacade(t *testing.T) {
 	byS := hg.SLineGraphEnsemble([]int{1, 2, 3}, true)
 	for s, lg := range byS {
 		want := hg.SLineGraphWith(s, true, ConstructOptions{Algorithm: AlgoHashmap})
-		if !reflect.DeepEqual(lg.Pairs, want.Pairs) {
+		if !reflect.DeepEqual(lg.Pairs(), want.Pairs()) {
 			t.Fatalf("ensemble s=%d differs", s)
 		}
 	}

@@ -42,18 +42,69 @@ func (a Algorithm) String() string {
 	}
 }
 
-// ConstructOptions configure s-line-graph construction.
+// Strategy selects the unified kernel's overlap-counting strategy — the
+// counter axis of the s-overlap construction kernel. It applies to the
+// default (kernel) construction path and to the weighted variants; the
+// legacy Algorithm values pin it instead.
+type Strategy int
+
+const (
+	// StrategyAuto picks a counter from s and the degree statistics.
+	StrategyAuto Strategy = iota
+	// StrategyHashmap tallies overlaps in per-worker hash maps.
+	StrategyHashmap
+	// StrategyDense tallies overlaps in per-worker dense stamp/counter
+	// arrays indexed by hyperedge ID.
+	StrategyDense
+	// StrategyIntersection sorted-merge intersects candidate incidence
+	// lists, short-circuiting at s.
+	StrategyIntersection
+)
+
+func (s Strategy) String() string { return slinegraph.Counter(s).String() }
+
+// Schedule selects how hyperedges are distributed over workers — the
+// schedule axis of the s-overlap construction kernel.
+type Schedule int
+
+const (
+	// ScheduleDefault derives blocked or cyclic from the Cyclic option.
+	ScheduleDefault Schedule = iota
+	// ScheduleBlocked assigns contiguous chunks.
+	ScheduleBlocked
+	// ScheduleCyclic assigns hyperedges round-robin with a stride.
+	ScheduleCyclic
+	// ScheduleQueue is the paper's dynamic work queue.
+	ScheduleQueue
+	// ScheduleAuto picks a schedule from the relabel order and degree skew.
+	ScheduleAuto
+)
+
+func (s Schedule) String() string { return slinegraph.Schedule(s).String() }
+
+// ConstructOptions configure s-line-graph construction. The one options
+// struct covers every variant — unweighted, weighted, queue or not: the
+// Strategy and Schedule axes select the kernel configuration, while the
+// legacy Algorithm values keep their historical meaning by pinning those
+// axes.
 type ConstructOptions struct {
 	Algorithm Algorithm
+	// Strategy selects the overlap-counting strategy for the kernel path
+	// (Algorithm == AlgoHashmap). Zero value: auto-resolve.
+	Strategy Strategy
+	// Schedule selects the work distribution for the kernel path. Zero
+	// value: blocked or cyclic per the Cyclic option.
+	Schedule Schedule
 	// Cyclic selects the cyclic range partition instead of blocked.
 	Cyclic bool
 	// NumBins is the cyclic stride count (<= 0: automatic).
 	NumBins int
 	// Relabel applies relabel-by-degree before construction.
 	Relabel sparse.Order
-	// UseAdjoin feeds the queue-based algorithms the adjoin representation
-	// instead of the bipartite one (ignored by non-queue algorithms, which
-	// require the bipartite form's contiguous ID space).
+	// UseAdjoin feeds the kernel and queue-based algorithms the adjoin
+	// representation instead of the bipartite one (ignored by the legacy
+	// non-queue algorithms, which require the bipartite form's contiguous
+	// ID space).
 	UseAdjoin bool
 }
 
@@ -62,7 +113,13 @@ func (o ConstructOptions) internal() slinegraph.Options {
 	if o.Cyclic {
 		part = slinegraph.CyclicPartition
 	}
-	return slinegraph.Options{Partition: part, NumBins: o.NumBins, Relabel: o.Relabel}
+	return slinegraph.Options{
+		Partition: part,
+		NumBins:   o.NumBins,
+		Relabel:   o.Relabel,
+		Counter:   slinegraph.Counter(o.Strategy),
+		Schedule:  slinegraph.Schedule(o.Schedule),
+	}
 }
 
 // SLineGraph is a materialized s-line graph handle exposing the s-metric
@@ -123,7 +180,24 @@ func (g *NWHypergraph) slgOn(eng *Engine, s int, edges bool, o ConstructOptions)
 			pairs, err = slinegraph.QueueIntersection(eng, in, s, opts)
 		}
 	default:
-		pairs, err = slinegraph.Hashmap(eng, h, s, opts)
+		// Kernel path: Strategy and Schedule select the configuration and
+		// the adjacency CSR is assembled directly from the kernel's
+		// per-worker buffers — no global pair list is materialized. The
+		// adjoin form keeps the pair-list adapter because its ID space is
+		// wider than the line graph's vertex range.
+		if o.UseAdjoin && edges {
+			pairs, err = slinegraph.Construct(eng, slinegraph.FromAdjoin(g.Adjoin()), s, opts)
+			break
+		}
+		csr, cerr := slinegraph.ConstructCSR(eng, slinegraph.FromHypergraph(h), s, opts)
+		if cerr != nil {
+			return nil, cerr
+		}
+		l, berr := smetrics.BuildCSR(g.engine(), h, s, csr)
+		if berr != nil {
+			return nil, berr
+		}
+		return &SLineGraph{l}, nil
 	}
 	if err != nil {
 		return nil, err
@@ -141,8 +215,30 @@ type WeightedSLineGraph struct {
 // SLineGraphWeighted constructs the s-line graph over hyperedges with
 // overlap strengths retained.
 func (g *NWHypergraph) SLineGraphWeighted(s int) *WeightedSLineGraph {
-	l, _ := smetrics.BuildWeighted(g.engine(), g.h, s)
+	return g.SLineGraphWeightedWith(s, ConstructOptions{})
+}
+
+// SLineGraphWeightedWith is SLineGraphWeighted with explicit construction
+// options — the same ConstructOptions the unweighted variants take. The
+// Algorithm field is ignored: the weighted emit mode runs the one kernel
+// body under whatever Strategy and Schedule select.
+func (g *NWHypergraph) SLineGraphWeightedWith(s int, o ConstructOptions) *WeightedSLineGraph {
+	l, _ := smetrics.BuildWeightedOptions(g.engine(), g.h, s, o.internal())
 	return &WeightedSLineGraph{l}
+}
+
+// SLineGraphWeightedCtx is SLineGraphWeightedWith bounded by ctx: the
+// construction aborts at the next grain boundary once ctx is cancelled and
+// returns ctx.Err(). The returned handle is rebound to the handle's engine
+// (without ctx), so subsequent queries are not affected by an expired
+// deadline.
+func (g *NWHypergraph) SLineGraphWeightedCtx(ctx context.Context, s int, o ConstructOptions) (*WeightedSLineGraph, error) {
+	l, err := smetrics.BuildWeightedOptions(g.engine().WithContext(ctx), g.h, s, o.internal())
+	if err != nil {
+		return nil, err
+	}
+	l.SLineGraph = l.SLineGraph.WithEngine(g.engine())
+	return &WeightedSLineGraph{l}, nil
 }
 
 // SLineGraphEnsembleQueue computes the s-line graphs for several values of
