@@ -6,6 +6,7 @@
 //
 //	hygen -preset rand1-mini -scale 0.5 -o rand1.mtx
 //	hygen -gen uniform -edges 10000 -nodes 10000 -size 10 -o u.mtx
+//	hygen -preset rand1-mini -o rand1.nwhyb          (binary snapshot)
 //	hygen -gen community -edges 20000 -nodes 5000 -mean 12 -o c.mtx
 //	hygen -list
 package main
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"nwhy/internal/core"
 	"nwhy/internal/gen"
@@ -90,10 +92,16 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	write := func(w io.Writer) error {
-		if *tsv {
+		switch {
+		case *tsv:
 			return mmio.WriteTSV(w, bel)
+		case strings.HasSuffix(*out, mmio.SnapshotExt):
+			// Binary snapshot of the incidence CSR: Load skips text
+			// parsing, dedup, and CSR construction on the way back in.
+			return mmio.WriteSnapshot(w, &mmio.Snapshot{CSR: h.Edges})
+		default:
+			return mmio.WriteBiEdgeList(w, bel)
 		}
-		return mmio.WriteBiEdgeList(w, bel)
 	}
 	if *out == "" {
 		return write(stdout)

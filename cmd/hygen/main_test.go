@@ -39,6 +39,24 @@ func TestHygenWritesLoadableFile(t *testing.T) {
 	}
 }
 
+func TestHygenWritesSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "u.nwhyb")
+	var out bytes.Buffer
+	if err := run([]string{"-gen", "uniform", "-edges", "50", "-nodes", "80", "-size", "4", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	g, err := nwhy.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 50 || g.NumNodes() != 80 {
+		t.Fatalf("shape %d/%d", g.NumEdges(), g.NumNodes())
+	}
+	if g.NumIncidences() != 50*4 {
+		t.Fatalf("incidences %d", g.NumIncidences())
+	}
+}
+
 func TestHygenStdout(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-gen", "uniform", "-edges", "3", "-nodes", "5", "-size", "2"}, &out); err != nil {

@@ -33,6 +33,8 @@ func run(args []string, stdout io.Writer) error {
 		components = fs.Bool("components", false, "also compute connected components")
 		toplexes   = fs.Bool("toplexes", false, "also count toplexes")
 		dists      = fs.Bool("dists", false, "also print degree distribution tails")
+		serial     = fs.Bool("serial-parse", false, "parse Matrix Market input single-threaded")
+		snapOut    = fs.String("save-snapshot", "", "also write the loaded hypergraph as a .nwhyb snapshot")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,13 +52,19 @@ func run(args []string, stdout io.Writer) error {
 		name = *presetName
 	case fs.NArg() == 1:
 		var err error
-		g, err = nwhy.Load(fs.Arg(0))
+		g, err = nwhy.LoadFile(fs.Arg(0), nwhy.LoadOptions{Serial: *serial})
 		if err != nil {
 			return err
 		}
 		name = fs.Arg(0)
 	default:
-		return fmt.Errorf("usage: hyperstats [-preset name [-scale f]] [file.mtx]")
+		return fmt.Errorf("usage: hyperstats [-preset name [-scale f]] [file.mtx|file.nwhyb]")
+	}
+	if *snapOut != "" {
+		if err := g.SaveSnapshot(*snapOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "snapshot written to %s\n", *snapOut)
 	}
 
 	st := g.Stats()

@@ -71,6 +71,35 @@ func TestHyperstatsPreset(t *testing.T) {
 	}
 }
 
+// -save-snapshot must write a .nwhyb the tool itself can then read back,
+// with -serial-parse producing the same stats from the text original.
+func TestHyperstatsSnapshotRoundTrip(t *testing.T) {
+	mtx := writeExample(t)
+	snap := filepath.Join(t.TempDir(), "h.nwhyb")
+	var out bytes.Buffer
+	if err := run([]string{"-save-snapshot", snap, mtx}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "snapshot written to "+snap) {
+		t.Fatalf("snapshot confirmation missing: %q", out.String())
+	}
+	statsOf := func(args ...string) string {
+		var b bytes.Buffer
+		if err := run(args, &b); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+		last := lines[len(lines)-1]
+		return last[strings.IndexAny(last, " \t"):] // drop the input-name column
+	}
+	text := statsOf(mtx)
+	serial := statsOf("-serial-parse", mtx)
+	bin := statsOf(snap)
+	if text != serial || text != bin {
+		t.Fatalf("stats disagree:\ntext:   %q\nserial: %q\nbinary: %q", text, serial, bin)
+	}
+}
+
 func TestHyperstatsErrors(t *testing.T) {
 	if err := run(nil, &bytes.Buffer{}); err == nil {
 		t.Fatal("no input accepted")

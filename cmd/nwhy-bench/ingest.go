@@ -1,0 +1,203 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+
+	"nwhy"
+	"nwhy/internal/gen"
+	"nwhy/internal/mmio"
+	"nwhy/internal/sparse"
+)
+
+// ingestParse is one parallel-parse measurement at a fixed worker count.
+type ingestParse struct {
+	Workers     int     `json:"workers"`
+	Seconds     float64 `json:"seconds"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	EdgesPerSec float64 `json:"edges_per_sec"`
+	// Speedup is serial-parse time over this configuration's time.
+	Speedup float64 `json:"speedup_vs_serial"`
+}
+
+// ingestResult is the full ingestion profile of one dataset: text parse
+// serial and parallel, then the binary snapshot round trip.
+type ingestResult struct {
+	Dataset        string        `json:"dataset"`
+	FileBytes      int64         `json:"file_bytes"`
+	Incidences     int           `json:"incidences"`
+	SerialSeconds  float64       `json:"serial_seconds"`
+	SerialMBPerSec float64       `json:"serial_mb_per_sec"`
+	Parallel       []ingestParse `json:"parallel"`
+	SnapshotBytes  int64         `json:"snapshot_bytes"`
+	SnapshotSave   float64       `json:"snapshot_save_seconds"`
+	SnapshotLoad   float64       `json:"snapshot_load_seconds"`
+	// SnapshotLoadSpeedupVsText is serial text-parse time over snapshot
+	// CSR-load time — what a cached .nwhyb buys over re-parsing.
+	SnapshotLoadSpeedupVsText float64 `json:"snapshot_load_speedup_vs_text"`
+}
+
+type ingestReport struct {
+	Experiment string         `json:"experiment"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Scale      float64        `json:"scale"`
+	Reps       int            `json:"reps"`
+	Results    []ingestResult `json:"results"`
+}
+
+// ingest measures the ingestion pipeline end to end: chunked parallel
+// Matrix Market parsing against the serial reader across worker counts,
+// and .nwhyb snapshot save/load against text parsing. Every timed
+// configuration is parity-checked against the serial parse before its
+// numbers are reported.
+func ingest(w io.Writer, scale float64, workers []int, reps int, outJSON string) error {
+	fmt.Fprintf(w, "== Ingestion pipeline: text parse vs chunked parallel parse vs snapshot (scale %.2f) ==\n", scale)
+	dir, err := os.MkdirTemp("", "nwhy-ingest")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	datasets := []struct {
+		name      string
+		ne, nv, m int
+		skew      float64
+		seed      int64
+	}{
+		{"powerlaw-s", 4000, 3000, 60000, 1.6, 7},
+		{"powerlaw-m", 20000, 15000, 400000, 1.6, 42},
+	}
+	rep := ingestReport{
+		Experiment: "ingest",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Scale:      scale,
+		Reps:       reps,
+	}
+	for _, d := range datasets {
+		h := gen.BipartitePowerLaw(sc(d.ne, scale), sc(d.nv, scale), sc(d.m, scale), d.skew, d.seed)
+		bel := sparse.NewBiEdgeList(h.NumEdges(), h.NumNodes())
+		for e, nbrs := range h.EdgeRange() {
+			for _, v := range nbrs {
+				bel.Add(uint32(e), v)
+			}
+		}
+		mtx := filepath.Join(dir, d.name+".mtx")
+		if err := mmio.WriteHypergraphFile(mtx, bel); err != nil {
+			return err
+		}
+		st, err := os.Stat(mtx)
+		if err != nil {
+			return err
+		}
+		mb := float64(st.Size()) / (1 << 20)
+
+		serialBel, err := mmio.GraphReader(mtx)
+		if err != nil {
+			return err
+		}
+		serialSec := measure(reps, func() {
+			if _, err := mmio.GraphReader(mtx); err != nil {
+				panic(err)
+			}
+		}).Seconds()
+		res := ingestResult{
+			Dataset:        d.name,
+			FileBytes:      st.Size(),
+			Incidences:     len(serialBel.Edges),
+			SerialSeconds:  serialSec,
+			SerialMBPerSec: mb / serialSec,
+		}
+		fmt.Fprintf(w, "-- %s (%.1f MB, %d incidences) --\n", d.name, mb, res.Incidences)
+		fmt.Fprintf(w, "  %-22s %10.1f ms %8.1f MB/s\n", "text parse serial", serialSec*1e3, res.SerialMBPerSec)
+
+		for _, nw := range workers {
+			eng := nwhy.NewEngine(nw)
+			parBel, err := mmio.GraphReaderParallel(eng, mtx)
+			if err != nil {
+				eng.Close()
+				return err
+			}
+			if !reflect.DeepEqual(serialBel, parBel) {
+				eng.Close()
+				return fmt.Errorf("ingest: parallel parse (%d workers) differs from serial on %s", nw, d.name)
+			}
+			sec := measure(reps, func() {
+				if _, err := mmio.GraphReaderParallel(eng, mtx); err != nil {
+					panic(err)
+				}
+			}).Seconds()
+			eng.Close()
+			res.Parallel = append(res.Parallel, ingestParse{
+				Workers:     nw,
+				Seconds:     sec,
+				MBPerSec:    mb / sec,
+				EdgesPerSec: float64(res.Incidences) / sec,
+				Speedup:     serialSec / sec,
+			})
+			fmt.Fprintf(w, "  parse parallel w=%-5d %10.1f ms %8.1f MB/s %6.2fx\n", nw, sec*1e3, mb/sec, serialSec/sec)
+		}
+
+		// Snapshot round trip: the deduplicated incidence CSR, the same
+		// structure Load builds from text.
+		eng := nwhy.NewEngine(0)
+		if err := serialBel.DedupOn(eng); err != nil {
+			eng.Close()
+			return err
+		}
+		csr := sparse.FromPairs(serialBel.N0, serialBel.N1, serialBel.Edges, serialBel.Weights)
+		snap := filepath.Join(dir, d.name+mmio.SnapshotExt)
+		res.SnapshotSave = measure(reps, func() {
+			if err := mmio.SaveSnapshot(snap, &mmio.Snapshot{CSR: csr}); err != nil {
+				panic(err)
+			}
+		}).Seconds()
+		loaded, err := mmio.LoadSnapshot(eng, snap)
+		if err != nil {
+			eng.Close()
+			return err
+		}
+		if !csr.Equal(loaded.CSR) {
+			eng.Close()
+			return fmt.Errorf("ingest: snapshot round trip changed the CSR on %s", d.name)
+		}
+		res.SnapshotLoad = measure(reps, func() {
+			if _, err := mmio.LoadSnapshot(eng, snap); err != nil {
+				panic(err)
+			}
+		}).Seconds()
+		eng.Close()
+		sst, err := os.Stat(snap)
+		if err != nil {
+			return err
+		}
+		res.SnapshotBytes = sst.Size()
+		res.SnapshotLoadSpeedupVsText = res.SerialSeconds / res.SnapshotLoad
+		fmt.Fprintf(w, "  %-22s %10.1f ms (%.1f MB)\n", "snapshot save", res.SnapshotSave*1e3, float64(sst.Size())/(1<<20))
+		fmt.Fprintf(w, "  %-22s %10.1f ms %6.2fx vs text parse\n", "snapshot load", res.SnapshotLoad*1e3, res.SnapshotLoadSpeedupVsText)
+		rep.Results = append(rep.Results, res)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outJSON, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "report written to %s\n\n", outJSON)
+	return nil
+}
+
+// sc scales a dataset dimension, keeping it usable at tiny test scales.
+func sc(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 4 {
+		v = 4
+	}
+	return v
+}

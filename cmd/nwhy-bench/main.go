@@ -12,6 +12,7 @@
 //	nwhy-bench -exp frontier
 //	nwhy-bench -exp ablation
 //	nwhy-bench -exp soverlap -s 1,2 -out BENCH_soverlap.json
+//	nwhy-bench -exp ingest -threads 1,2,4 -ingest-out BENCH_ingest.json
 //	nwhy-bench -exp all
 package main
 
@@ -41,14 +42,15 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("nwhy-bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: table1 | fig7 | fig8 | fig9 | frontier | ablation | soverlap | all")
-		outJSON  = fs.String("out", "BENCH_soverlap.json", "JSON report path for -exp soverlap")
-		scale    = fs.Float64("scale", 0.5, "dataset scale factor")
-		threads  = fs.String("threads", "", "comma-separated thread counts (default 1,2,..,max(4,GOMAXPROCS))")
-		ss       = fs.String("s", "1,2,4,8", "comma-separated s values for fig9")
-		reps     = fs.Int("reps", 3, "repetitions per measurement (min reported)")
-		datasets = fs.String("datasets", "", "comma-separated preset names (default: all six)")
-		quick    = fs.Bool("quick", false, "fig9: skip the best-of partition/relabel sweep")
+		exp       = fs.String("exp", "all", "experiment: table1 | fig7 | fig8 | fig9 | frontier | ablation | soverlap | ingest | all")
+		outJSON   = fs.String("out", "BENCH_soverlap.json", "JSON report path for -exp soverlap")
+		ingestOut = fs.String("ingest-out", "BENCH_ingest.json", "JSON report path for -exp ingest")
+		scale     = fs.Float64("scale", 0.5, "dataset scale factor")
+		threads   = fs.String("threads", "", "comma-separated thread counts (default 1,2,..,max(4,GOMAXPROCS))")
+		ss        = fs.String("s", "1,2,4,8", "comma-separated s values for fig9")
+		reps      = fs.Int("reps", 3, "repetitions per measurement (min reported)")
+		datasets  = fs.String("datasets", "", "comma-separated preset names (default: all six)")
+		quick     = fs.Bool("quick", false, "fig9: skip the best-of partition/relabel sweep")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,9 +91,10 @@ func run(args []string, w io.Writer) error {
 		"frontier": func() error { frontierSweep(w, presets, *scale, *reps); return nil },
 		"ablation": func() error { ablation(w, presets, *scale, *reps); return nil },
 		"soverlap": func() error { return soverlap(w, *scale, sList, *reps, *outJSON) },
+		"ingest":   func() error { return ingest(w, *scale, threadList, *reps, *ingestOut) },
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "fig7", "fig8", "fig9", "frontier", "ablation", "soverlap"} {
+		for _, name := range []string{"table1", "fig7", "fig8", "fig9", "frontier", "ablation", "soverlap", "ingest"} {
 			if err := known[name](); err != nil {
 				return err
 			}

@@ -127,6 +127,43 @@ func TestBenchSoverlap(t *testing.T) {
 	}
 }
 
+func TestBenchIngest(t *testing.T) {
+	out := t.TempDir() + "/BENCH_ingest.json"
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "ingest", "-scale", "0.02", "-threads", "1,2,4", "-reps", "1", "-ingest-out", out}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"Ingestion pipeline", "text parse serial", "parse parallel w=4", "snapshot load"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("ingest output missing %s: %q", want, s)
+		}
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ingestReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if len(rep.Results) == 0 {
+		t.Fatal("empty report")
+	}
+	for _, r := range rep.Results {
+		if len(r.Parallel) != 3 {
+			t.Fatalf("%s: %d parallel entries, want 3", r.Dataset, len(r.Parallel))
+		}
+		if r.SerialSeconds <= 0 || r.SnapshotLoad <= 0 || r.SnapshotLoadSpeedupVsText <= 0 {
+			t.Fatalf("%s: missing timings: %+v", r.Dataset, r)
+		}
+		if r.SnapshotBytes == 0 || r.Incidences == 0 {
+			t.Fatalf("%s: missing sizes: %+v", r.Dataset, r)
+		}
+	}
+}
+
 func TestBenchErrors(t *testing.T) {
 	cases := [][]string{
 		{"-exp", "nope"},

@@ -32,7 +32,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("slinegraph", flag.ContinueOnError)
 	var (
-		in         = fs.String("in", "", "input .mtx file")
+		in         = fs.String("in", "", "input .mtx or .nwhyb file")
 		presetName = fs.String("preset", "", "generator preset instead of a file")
 		scale      = fs.Float64("scale", 1.0, "preset scale factor")
 		s          = fs.Int("s", 1, "overlap threshold s")
@@ -46,6 +46,7 @@ func run(args []string, stdout io.Writer) error {
 		threads    = fs.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
 		reps       = fs.Int("reps", 3, "repetitions (min time reported)")
 		components = fs.Bool("components", false, "also report s-connected components (direct union-find)")
+		serial     = fs.Bool("serial-parse", false, "parse Matrix Market input single-threaded")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,12 +100,12 @@ func run(args []string, stdout io.Writer) error {
 		g = nwhy.Wrap(p.Build(*scale))
 	case *in != "":
 		var err error
-		g, err = nwhy.Load(*in)
+		g, err = nwhy.LoadFile(*in, nwhy.LoadOptions{Serial: *serial})
 		if err != nil {
 			return err
 		}
 	default:
-		return fmt.Errorf("usage: slinegraph (-in file.mtx | -preset name) [-s N] [-algo A]")
+		return fmt.Errorf("usage: slinegraph (-in file.mtx|file.nwhyb | -preset name) [-s N] [-algo A]")
 	}
 
 	if *threads > 0 {

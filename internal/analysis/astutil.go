@@ -17,6 +17,7 @@ var kernelPkgSuffixes = []string{
 	"internal/slinegraph",
 	"internal/smetrics",
 	"internal/hygra",
+	"internal/mmio",
 }
 
 // isKernelPkg reports whether importPath is one of the algorithm-layer

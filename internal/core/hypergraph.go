@@ -29,6 +29,13 @@ func FromBiEdgeList(bel *sparse.BiEdgeList) *Hypergraph {
 	return &Hypergraph{Edges: e, Nodes: n}
 }
 
+// FromIncidenceCSR builds a hypergraph around a prebuilt hyperedge
+// incidence structure — the snapshot-load fast path, where the CSR comes off
+// disk already canonical — deriving the node incidence by transposition.
+func FromIncidenceCSR(edges *sparse.CSR) *Hypergraph {
+	return &Hypergraph{Edges: edges, Nodes: edges.Transpose()}
+}
+
 // FromSets builds a hypergraph from explicit hyperedge vertex sets over
 // numNodes hypernodes. numNodes < 0 infers the node count from the sets.
 func FromSets(sets [][]uint32, numNodes int) *Hypergraph {

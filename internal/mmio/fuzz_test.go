@@ -1,0 +1,43 @@
+package mmio
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"nwhy/internal/parallel"
+)
+
+// FuzzReadBiEdgeList drives arbitrary bytes through both Matrix Market
+// readers. The property is differential: the serial and parallel readers
+// must agree on acceptance, and on accepted inputs produce identical
+// structures whose invariants (declared shapes, weight alignment,
+// in-range endpoints) hold.
+func FuzzReadBiEdgeList(f *testing.F) {
+	f.Add([]byte(paperMM))
+	f.Add([]byte("%%MatrixMarket matrix coordinate real general\n2 3 2\n1 3 2.5\n2 1 -1\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate pattern general\r\n% c\r\n3 3 1\r\n2 2\r\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate pattern general\n99999999 99999999 1\n1 1\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1e-400\n"))
+	f.Add([]byte(""))
+	eng := parallel.SharedEngine()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		serial, serr := ReadBiEdgeList(bytes.NewReader(data))
+		par, perr := ReadBiEdgeListParallel(eng, data)
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("acceptance mismatch: serial %v, parallel %v", serr, perr)
+		}
+		if serr != nil {
+			return
+		}
+		if serial.N0 != par.N0 || serial.N1 != par.N1 ||
+			!reflect.DeepEqual(serial.Edges, par.Edges) ||
+			!reflect.DeepEqual(serial.Weights, par.Weights) {
+			t.Fatal("parallel reader result differs from serial")
+		}
+		if err := serial.Validate(); err != nil {
+			t.Fatalf("accepted input produced invalid list: %v", err)
+		}
+	})
+}

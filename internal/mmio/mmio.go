@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 
 	"nwhy/internal/sparse"
@@ -46,7 +45,10 @@ func parseHeader(line string) (Header, error) {
 // matrix: entry (i, j) declares hyperedge i-1 incident on hypernode j-1.
 // Real/integer values are kept as incidence weights; pattern files produce
 // an unweighted list. Symmetric files are rejected (incidence matrices are
-// rectangular and general).
+// rectangular and general). Entry lines must have exactly the declared field
+// count — two indices, plus a value for non-pattern files; extra columns are
+// an error, not ignored. It shares its byte-level scanners (scan.go) with
+// ReadBiEdgeListParallel, so the two readers accept the same language.
 func ReadBiEdgeList(r io.Reader) (*sparse.BiEdgeList, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
@@ -58,35 +60,33 @@ func ReadBiEdgeList(r io.Reader) (*sparse.BiEdgeList, error) {
 		return nil, fmt.Errorf("mmio: hypergraph incidence must be general, got %s", header.Symmetry)
 	}
 	bel := sparse.NewBiEdgeList(rows, cols)
-	bel.Edges = make([]sparse.Edge, 0, nnz)
+	bel.Edges = make([]sparse.Edge, 0, initialEdgeCap(nnz))
 	weighted := header.Field != "pattern"
 	if weighted {
-		bel.Weights = make([]float64, 0, nnz)
+		bel.Weights = make([]float64, 0, initialEdgeCap(nnz))
 	}
-	seen := 0
 	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "%") {
+		line := trimASCII(sc.Bytes())
+		if len(line) == 0 || line[0] == '%' {
 			continue
 		}
-		i, j, w, err := parseEntry(line, weighted)
-		if err != nil {
-			return nil, err
+		i, j, w, ok := parseEntryBytes(line, weighted)
+		if !ok {
+			return nil, fmt.Errorf("mmio: bad entry %q", line)
 		}
-		if i < 1 || i > rows || j < 1 || j > cols {
+		if i < 1 || i > int64(rows) || j < 1 || j > int64(cols) {
 			return nil, fmt.Errorf("mmio: entry (%d,%d) outside %dx%d", i, j, rows, cols)
 		}
 		bel.Edges = append(bel.Edges, sparse.Edge{U: uint32(i - 1), V: uint32(j - 1)})
 		if weighted {
 			bel.Weights = append(bel.Weights, w)
 		}
-		seen++
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("mmio: %w", err)
 	}
-	if seen != nnz {
-		return nil, fmt.Errorf("mmio: header declared %d entries, found %d", nnz, seen)
+	if len(bel.Edges) != nnz {
+		return nil, fmt.Errorf("mmio: header declared %d entries, found %d", nnz, len(bel.Edges))
 	}
 	return bel, nil
 }
@@ -100,48 +100,17 @@ func readPreamble(sc *bufio.Scanner) (Header, int, int, int, error) {
 		return Header{}, 0, 0, 0, err
 	}
 	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "%") {
+		line := trimASCII(sc.Bytes())
+		if len(line) == 0 || line[0] == '%' {
 			continue
 		}
-		f := strings.Fields(line)
-		if len(f) != 3 {
-			return Header{}, 0, 0, 0, fmt.Errorf("mmio: bad size line %q", line)
-		}
-		rows, err1 := strconv.Atoi(f[0])
-		cols, err2 := strconv.Atoi(f[1])
-		nnz, err3 := strconv.Atoi(f[2])
-		if err1 != nil || err2 != nil || err3 != nil || rows < 0 || cols < 0 || nnz < 0 {
+		rows, cols, nnz, ok := parseSizeLine(line)
+		if !ok {
 			return Header{}, 0, 0, 0, fmt.Errorf("mmio: bad size line %q", line)
 		}
 		return header, rows, cols, nnz, nil
 	}
 	return Header{}, 0, 0, 0, fmt.Errorf("mmio: missing size line")
-}
-
-func parseEntry(line string, weighted bool) (int, int, float64, error) {
-	f := strings.Fields(line)
-	want := 2
-	if weighted {
-		want = 3
-	}
-	if len(f) < want {
-		return 0, 0, 0, fmt.Errorf("mmio: bad entry %q", line)
-	}
-	i, err1 := strconv.Atoi(f[0])
-	j, err2 := strconv.Atoi(f[1])
-	if err1 != nil || err2 != nil {
-		return 0, 0, 0, fmt.Errorf("mmio: bad entry %q", line)
-	}
-	w := 1.0
-	if weighted {
-		var err error
-		w, err = strconv.ParseFloat(f[2], 64)
-		if err != nil {
-			return 0, 0, 0, fmt.Errorf("mmio: bad value in %q", line)
-		}
-	}
-	return i, j, w, nil
 }
 
 // WriteBiEdgeList writes bel as a Matrix Market pattern (or real, when

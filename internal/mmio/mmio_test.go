@@ -87,6 +87,14 @@ func TestReadRejectsBadInputs(t *testing.T) {
 		"out of range":   "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n",
 		"bad entry":      "%%MatrixMarket matrix coordinate pattern general\n2 2 1\nx y\n",
 		"missing value":  "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+		// Trailing garbage columns must be rejected, not silently ignored.
+		"extra field pattern":  "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 1 9\n",
+		"extra field weighted": "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 2.5 junk\n",
+		"extra fields many":    "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 1 2 3 4\n",
+		"size line extra":      "%%MatrixMarket matrix coordinate pattern general\n2 2 1 7\n1 1\n",
+		"bad value":            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.2.3\n",
+		"sign only entry":      "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n+ 1\n",
+		"huge dimension":       "%%MatrixMarket matrix coordinate pattern general\n99999999999999 2 1\n1 1\n",
 	}
 	for name, in := range cases {
 		if _, err := ReadBiEdgeList(strings.NewReader(in)); err == nil {

@@ -54,20 +54,6 @@ func TestReadTSVFileMissing(t *testing.T) {
 	}
 }
 
-func FuzzReadBiEdgeList(f *testing.F) {
-	f.Add(paperMM)
-	f.Add("%%MatrixMarket matrix coordinate real general\n2 3 2\n1 3 2.5\n2 1 -1\n")
-	f.Add("")
-	f.Add("%%MatrixMarket matrix coordinate pattern general\n1 1 1\n1 1\n")
-	f.Fuzz(func(t *testing.T, in string) {
-		// Must never panic; errors are fine.
-		bel, err := ReadBiEdgeList(strings.NewReader(in))
-		if err == nil && bel.Validate() != nil {
-			t.Fatalf("accepted input produced invalid edge list: %q", in)
-		}
-	})
-}
-
 func FuzzReadTSV(f *testing.F) {
 	f.Add("0 0\n1 2\n")
 	f.Add("# c\n\n3\t4\n")

@@ -133,11 +133,8 @@ func canonPairs(eng *parallel.Engine, pairs []sparse.Edge) []sparse.Edge {
 			pairs[i] = sparse.Edge{U: e.V, V: e.U}
 		}
 	}
-	parallel.SortOn(eng, pairs, func(a, b sparse.Edge) bool {
-		if a.U != b.U {
-			return a.U < b.U
-		}
-		return a.V < b.V
+	parallel.RadixSort64On(eng, pairs, func(e sparse.Edge) uint64 {
+		return uint64(e.U)<<32 | uint64(e.V)
 	})
 	out := pairs[:0]
 	for i, e := range pairs {

@@ -386,7 +386,7 @@ func ConstructWeighted(eng *parallel.Engine, in Input, s int, o Options) ([]Weig
 	}); err != nil {
 		return nil, err
 	}
-	return canonWeighted(parallel.FlattenTLS(nil, tls, nil)), nil
+	return canonWeighted(eng, parallel.FlattenTLS(nil, tls, nil)), nil
 }
 
 // ConstructCSR runs the kernel and assembles the symmetric s-line adjacency

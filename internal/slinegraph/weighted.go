@@ -1,8 +1,6 @@
 package slinegraph
 
 import (
-	"sort"
-
 	"nwhy/internal/core"
 	"nwhy/internal/graph"
 	"nwhy/internal/parallel"
@@ -41,17 +39,14 @@ func QueueHashmapWeighted(eng *parallel.Engine, in Input, s int, o Options) ([]W
 }
 
 // canonWeighted normalizes weighted pairs: U < V, sorted, deduplicated.
-func canonWeighted(pairs []WeightedPair) []WeightedPair {
+func canonWeighted(eng *parallel.Engine, pairs []WeightedPair) []WeightedPair {
 	for i, e := range pairs {
 		if e.U > e.V {
 			pairs[i].U, pairs[i].V = e.V, e.U
 		}
 	}
-	sort.Slice(pairs, func(a, b int) bool {
-		if pairs[a].U != pairs[b].U {
-			return pairs[a].U < pairs[b].U
-		}
-		return pairs[a].V < pairs[b].V
+	parallel.RadixSort64On(eng, pairs, func(p WeightedPair) uint64 {
+		return uint64(p.U)<<32 | uint64(p.V)
 	})
 	out := pairs[:0]
 	for i, e := range pairs {

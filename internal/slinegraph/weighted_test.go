@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"nwhy/internal/core"
+	"nwhy/internal/parallel"
 )
 
 func TestHashmapWeightedStrengths(t *testing.T) {
@@ -130,7 +131,7 @@ func TestToWeightedLineGraph(t *testing.T) {
 
 func TestCanonWeightedNormalizes(t *testing.T) {
 	in := []WeightedPair{{U: 5, V: 2, Overlap: 1}, {U: 2, V: 5, Overlap: 1}, {U: 1, V: 3, Overlap: 2}}
-	out := canonWeighted(in)
+	out := canonWeighted(parallel.SharedEngine(), in)
 	if len(out) != 2 || out[0].U != 1 || out[1].U != 2 || out[1].V != 5 {
 		t.Fatalf("canonWeighted = %v", out)
 	}

@@ -1,0 +1,55 @@
+package sparse
+
+import "testing"
+
+func TestAdoptSortedAccepts(t *testing.T) {
+	c, err := AdoptSorted(3, 4,
+		[]int64{0, 2, 2, 3},
+		[]uint32{1, 3, 0},
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumRows() != 3 || c.NumCols() != 4 || c.NumEdges() != 3 {
+		t.Fatalf("dims %dx%d nnz %d", c.NumRows(), c.NumCols(), c.NumEdges())
+	}
+	if !c.HasEntry(0, 3) || c.HasEntry(1, 0) {
+		t.Fatal("entries misplaced")
+	}
+}
+
+func TestAdoptSortedRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		nrows  int
+		rowptr []int64
+		col    []uint32
+		val    []float64
+	}{
+		{"rowptr length", 2, []int64{0, 1}, []uint32{0}, nil},
+		{"rowptr endpoint", 2, []int64{0, 1, 2}, []uint32{0}, nil},
+		{"rowptr decreasing", 2, []int64{0, 2, 1}, []uint32{0, 1}, nil},
+		{"unsorted row", 1, []int64{0, 2}, []uint32{3, 1}, nil},
+		{"col out of range", 1, []int64{0, 1}, []uint32{9}, nil},
+		{"val misaligned", 1, []int64{0, 2}, []uint32{0, 1}, []float64{1}},
+	}
+	for _, tc := range cases {
+		if _, err := AdoptSorted(tc.nrows, 4, tc.rowptr, tc.col, tc.val); err == nil {
+			t.Fatalf("%s: AdoptSorted accepted invalid storage", tc.name)
+		}
+	}
+}
+
+func TestAdoptSortedMatchesFromParts(t *testing.T) {
+	rowptr := []int64{0, 2, 3}
+	col := []uint32{0, 2, 1}
+	val := []float64{1, 2, 3}
+	a, err := AdoptSorted(2, 3, append([]int64(nil), rowptr...), append([]uint32(nil), col...), append([]float64(nil), val...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := FromParts(2, 3, append([]int64(nil), rowptr...), append([]uint32(nil), col...), append([]float64(nil), val...))
+	if !a.Equal(b) {
+		t.Fatal("AdoptSorted differs from FromParts on sorted input")
+	}
+}

@@ -1,0 +1,88 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// skewedKeys draws keys with a power-law-ish tail: a handful of hot rows get
+// most increments, the regime where the shared atomic scatter contends.
+func skewedKeys(n int, rows uint32, seed int64) []uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint32, n)
+	for i := range keys {
+		if rng.Intn(4) != 0 { // 75% of traffic on 8 hot rows
+			keys[i] = rng.Uint32() % 8
+		} else {
+			keys[i] = rng.Uint32() % rows
+		}
+	}
+	return keys
+}
+
+func TestCountIntoVariantsAgree(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		rows uint32
+	}{
+		{100, 16},          // serial path
+		{1 << 14, 64},      // per-worker path (small count array)
+		{1 << 13, 1 << 20}, // atomic path (count array dwarfs n)
+	} {
+		keys := skewedKeys(tc.n, tc.rows, int64(tc.n))
+		want := make([]int64, tc.rows)
+		for _, k := range keys {
+			want[k]++
+		}
+		via := func(name string, fn func(int, []int64, func(int) uint32)) {
+			counts := make([]int64, tc.rows)
+			fn(tc.n, counts, func(i int) uint32 { return keys[i] })
+			for r := range want {
+				if counts[r] != want[r] {
+					t.Fatalf("%s n=%d rows=%d: counts[%d] = %d, want %d", name, tc.n, tc.rows, r, counts[r], want[r])
+				}
+			}
+		}
+		via("countInto", countInto)
+		via("perWorker", countIntoPerWorker)
+		via("atomic", countIntoAtomic)
+	}
+}
+
+// The dispatcher's two parallel paths, compared head to head on skewed and
+// uniform key streams (run with -bench CountInto to choose thresholds).
+func benchCountInto(b *testing.B, fn func(int, []int64, func(int) uint32), keys []uint32, rows uint32) {
+	counts := make([]int64, rows)
+	key := func(i int) uint32 { return keys[i] }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clear(counts)
+		fn(len(keys), counts, key)
+	}
+}
+
+func BenchmarkCountIntoPerWorkerSkewed(b *testing.B) {
+	benchCountInto(b, countIntoPerWorker, skewedKeys(1<<20, 1<<12, 1), 1<<12)
+}
+
+func BenchmarkCountIntoAtomicSkewed(b *testing.B) {
+	benchCountInto(b, countIntoAtomic, skewedKeys(1<<20, 1<<12, 1), 1<<12)
+}
+
+func BenchmarkCountIntoPerWorkerUniform(b *testing.B) {
+	keys := make([]uint32, 1<<20)
+	rng := rand.New(rand.NewSource(2))
+	for i := range keys {
+		keys[i] = rng.Uint32() % (1 << 12)
+	}
+	benchCountInto(b, countIntoPerWorker, keys, 1<<12)
+}
+
+func BenchmarkCountIntoAtomicUniform(b *testing.B) {
+	keys := make([]uint32, 1<<20)
+	rng := rand.New(rand.NewSource(2))
+	for i := range keys {
+		keys[i] = rng.Uint32() % (1 << 12)
+	}
+	benchCountInto(b, countIntoAtomic, keys, 1<<12)
+}

@@ -125,12 +125,10 @@ func (c *CSR) Validate() error {
 // are kept; call EdgeList/BiEdgeList Dedup first if needed.
 func FromPairs(nrows, ncols int, pairs []Edge, weights []float64) *CSR {
 	c := &CSR{nrows: nrows, ncols: ncols}
-	counts := make([]int64, nrows)
+	counts := make([]int64, nrows, nrows+1)
 	countInto(len(pairs), counts, func(i int) uint32 { return pairs[i].U })
-	c.RowPtr = make([]int64, nrows+1)
-	for i := 0; i < nrows; i++ {
-		c.RowPtr[i+1] = c.RowPtr[i] + counts[i]
-	}
+	total := parallel.ScanExclusive(counts)
+	c.RowPtr = append(counts, total)
 	c.Col = make([]uint32, len(pairs))
 	if weights != nil {
 		c.Val = make([]float64, len(pairs))
@@ -173,6 +171,24 @@ func FromParts(nrows, ncols int, rowptr []int64, col []uint32, val []float64) *C
 	c := &CSR{nrows: nrows, ncols: ncols, RowPtr: rowptr, Col: col, Val: val}
 	c.sortRows()
 	return c
+}
+
+// AdoptSorted adopts prebuilt CSR storage whose rows are already sorted —
+// the snapshot-load fast path, which must not pay FromParts' per-row sort on
+// data that was canonical when written. The full structural invariant set is
+// checked before adoption (including val/col alignment, which Validate does
+// not see), so a corrupted or hand-forged payload is rejected instead of
+// producing a CSR that violates the sorted-rows contract HasEntry and the
+// merge kernels rely on. The caller must not reuse the slices afterwards.
+func AdoptSorted(nrows, ncols int, rowptr []int64, col []uint32, val []float64) (*CSR, error) {
+	if val != nil && len(val) != len(col) {
+		return nil, fmt.Errorf("sparse: %d values for %d columns", len(val), len(col))
+	}
+	c := &CSR{nrows: nrows, ncols: ncols, RowPtr: rowptr, Col: col, Val: val}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // sortRows sorts each row's columns ascending (carrying weights along).

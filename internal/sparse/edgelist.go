@@ -11,7 +11,6 @@ package sparse
 
 import (
 	"fmt"
-	"sort"
 
 	"nwhy/internal/parallel"
 )
@@ -50,6 +49,10 @@ func (el *EdgeList) Len() int { return len(el.Edges) }
 
 // Sort orders edges by (U, V).
 func (el *EdgeList) Sort() { sortEdges(el.Edges) }
+
+// SortOn is Sort scheduled on engine e's pool. A cancelled engine leaves the
+// list a permutation of its input; callers detect the abort with e.Err().
+func (el *EdgeList) SortOn(e *parallel.Engine) { sortEdgesOn(e, el.Edges) }
 
 // Dedup removes duplicate edges. The list is sorted as a side effect.
 func (el *EdgeList) Dedup() {
@@ -140,28 +143,47 @@ func (bel *BiEdgeList) NumVertices(idx int) int {
 // Dedup removes duplicate incidences (keeping the first weight of each
 // group when weights are present). The list is sorted by (U, V).
 func (bel *BiEdgeList) Dedup() {
+	// Dedup cannot fail without an engine: the nil-engine radix path never
+	// cancels, so the error return of dedupOn is structurally nil here.
+	_ = bel.dedupOn(nil)
+}
+
+// DedupOn is Dedup scheduled on engine e's pool, observing e's cancellation
+// between radix passes. On cancellation the list is left a (possibly
+// unsorted, weight-aligned) permutation of its input and e's error is
+// returned.
+func (bel *BiEdgeList) DedupOn(e *parallel.Engine) error {
+	return bel.dedupOn(e)
+}
+
+func (bel *BiEdgeList) dedupOn(e *parallel.Engine) error {
 	if len(bel.Edges) == 0 {
-		return
+		return nil
 	}
 	if bel.Weights == nil {
-		sortEdges(bel.Edges)
+		sortEdgesOn(e, bel.Edges)
+		if e != nil && e.Err() != nil {
+			return e.Err()
+		}
 		bel.Edges = dedupEdges(bel.Edges)
-		return
+		return nil
 	}
+	// Weighted: sort a permutation instead of the edges so weights follow.
+	// The radix sort is stable, so the first occurrence of a duplicate group
+	// stays first and the first-weight-wins rule below needs no tiebreak.
 	idx := make([]int, len(bel.Edges))
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		ea, eb := bel.Edges[idx[a]], bel.Edges[idx[b]]
-		if ea.U != eb.U {
-			return ea.U < eb.U
+	key := func(i int) uint64 { return edgeKey(bel.Edges[i]) }
+	if e == nil {
+		parallel.RadixSort64(idx, key)
+	} else {
+		parallel.RadixSort64On(e, idx, key)
+		if e.Err() != nil {
+			return e.Err()
 		}
-		if ea.V != eb.V {
-			return ea.V < eb.V
-		}
-		return idx[a] < idx[b]
-	})
+	}
 	edges := make([]Edge, 0, len(bel.Edges))
 	weights := make([]float64, 0, len(bel.Weights))
 	for k, i := range idx {
@@ -173,6 +195,7 @@ func (bel *BiEdgeList) Dedup() {
 	}
 	bel.Edges = edges
 	bel.Weights = weights
+	return nil
 }
 
 // Validate checks all incidences are inside the declared partitions.
@@ -204,13 +227,31 @@ func (bel *BiEdgeList) Transpose() *BiEdgeList {
 	return out
 }
 
-func sortEdges(edges []Edge) {
-	sort.Slice(edges, func(a, b int) bool {
-		if edges[a].U != edges[b].U {
-			return edges[a].U < edges[b].U
+// edgeKey packs an edge into the radix key ordering (U, V) pairs: U in the
+// high 32 bits, V in the low.
+func edgeKey(e Edge) uint64 { return uint64(e.U)<<32 | uint64(e.V) }
+
+func sortEdges(edges []Edge) { sortEdgesOn(nil, edges) }
+
+// sortEdgesOn orders edges by (U, V) with the parallel LSD radix sort, after
+// a cheap sortedness scan so already-canonical inputs (snapshot loads,
+// pre-sorted files) skip the passes entirely. nil engine = default pool.
+func sortEdgesOn(e *parallel.Engine, edges []Edge) {
+	sorted := true
+	for i := 1; i < len(edges); i++ {
+		if edgeKey(edges[i-1]) > edgeKey(edges[i]) {
+			sorted = false
+			break
 		}
-		return edges[a].V < edges[b].V
-	})
+	}
+	if sorted {
+		return
+	}
+	if e == nil {
+		parallel.RadixSort64(edges, edgeKey)
+	} else {
+		parallel.RadixSort64On(e, edges, edgeKey)
+	}
 }
 
 func dedupEdges(edges []Edge) []Edge {
@@ -224,23 +265,15 @@ func dedupEdges(edges []Edge) []Edge {
 	return out
 }
 
-// ExclusiveScan replaces counts with its exclusive prefix sum in place and
-// returns the total. counts[i] becomes sum of the original counts[0..i).
-func ExclusiveScan(counts []int64) int64 {
-	var sum int64
-	for i := range counts {
-		c := counts[i]
-		counts[i] = sum
-		sum += c
-	}
-	return sum
-}
-
 // maxParallelThreshold is the size below which construction helpers run
 // sequentially; tiny inputs are not worth scheduling overhead.
 const maxParallelThreshold = 1 << 12
 
 // countInto bumps counts[key(i)] for i in [0, n), in parallel for large n.
+// The parallel path dispatches between per-worker count arrays merged at the
+// end (immune to the cache-line contention a skewed key distribution puts on
+// shared atomics) and a shared atomic scatter (cheaper when the count array
+// is too large to replicate per worker).
 func countInto(n int, counts []int64, key func(i int) uint32) {
 	if n < maxParallelThreshold {
 		for i := 0; i < n; i++ {
@@ -248,6 +281,42 @@ func countInto(n int, counts []int64, key func(i int) uint32) {
 		}
 		return
 	}
+	if len(counts)*parallel.Default().NumWorkers() <= 4*n {
+		countIntoPerWorker(n, counts, key)
+	} else {
+		countIntoAtomic(n, counts, key)
+	}
+}
+
+// countIntoPerWorker gives each worker a private count array and merges them
+// into counts afterwards. Replication costs workers x len(counts) memory and
+// a merge pass, which the countInto dispatcher bounds against n.
+func countIntoPerWorker(n int, counts []int64, key func(i int) uint32) {
+	locals := make([][]int64, parallel.Default().NumWorkers())
+	parallel.For(n, func(w, lo, hi int) {
+		local := locals[w]
+		if local == nil {
+			local = make([]int64, len(counts))
+			locals[w] = local
+		}
+		for i := lo; i < hi; i++ {
+			local[key(i)]++
+		}
+	})
+	parallel.For(len(counts), func(_, lo, hi int) {
+		for _, local := range locals {
+			if local == nil {
+				continue
+			}
+			for j := lo; j < hi; j++ {
+				counts[j] += local[j]
+			}
+		}
+	})
+}
+
+// countIntoAtomic scatters increments straight into the shared count array.
+func countIntoAtomic(n int, counts []int64, key func(i int) uint32) {
 	parallel.For(n, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			parallel.AddI64(&counts[key(i)], 1)

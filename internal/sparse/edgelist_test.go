@@ -146,17 +146,3 @@ func TestBiEdgeListValidateWeightMismatch(t *testing.T) {
 		t.Fatal("Validate accepted weight/edge length mismatch")
 	}
 }
-
-func TestExclusiveScan(t *testing.T) {
-	counts := []int64{3, 0, 2, 5}
-	total := ExclusiveScan(counts)
-	if total != 10 {
-		t.Fatalf("total = %d", total)
-	}
-	if !reflect.DeepEqual(counts, []int64{0, 3, 3, 5}) {
-		t.Fatalf("scan = %v", counts)
-	}
-	if ExclusiveScan(nil) != 0 {
-		t.Fatal("empty scan total != 0")
-	}
-}

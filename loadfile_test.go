@@ -1,0 +1,131 @@
+package nwhy
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nwhy/internal/gen"
+	"nwhy/internal/parallel"
+)
+
+func sameHypergraph(t *testing.T, a, b *NWHypergraph) {
+	t.Helper()
+	if !a.h.Edges.Equal(b.h.Edges) || !a.h.Nodes.Equal(b.h.Nodes) {
+		t.Fatal("hypergraphs differ")
+	}
+}
+
+func writeSample(t *testing.T, dir string) (*NWHypergraph, string) {
+	t.Helper()
+	g := Wrap(gen.BipartitePowerLaw(120, 90, 800, 1.7, 11))
+	path := filepath.Join(dir, "h.mtx")
+	if err := g.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return g, path
+}
+
+func TestLoadFileFormatsAgree(t *testing.T) {
+	dir := t.TempDir()
+	g, mtx := writeSample(t, dir)
+
+	text, err := LoadFile(mtx, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameHypergraph(t, g, text)
+
+	serial, err := LoadFile(mtx, LoadOptions{Serial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameHypergraph(t, text, serial)
+
+	snap := filepath.Join(dir, "h.nwhyb")
+	if err := g.SaveSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	bin, err := LoadFile(snap, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameHypergraph(t, g, bin)
+
+	// Load (the paper's graph_reader shim) auto-detects both encodings.
+	viaLoad, err := Load(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameHypergraph(t, g, viaLoad)
+}
+
+// Auto-detection must sniff the magic, not trust the extension: a snapshot
+// under a neutral name still decodes as a snapshot, and forcing the wrong
+// format must fail rather than misparse.
+func TestLoadFileDetectionAndForcing(t *testing.T) {
+	dir := t.TempDir()
+	g, mtx := writeSample(t, dir)
+
+	disguised := filepath.Join(dir, "h.bin")
+	if err := g.SaveSnapshot(disguised); err != nil {
+		t.Fatal(err)
+	}
+	bin, err := LoadFile(disguised, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameHypergraph(t, g, bin)
+
+	if _, err := LoadFile(mtx, LoadOptions{Format: FormatSnapshot}); err == nil {
+		t.Fatal("text file decoded as snapshot")
+	}
+	if _, err := LoadFile(disguised, LoadOptions{Format: FormatMatrixMarket}); err == nil {
+		t.Fatal("snapshot parsed as Matrix Market")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.mtx"), LoadOptions{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadFileBindsEngine(t *testing.T) {
+	dir := t.TempDir()
+	_, mtx := writeSample(t, dir)
+	eng := parallel.NewEngine(2)
+	defer eng.Close()
+	g, err := LoadFile(mtx, LoadOptions{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Engine() != eng {
+		t.Fatal("handle not bound to the loading engine")
+	}
+	unbound, err := LoadFile(mtx, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unbound.Engine() != SharedEngine() {
+		t.Fatal("default handle not bound to the shared engine")
+	}
+}
+
+// A snapshot written by SaveSnapshot must survive deliberate truncation
+// with an error, not a bad hypergraph.
+func TestLoadFileRejectsTruncatedSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	g, _ := writeSample(t, dir)
+	snap := filepath.Join(dir, "h.nwhyb")
+	if err := g.SaveSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snap, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(snap, LoadOptions{}); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}

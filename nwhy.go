@@ -22,6 +22,7 @@ package nwhy
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"nwhy/internal/core"
 	"nwhy/internal/mmio"
@@ -117,15 +118,85 @@ func FromSets(sets [][]uint32, numNodes int) *NWHypergraph {
 	return &NWHypergraph{h: core.FromSets(sets, numNodes)}
 }
 
-// Load reads a hypergraph from a Matrix Market incidence file (the paper's
-// graph_reader).
+// Format selects the on-disk encoding LoadFile reads.
+type Format int
+
+const (
+	// FormatAuto detects the encoding: a .nwhyb extension or the snapshot
+	// magic bytes select the binary snapshot, anything else parses as
+	// Matrix Market text.
+	FormatAuto Format = iota
+	// FormatMatrixMarket forces the Matrix Market text parser.
+	FormatMatrixMarket
+	// FormatSnapshot forces the .nwhyb binary snapshot decoder.
+	FormatSnapshot
+)
+
+// LoadOptions configure LoadFile.
+type LoadOptions struct {
+	// Engine runs the parse and is bound to the returned handle.
+	// nil means SharedEngine.
+	Engine *Engine
+	// Format selects the decoder; FormatAuto sniffs it from the path.
+	Format Format
+	// Serial forces the single-threaded text parser instead of the
+	// chunked parallel one. Only meaningful for Matrix Market input.
+	Serial bool
+}
+
+// Load reads a hypergraph from a Matrix Market incidence file or a .nwhyb
+// snapshot (the paper's graph_reader, with format auto-detection).
 func Load(path string) (*NWHypergraph, error) {
-	bel, err := mmio.GraphReader(path)
+	return LoadFile(path, LoadOptions{})
+}
+
+// LoadFile reads a hypergraph from path under opts. Matrix Market text is
+// parsed by the chunked parallel reader (unless opts.Serial), deduplicated,
+// and converted to the bipartite CSR pair; .nwhyb snapshots holding a CSR
+// deserialize straight into the incidence structure, skipping parse and
+// dedup entirely.
+func LoadFile(path string, opts LoadOptions) (*NWHypergraph, error) {
+	eng := opts.Engine
+	if eng == nil {
+		eng = parallel.SharedEngine()
+	}
+	format := opts.Format
+	if format == FormatAuto {
+		if strings.HasSuffix(path, mmio.SnapshotExt) || mmio.IsSnapshotFile(path) {
+			format = FormatSnapshot
+		} else {
+			format = FormatMatrixMarket
+		}
+	}
+	if format == FormatSnapshot {
+		snap, err := mmio.LoadSnapshot(eng, path)
+		if err != nil {
+			return nil, err
+		}
+		if snap.CSR != nil {
+			return &NWHypergraph{h: core.FromIncidenceCSR(snap.CSR), eng: opts.Engine}, nil
+		}
+		if err := snap.Bel.DedupOn(eng); err != nil {
+			return nil, err
+		}
+		return &NWHypergraph{h: core.FromBiEdgeList(snap.Bel), eng: opts.Engine}, nil
+	}
+	var (
+		bel *sparse.BiEdgeList
+		err error
+	)
+	if opts.Serial {
+		bel, err = mmio.GraphReader(path)
+	} else {
+		bel, err = mmio.GraphReaderParallel(eng, path)
+	}
 	if err != nil {
 		return nil, err
 	}
-	bel.Dedup()
-	return &NWHypergraph{h: core.FromBiEdgeList(bel)}, nil
+	if err := bel.DedupOn(eng); err != nil {
+		return nil, err
+	}
+	return &NWHypergraph{h: core.FromBiEdgeList(bel), eng: opts.Engine}, nil
 }
 
 // Save writes the hypergraph to a Matrix Market incidence file.
@@ -137,6 +208,14 @@ func (g *NWHypergraph) Save(path string) error {
 		}
 	}
 	return mmio.WriteHypergraphFile(path, bel)
+}
+
+// SaveSnapshot writes the hypergraph's incidence CSR to path in the .nwhyb
+// binary snapshot format. Loading it back with LoadFile skips text parsing,
+// deduplication, and CSR construction entirely — the incidence structure
+// deserializes directly.
+func (g *NWHypergraph) SaveSnapshot(path string) error {
+	return mmio.SaveSnapshot(path, &mmio.Snapshot{CSR: g.h.Edges})
 }
 
 // Hypergraph exposes the underlying bipartite representation for advanced
