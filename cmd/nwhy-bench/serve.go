@@ -1,0 +1,242 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"nwhy"
+	"nwhy/internal/gen"
+	"nwhy/internal/server"
+)
+
+// serveLatency summarizes one workload phase's latency distribution.
+type serveLatency struct {
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+	WallSec  float64 `json:"wall_seconds"`
+	QPS      float64 `json:"qps"`
+}
+
+// servePhase is one concurrent workload phase against the in-process server.
+type servePhase struct {
+	Name    string `json:"name"`
+	Clients int    `json:"clients"`
+	serveLatency
+}
+
+// serveConstruct contrasts a cold s-line construction with the cached
+// repeat — the measurement the result cache exists for.
+type serveConstruct struct {
+	S       int     `json:"s"`
+	ColdMs  float64 `json:"cold_ms"`
+	WarmMs  float64 `json:"warm_ms"`
+	WarmHit bool    `json:"warm_cache_hit"`
+	Speedup float64 `json:"speedup"`
+}
+
+type serveCacheStats struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	Waits   int64   `json:"waits"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+type serveReport struct {
+	Experiment string                    `json:"experiment"`
+	GoMaxProcs int                       `json:"gomaxprocs"`
+	Scale      float64                   `json:"scale"`
+	Dataset    string                    `json:"dataset"`
+	NumEdges   int                       `json:"num_edges"`
+	NumNodes   int                       `json:"num_nodes"`
+	Workers    int                       `json:"server_workers"`
+	Clients    int                       `json:"clients"`
+	Constructs []serveConstruct          `json:"constructs"`
+	Phases     []servePhase              `json:"phases"`
+	Cache      serveCacheStats           `json:"cache"`
+	Endpoints  []server.EndpointSnapshot `json:"endpoints"`
+}
+
+// percentile reports the p-th percentile (0..100) of sorted ms samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func summarize(lats []float64, errs int, wall time.Duration) serveLatency {
+	sorted := append([]float64(nil), lats...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	out := serveLatency{
+		Requests: len(lats),
+		Errors:   errs,
+		P50Ms:    percentile(sorted, 50),
+		P99Ms:    percentile(sorted, 99),
+		WallSec:  wall.Seconds(),
+	}
+	if len(sorted) > 0 {
+		out.MeanMs = sum / float64(len(sorted))
+	}
+	if wall > 0 {
+		out.QPS = float64(len(lats)) / wall.Seconds()
+	}
+	return out
+}
+
+// serve drives the in-process serving core with concurrent mixed workloads:
+// a cold-vs-cached construction study per s, a hot phase hammering one
+// cached s-line key, and a mixed phase interleaving every query kind. The
+// client side fans out on its own engine (one worker per simulated client),
+// so request concurrency is real without any hand-rolled goroutines.
+func serve(w io.Writer, presets []gen.Preset, scale float64, sList []int, clients int, outJSON string) error {
+	p := presets[0]
+	fmt.Fprintf(w, "== Serve: concurrent query workloads against the serving core (%s, scale %.2f, %d clients) ==\n",
+		p.Name, scale, clients)
+
+	eng := nwhy.NewEngine(0)
+	defer eng.Close()
+	reg := server.NewRegistry()
+	g := nwhy.Wrap(p.Build(scale)).WithEngine(eng)
+	reg.Add(p.Name, g, "preset")
+	// Closed-loop bench: every client waits for its response, so shedding
+	// would only corrupt the latency numbers — give queued requests all the
+	// time they need instead of the serving default.
+	srv, err := server.New(server.Config{Engine: eng, QueueWait: 5 * time.Minute}, reg)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	rep := serveReport{
+		Experiment: "serve",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Scale:      scale,
+		Dataset:    p.Name,
+		NumEdges:   g.NumEdges(),
+		NumNodes:   g.NumNodes(),
+		Workers:    eng.NumWorkers(),
+		Clients:    clients,
+	}
+
+	// Phase 1: cold construction vs cached repeat, per s. The warm repeat
+	// must be a cache hit — that is the contract BENCH_serve.json records.
+	fmt.Fprintf(w, "%-4s %12s %12s %10s %s\n", "s", "cold", "warm", "speedup", "cache")
+	for _, s := range sList {
+		req := server.SLineRequest{Dataset: p.Name, S: s, Edges: true}
+		cold, err := srv.SLine(ctx, req)
+		if err != nil {
+			return err
+		}
+		warm := cold
+		for i := 0; i < 3; i++ {
+			r, err := srv.SLine(ctx, req)
+			if err != nil {
+				return err
+			}
+			if i == 0 || r.ElapsedMs < warm.ElapsedMs {
+				warm = r
+			}
+		}
+		c := serveConstruct{S: s, ColdMs: cold.ElapsedMs, WarmMs: warm.ElapsedMs, WarmHit: warm.CacheHit}
+		if warm.ElapsedMs > 0 {
+			c.Speedup = cold.ElapsedMs / warm.ElapsedMs
+		}
+		rep.Constructs = append(rep.Constructs, c)
+		fmt.Fprintf(w, "%-4d %10.2fms %10.4fms %9.1fx hit=%v\n", s, c.ColdMs, c.WarmMs, c.Speedup, c.WarmHit)
+	}
+
+	// The client engine provides the request concurrency: one worker per
+	// simulated client, each ForEach index one synchronous request.
+	clientEng := nwhy.NewEngine(clients)
+	defer clientEng.Close()
+
+	runPhase := func(name string, n int, op func(i int) error) {
+		lats := make([]float64, n)
+		errs := make([]error, n)
+		t0 := time.Now()
+		clientEng.ForEach(n, func(i int) {
+			r0 := time.Now()
+			errs[i] = op(i)
+			lats[i] = float64(time.Since(r0)) / float64(time.Millisecond)
+		})
+		wall := time.Since(t0)
+		nerr := 0
+		for _, e := range errs {
+			if e != nil {
+				nerr++
+			}
+		}
+		ph := servePhase{Name: name, Clients: clients, serveLatency: summarize(lats, nerr, wall)}
+		rep.Phases = append(rep.Phases, ph)
+		fmt.Fprintf(w, "%-14s %6d req %8.3fms p50 %8.3fms p99 %10.0f qps %d errors\n",
+			name, ph.Requests, ph.P50Ms, ph.P99Ms, ph.QPS, ph.Errors)
+	}
+
+	// Phase 2: hot — every request hits the same cached s-line key.
+	hotReq := server.SLineRequest{Dataset: p.Name, S: sList[0], Edges: true}
+	runPhase("hot-sline", clients*100, func(i int) error {
+		_, err := srv.SLine(ctx, hotReq)
+		return err
+	})
+
+	// Phase 3: mixed — interleave every query kind the daemon serves, with
+	// the all-pairs centrality (by far the heaviest) at 10% of the load.
+	nEdges := g.NumEdges()
+	runPhase("mixed", clients*30, func(i int) error {
+		s := sList[i%len(sList)]
+		switch i % 10 {
+		case 0, 5:
+			_, err := srv.SLine(ctx, server.SLineRequest{Dataset: p.Name, S: s, Edges: true})
+			return err
+		case 1, 6:
+			_, err := srv.SComponents(ctx, server.SCCRequest{Dataset: p.Name, S: s})
+			return err
+		case 2, 4, 8:
+			_, err := srv.SDistance(ctx, server.SDistanceRequest{
+				Dataset: p.Name, S: s, Src: (i * 7) % nEdges, Dst: (i * 13) % nEdges,
+			})
+			return err
+		case 7:
+			_, err := srv.Centrality(ctx, server.CentralityRequest{
+				Dataset: p.Name, S: s, Kind: server.CentralityHarmonic,
+			})
+			return err
+		default:
+			_, err := srv.Stats(ctx, p.Name)
+			return err
+		}
+	})
+
+	hits, misses, waits := srv.Cache().Stats()
+	rep.Cache = serveCacheStats{Hits: hits, Misses: misses, Waits: waits}
+	if hits+misses > 0 {
+		rep.Cache.HitRate = float64(hits) / float64(hits+misses)
+	}
+	rep.Endpoints = srv.Metrics()
+	fmt.Fprintf(w, "cache: %d hits / %d misses / %d waits (hit rate %.3f)\n",
+		hits, misses, waits, rep.Cache.HitRate)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outJSON, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "report written to %s\n\n", outJSON)
+	return nil
+}

@@ -81,6 +81,8 @@ func TestGoldenFixtures(t *testing.T) {
 		{"atomic-mixing/clean", "atomic-mixing", "atomicmix/clean", "nwhy/internal/graph"},
 		{"ctx-at-rounds/bad", "ctx-at-rounds", "ctxrounds/bad", "nwhy/internal/graph"},
 		{"ctx-at-rounds/clean", "ctx-at-rounds", "ctxrounds/clean", "nwhy/internal/graph"},
+		{"ctx-first-handler/bad", "ctx-first-handler", "ctxhandler/bad", "nwhy/cmd/nwhyd"},
+		{"ctx-first-handler/clean", "ctx-first-handler", "ctxhandler/clean", "nwhy/internal/server"},
 		{"tls-recycle/bad", "tls-recycle", "tlsrecycle/bad", "nwhy/internal/graph"},
 		{"tls-recycle/clean", "tls-recycle", "tlsrecycle/clean", "nwhy/internal/graph"},
 	}
@@ -146,7 +148,7 @@ func TestDiagnosticString(t *testing.T) {
 // TestChecksRegistered pins the check vocabulary: the five invariants must
 // all be registered, sorted, and uniquely named.
 func TestChecksRegistered(t *testing.T) {
-	want := []string{"atomic-mixing", "ctx-at-rounds", "engine-first", "no-naked-goroutine", "tls-recycle"}
+	want := []string{"atomic-mixing", "ctx-at-rounds", "ctx-first-handler", "engine-first", "no-naked-goroutine", "tls-recycle"}
 	var got []string
 	for _, c := range Checks() {
 		got = append(got, c.Name)

@@ -1,0 +1,39 @@
+// Package bad mints root contexts on request paths.
+package bad
+
+import "context"
+
+type server struct{}
+
+// Query drops the caller's context on the floor and starts a fresh root —
+// the cancellation chain from client to kernel is severed.
+func (s *server) Query(ctx context.Context, name string) error {
+	_ = ctx
+	fresh := context.Background() // want ctx-first-handler
+	return work(fresh)
+}
+
+// QueryTODO is the same severing with the other constructor.
+func QueryTODO() error {
+	return work(context.TODO()) // want ctx-first-handler
+}
+
+// nested roots inside closures are still request-path roots.
+func handler(run func() error) error { return run() }
+
+func QueryNested(ctx context.Context) error {
+	return handler(func() error {
+		return work(context.Background()) // want ctx-first-handler
+	})
+}
+
+// main is the one place a root context may be born (the daemon's signal
+// context), so this is exempt.
+func main() {
+	_ = work(context.Background())
+}
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}

@@ -1,0 +1,29 @@
+// Package clean threads the caller's context through every request path.
+package clean
+
+import (
+	stdctx "context"
+	"time"
+)
+
+type server struct{}
+
+// Query derives everything it needs from the caller's ctx — deadlines and
+// detached drains included, via the aliased import.
+func (s *server) Query(ctx stdctx.Context, name string) error {
+	bounded, cancel := stdctx.WithTimeout(ctx, time.Second)
+	defer cancel()
+	if err := work(bounded); err != nil {
+		return err
+	}
+	// Draining past cancellation detaches values-only — still rooted in
+	// the request, not a fresh Background().
+	drain, cancel2 := stdctx.WithTimeout(stdctx.WithoutCancel(ctx), time.Second)
+	defer cancel2()
+	return work(drain)
+}
+
+func work(ctx stdctx.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admission is the query admission controller: a bounded set of in-flight
+// slots plus a bounded wait queue with a deadline. It is the mechanism that
+// keeps a burst of expensive queries from oversubscribing the one shared
+// engine — queries beyond MaxInFlight wait (bounded, cancellable), and
+// arrivals beyond the queue bound are rejected immediately so callers can
+// shed load instead of piling up.
+type Admission struct {
+	slots     chan struct{}
+	maxQueue  int64
+	queueWait time.Duration
+
+	waiting  atomic.Int64
+	inflight atomic.Int64
+
+	admitted  atomic.Int64
+	rejected  atomic.Int64
+	timedOut  atomic.Int64
+	cancelled atomic.Int64
+}
+
+// NewAdmission builds a controller admitting maxInFlight concurrent queries
+// with at most maxQueue waiters, each waiting at most queueWait.
+func NewAdmission(maxInFlight, maxQueue int, queueWait time.Duration) *Admission {
+	return &Admission{
+		slots:     make(chan struct{}, maxInFlight),
+		maxQueue:  int64(maxQueue),
+		queueWait: queueWait,
+	}
+}
+
+// Acquire blocks until an in-flight slot is granted and returns its release
+// function (idempotent), or fails with ErrOverloaded (queue full),
+// ErrQueueTimeout (wait deadline), or ctx.Err() (caller gave up).
+func (a *Admission) Acquire(ctx context.Context) (func(), error) {
+	if err := ctx.Err(); err != nil {
+		a.cancelled.Add(1)
+		return nil, err
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return a.grant(), nil
+	default:
+	}
+	if a.waiting.Add(1) > a.maxQueue {
+		a.waiting.Add(-1)
+		a.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	defer a.waiting.Add(-1)
+	timer := time.NewTimer(a.queueWait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return a.grant(), nil
+	case <-ctx.Done():
+		a.cancelled.Add(1)
+		return nil, ctx.Err()
+	case <-timer.C:
+		a.timedOut.Add(1)
+		return nil, ErrQueueTimeout
+	}
+}
+
+func (a *Admission) grant() func() {
+	a.inflight.Add(1)
+	a.admitted.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.inflight.Add(-1)
+			<-a.slots
+		})
+	}
+}
+
+// InFlight reports currently executing queries.
+func (a *Admission) InFlight() int64 { return a.inflight.Load() }
+
+// QueueDepth reports queries waiting for a slot.
+func (a *Admission) QueueDepth() int64 { return a.waiting.Load() }
+
+// Counters reports the lifetime admitted / rejected / timed-out / cancelled
+// totals.
+func (a *Admission) Counters() (admitted, rejected, timedOut, cancelled int64) {
+	return a.admitted.Load(), a.rejected.Load(), a.timedOut.Load(), a.cancelled.Load()
+}

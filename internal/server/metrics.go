@@ -1,0 +1,97 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// endpointStats accumulates latency counters for one query endpoint.
+type endpointStats struct {
+	Count    int64 `json:"count"`
+	Errors   int64 `json:"errors"`
+	Rejected int64 `json:"rejected"`
+	TotalNs  int64 `json:"total_ns"`
+	MaxNs    int64 `json:"max_ns"`
+}
+
+// EndpointSnapshot is one endpoint's counters plus derived mean latency, as
+// exported on /metrics.
+type EndpointSnapshot struct {
+	Endpoint string  `json:"endpoint"`
+	Count    int64   `json:"count"`
+	Errors   int64   `json:"errors"`
+	Rejected int64   `json:"rejected"`
+	MeanMs   float64 `json:"mean_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+// metrics is the per-server (not process-global) metric registry. Holding
+// the counters on the Server rather than in expvar's global map keeps tests
+// free to build many servers without duplicate-publish panics.
+type metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+}
+
+func newMetrics() *metrics {
+	return &metrics{endpoints: map[string]*endpointStats{}}
+}
+
+func (m *metrics) get(endpoint string) *endpointStats {
+	s, ok := m.endpoints[endpoint]
+	if !ok {
+		s = &endpointStats{}
+		m.endpoints[endpoint] = s
+	}
+	return s
+}
+
+// observe records one admitted request's latency and outcome.
+func (m *metrics) observe(endpoint string, d time.Duration, err error) {
+	ns := d.Nanoseconds()
+	m.mu.Lock()
+	s := m.get(endpoint)
+	s.Count++
+	if err != nil {
+		s.Errors++
+	}
+	s.TotalNs += ns
+	if ns > s.MaxNs {
+		s.MaxNs = ns
+	}
+	m.mu.Unlock()
+}
+
+// observeRejected records a request that never got past admission.
+func (m *metrics) observeRejected(endpoint string) {
+	m.mu.Lock()
+	m.get(endpoint).Rejected++
+	m.mu.Unlock()
+}
+
+// snapshot returns per-endpoint counters sorted by endpoint name.
+func (m *metrics) snapshot() []EndpointSnapshot {
+	m.mu.Lock()
+	out := make([]EndpointSnapshot, 0, len(m.endpoints))
+	for name, s := range m.endpoints {
+		snap := EndpointSnapshot{
+			Endpoint: name,
+			Count:    s.Count,
+			Errors:   s.Errors,
+			Rejected: s.Rejected,
+			MaxMs:    float64(s.MaxNs) / 1e6,
+		}
+		if s.Count > 0 {
+			snap.MeanMs = float64(s.TotalNs) / float64(s.Count) / 1e6
+		}
+		out = append(out, snap)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Endpoint < out[j].Endpoint })
+	return out
+}
+
+// Metrics returns the per-endpoint latency snapshot (exported for the bench
+// harness and tests; the HTTP layer serves the same data on /metrics).
+func (s *Server) Metrics() []EndpointSnapshot { return s.met.snapshot() }

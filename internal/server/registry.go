@@ -1,0 +1,120 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"nwhy"
+)
+
+// Registry is the concurrency-safe dataset table: name → loaded facade
+// handle. Handles are added bound to the serving engine and are themselves
+// safe for concurrent readers, so Get never copies.
+type Registry struct {
+	mu  sync.RWMutex
+	m   map[string]*nwhy.NWHypergraph
+	src map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: map[string]*nwhy.NWHypergraph{}, src: map[string]string{}}
+}
+
+// Add registers (or replaces) a dataset under name. source is a free-form
+// provenance string ("" for in-memory datasets).
+func (r *Registry) Add(name string, g *nwhy.NWHypergraph, source string) {
+	r.mu.Lock()
+	r.m[name] = g
+	r.src[name] = source
+	r.mu.Unlock()
+}
+
+// Get resolves a dataset by name.
+func (r *Registry) Get(name string) (*nwhy.NWHypergraph, error) {
+	r.mu.RLock()
+	g, ok := r.m[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	return g, nil
+}
+
+// Source reports the provenance string recorded for name ("" if unknown).
+func (r *Registry) Source(name string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.src[name]
+}
+
+// Names lists the registered dataset names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.m))
+	for n := range r.m {
+		out = append(out, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.m)
+}
+
+// warmExts are the file extensions WarmStart recognizes, in the order they
+// shadow each other when one basename carries both.
+var warmExts = []string{".nwhyb", ".mtx"}
+
+// WarmStart loads every recognized hypergraph file directly under dir —
+// .nwhyb binary snapshots (the fast path: deserialization skips parse and
+// dedup entirely) and .mtx Matrix Market text — registering each under its
+// basename without extension. Every handle binds eng directly via
+// LoadOptions.Engine; ctx is observed between files, so a cancelled warm
+// start keeps what it already loaded. Returns the names loaded, sorted by
+// load order.
+func (r *Registry) WarmStart(ctx context.Context, eng *nwhy.Engine, dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var loaded []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		ext := strings.ToLower(filepath.Ext(e.Name()))
+		recognized := false
+		for _, want := range warmExts {
+			if ext == want {
+				recognized = true
+				break
+			}
+		}
+		if !recognized {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return loaded, err
+		}
+		path := filepath.Join(dir, e.Name())
+		g, err := nwhy.LoadFile(path, nwhy.LoadOptions{Engine: eng})
+		if err != nil {
+			return loaded, fmt.Errorf("warm start %s: %w", path, err)
+		}
+		name := strings.TrimSuffix(e.Name(), filepath.Ext(e.Name()))
+		r.Add(name, g, path)
+		loaded = append(loaded, name)
+	}
+	return loaded, nil
+}

@@ -1,0 +1,579 @@
+// Package server is NWHy-Go's serving core: the concurrency-safe layer that
+// turns the batch facade into a long-lived multi-tenant query service. It
+// owns three pieces of shared state the batch CLIs never needed:
+//
+//   - a Registry of loaded hypergraphs, warm-started from .nwhyb snapshots
+//     and bound to one shared serving engine (LoadOptions.Engine);
+//   - an Admission controller bounding in-flight queries and the wait
+//     queue, with a wait deadline and per-request context cancellation
+//     reaching every kernel;
+//   - an SLineCache memoizing constructed s-line graphs keyed on
+//     (dataset, s, edges, weighted, strategy), with single-flight dedup of
+//     concurrent identical constructions.
+//
+// The Server type glues them together behind request-shaped methods (one
+// per query kind, each taking a context.Context first) and exposes the same
+// surface over stdlib HTTP via Handler. cmd/nwhyd is the thin daemon around
+// it; cmd/nwhy-bench's -exp serve drives it in-process.
+//
+// Everything here is plumbing, not computation: kernels still run on the
+// facade handles' engine, and request contexts reach them through the
+// facade's *Ctx variants.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"nwhy"
+	"nwhy/internal/core"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrBadRequest marks malformed or out-of-range request parameters.
+	ErrBadRequest = errors.New("bad request")
+	// ErrUnknownDataset is returned for queries against names the registry
+	// does not hold.
+	ErrUnknownDataset = errors.New("unknown dataset")
+	// ErrOverloaded is returned when the admission wait queue is full.
+	ErrOverloaded = errors.New("overloaded: admission queue full")
+	// ErrQueueTimeout is returned when a queued query's wait deadline
+	// expires before an in-flight slot frees up.
+	ErrQueueTimeout = errors.New("admission queue wait deadline exceeded")
+)
+
+// Config sizes the serving core.
+type Config struct {
+	// Engine is the shared engine every dataset handle and kernel runs on.
+	// Required.
+	Engine *nwhy.Engine
+	// MaxInFlight bounds concurrently executing queries (< 1: twice the
+	// engine's worker count).
+	MaxInFlight int
+	// MaxQueue bounds queries waiting for an in-flight slot (< 1: four
+	// times MaxInFlight). Arrivals beyond it are rejected with
+	// ErrOverloaded.
+	MaxQueue int
+	// QueueWait is the longest a query waits for a slot before
+	// ErrQueueTimeout (<= 0: 2s).
+	QueueWait time.Duration
+	// CacheEntries bounds the s-line result cache (< 1: 64).
+	CacheEntries int
+}
+
+// Server is the serving core: registry + admission + cache + metrics behind
+// a request-shaped query surface. All methods are safe for concurrent use.
+type Server struct {
+	eng   *nwhy.Engine
+	reg   *Registry
+	adm   *Admission
+	cache *SLineCache
+	met   *metrics
+	start time.Time
+}
+
+// New builds a Server over an existing registry. The registry may keep
+// gaining datasets after the server starts (Registry is concurrency-safe).
+func New(cfg Config, reg *Registry) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("server: Config.Engine is required")
+	}
+	if cfg.MaxInFlight < 1 {
+		cfg.MaxInFlight = 2 * cfg.Engine.NumWorkers()
+	}
+	if cfg.MaxQueue < 1 {
+		cfg.MaxQueue = 4 * cfg.MaxInFlight
+	}
+	if cfg.QueueWait <= 0 {
+		cfg.QueueWait = 2 * time.Second
+	}
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Server{
+		eng:   cfg.Engine,
+		reg:   reg,
+		adm:   NewAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
+		cache: NewSLineCache(cfg.CacheEntries),
+		met:   newMetrics(),
+		start: time.Now(),
+	}, nil
+}
+
+// Registry returns the server's dataset registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Admission returns the server's admission controller.
+func (s *Server) Admission() *Admission { return s.adm }
+
+// Cache returns the server's s-line result cache.
+func (s *Server) Cache() *SLineCache { return s.cache }
+
+// Engine returns the shared serving engine.
+func (s *Server) Engine() *nwhy.Engine { return s.eng }
+
+// do is the admission-controlled request wrapper every query method runs
+// under: acquire a slot (bounded queue, wait deadline, ctx cancellation),
+// run fn, record per-endpoint latency.
+func (s *Server) do(ctx context.Context, endpoint string, fn func(ctx context.Context) error) error {
+	release, err := s.adm.Acquire(ctx)
+	if err != nil {
+		s.met.observeRejected(endpoint)
+		return err
+	}
+	defer release()
+	t0 := time.Now()
+	err = fn(ctx)
+	s.met.observe(endpoint, time.Since(t0), err)
+	return err
+}
+
+// dataset resolves a registry entry.
+func (s *Server) dataset(name string) (*nwhy.NWHypergraph, error) {
+	if name == "" {
+		return nil, fmt.Errorf("%w: missing dataset", ErrBadRequest)
+	}
+	return s.reg.Get(name)
+}
+
+// DatasetInfo describes one registry entry.
+type DatasetInfo struct {
+	Name          string `json:"name"`
+	NumEdges      int    `json:"num_edges"`
+	NumNodes      int    `json:"num_nodes"`
+	NumIncidences int    `json:"num_incidences"`
+	Source        string `json:"source,omitempty"`
+}
+
+// Datasets lists the registry (metadata only — not admission-controlled, so
+// health checks stay responsive under load).
+func (s *Server) Datasets(ctx context.Context) ([]DatasetInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	names := s.reg.Names()
+	out := make([]DatasetInfo, 0, len(names))
+	for _, n := range names {
+		g, err := s.reg.Get(n)
+		if err != nil {
+			continue // racing a concurrent removal is fine
+		}
+		out = append(out, DatasetInfo{
+			Name:          n,
+			NumEdges:      g.NumEdges(),
+			NumNodes:      g.NumNodes(),
+			NumIncidences: g.NumIncidences(),
+			Source:        s.reg.Source(n),
+		})
+	}
+	return out, nil
+}
+
+// StatsResult is the Table I characteristics row for one dataset.
+type StatsResult struct {
+	Dataset string     `json:"dataset"`
+	Stats   core.Stats `json:"stats"`
+}
+
+// Stats computes the dataset's characteristics row.
+func (s *Server) Stats(ctx context.Context, dataset string) (StatsResult, error) {
+	var out StatsResult
+	err := s.do(ctx, "stats", func(ctx context.Context) error {
+		g, err := s.dataset(dataset)
+		if err != nil {
+			return err
+		}
+		out = StatsResult{Dataset: dataset, Stats: g.Stats()}
+		return ctx.Err()
+	})
+	return out, err
+}
+
+// ToplexesResult lists the maximal hyperedges of a dataset.
+type ToplexesResult struct {
+	Dataset  string   `json:"dataset"`
+	Count    int      `json:"count"`
+	Toplexes []uint32 `json:"toplexes"`
+}
+
+// Toplexes computes the maximal hyperedges (paper Algorithm 3).
+func (s *Server) Toplexes(ctx context.Context, dataset string) (ToplexesResult, error) {
+	var out ToplexesResult
+	err := s.do(ctx, "toplexes", func(ctx context.Context) error {
+		g, err := s.dataset(dataset)
+		if err != nil {
+			return err
+		}
+		tops, err := g.ToplexesCtx(ctx)
+		if err != nil {
+			return err
+		}
+		out = ToplexesResult{Dataset: dataset, Count: len(tops), Toplexes: tops}
+		return nil
+	})
+	return out, err
+}
+
+// SLineRequest names one s-line graph: the cache key components plus the
+// (result-invariant) schedule hint.
+type SLineRequest struct {
+	Dataset  string
+	S        int
+	Edges    bool // line graph over hyperedges (true) or hypernodes (false)
+	Weighted bool
+	Strategy nwhy.Strategy
+	Schedule nwhy.Schedule
+}
+
+func (r SLineRequest) validate() error {
+	if r.S < 1 {
+		return fmt.Errorf("%w: s must be >= 1 (got %d)", ErrBadRequest, r.S)
+	}
+	if r.Weighted && !r.Edges {
+		return fmt.Errorf("%w: weighted s-line graphs are only supported over hyperedges", ErrBadRequest)
+	}
+	return nil
+}
+
+// key maps the request onto its cache key. The schedule is deliberately not
+// part of the key: it only affects construction scheduling, never the
+// resulting graph.
+func (r SLineRequest) key() CacheKey {
+	return CacheKey{Dataset: r.Dataset, S: r.S, Edges: r.Edges, Weighted: r.Weighted, Strategy: r.Strategy}
+}
+
+// SLineResult summarizes one constructed (or cache-served) s-line graph.
+type SLineResult struct {
+	Dataset     string  `json:"dataset"`
+	S           int     `json:"s"`
+	Edges       bool    `json:"edges"`
+	Weighted    bool    `json:"weighted"`
+	NumVertices int     `json:"num_vertices"`
+	NumEdges    int     `json:"num_edges"`
+	CacheHit    bool    `json:"cache_hit"`
+	ElapsedMs   float64 `json:"elapsed_ms"`
+}
+
+// slineGraph resolves the request's s-line graph through the cache,
+// constructing it under ctx on a miss. Exactly one of the returns is
+// non-nil depending on req.Weighted.
+func (s *Server) slineGraph(ctx context.Context, req SLineRequest) (*nwhy.SLineGraph, *nwhy.WeightedSLineGraph, bool, error) {
+	if err := req.validate(); err != nil {
+		return nil, nil, false, err
+	}
+	g, err := s.dataset(req.Dataset)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	opts := nwhy.ConstructOptions{Strategy: req.Strategy, Schedule: req.Schedule}
+	return s.cache.Get(ctx, req.key(), func() (*nwhy.SLineGraph, *nwhy.WeightedSLineGraph, error) {
+		if req.Weighted {
+			wlg, err := g.SLineGraphWeightedCtx(ctx, req.S, opts)
+			return nil, wlg, err
+		}
+		lg, err := g.SLineGraphCtx(ctx, req.S, req.Edges, opts)
+		return lg, nil, err
+	})
+}
+
+// SLine constructs (or serves from cache) the requested s-line graph and
+// returns its shape.
+func (s *Server) SLine(ctx context.Context, req SLineRequest) (SLineResult, error) {
+	var out SLineResult
+	err := s.do(ctx, "slinegraph", func(ctx context.Context) error {
+		t0 := time.Now()
+		lg, wlg, hit, err := s.slineGraph(ctx, req)
+		if err != nil {
+			return err
+		}
+		out = SLineResult{
+			Dataset: req.Dataset, S: req.S, Edges: req.Edges, Weighted: req.Weighted,
+			CacheHit: hit, ElapsedMs: float64(time.Since(t0)) / float64(time.Millisecond),
+		}
+		if req.Weighted {
+			out.NumVertices, out.NumEdges = wlg.NumVertices(), wlg.NumEdges()
+		} else {
+			out.NumVertices, out.NumEdges = lg.NumVertices(), lg.NumEdges()
+		}
+		return nil
+	})
+	return out, err
+}
+
+// SCCRequest asks for the s-connected components of a dataset's hyperedges.
+type SCCRequest struct {
+	Dataset string
+	S       int
+	// Direct bypasses the s-line cache and runs the union-find kernel that
+	// never materializes the line graph — the right call for one-shot
+	// connectivity on a cold dataset.
+	Direct bool
+	// WithLabels includes the full per-hyperedge label vector in the
+	// result (the summary is always computed).
+	WithLabels bool
+	Strategy   nwhy.Strategy
+}
+
+// SCCResult summarizes the s-component structure.
+type SCCResult struct {
+	Dataset       string   `json:"dataset"`
+	S             int      `json:"s"`
+	NumComponents int      `json:"num_components"`
+	LargestSize   int      `json:"largest_size"`
+	CacheHit      bool     `json:"cache_hit"`
+	Labels        []uint32 `json:"labels,omitempty"`
+}
+
+// SComponents computes s-connected components, via the cached s-line graph
+// by default or the direct union-find kernel on request.
+func (s *Server) SComponents(ctx context.Context, req SCCRequest) (SCCResult, error) {
+	var out SCCResult
+	err := s.do(ctx, "scc", func(ctx context.Context) error {
+		if req.S < 1 {
+			return fmt.Errorf("%w: s must be >= 1 (got %d)", ErrBadRequest, req.S)
+		}
+		var (
+			labels []uint32
+			hit    bool
+		)
+		if req.Direct {
+			g, err := s.dataset(req.Dataset)
+			if err != nil {
+				return err
+			}
+			labels, err = g.SConnectedComponentsDirectCtx(ctx, req.S)
+			if err != nil {
+				return err
+			}
+		} else {
+			lg, _, h, err := s.slineGraph(ctx, SLineRequest{Dataset: req.Dataset, S: req.S, Edges: true, Strategy: req.Strategy})
+			if err != nil {
+				return err
+			}
+			labels, err = lg.SConnectedComponentsCtx(ctx)
+			if err != nil {
+				return err
+			}
+			hit = h
+		}
+		sizes := map[uint32]int{}
+		largest := 0
+		for _, l := range labels {
+			sizes[l]++
+			if sizes[l] > largest {
+				largest = sizes[l]
+			}
+		}
+		out = SCCResult{Dataset: req.Dataset, S: req.S, NumComponents: len(sizes), LargestSize: largest, CacheHit: hit}
+		if req.WithLabels {
+			out.Labels = labels
+		}
+		return nil
+	})
+	return out, err
+}
+
+// SDistanceRequest asks for the s-walk distance between two hyperedges.
+type SDistanceRequest struct {
+	Dataset  string
+	S        int
+	Src, Dst int
+	Weighted bool
+}
+
+// SDistanceResult carries the hop (or strength-weighted) s-distance;
+// Distance is -1 (or +Inf serialized as "unreachable") when disconnected.
+type SDistanceResult struct {
+	Dataset   string  `json:"dataset"`
+	S         int     `json:"s"`
+	Src       int     `json:"src"`
+	Dst       int     `json:"dst"`
+	Weighted  bool    `json:"weighted"`
+	Distance  float64 `json:"distance"`
+	Reachable bool    `json:"reachable"`
+	CacheHit  bool    `json:"cache_hit"`
+}
+
+func (s *Server) checkEndpoints(dataset string, src, dst int) error {
+	g, err := s.dataset(dataset)
+	if err != nil {
+		return err
+	}
+	if src < 0 || src >= g.NumEdges() || dst < 0 || dst >= g.NumEdges() {
+		return fmt.Errorf("%w: src/dst must be hyperedge IDs in [0,%d)", ErrBadRequest, g.NumEdges())
+	}
+	return nil
+}
+
+// SDistance computes the s-distance between two hyperedges via the cached
+// s-line graph.
+func (s *Server) SDistance(ctx context.Context, req SDistanceRequest) (SDistanceResult, error) {
+	var out SDistanceResult
+	err := s.do(ctx, "sdistance", func(ctx context.Context) error {
+		if err := s.checkEndpoints(req.Dataset, req.Src, req.Dst); err != nil {
+			return err
+		}
+		lg, wlg, hit, err := s.slineGraph(ctx, SLineRequest{Dataset: req.Dataset, S: req.S, Edges: true, Weighted: req.Weighted})
+		if err != nil {
+			return err
+		}
+		out = SDistanceResult{Dataset: req.Dataset, S: req.S, Src: req.Src, Dst: req.Dst, Weighted: req.Weighted, CacheHit: hit}
+		if req.Weighted {
+			d, err := wlg.SDistanceWeightedCtx(ctx, req.Src, req.Dst)
+			if err != nil {
+				return err
+			}
+			out.Distance, out.Reachable = d, !isInf(d)
+		} else {
+			d, err := lg.SDistanceCtx(ctx, req.Src, req.Dst)
+			if err != nil {
+				return err
+			}
+			out.Distance, out.Reachable = float64(d), d >= 0
+		}
+		return nil
+	})
+	return out, err
+}
+
+// SPathResult carries one shortest s-walk (nil when unreachable).
+type SPathResult struct {
+	Dataset  string   `json:"dataset"`
+	S        int      `json:"s"`
+	Src      int      `json:"src"`
+	Dst      int      `json:"dst"`
+	Weighted bool     `json:"weighted"`
+	Path     []uint32 `json:"path"`
+	CacheHit bool     `json:"cache_hit"`
+}
+
+// SPath computes one shortest s-walk between two hyperedges.
+func (s *Server) SPath(ctx context.Context, req SDistanceRequest) (SPathResult, error) {
+	var out SPathResult
+	err := s.do(ctx, "spath", func(ctx context.Context) error {
+		if err := s.checkEndpoints(req.Dataset, req.Src, req.Dst); err != nil {
+			return err
+		}
+		lg, wlg, hit, err := s.slineGraph(ctx, SLineRequest{Dataset: req.Dataset, S: req.S, Edges: true, Weighted: req.Weighted})
+		if err != nil {
+			return err
+		}
+		out = SPathResult{Dataset: req.Dataset, S: req.S, Src: req.Src, Dst: req.Dst, Weighted: req.Weighted, CacheHit: hit}
+		if req.Weighted {
+			out.Path, err = wlg.SPathWeightedCtx(ctx, req.Src, req.Dst)
+		} else {
+			out.Path, err = lg.SPathCtx(ctx, req.Src, req.Dst)
+		}
+		return err
+	})
+	return out, err
+}
+
+// CentralityKind names one s-centrality.
+type CentralityKind string
+
+const (
+	CentralityBetweenness  CentralityKind = "betweenness"
+	CentralityCloseness    CentralityKind = "closeness"
+	CentralityHarmonic     CentralityKind = "harmonic"
+	CentralityEccentricity CentralityKind = "eccentricity"
+	CentralityPageRank     CentralityKind = "pagerank"
+)
+
+// CentralityRequest asks for a per-hyperedge centrality vector over s-walks.
+type CentralityRequest struct {
+	Dataset    string
+	S          int
+	Kind       CentralityKind
+	Normalized bool // betweenness only
+	Weighted   bool // strength-weighted walks (not supported for pagerank)
+}
+
+// CentralityResult carries the full score vector.
+type CentralityResult struct {
+	Dataset  string         `json:"dataset"`
+	S        int            `json:"s"`
+	Kind     CentralityKind `json:"kind"`
+	Weighted bool           `json:"weighted"`
+	Scores   []float64      `json:"scores"`
+	CacheHit bool           `json:"cache_hit"`
+}
+
+// Centrality computes an s-centrality vector via the cached s-line graph.
+func (s *Server) Centrality(ctx context.Context, req CentralityRequest) (CentralityResult, error) {
+	var out CentralityResult
+	err := s.do(ctx, "centrality", func(ctx context.Context) error {
+		if req.Weighted && req.Kind == CentralityPageRank {
+			return fmt.Errorf("%w: weighted pagerank is not supported", ErrBadRequest)
+		}
+		lg, wlg, hit, err := s.slineGraph(ctx, SLineRequest{Dataset: req.Dataset, S: req.S, Edges: true, Weighted: req.Weighted})
+		if err != nil {
+			return err
+		}
+		var scores []float64
+		switch req.Kind {
+		case CentralityBetweenness:
+			if req.Weighted {
+				scores, err = wlg.SBetweennessCentralityWeightedCtx(ctx, req.Normalized)
+			} else {
+				scores, err = lg.SBetweennessCentralityCtx(ctx, req.Normalized)
+			}
+		case CentralityCloseness:
+			if req.Weighted {
+				scores, err = wlg.SClosenessCentralityWeightedCtx(ctx)
+			} else {
+				scores, err = lg.SClosenessCentralityCtx(ctx)
+			}
+		case CentralityHarmonic:
+			if req.Weighted {
+				scores, err = wlg.SHarmonicClosenessCentralityWeightedCtx(ctx)
+			} else {
+				scores, err = lg.SHarmonicClosenessCentralityCtx(ctx)
+			}
+		case CentralityEccentricity:
+			if req.Weighted {
+				scores, err = wlg.SEccentricityWeightedCtx(ctx)
+			} else {
+				scores, err = lg.SEccentricityCtx(ctx)
+			}
+		case CentralityPageRank:
+			scores, err = lg.SPageRankCtx(ctx, 0.85, 1e-9, 100)
+		default:
+			return fmt.Errorf("%w: unknown centrality kind %q", ErrBadRequest, req.Kind)
+		}
+		if err != nil {
+			return err
+		}
+		out = CentralityResult{Dataset: req.Dataset, S: req.S, Kind: req.Kind, Weighted: req.Weighted, Scores: scores, CacheHit: hit}
+		return nil
+	})
+	return out, err
+}
+
+// HealthResult is the /healthz payload.
+type HealthResult struct {
+	Status     string   `json:"status"`
+	Datasets   []string `json:"datasets"`
+	InFlight   int64    `json:"in_flight"`
+	QueueDepth int64    `json:"queue_depth"`
+}
+
+// Health reports liveness plus the key load gauges. Not
+// admission-controlled: it must answer even when the query queue is full.
+func (s *Server) Health() HealthResult {
+	names := s.reg.Names()
+	sort.Strings(names)
+	return HealthResult{
+		Status:     "ok",
+		Datasets:   names,
+		InFlight:   s.adm.InFlight(),
+		QueueDepth: s.adm.QueueDepth(),
+	}
+}
+
+func isInf(f float64) bool { return math.IsInf(f, 1) }

@@ -38,6 +38,15 @@ func BuildWeightedOptions(eng *parallel.Engine, h *core.Hypergraph, s int, o sli
 	}, nil
 }
 
+// WithEngine returns a shallow copy of the handle (weighted view included)
+// bound to eng — the hook the facade uses to attach a context-carrying
+// engine for one call chain.
+func (l *WeightedSLineGraph) WithEngine(eng *parallel.Engine) *WeightedSLineGraph {
+	c := *l
+	c.SLineGraph = l.SLineGraph.WithEngine(eng)
+	return &c
+}
+
 // Strength reports |e ∩ f| for an s-line edge, or 0 if the pair is not
 // s-incident.
 func (l *WeightedSLineGraph) Strength(e, f int) int {

@@ -107,6 +107,24 @@ func TestLoadFileBindsEngine(t *testing.T) {
 	if unbound.Engine() != SharedEngine() {
 		t.Fatal("default handle not bound to the shared engine")
 	}
+
+	// The snapshot fast path (both CSR and Bel framings land here via
+	// SaveSnapshot) must bind identically — internal/server's warm start
+	// relies on LoadFile(path, LoadOptions{Engine: eng}).Engine() == eng
+	// with no WithEngine copy afterwards.
+	g2, _ := writeSample(t, dir)
+	snap := filepath.Join(dir, "h.nwhyb")
+	if err := g2.SaveSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	fromSnap, err := LoadFile(snap, LoadOptions{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromSnap.Engine() != eng {
+		t.Fatal("snapshot-loaded handle not bound to the loading engine")
+	}
+	sameHypergraph(t, g2, fromSnap)
 }
 
 // A snapshot written by SaveSnapshot must survive deliberate truncation

@@ -23,6 +23,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"nwhy/internal/core"
 	"nwhy/internal/mmio"
@@ -50,11 +51,33 @@ func SharedEngine() *Engine { return parallel.SharedEngine() }
 // NWHypergraph class). Every computation it exposes runs on the engine the
 // handle is bound to (SharedEngine unless NewWithEngine/WithEngine said
 // otherwise).
+//
+// A handle is safe for concurrent readers: every query method may be called
+// from many goroutines at once (on the same handle or on WithEngine copies
+// sharing the underlying hypergraph) and none mutates observable state. The
+// only internal mutation is the lazily built adjoin representation, which is
+// synchronized and shared across all copies of the handle.
 type NWHypergraph struct {
 	h   *core.Hypergraph
 	eng *Engine
-	// adjoin is built lazily on first use.
+	// lazy holds the synchronized lazily built derived state, shared across
+	// every WithEngine copy of the handle.
+	lazy *lazyState
+}
+
+// lazyState is the derived state a handle builds on first use. It is a
+// shared pointer (like smetrics' pairsBox) so WithEngine's shallow copies
+// all see one build and never race on it.
+type lazyState struct {
+	mu     sync.Mutex
 	adjoin *core.AdjoinGraph
+}
+
+// newHandle builds a facade handle around h bound to eng (nil = shared
+// engine at call time). Every constructor funnels through it so the lazy box
+// exists before any copy of the handle escapes.
+func newHandle(h *core.Hypergraph, eng *Engine) *NWHypergraph {
+	return &NWHypergraph{h: h, eng: eng, lazy: &lazyState{}}
 }
 
 // engine resolves the handle's bound engine, defaulting to the shared one
@@ -109,13 +132,13 @@ func NewWithEngine(eng *Engine, edgeIDs, nodeIDs []uint32, weights []float64) (*
 		}
 	}
 	bel.Dedup()
-	return &NWHypergraph{h: core.FromBiEdgeList(bel), eng: eng}, nil
+	return newHandle(core.FromBiEdgeList(bel), eng), nil
 }
 
 // FromSets builds a hypergraph from explicit hyperedge member sets.
 // numNodes < 0 infers the node count.
 func FromSets(sets [][]uint32, numNodes int) *NWHypergraph {
-	return &NWHypergraph{h: core.FromSets(sets, numNodes)}
+	return newHandle(core.FromSets(sets, numNodes), nil)
 }
 
 // Format selects the on-disk encoding LoadFile reads.
@@ -134,8 +157,11 @@ const (
 
 // LoadOptions configure LoadFile.
 type LoadOptions struct {
-	// Engine runs the parse and is bound to the returned handle.
-	// nil means SharedEngine.
+	// Engine runs the parse and is bound directly to the returned handle:
+	// LoadFile(path, LoadOptions{Engine: eng}).Engine() == eng, with no
+	// WithEngine copy needed afterwards — the hook warm-start loaders (e.g.
+	// internal/server's registry) use to bind many datasets to one shared
+	// serving engine. nil means SharedEngine.
 	Engine *Engine
 	// Format selects the decoder; FormatAuto sniffs it from the path.
 	Format Format
@@ -174,12 +200,12 @@ func LoadFile(path string, opts LoadOptions) (*NWHypergraph, error) {
 			return nil, err
 		}
 		if snap.CSR != nil {
-			return &NWHypergraph{h: core.FromIncidenceCSR(snap.CSR), eng: opts.Engine}, nil
+			return newHandle(core.FromIncidenceCSR(snap.CSR), opts.Engine), nil
 		}
 		if err := snap.Bel.DedupOn(eng); err != nil {
 			return nil, err
 		}
-		return &NWHypergraph{h: core.FromBiEdgeList(snap.Bel), eng: opts.Engine}, nil
+		return newHandle(core.FromBiEdgeList(snap.Bel), opts.Engine), nil
 	}
 	var (
 		bel *sparse.BiEdgeList
@@ -196,7 +222,7 @@ func LoadFile(path string, opts LoadOptions) (*NWHypergraph, error) {
 	if err := bel.DedupOn(eng); err != nil {
 		return nil, err
 	}
-	return &NWHypergraph{h: core.FromBiEdgeList(bel), eng: opts.Engine}, nil
+	return newHandle(core.FromBiEdgeList(bel), opts.Engine), nil
 }
 
 // Save writes the hypergraph to a Matrix Market incidence file.
@@ -224,7 +250,7 @@ func (g *NWHypergraph) Hypergraph() *core.Hypergraph { return g.h }
 
 // Wrap adopts an existing core.Hypergraph (e.g. from internal/gen) as a
 // facade handle without copying.
-func Wrap(h *core.Hypergraph) *NWHypergraph { return &NWHypergraph{h: h} }
+func Wrap(h *core.Hypergraph) *NWHypergraph { return newHandle(h, nil) }
 
 // NumEdges reports |E|.
 func (g *NWHypergraph) NumEdges() int { return g.h.NumEdges() }
@@ -250,22 +276,49 @@ func (g *NWHypergraph) Memberships(v int) []uint32 { return g.h.NodeIncidence(v)
 
 // Dual returns the dual hypergraph H* (shares storage and engine).
 func (g *NWHypergraph) Dual() *NWHypergraph {
-	return &NWHypergraph{h: g.h.Dual(), eng: g.eng}
+	return newHandle(g.h.Dual(), g.eng)
 }
 
 // Stats computes the Table I characteristics row.
 func (g *NWHypergraph) Stats() core.Stats { return core.ComputeStats(g.h) }
 
-// Adjoin returns the adjoin representation (built on first call, cached).
+// Adjoin returns the adjoin representation, built on first call and cached
+// across every copy of the handle. It is safe for concurrent callers:
+// builders are serialized and at most one adjoin graph is ever cached. A
+// build aborted by a cancelled engine context is returned to its caller but
+// not cached, so a later call retries with a live context.
 func (g *NWHypergraph) Adjoin() *core.AdjoinGraph {
-	if g.adjoin == nil {
-		g.adjoin = core.Adjoin(g.engine(), g.h)
+	lz := g.lazy
+	if lz == nil {
+		// Zero-value handle (no constructor ran): build uncached.
+		return core.Adjoin(g.engine(), g.h)
 	}
-	return g.adjoin
+	lz.mu.Lock()
+	defer lz.mu.Unlock()
+	if lz.adjoin == nil {
+		eng := g.engine()
+		a := core.Adjoin(eng, g.h)
+		if eng.Err() != nil {
+			return a
+		}
+		lz.adjoin = a
+	}
+	return lz.adjoin
 }
 
 // Toplexes returns the IDs of the maximal hyperedges (paper Algorithm 3).
 func (g *NWHypergraph) Toplexes() []uint32 { return core.Toplexes(g.engine(), g.h) }
+
+// ToplexesCtx is Toplexes bounded by ctx: the scan aborts at the next grain
+// boundary once ctx is cancelled and returns ctx.Err().
+func (g *NWHypergraph) ToplexesCtx(ctx context.Context) ([]uint32, error) {
+	eng := g.engine().WithContext(ctx)
+	out := core.Toplexes(eng, g.h)
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
 
 // Toplexify returns the hypergraph restricted to its toplexes.
 func (g *NWHypergraph) Toplexify() *NWHypergraph {
