@@ -47,19 +47,19 @@ func (g *NWHypergraph) BFSCtx(ctx context.Context, srcEdge int, variant BFSVaria
 func (g *NWHypergraph) bfsOn(eng *Engine, srcEdge int, variant BFSVariant) (*core.HyperBFSResult, error) {
 	switch variant {
 	case BFSBottomUp:
-		return core.HyperBFSBottomUp(eng, g.h, srcEdge)
+		return core.HyperBFSBottomUp(eng, g.hg(), srcEdge)
 	case BFSAdjoin:
 		return core.AdjoinBFS(eng, g.Adjoin(), srcEdge)
 	case BFSHygraBaseline:
-		el, nl, err := hygra.BFS(eng, g.h, srcEdge)
+		el, nl, err := hygra.BFS(eng, g.hg(), srcEdge)
 		if err != nil {
 			return nil, err
 		}
 		return &core.HyperBFSResult{EdgeLevel: el, NodeLevel: nl}, nil
 	case BFSDirectionOptimizing:
-		return core.HyperBFSDirectionOptimizing(eng, g.h, srcEdge)
+		return core.HyperBFSDirectionOptimizing(eng, g.hg(), srcEdge)
 	default:
-		return core.HyperBFSTopDown(eng, g.h, srcEdge)
+		return core.HyperBFSTopDown(eng, g.hg(), srcEdge)
 	}
 }
 
@@ -84,7 +84,7 @@ const (
 // recording discovery parents on both sides; hyperpaths between entities
 // are read off its parent links.
 func (g *NWHypergraph) HyperTree(srcEdge int) *core.HyperTree {
-	t, _ := core.BuildHyperTree(g.engine(), g.h, srcEdge)
+	t, _ := core.BuildHyperTree(g.engine(), g.hg(), srcEdge)
 	return t
 }
 
@@ -135,21 +135,21 @@ func (g *NWHypergraph) AdjoinPageRank(damping, tol float64, maxIter int) (edgePR
 // walk on the bipartite structure (node -> uniform hyperedge -> uniform
 // member), without materializing any projection.
 func (g *NWHypergraph) HyperPageRank(damping, tol float64, maxIter int) []float64 {
-	pr, _ := core.HyperPageRank(g.engine(), g.h, damping, tol, maxIter)
+	pr, _ := core.HyperPageRank(g.engine(), g.hg(), damping, tol, maxIter)
 	return pr
 }
 
 // HyperPageRankCtx is HyperPageRank bounded by ctx: iteration stops at the
 // next round boundary once ctx is cancelled and ctx.Err() is returned.
 func (g *NWHypergraph) HyperPageRankCtx(ctx context.Context, damping, tol float64, maxIter int) ([]float64, error) {
-	return core.HyperPageRank(g.engine().WithContext(ctx), g.h, damping, tol, maxIter)
+	return core.HyperPageRank(g.engine().WithContext(ctx), g.hg(), damping, tol, maxIter)
 }
 
 // HyperCoreness computes each hypernode's hypergraph core number under
 // peeling semantics: removing a hypernode kills every hyperedge containing
 // it; v's core number is the largest k it survives to.
 func (g *NWHypergraph) HyperCoreness() []int {
-	return core.HyperCoreness(g.h)
+	return core.HyperCoreness(g.hg())
 }
 
 // ConnectedComponents labels every hyperedge and hypernode with its
@@ -176,12 +176,12 @@ func (g *NWHypergraph) ccOn(eng *Engine, variant CCVariant) (*core.HyperCCResult
 	case CCAdjoinLabelProp:
 		return core.AdjoinCC(eng, g.Adjoin(), core.AdjoinLabelPropagation)
 	case CCHygraBaseline:
-		ec, nc, err := hygra.CC(eng, g.h)
+		ec, nc, err := hygra.CC(eng, g.hg())
 		if err != nil {
 			return nil, err
 		}
 		return &core.HyperCCResult{EdgeComp: ec, NodeComp: nc}, nil
 	default:
-		return core.HyperCC(eng, g.h)
+		return core.HyperCC(eng, g.hg())
 	}
 }

@@ -14,6 +14,7 @@
 //	nwhy-bench -exp soverlap -s 1,2 -out BENCH_soverlap.json
 //	nwhy-bench -exp ingest -threads 1,2,4 -ingest-out BENCH_ingest.json
 //	nwhy-bench -exp serve -clients 8 -serve-out BENCH_serve.json
+//	nwhy-bench -exp mutate -s 2 -mutate-out BENCH_mutate.json
 //	nwhy-bench -exp all
 package main
 
@@ -43,10 +44,11 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("nwhy-bench", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment: table1 | fig7 | fig8 | fig9 | frontier | ablation | soverlap | ingest | serve | all")
+		exp       = fs.String("exp", "all", "experiment: table1 | fig7 | fig8 | fig9 | frontier | ablation | soverlap | ingest | serve | mutate | all")
 		outJSON   = fs.String("out", "BENCH_soverlap.json", "JSON report path for -exp soverlap")
 		ingestOut = fs.String("ingest-out", "BENCH_ingest.json", "JSON report path for -exp ingest")
 		serveOut  = fs.String("serve-out", "BENCH_serve.json", "JSON report path for -exp serve")
+		mutateOut = fs.String("mutate-out", "BENCH_mutate.json", "JSON report path for -exp mutate")
 		clients   = fs.Int("clients", 8, "concurrent clients for -exp serve")
 		scale     = fs.Float64("scale", 0.5, "dataset scale factor")
 		threads   = fs.String("threads", "", "comma-separated thread counts (default 1,2,..,max(4,GOMAXPROCS))")
@@ -96,9 +98,10 @@ func run(args []string, w io.Writer) error {
 		"soverlap": func() error { return soverlap(w, *scale, sList, *reps, *outJSON) },
 		"ingest":   func() error { return ingest(w, *scale, threadList, *reps, *ingestOut) },
 		"serve":    func() error { return serve(w, presets, *scale, sList, *clients, *serveOut) },
+		"mutate":   func() error { return mutate(w, presets, *scale, sList, *mutateOut) },
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "fig7", "fig8", "fig9", "frontier", "ablation", "soverlap", "ingest", "serve"} {
+		for _, name := range []string{"table1", "fig7", "fig8", "fig9", "frontier", "ablation", "soverlap", "ingest", "serve", "mutate"} {
 			if err := known[name](); err != nil {
 				return err
 			}

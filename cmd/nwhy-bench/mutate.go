@@ -1,0 +1,231 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"nwhy"
+	"nwhy/internal/gen"
+)
+
+// mutateReport is the BENCH_mutate.json schema: the dynamic-overlay study
+// contrasting incremental s-CC maintenance against full recomputes across an
+// insert-heavy mutation workload, a delete phase pinning the forced
+// fallback, and the final compact-vs-rebuild differential.
+type mutateReport struct {
+	Experiment   string  `json:"experiment"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	Scale        float64 `json:"scale"`
+	Dataset      string  `json:"dataset"`
+	S            int     `json:"s"`
+	BaseEdges    int     `json:"base_edges"`
+	BaseNodes    int     `json:"base_nodes"`
+	Batches      int     `json:"batches"`
+	AddsPerBatch int     `json:"adds_per_batch"`
+
+	// Mutation throughput: staging (overlay appends) and commit (parallel
+	// compaction into a fresh CSR snapshot) across every insert batch.
+	InsertOps       int     `json:"insert_ops"`
+	StageTotalMs    float64 `json:"stage_total_ms"`
+	CommitTotalMs   float64 `json:"commit_total_ms"`
+	CommitMeanMs    float64 `json:"commit_mean_ms"`
+	InsertOpsPerSec float64 `json:"insert_ops_per_sec"`
+
+	// Per-batch s-CC maintenance: the incremental view absorbing each
+	// insert-only commit versus a full union-find recompute on the same
+	// snapshot. The speedup is the acceptance observable.
+	IncTotalMs         float64 `json:"incremental_total_ms"`
+	IncMeanMs          float64 `json:"incremental_mean_ms"`
+	FullTotalMs        float64 `json:"full_total_ms"`
+	FullMeanMs         float64 `json:"full_mean_ms"`
+	IncrementalSpeedup float64 `json:"incremental_speedup"`
+	LabelsEqual        bool    `json:"labels_equal"`
+	IncrementalServed  int     `json:"incremental_served"`
+	FullServed         int     `json:"full_served"`
+
+	// Delete phase: removals move the tombstone epoch, so the maintained
+	// view must fall back to a full recompute (and stay correct).
+	DeleteBatches     int  `json:"delete_batches"`
+	DeleteForcedFull  bool `json:"delete_forced_full"`
+	DeleteLabelsEqual bool `json:"delete_labels_equal"`
+
+	// Final differential: the mutate-then-compact snapshot is bit-identical
+	// to a from-scratch rebuild of the same live sets, and committing
+	// through the overlay is compared against that rebuild's cost.
+	FinalEdges           int     `json:"final_edges"`
+	RebuildMs            float64 `json:"rebuild_ms"`
+	CompactEqualsRebuild bool    `json:"compact_equals_rebuild"`
+}
+
+// mutate drives the dynamic-hypergraph workload: batched hyperedge inserts
+// committed through the delta overlay with the incremental s-CC view racing
+// a full recompute after every commit, then a delete phase, then the
+// compact-vs-rebuild differential.
+func mutate(w io.Writer, presets []gen.Preset, scale float64, sList []int, outJSON string) error {
+	const (
+		batches      = 20
+		addsPerBatch = 25
+	)
+	p := presets[0]
+	s := sList[0]
+	fmt.Fprintf(w, "== Mutate: delta-overlay commits + incremental s-CC vs full recompute (%s, scale %.2f, s=%d) ==\n",
+		p.Name, scale, s)
+
+	eng := nwhy.NewEngine(0)
+	defer eng.Close()
+	g := nwhy.Wrap(p.Build(scale)).WithEngine(eng)
+	ctx := context.Background()
+
+	rep := mutateReport{
+		Experiment:   "mutate",
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Scale:        scale,
+		Dataset:      p.Name,
+		S:            s,
+		BaseEdges:    g.NumEdges(),
+		BaseNodes:    g.NumNodes(),
+		Batches:      batches,
+		AddsPerBatch: addsPerBatch,
+		LabelsEqual:  true,
+	}
+
+	view := g.IncrementalSCC(s)
+	if _, _, err := view.Labels(ctx); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	numNodes := g.NumNodes()
+	randomMembers := func() []uint32 {
+		members := make([]uint32, 2+rng.Intn(4))
+		for j := range members {
+			members[j] = uint32(rng.Intn(numNodes))
+		}
+		return members
+	}
+
+	var stage, commit, incTotal, fullTotal time.Duration
+	for b := 0; b < batches; b++ {
+		m, err := g.BeginMutation()
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		for k := 0; k < addsPerBatch; k++ {
+			if _, err := m.AddEdge(randomMembers()); err != nil {
+				return err
+			}
+		}
+		stage += time.Since(t0)
+		t0 = time.Now()
+		if err := m.CommitCtx(ctx); err != nil {
+			return err
+		}
+		commit += time.Since(t0)
+
+		t0 = time.Now()
+		incLabels, _, err := view.Labels(ctx)
+		if err != nil {
+			return err
+		}
+		incTotal += time.Since(t0)
+
+		t0 = time.Now()
+		fullLabels := g.SConnectedComponentsDirect(s)
+		fullTotal += time.Since(t0)
+		for i := range incLabels {
+			if incLabels[i] != fullLabels[i] {
+				rep.LabelsEqual = false
+				break
+			}
+		}
+	}
+	rep.InsertOps = batches * addsPerBatch
+	rep.StageTotalMs = ms(stage)
+	rep.CommitTotalMs = ms(commit)
+	rep.CommitMeanMs = ms(commit) / batches
+	if d := stage + commit; d > 0 {
+		rep.InsertOpsPerSec = float64(rep.InsertOps) / d.Seconds()
+	}
+	rep.IncTotalMs = ms(incTotal)
+	rep.IncMeanMs = ms(incTotal) / batches
+	rep.FullTotalMs = ms(fullTotal)
+	rep.FullMeanMs = ms(fullTotal) / batches
+	if incTotal > 0 {
+		rep.IncrementalSpeedup = float64(fullTotal) / float64(incTotal)
+	}
+	rep.IncrementalServed, rep.FullServed = view.Counts()
+	fmt.Fprintf(w, "inserts: %d ops in %.1fms stage + %.1fms commit (%.0f ops/s, %.2fms/commit)\n",
+		rep.InsertOps, rep.StageTotalMs, rep.CommitTotalMs, rep.InsertOpsPerSec, rep.CommitMeanMs)
+	fmt.Fprintf(w, "s-CC:    incremental %.2fms/batch vs full %.2fms/batch — %.1fx speedup (labels equal: %v)\n",
+		rep.IncMeanMs, rep.FullMeanMs, rep.IncrementalSpeedup, rep.LabelsEqual)
+
+	// Delete phase: each batch removes live hyperedges, which must force the
+	// maintained view off the incremental path without losing correctness.
+	rep.DeleteBatches = 3
+	rep.DeleteForcedFull, rep.DeleteLabelsEqual = true, true
+	for b := 0; b < rep.DeleteBatches; b++ {
+		err := g.Mutate(func(m *nwhy.Mutation) error {
+			for k := 0; k < 5; k++ {
+				if err := m.RemoveEdge(uint32(rng.Intn(g.NumEdges()))); err != nil {
+					// Already-removed targets are fine: pick another.
+					k--
+				}
+			}
+			_, err := m.AddEdge(randomMembers())
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		incLabels, inc, err := view.Labels(ctx)
+		if err != nil {
+			return err
+		}
+		if inc {
+			rep.DeleteForcedFull = false
+		}
+		fullLabels := g.SConnectedComponentsDirect(s)
+		for i := range incLabels {
+			if incLabels[i] != fullLabels[i] {
+				rep.DeleteLabelsEqual = false
+				break
+			}
+		}
+	}
+	fmt.Fprintf(w, "deletes: %d batches forced full recomputes: %v (labels equal: %v)\n",
+		rep.DeleteBatches, rep.DeleteForcedFull, rep.DeleteLabelsEqual)
+
+	// Final differential: rebuild from scratch from the live sets and compare
+	// bit-for-bit against the compacted handle.
+	rep.FinalEdges = g.NumEdges()
+	sets := make([][]uint32, g.NumEdges())
+	for e := range sets {
+		sets[e] = append([]uint32(nil), g.Incidence(e)...)
+	}
+	t0 := time.Now()
+	want := nwhy.FromSets(sets, g.NumNodes()).WithEngine(eng)
+	rep.RebuildMs = ms(time.Since(t0))
+	rep.CompactEqualsRebuild = g.Hypergraph().Edges.Equal(want.Hypergraph().Edges) &&
+		g.Hypergraph().Nodes.Equal(want.Hypergraph().Nodes)
+	fmt.Fprintf(w, "compact: %d edges, equals rebuild: %v (rebuild cost %.2fms vs %.2fms/commit)\n",
+		rep.FinalEdges, rep.CompactEqualsRebuild, rep.RebuildMs, rep.CommitMeanMs)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outJSON, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "report written to %s\n\n", outJSON)
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

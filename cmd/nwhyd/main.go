@@ -3,16 +3,22 @@
 // full per-query surface — s-line construction, s-connected components,
 // s-distances and paths, centralities, toplexes, statistics — over stdlib
 // HTTP, with admission control, an s-line result cache, and graceful drain
-// on SIGTERM.
+// on SIGTERM. Datasets are mutable in place: POST /mutate stages hyperedge
+// insertions and removals through the delta overlay (committed per the
+// -compact-every policy), POST /compact flushes staged operations into a
+// fresh snapshot on demand, and /scc?incremental=true serves connectivity
+// from the maintained union-find view across insert-only commits.
 //
 // Usage:
 //
 //	nwhyd -addr :8080 -data ./snapshots            # warm-start a directory
 //	nwhyd -dataset dblp=dblp.nwhyb web.mtx         # name=path and positional
 //	nwhyd -preset dblp-mini -scale 0.5             # built-in generator preset
+//	nwhyd -data ./snapshots -compact-every 64      # batch mutations 64 ops/commit
 //
-// Endpoints (all GET, all JSON): /healthz, /metrics, /datasets, /stats,
+// Query endpoints (GET, JSON): /healthz, /metrics, /datasets, /stats,
 // /toplexes, /slinegraph, /scc, /sdistance, /spath, /centrality.
+// Mutation endpoints (POST, JSON): /mutate, /compact.
 package main
 
 import (
@@ -59,6 +65,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		queue      = fs.Int("queue", 0, "max queries waiting for a slot (0: 4x inflight)")
 		queueWait  = fs.Duration("queue-wait", 2*time.Second, "max time a query waits for a slot")
 		cacheSize  = fs.Int("cache", 64, "s-line result cache entries")
+		compactN   = fs.Int("compact-every", 1, "staged mutation ops per dataset before auto-compaction (1: commit every request)")
 		drain      = fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight queries on shutdown")
 	)
 	var named []string
@@ -115,6 +122,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		MaxQueue:     *queue,
 		QueueWait:    *queueWait,
 		CacheEntries: *cacheSize,
+		CompactEvery: *compactN,
 	}, reg)
 	if err != nil {
 		return err

@@ -11,12 +11,24 @@ import (
 
 // CacheKey identifies one constructed s-line graph. Schedule is absent on
 // purpose: it changes how construction is scheduled, never what is built.
+// Epoch is the dataset's mutation epoch at request time: a commit bumps it,
+// so every entry built before the commit simply stops being addressable and
+// ages out of the LRU — mutation invalidates the cache without any explicit
+// invalidation traffic.
 type CacheKey struct {
 	Dataset  string
 	S        int
 	Edges    bool
 	Weighted bool
 	Strategy nwhy.Strategy
+	Epoch    uint64
+}
+
+// base strips the epoch off the key: the identity of the request independent
+// of dataset version, used to find patch sources across epochs.
+func (k CacheKey) base() CacheKey {
+	k.Epoch = 0
+	return k
 }
 
 // cacheEntry is one single-flight slot. done is closed exactly once, when
@@ -44,9 +56,10 @@ type SLineCache struct {
 	entries  map[CacheKey]*list.Element // value: *cacheEntry
 	order    *list.List                 // front = most recent
 
-	hits   atomic.Int64
-	misses atomic.Int64
-	waits  atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	waits     atomic.Int64
+	evictions atomic.Int64
 }
 
 // NewSLineCache builds a cache bounded to capacity entries (< 1: 64).
@@ -118,6 +131,7 @@ func (c *SLineCache) evictLocked() {
 			case <-e.done:
 				c.order.Remove(el)
 				delete(c.entries, e.key)
+				c.evictions.Add(1)
 				evicted = true
 			default:
 				continue
@@ -153,3 +167,7 @@ func (c *SLineCache) Len() int {
 func (c *SLineCache) Stats() (hits, misses, waits int64) {
 	return c.hits.Load(), c.misses.Load(), c.waits.Load()
 }
+
+// Evictions reports the lifetime count of completed entries dropped by the
+// LRU bound — including stale-epoch entries aged out after mutations.
+func (c *SLineCache) Evictions() int64 { return c.evictions.Load() }

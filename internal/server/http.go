@@ -30,6 +30,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /sdistance", s.handleSDistance)
 	mux.HandleFunc("GET /spath", s.handleSPath)
 	mux.HandleFunc("GET /centrality", s.handleCentrality)
+	mux.HandleFunc("POST /mutate", s.handleMutate)
+	mux.HandleFunc("POST /compact", s.handleCompact)
 	return mux
 }
 
@@ -55,10 +57,25 @@ func (s *Server) metricsVar() http.Handler {
 		return map[string]int64{
 			"entries": int64(s.cache.Len()),
 			"hits":    hits, "misses": misses, "waits": waits,
+			"evictions": s.cache.Evictions(),
 		}
 	})
 	gauge("endpoints", func() any { return s.met.snapshot() })
 	gauge("engine_workers", func() any { return s.eng.NumWorkers() })
+	gauge("datasets", func() any {
+		out := map[string]map[string]any{}
+		for _, n := range s.reg.Names() {
+			g, err := s.reg.Get(n)
+			if err != nil {
+				continue // racing a concurrent removal is fine
+			}
+			out[n] = map[string]any{
+				"epoch":       g.Epoch(),
+				"pending_ops": s.PendingOps(n),
+			}
+		}
+		return out
+	})
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		fmt.Fprint(w, m.String())
@@ -207,6 +224,10 @@ func (s *Server) handleSCC(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	if req.Incremental, err = qBool(r, "incremental", false); err != nil {
+		writeErr(w, err)
+		return
+	}
 	if req.WithLabels, err = qBool(r, "labels", false); err != nil {
 		writeErr(w, err)
 		return
@@ -337,6 +358,36 @@ func (s *Server) handleCentrality(w http.ResponseWriter, r *http.Request) {
 	}
 	if top > 0 {
 		writeJSON(w, centralityHTTPResult{CentralityResult: out, Top: topScores(out.Scores, top)})
+		return
+	}
+	writeJSON(w, out)
+}
+
+// mutateBody is the POST /mutate wire format.
+type mutateBody struct {
+	Dataset string   `json:"dataset"`
+	Ops     []EdgeOp `json:"ops"`
+	Commit  bool     `json:"commit"`
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	var body mutateBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, fmt.Errorf("%w: invalid JSON body: %v", ErrBadRequest, err))
+		return
+	}
+	out, err := s.Mutate(r.Context(), MutateRequest{Dataset: body.Dataset, Ops: body.Ops, Commit: body.Commit})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	out, err := s.Compact(r.Context(), r.URL.Query().Get("dataset"))
+	if err != nil {
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, out)

@@ -6,24 +6,34 @@ import (
 	"time"
 )
 
-// endpointStats accumulates latency counters for one query endpoint.
+// endpointStats accumulates latency counters for one query endpoint. Handler
+// time (TotalNs/MaxNs, admitted requests only) and admission queue wait
+// (QueueTotalNs/QueueMaxNs, every arrival including rejected ones) are kept
+// separate: under load the queue wait is where latency hides, and folding it
+// into handler time would misattribute admission pressure to the kernels.
 type endpointStats struct {
-	Count    int64 `json:"count"`
-	Errors   int64 `json:"errors"`
-	Rejected int64 `json:"rejected"`
-	TotalNs  int64 `json:"total_ns"`
-	MaxNs    int64 `json:"max_ns"`
+	Count        int64 `json:"count"`
+	Errors       int64 `json:"errors"`
+	Rejected     int64 `json:"rejected"`
+	TotalNs      int64 `json:"total_ns"`
+	MaxNs        int64 `json:"max_ns"`
+	QueueTotalNs int64 `json:"queue_total_ns"`
+	QueueMaxNs   int64 `json:"queue_max_ns"`
 }
 
-// EndpointSnapshot is one endpoint's counters plus derived mean latency, as
-// exported on /metrics.
+// EndpointSnapshot is one endpoint's counters plus derived mean latencies,
+// as exported on /metrics. MeanMs/MaxMs cover handler execution only;
+// MeanQueueMs/MaxQueueMs cover the admission wait, averaged over every
+// arrival (admitted or rejected).
 type EndpointSnapshot struct {
-	Endpoint string  `json:"endpoint"`
-	Count    int64   `json:"count"`
-	Errors   int64   `json:"errors"`
-	Rejected int64   `json:"rejected"`
-	MeanMs   float64 `json:"mean_ms"`
-	MaxMs    float64 `json:"max_ms"`
+	Endpoint    string  `json:"endpoint"`
+	Count       int64   `json:"count"`
+	Errors      int64   `json:"errors"`
+	Rejected    int64   `json:"rejected"`
+	MeanMs      float64 `json:"mean_ms"`
+	MaxMs       float64 `json:"max_ms"`
+	MeanQueueMs float64 `json:"mean_queue_ms"`
+	MaxQueueMs  float64 `json:"max_queue_ms"`
 }
 
 // metrics is the per-server (not process-global) metric registry. Holding
@@ -47,9 +57,10 @@ func (m *metrics) get(endpoint string) *endpointStats {
 	return s
 }
 
-// observe records one admitted request's latency and outcome.
-func (m *metrics) observe(endpoint string, d time.Duration, err error) {
-	ns := d.Nanoseconds()
+// observe records one admitted request: how long it queued for a slot, how
+// long the handler ran, and the outcome.
+func (m *metrics) observe(endpoint string, queued, ran time.Duration, err error) {
+	ns, qns := ran.Nanoseconds(), queued.Nanoseconds()
 	m.mu.Lock()
 	s := m.get(endpoint)
 	s.Count++
@@ -60,13 +71,24 @@ func (m *metrics) observe(endpoint string, d time.Duration, err error) {
 	if ns > s.MaxNs {
 		s.MaxNs = ns
 	}
+	s.QueueTotalNs += qns
+	if qns > s.QueueMaxNs {
+		s.QueueMaxNs = qns
+	}
 	m.mu.Unlock()
 }
 
-// observeRejected records a request that never got past admission.
-func (m *metrics) observeRejected(endpoint string) {
+// observeRejected records a request that never got past admission, including
+// the time it spent queued before being turned away.
+func (m *metrics) observeRejected(endpoint string, queued time.Duration) {
+	qns := queued.Nanoseconds()
 	m.mu.Lock()
-	m.get(endpoint).Rejected++
+	s := m.get(endpoint)
+	s.Rejected++
+	s.QueueTotalNs += qns
+	if qns > s.QueueMaxNs {
+		s.QueueMaxNs = qns
+	}
 	m.mu.Unlock()
 }
 
@@ -76,14 +98,18 @@ func (m *metrics) snapshot() []EndpointSnapshot {
 	out := make([]EndpointSnapshot, 0, len(m.endpoints))
 	for name, s := range m.endpoints {
 		snap := EndpointSnapshot{
-			Endpoint: name,
-			Count:    s.Count,
-			Errors:   s.Errors,
-			Rejected: s.Rejected,
-			MaxMs:    float64(s.MaxNs) / 1e6,
+			Endpoint:   name,
+			Count:      s.Count,
+			Errors:     s.Errors,
+			Rejected:   s.Rejected,
+			MaxMs:      float64(s.MaxNs) / 1e6,
+			MaxQueueMs: float64(s.QueueMaxNs) / 1e6,
 		}
 		if s.Count > 0 {
 			snap.MeanMs = float64(s.TotalNs) / float64(s.Count) / 1e6
+		}
+		if arrivals := s.Count + s.Rejected; arrivals > 0 {
+			snap.MeanQueueMs = float64(s.QueueTotalNs) / float64(arrivals) / 1e6
 		}
 		out = append(out, snap)
 	}

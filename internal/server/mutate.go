@@ -1,0 +1,217 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"nwhy"
+)
+
+// mutState is one dataset's writer state: a mutex serializing that dataset's
+// mutators (so mutations on different datasets never contend) plus the
+// staged-but-uncommitted batch the compaction policy is accumulating.
+type mutState struct {
+	mu      sync.Mutex
+	g       *nwhy.NWHypergraph // handle pending was begun against
+	pending *nwhy.Mutation
+	staged  int
+}
+
+// mutStateFor returns (creating if needed) the writer state for a dataset.
+func (s *Server) mutStateFor(name string) *mutState {
+	s.mutMu.Lock()
+	defer s.mutMu.Unlock()
+	ms, ok := s.muts[name]
+	if !ok {
+		ms = &mutState{}
+		s.muts[name] = ms
+	}
+	return ms
+}
+
+// sccKey identifies one maintained s-CC view.
+type sccKey struct {
+	dataset string
+	s       int
+}
+
+// sccEntry binds a maintained view to the exact facade handle it tracks, so
+// a registry swap (same name, different handle) is detected and the view
+// rebuilt instead of serving components of a dataset that no longer exists.
+type sccEntry struct {
+	g    *nwhy.NWHypergraph
+	view *nwhy.IncrementalSCC
+}
+
+// incrementalSCC returns the maintained s-CC view for (dataset, s) on g,
+// creating or replacing it when none exists or the registry handle changed.
+func (s *Server) incrementalSCC(dataset string, sThresh int, g *nwhy.NWHypergraph) *nwhy.IncrementalSCC {
+	key := sccKey{dataset: dataset, s: sThresh}
+	s.sccMu.Lock()
+	defer s.sccMu.Unlock()
+	e, ok := s.sccs[key]
+	if !ok || e.g != g {
+		e = &sccEntry{g: g, view: g.IncrementalSCC(sThresh)}
+		s.sccs[key] = e
+	}
+	return e.view
+}
+
+// EdgeOp is one staged mutation operation.
+type EdgeOp struct {
+	// Op is "add" (hyperedge over Members) or "remove" (hyperedge ID).
+	Op      string   `json:"op"`
+	Members []uint32 `json:"members,omitempty"`
+	ID      uint32   `json:"id,omitempty"`
+}
+
+// MutateRequest stages a batch of hyperedge operations against a dataset.
+type MutateRequest struct {
+	Dataset string
+	Ops     []EdgeOp
+	// Commit forces the staged batch into a new snapshot even when the
+	// compaction policy would keep accumulating.
+	Commit bool
+}
+
+// MutateResult reports what a Mutate call did. Added carries the hyperedge
+// ID assigned to each "add" op, in request order. When Committed is false
+// the operations are staged only: invisible to queries until the compaction
+// policy (or an explicit Compact) folds them in.
+type MutateResult struct {
+	Dataset   string   `json:"dataset"`
+	Added     []uint32 `json:"added,omitempty"`
+	Removed   int      `json:"removed"`
+	Committed bool     `json:"committed"`
+	// Pending is the number of staged operations still awaiting compaction.
+	Pending int `json:"pending"`
+	// Epoch is the dataset's mutation epoch after the call.
+	Epoch uint64 `json:"epoch"`
+}
+
+// applyOps stages req's operations onto m, returning the assigned IDs for
+// adds and the remove count.
+func applyOps(m *nwhy.Mutation, ops []EdgeOp) (added []uint32, removed int, err error) {
+	for i, op := range ops {
+		switch op.Op {
+		case "add":
+			id, err := m.AddEdge(op.Members)
+			if err != nil {
+				return nil, 0, fmt.Errorf("%w: op %d: %v", ErrBadRequest, i, err)
+			}
+			added = append(added, id)
+		case "remove":
+			if err := m.RemoveEdge(op.ID); err != nil {
+				return nil, 0, fmt.Errorf("%w: op %d: %v", ErrBadRequest, i, err)
+			}
+			removed++
+		default:
+			return nil, 0, fmt.Errorf("%w: op %d: unknown op %q (want add|remove)", ErrBadRequest, i, op.Op)
+		}
+	}
+	return added, removed, nil
+}
+
+// Mutate stages (and, per the compaction policy, commits) a batch of
+// hyperedge insertions and removals against one dataset. Writers to the same
+// dataset are serialized; concurrent readers keep seeing the last committed
+// snapshot until the commit atomically swaps the new one in. Any failing
+// operation discards the whole pending batch — partially applied staging is
+// never retained.
+func (s *Server) Mutate(ctx context.Context, req MutateRequest) (MutateResult, error) {
+	var out MutateResult
+	err := s.do(ctx, "mutate", func(ctx context.Context) error {
+		g, err := s.dataset(req.Dataset)
+		if err != nil {
+			return err
+		}
+		ms := s.mutStateFor(req.Dataset)
+		ms.mu.Lock()
+		defer ms.mu.Unlock()
+		// A registry swap orphans any batch staged against the old handle.
+		if ms.pending != nil && ms.g != g {
+			ms.pending, ms.staged = nil, 0
+		}
+		if ms.pending == nil {
+			m, err := g.BeginMutation()
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrBadRequest, err)
+			}
+			ms.g, ms.pending = g, m
+		}
+		added, removed, err := applyOps(ms.pending, req.Ops)
+		if err != nil {
+			ms.pending, ms.staged = nil, 0
+			return err
+		}
+		ms.staged += len(req.Ops)
+		out = MutateResult{Dataset: req.Dataset, Added: added, Removed: removed}
+		if req.Commit || ms.staged >= s.compactEvery {
+			if err := ms.pending.CommitCtx(ctx); err != nil {
+				ms.pending, ms.staged = nil, 0
+				return err
+			}
+			ms.pending, ms.staged = nil, 0
+			out.Committed = true
+		}
+		out.Pending, out.Epoch = ms.staged, g.Epoch()
+		return nil
+	})
+	return out, err
+}
+
+// CompactResult reports a Compact call: whether a staged batch was folded
+// into a new snapshot, and the dataset's epoch afterwards.
+type CompactResult struct {
+	Dataset   string `json:"dataset"`
+	Committed bool   `json:"committed"`
+	Flushed   int    `json:"flushed"`
+	Epoch     uint64 `json:"epoch"`
+}
+
+// Compact forces the dataset's staged-but-uncommitted operations into a new
+// frozen snapshot regardless of the compaction policy. With nothing staged
+// it is a cheap no-op.
+func (s *Server) Compact(ctx context.Context, dataset string) (CompactResult, error) {
+	var out CompactResult
+	err := s.do(ctx, "compact", func(ctx context.Context) error {
+		g, err := s.dataset(dataset)
+		if err != nil {
+			return err
+		}
+		ms := s.mutStateFor(dataset)
+		ms.mu.Lock()
+		defer ms.mu.Unlock()
+		out = CompactResult{Dataset: dataset}
+		if ms.pending != nil && ms.g != g {
+			ms.pending, ms.staged = nil, 0
+		}
+		if ms.pending != nil {
+			flushed := ms.staged
+			if err := ms.pending.CommitCtx(ctx); err != nil {
+				ms.pending, ms.staged = nil, 0
+				return err
+			}
+			ms.pending, ms.staged = nil, 0
+			out.Committed, out.Flushed = true, flushed
+		}
+		out.Epoch = g.Epoch()
+		return nil
+	})
+	return out, err
+}
+
+// PendingOps reports how many staged operations a dataset has awaiting
+// compaction (0 for unknown datasets — this is a gauge, not a query).
+func (s *Server) PendingOps(dataset string) int {
+	s.mutMu.Lock()
+	ms, ok := s.muts[dataset]
+	s.mutMu.Unlock()
+	if !ok {
+		return 0
+	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.staged
+}

@@ -16,6 +16,14 @@
 // surface over stdlib HTTP via Handler. cmd/nwhyd is the thin daemon around
 // it; cmd/nwhy-bench's -exp serve drives it in-process.
 //
+// Datasets are mutable in place: Mutate stages hyperedge insertions and
+// removals through the facade's delta overlay (per-dataset single writer,
+// readers unaffected until commit), and the CompactEvery policy decides when
+// staged batches fold into a fresh frozen snapshot. Cache keys carry the
+// dataset's mutation epoch, so commits invalidate stale s-line entries by
+// construction, and repeat requests after insert-only commits are served by
+// patching the previous epoch's pairs rather than rebuilding.
+//
 // Everything here is plumbing, not computation: kernels still run on the
 // facade handles' engine, and request contexts reach them through the
 // facade's *Ctx variants.
@@ -27,6 +35,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"nwhy"
@@ -64,17 +73,68 @@ type Config struct {
 	QueueWait time.Duration
 	// CacheEntries bounds the s-line result cache (< 1: 64).
 	CacheEntries int
+	// CompactEvery is the compaction policy: how many staged mutation
+	// operations a dataset accumulates before Mutate folds them into a new
+	// frozen snapshot (< 1: every Mutate request commits immediately).
+	// Staged-but-uncommitted operations are invisible to queries; Compact
+	// flushes them on demand.
+	CompactEvery int
 }
 
 // Server is the serving core: registry + admission + cache + metrics behind
 // a request-shaped query surface. All methods are safe for concurrent use.
 type Server struct {
-	eng   *nwhy.Engine
-	reg   *Registry
-	adm   *Admission
-	cache *SLineCache
-	met   *metrics
-	start time.Time
+	eng          *nwhy.Engine
+	reg          *Registry
+	adm          *Admission
+	cache        *SLineCache
+	met          *metrics
+	start        time.Time
+	compactEvery int
+
+	// mutMu guards muts; each mutState's own lock serializes that dataset's
+	// writers so mutations on different datasets never contend.
+	mutMu sync.Mutex
+	muts  map[string]*mutState
+
+	// sccMu guards sccs: the server-held incremental s-CC views, one per
+	// (dataset, s), invalidated when the registry swaps the handle.
+	sccMu sync.Mutex
+	sccs  map[sccKey]*sccEntry
+
+	// latestMu guards latest: per request shape, the newest successfully
+	// built unweighted s-line handle — the patch source fed to the facade's
+	// incremental refresh when the same request arrives at a later epoch.
+	// Keyed by the facade handle too, so a registry swap can never patch
+	// against a different dataset's pairs.
+	latestMu sync.Mutex
+	latest   map[latestKey]*nwhy.SLineGraph
+}
+
+// latestKey identifies one patch-source slot: the epoch-less request shape
+// bound to the exact facade handle it was built from.
+type latestKey struct {
+	base CacheKey
+	g    *nwhy.NWHypergraph
+}
+
+// latestFor returns the recorded patch source for key's shape on g, or nil.
+func (s *Server) latestFor(key CacheKey, g *nwhy.NWHypergraph) *nwhy.SLineGraph {
+	s.latestMu.Lock()
+	defer s.latestMu.Unlock()
+	return s.latest[latestKey{base: key.base(), g: g}]
+}
+
+// recordLatest keeps lg as the patch source for key's shape on g unless a
+// newer-epoch handle is already recorded (builds racing across a commit
+// resolve in favor of the newer snapshot).
+func (s *Server) recordLatest(key CacheKey, g *nwhy.NWHypergraph, lg *nwhy.SLineGraph) {
+	lk := latestKey{base: key.base(), g: g}
+	s.latestMu.Lock()
+	if prev, ok := s.latest[lk]; !ok || lg.Epoch() >= prev.Epoch() {
+		s.latest[lk] = lg
+	}
+	s.latestMu.Unlock()
 }
 
 // New builds a Server over an existing registry. The registry may keep
@@ -92,16 +152,23 @@ func New(cfg Config, reg *Registry) (*Server, error) {
 	if cfg.QueueWait <= 0 {
 		cfg.QueueWait = 2 * time.Second
 	}
+	if cfg.CompactEvery < 1 {
+		cfg.CompactEvery = 1
+	}
 	if reg == nil {
 		reg = NewRegistry()
 	}
 	return &Server{
-		eng:   cfg.Engine,
-		reg:   reg,
-		adm:   NewAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
-		cache: NewSLineCache(cfg.CacheEntries),
-		met:   newMetrics(),
-		start: time.Now(),
+		eng:          cfg.Engine,
+		reg:          reg,
+		adm:          NewAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
+		cache:        NewSLineCache(cfg.CacheEntries),
+		met:          newMetrics(),
+		start:        time.Now(),
+		compactEvery: cfg.CompactEvery,
+		muts:         map[string]*mutState{},
+		sccs:         map[sccKey]*sccEntry{},
+		latest:       map[latestKey]*nwhy.SLineGraph{},
 	}, nil
 }
 
@@ -119,17 +186,21 @@ func (s *Server) Engine() *nwhy.Engine { return s.eng }
 
 // do is the admission-controlled request wrapper every query method runs
 // under: acquire a slot (bounded queue, wait deadline, ctx cancellation),
-// run fn, record per-endpoint latency.
+// run fn, record per-endpoint latency. The admission wait and the handler
+// run are timed separately so queueing pressure is visible as such on
+// /metrics instead of inflating handler latency.
 func (s *Server) do(ctx context.Context, endpoint string, fn func(ctx context.Context) error) error {
+	q0 := time.Now()
 	release, err := s.adm.Acquire(ctx)
+	queued := time.Since(q0)
 	if err != nil {
-		s.met.observeRejected(endpoint)
+		s.met.observeRejected(endpoint, queued)
 		return err
 	}
 	defer release()
 	t0 := time.Now()
 	err = fn(ctx)
-	s.met.observe(endpoint, time.Since(t0), err)
+	s.met.observe(endpoint, queued, time.Since(t0), err)
 	return err
 }
 
@@ -262,6 +333,14 @@ type SLineResult struct {
 // slineGraph resolves the request's s-line graph through the cache,
 // constructing it under ctx on a miss. Exactly one of the returns is
 // non-nil depending on req.Weighted.
+//
+// The cache key carries the dataset's current mutation epoch, so a commit
+// makes every stale entry unaddressable without explicit invalidation. A
+// miss caused only by an epoch bump does not necessarily rebuild: for
+// unweighted requests the cache's per-shape patch source feeds the facade's
+// incremental refresh, which patches the cached pairs with the dirty-edge
+// delta when the gap is insert-only and falls back to a full construction
+// otherwise.
 func (s *Server) slineGraph(ctx context.Context, req SLineRequest) (*nwhy.SLineGraph, *nwhy.WeightedSLineGraph, bool, error) {
 	if err := req.validate(); err != nil {
 		return nil, nil, false, err
@@ -270,14 +349,26 @@ func (s *Server) slineGraph(ctx context.Context, req SLineRequest) (*nwhy.SLineG
 	if err != nil {
 		return nil, nil, false, err
 	}
+	key := req.key()
+	key.Epoch = g.Epoch()
 	opts := nwhy.ConstructOptions{Strategy: req.Strategy, Schedule: req.Schedule}
-	return s.cache.Get(ctx, req.key(), func() (*nwhy.SLineGraph, *nwhy.WeightedSLineGraph, error) {
+	return s.cache.Get(ctx, key, func() (*nwhy.SLineGraph, *nwhy.WeightedSLineGraph, error) {
 		if req.Weighted {
 			wlg, err := g.SLineGraphWeightedCtx(ctx, req.S, opts)
 			return nil, wlg, err
 		}
-		lg, err := g.SLineGraphCtx(ctx, req.S, req.Edges, opts)
-		return lg, nil, err
+		var lg *nwhy.SLineGraph
+		var err error
+		if prev := s.latestFor(key, g); prev != nil {
+			lg, _, err = g.RefreshSLineGraphCtx(ctx, prev, opts)
+		} else {
+			lg, err = g.SLineGraphCtx(ctx, req.S, req.Edges, opts)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		s.recordLatest(key, g, lg)
+		return lg, nil, nil
 	})
 }
 
@@ -313,6 +404,12 @@ type SCCRequest struct {
 	// never materializes the line graph — the right call for one-shot
 	// connectivity on a cold dataset.
 	Direct bool
+	// Incremental serves from the server-held maintained s-CC view: the
+	// first call computes from scratch and keeps the union-find forest, and
+	// insert-only mutation epochs are absorbed by growing it — the right
+	// call for repeated connectivity on a mutating dataset. Mutually
+	// exclusive with Direct.
+	Incremental bool
 	// WithLabels includes the full per-hyperedge label vector in the
 	// result (the summary is always computed).
 	WithLabels bool
@@ -321,12 +418,15 @@ type SCCRequest struct {
 
 // SCCResult summarizes the s-component structure.
 type SCCResult struct {
-	Dataset       string   `json:"dataset"`
-	S             int      `json:"s"`
-	NumComponents int      `json:"num_components"`
-	LargestSize   int      `json:"largest_size"`
-	CacheHit      bool     `json:"cache_hit"`
-	Labels        []uint32 `json:"labels,omitempty"`
+	Dataset       string `json:"dataset"`
+	S             int    `json:"s"`
+	NumComponents int    `json:"num_components"`
+	LargestSize   int    `json:"largest_size"`
+	CacheHit      bool   `json:"cache_hit"`
+	// Incremental reports that the maintained view answered without a full
+	// recompute (only meaningful on SCCRequest.Incremental).
+	Incremental bool     `json:"incremental,omitempty"`
+	Labels      []uint32 `json:"labels,omitempty"`
 }
 
 // SComponents computes s-connected components, via the cached s-line graph
@@ -337,11 +437,25 @@ func (s *Server) SComponents(ctx context.Context, req SCCRequest) (SCCResult, er
 		if req.S < 1 {
 			return fmt.Errorf("%w: s must be >= 1 (got %d)", ErrBadRequest, req.S)
 		}
+		if req.Direct && req.Incremental {
+			return fmt.Errorf("%w: direct and incremental are mutually exclusive", ErrBadRequest)
+		}
 		var (
 			labels []uint32
 			hit    bool
+			inc    bool
 		)
-		if req.Direct {
+		switch {
+		case req.Incremental:
+			g, err := s.dataset(req.Dataset)
+			if err != nil {
+				return err
+			}
+			labels, inc, err = s.incrementalSCC(req.Dataset, req.S, g).Labels(ctx)
+			if err != nil {
+				return err
+			}
+		case req.Direct:
 			g, err := s.dataset(req.Dataset)
 			if err != nil {
 				return err
@@ -350,7 +464,7 @@ func (s *Server) SComponents(ctx context.Context, req SCCRequest) (SCCResult, er
 			if err != nil {
 				return err
 			}
-		} else {
+		default:
 			lg, _, h, err := s.slineGraph(ctx, SLineRequest{Dataset: req.Dataset, S: req.S, Edges: true, Strategy: req.Strategy})
 			if err != nil {
 				return err
@@ -369,7 +483,7 @@ func (s *Server) SComponents(ctx context.Context, req SCCRequest) (SCCResult, er
 				largest = sizes[l]
 			}
 		}
-		out = SCCResult{Dataset: req.Dataset, S: req.S, NumComponents: len(sizes), LargestSize: largest, CacheHit: hit}
+		out = SCCResult{Dataset: req.Dataset, S: req.S, NumComponents: len(sizes), LargestSize: largest, CacheHit: hit, Incremental: inc}
 		if req.WithLabels {
 			out.Labels = labels
 		}

@@ -6,7 +6,6 @@ import (
 	"nwhy/internal/countmap"
 	"nwhy/internal/frontier"
 	"nwhy/internal/parallel"
-	"nwhy/internal/unionfind"
 )
 
 // SComponentsDirect computes the s-connected components of the hyperedges
@@ -21,16 +20,10 @@ import (
 // the same s-component share the minimum member ID, every other ID is a
 // singleton.
 func SComponentsDirect(eng *parallel.Engine, in Input, s int, o Options) ([]uint32, error) {
-	forest := unionfind.New(in.IDSpace())
-	if o.Schedule == DefaultSchedule {
-		o.Schedule = QueueSchedule
-	}
-	if err := construct(eng, in, s, o, false, func(_ int, e, f uint32, _ int32) {
-		forest.Union(e, f)
-	}); err != nil {
+	forest, err := SComponentsForest(eng, in, s, o)
+	if err != nil {
 		return nil, err
 	}
-	forest.Compress()
 	return forest.Labels(), nil
 }
 

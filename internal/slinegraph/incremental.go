@@ -1,0 +1,119 @@
+package slinegraph
+
+import (
+	"sync"
+
+	"nwhy/internal/countmap"
+	"nwhy/internal/parallel"
+	"nwhy/internal/sparse"
+	"nwhy/internal/unionfind"
+)
+
+// ConstructDirty computes the canonical s-line pairs incident to the dirty
+// hyperedges only — the incremental kernel behind overlay mutation. The key
+// structural fact: inserting a hyperedge never changes the overlap between
+// two pre-existing hyperedges (member sets are immutable), so after an
+// insert-only batch the s-line graph changes exactly by pairs touching a
+// dirty edge. Unlike the full kernel's tally walk, the filter here is f ≠ e
+// (not f > e): a dirty edge must pair with older edges on both sides.
+// Dirty IDs that are dead or below degree s contribute nothing.
+//
+// Deletions are out of scope by design — a tombstone moves the delete epoch
+// and consumers rebuild from scratch.
+func ConstructDirty(eng *parallel.Engine, in Input, s int, dirty []uint32, o Options) ([]sparse.Edge, error) {
+	ids := orderQueue(eng, append([]uint32(nil), dirty...), in, o)
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	isDirty := make(map[uint32]bool, len(ids))
+	for _, e := range ids {
+		isDirty[e] = true
+	}
+	tls := parallel.NewTLSFor(eng, func() []sparse.Edge { return nil })
+	pool := sync.Pool{New: func() any { return countmap.New(64) }}
+	eng.For(eng.Blocked(0, len(ids)), func(w, lo, hi int) {
+		buf := tls.Get(w)
+		for i := lo; i < hi; i++ {
+			e := ids[i]
+			if in.EdgeDegree(e) < s {
+				continue
+			}
+			cnt := pool.Get().(*countmap.Map)
+			cnt.Clear()
+			for _, v := range in.Incidence(e) {
+				for _, f := range in.EdgesOf(v) {
+					if f != e && in.EdgeDegree(f) >= s {
+						cnt.Inc(f, 1)
+					}
+				}
+			}
+			cnt.Range(func(f uint32, c int32) {
+				if int(c) < s {
+					return
+				}
+				// A dirty-dirty pair is found from both ends; keep it once,
+				// from its minimum endpoint (canonPairs would dedup anyway,
+				// but not doubling the buffer is free here).
+				if isDirty[f] && f < e {
+					return
+				}
+				u, v := e, f
+				if u > v {
+					u, v = v, u
+				}
+				*buf = append(*buf, sparse.Edge{U: u, V: v})
+			})
+			pool.Put(cnt)
+		}
+	})
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	return collectTLS(eng, tls), nil
+}
+
+// MergeCanonical merges two canonical s-line pair lists into one canonical
+// list (neither input is modified). Used to patch a cached s-line graph:
+// the old pairs plus the dirty-edge pairs of an insert-only batch.
+func MergeCanonical(eng *parallel.Engine, a, b []sparse.Edge) []sparse.Edge {
+	merged := make([]sparse.Edge, 0, len(a)+len(b))
+	merged = append(merged, a...)
+	merged = append(merged, b...)
+	return canonPairs(eng, merged)
+}
+
+// SComponentsForest is SComponentsDirect keeping the union-find forest
+// alive: the caller owns it and can later Grow it and absorb insert-only
+// deltas without recomputing from scratch. The forest is compressed on
+// return.
+func SComponentsForest(eng *parallel.Engine, in Input, s int, o Options) (*unionfind.Forest, error) {
+	forest := unionfind.New(in.IDSpace())
+	if o.Schedule == DefaultSchedule {
+		o.Schedule = QueueSchedule
+	}
+	if err := construct(eng, in, s, o, false, func(_ int, e, f uint32, _ int32) {
+		forest.Union(e, f)
+	}); err != nil {
+		return nil, err
+	}
+	forest.Compress()
+	return forest, nil
+}
+
+// AbsorbPairs unions a batch of s-line pairs into an existing forest — the
+// incremental s-CC step for insert-only deltas, the connectivity-only
+// short-circuit of the companion paper: component labels need the pairs'
+// existence, never their exact overlap counts. The forest is compressed on
+// return so Labels is immediately valid.
+func AbsorbPairs(eng *parallel.Engine, forest *unionfind.Forest, pairs []sparse.Edge) error {
+	eng.For(eng.Blocked(0, len(pairs)), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			forest.Union(pairs[i].U, pairs[i].V)
+		}
+	})
+	if err := eng.Err(); err != nil {
+		return err
+	}
+	forest.Compress()
+	return nil
+}

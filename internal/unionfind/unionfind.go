@@ -29,6 +29,17 @@ func New(n int) *Forest {
 // Len reports the element count.
 func (f *Forest) Len() int { return len(f.parent) }
 
+// Grow extends the forest to n elements, appending singleton sets. IDs
+// below the old length keep their set membership, so an incremental
+// algorithm can widen its forest as the ID space grows and then absorb
+// new unions. Shrinking is not supported (n <= Len is a no-op). Not safe
+// concurrently with Union/Find.
+func (f *Forest) Grow(n int) {
+	for i := len(f.parent); i < n; i++ {
+		f.parent = append(f.parent, uint32(i))
+	}
+}
+
 // Union merges the sets containing u and v with lock-free hooking by
 // minimum root (the Afforest link operation).
 func (f *Forest) Union(u, v uint32) {

@@ -146,3 +146,33 @@ func TestConcurrentUnionsRandom(t *testing.T) {
 		}
 	}
 }
+
+func TestGrowPreservesSets(t *testing.T) {
+	f := New(4)
+	f.Union(0, 1)
+	f.Union(2, 3)
+	f.Grow(7)
+	if f.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", f.Len())
+	}
+	f.Compress()
+	if !f.Same(0, 1) || !f.Same(2, 3) || f.Same(0, 2) {
+		t.Fatal("pre-grow sets disturbed")
+	}
+	for x := uint32(4); x < 7; x++ {
+		if f.Find(x) != x {
+			t.Fatalf("new element %d not a singleton (root %d)", x, f.Find(x))
+		}
+	}
+	// New elements participate in unions normally.
+	f.Union(3, 5)
+	f.Compress()
+	if !f.Same(2, 5) {
+		t.Fatal("union across the grown boundary failed")
+	}
+	// Growing to a smaller or equal size is a no-op.
+	f.Grow(3)
+	if f.Len() != 7 {
+		t.Fatalf("Len after shrink attempt = %d", f.Len())
+	}
+}

@@ -11,7 +11,7 @@ import (
 
 func sameHypergraph(t *testing.T, a, b *NWHypergraph) {
 	t.Helper()
-	if !a.h.Edges.Equal(b.h.Edges) || !a.h.Nodes.Equal(b.h.Nodes) {
+	if !a.hg().Edges.Equal(b.hg().Edges) || !a.hg().Nodes.Equal(b.hg().Nodes) {
 		t.Fatal("hypergraphs differ")
 	}
 }

@@ -54,12 +54,18 @@ func SharedEngine() *Engine { return parallel.SharedEngine() }
 //
 // A handle is safe for concurrent readers: every query method may be called
 // from many goroutines at once (on the same handle or on WithEngine copies
-// sharing the underlying hypergraph) and none mutates observable state. The
-// only internal mutation is the lazily built adjoin representation, which is
-// synchronized and shared across all copies of the handle.
+// sharing the underlying hypergraph) and none mutates observable state.
+// Mutation goes through BeginMutation/Commit, which swaps in a fresh frozen
+// snapshot atomically: queries in flight keep the snapshot they started on,
+// queries started after a Commit see the new one, and nothing blocks.
+// The lazily built adjoin representation is synchronized, shared across all
+// copies of the handle, and keyed to the snapshot epoch it was built from.
 type NWHypergraph struct {
-	h   *core.Hypergraph
-	eng *Engine
+	// state holds the epoch-swapped current snapshot, shared across every
+	// WithEngine copy of the handle (a box pointer, so the atomic is never
+	// copied).
+	state *stateBox
+	eng   *Engine
 	// lazy holds the synchronized lazily built derived state, shared across
 	// every WithEngine copy of the handle.
 	lazy *lazyState
@@ -69,16 +75,33 @@ type NWHypergraph struct {
 // shared pointer (like smetrics' pairsBox) so WithEngine's shallow copies
 // all see one build and never race on it.
 type lazyState struct {
-	mu     sync.Mutex
-	adjoin *core.AdjoinGraph
+	mu sync.Mutex
+	// adjoin caches the adjoin graph of the snapshot at adjoinEpoch; a
+	// Commit moves the epoch and invalidates it implicitly.
+	adjoin      *core.AdjoinGraph
+	adjoinEpoch uint64
 }
 
 // newHandle builds a facade handle around h bound to eng (nil = shared
-// engine at call time). Every constructor funnels through it so the lazy box
-// exists before any copy of the handle escapes.
+// engine at call time). Every constructor funnels through it so the state
+// and lazy boxes exist before any copy of the handle escapes.
 func newHandle(h *core.Hypergraph, eng *Engine) *NWHypergraph {
-	return &NWHypergraph{h: h, eng: eng, lazy: &lazyState{}}
+	st := &stateBox{}
+	st.cur.Store(&snapshot{h: h})
+	return &NWHypergraph{state: st, eng: eng, lazy: &lazyState{}}
 }
+
+// snap loads the current snapshot. Methods reading the hypergraph more than
+// once bind the result to a local so one call never straddles a Commit.
+func (g *NWHypergraph) snap() *snapshot { return g.state.cur.Load() }
+
+// hg returns the current frozen hypergraph.
+func (g *NWHypergraph) hg() *core.Hypergraph { return g.snap().h }
+
+// Epoch reports the handle's mutation epoch: 0 at construction, +1 per
+// committed mutation batch. Cache keys derived from a handle should include
+// it so entries from before a mutation cannot serve after it.
+func (g *NWHypergraph) Epoch() uint64 { return g.snap().epoch }
 
 // engine resolves the handle's bound engine, defaulting to the shared one
 // so zero-value and Wrap-built handles keep working.
@@ -227,8 +250,9 @@ func LoadFile(path string, opts LoadOptions) (*NWHypergraph, error) {
 
 // Save writes the hypergraph to a Matrix Market incidence file.
 func (g *NWHypergraph) Save(path string) error {
-	bel := sparse.NewBiEdgeList(g.NumEdges(), g.NumNodes())
-	for e, nbrs := range g.h.EdgeRange() {
+	h := g.hg()
+	bel := sparse.NewBiEdgeList(h.NumEdges(), h.NumNodes())
+	for e, nbrs := range h.EdgeRange() {
 		for _, v := range nbrs {
 			bel.Add(uint32(e), v)
 		}
@@ -241,46 +265,46 @@ func (g *NWHypergraph) Save(path string) error {
 // deduplication, and CSR construction entirely — the incidence structure
 // deserializes directly.
 func (g *NWHypergraph) SaveSnapshot(path string) error {
-	return mmio.SaveSnapshot(path, &mmio.Snapshot{CSR: g.h.Edges})
+	return mmio.SaveSnapshot(path, &mmio.Snapshot{CSR: g.hg().Edges})
 }
 
 // Hypergraph exposes the underlying bipartite representation for advanced
 // use alongside the internal packages.
-func (g *NWHypergraph) Hypergraph() *core.Hypergraph { return g.h }
+func (g *NWHypergraph) Hypergraph() *core.Hypergraph { return g.hg() }
 
 // Wrap adopts an existing core.Hypergraph (e.g. from internal/gen) as a
 // facade handle without copying.
 func Wrap(h *core.Hypergraph) *NWHypergraph { return newHandle(h, nil) }
 
 // NumEdges reports |E|.
-func (g *NWHypergraph) NumEdges() int { return g.h.NumEdges() }
+func (g *NWHypergraph) NumEdges() int { return g.hg().NumEdges() }
 
 // NumNodes reports |V|.
-func (g *NWHypergraph) NumNodes() int { return g.h.NumNodes() }
+func (g *NWHypergraph) NumNodes() int { return g.hg().NumNodes() }
 
 // NumIncidences reports the incidence count (non-zeros of the incidence
 // matrix).
-func (g *NWHypergraph) NumIncidences() int { return g.h.NumIncidences() }
+func (g *NWHypergraph) NumIncidences() int { return g.hg().NumIncidences() }
 
 // EdgeDegree reports hyperedge e's member count |e|.
-func (g *NWHypergraph) EdgeDegree(e int) int { return g.h.EdgeDegree(e) }
+func (g *NWHypergraph) EdgeDegree(e int) int { return g.hg().EdgeDegree(e) }
 
 // NodeDegree reports hypernode v's hyperedge count d(v).
-func (g *NWHypergraph) NodeDegree(v int) int { return g.h.NodeDegree(v) }
+func (g *NWHypergraph) NodeDegree(v int) int { return g.hg().NodeDegree(v) }
 
 // Incidence returns hyperedge e's members.
-func (g *NWHypergraph) Incidence(e int) []uint32 { return g.h.EdgeIncidence(e) }
+func (g *NWHypergraph) Incidence(e int) []uint32 { return g.hg().EdgeIncidence(e) }
 
 // Memberships returns hypernode v's hyperedges.
-func (g *NWHypergraph) Memberships(v int) []uint32 { return g.h.NodeIncidence(v) }
+func (g *NWHypergraph) Memberships(v int) []uint32 { return g.hg().NodeIncidence(v) }
 
 // Dual returns the dual hypergraph H* (shares storage and engine).
 func (g *NWHypergraph) Dual() *NWHypergraph {
-	return newHandle(g.h.Dual(), g.eng)
+	return newHandle(g.hg().Dual(), g.eng)
 }
 
 // Stats computes the Table I characteristics row.
-func (g *NWHypergraph) Stats() core.Stats { return core.ComputeStats(g.h) }
+func (g *NWHypergraph) Stats() core.Stats { return core.ComputeStats(g.hg()) }
 
 // Adjoin returns the adjoin representation, built on first call and cached
 // across every copy of the handle. It is safe for concurrent callers:
@@ -288,32 +312,36 @@ func (g *NWHypergraph) Stats() core.Stats { return core.ComputeStats(g.h) }
 // build aborted by a cancelled engine context is returned to its caller but
 // not cached, so a later call retries with a live context.
 func (g *NWHypergraph) Adjoin() *core.AdjoinGraph {
+	snap := g.snap()
 	lz := g.lazy
 	if lz == nil {
 		// Zero-value handle (no constructor ran): build uncached.
-		return core.Adjoin(g.engine(), g.h)
+		return core.Adjoin(g.engine(), snap.h)
 	}
 	lz.mu.Lock()
 	defer lz.mu.Unlock()
-	if lz.adjoin == nil {
+	// The cache is keyed to the snapshot epoch: a committed mutation moves
+	// the epoch, so a stale adjoin graph is rebuilt on next use.
+	if lz.adjoin == nil || lz.adjoinEpoch != snap.epoch {
 		eng := g.engine()
-		a := core.Adjoin(eng, g.h)
+		a := core.Adjoin(eng, snap.h)
 		if eng.Err() != nil {
 			return a
 		}
 		lz.adjoin = a
+		lz.adjoinEpoch = snap.epoch
 	}
 	return lz.adjoin
 }
 
 // Toplexes returns the IDs of the maximal hyperedges (paper Algorithm 3).
-func (g *NWHypergraph) Toplexes() []uint32 { return core.Toplexes(g.engine(), g.h) }
+func (g *NWHypergraph) Toplexes() []uint32 { return core.Toplexes(g.engine(), g.hg()) }
 
 // ToplexesCtx is Toplexes bounded by ctx: the scan aborts at the next grain
 // boundary once ctx is cancelled and returns ctx.Err().
 func (g *NWHypergraph) ToplexesCtx(ctx context.Context) ([]uint32, error) {
 	eng := g.engine().WithContext(ctx)
-	out := core.Toplexes(eng, g.h)
+	out := core.Toplexes(eng, g.hg())
 	if err := eng.Err(); err != nil {
 		return nil, err
 	}
@@ -322,52 +350,52 @@ func (g *NWHypergraph) ToplexesCtx(ctx context.Context) ([]uint32, error) {
 
 // Toplexify returns the hypergraph restricted to its toplexes.
 func (g *NWHypergraph) Toplexify() *NWHypergraph {
-	return Wrap(core.Toplexify(g.engine(), g.h)).WithEngine(g.engine())
+	return Wrap(core.Toplexify(g.engine(), g.hg())).WithEngine(g.engine())
 }
 
 // CollapseEdges merges duplicate hyperedges into representatives, returning
 // the reduced hypergraph and the equivalence classes (the Python API's
 // collapse_edges()).
 func (g *NWHypergraph) CollapseEdges() (*NWHypergraph, [][]uint32) {
-	r := core.CollapseEdges(g.engine(), g.h)
+	r := core.CollapseEdges(g.engine(), g.hg())
 	return Wrap(r.H), r.Classes
 }
 
 // CollapseNodes merges hypernodes with identical hyperedge memberships
 // (collapse_nodes()).
 func (g *NWHypergraph) CollapseNodes() (*NWHypergraph, [][]uint32) {
-	r := core.CollapseNodes(g.engine(), g.h)
+	r := core.CollapseNodes(g.engine(), g.hg())
 	return Wrap(r.H), r.Classes
 }
 
 // CollapseNodesAndEdges collapses duplicate hypernodes, then duplicate
 // hyperedges (collapse_nodes_and_edges()).
 func (g *NWHypergraph) CollapseNodesAndEdges() (*NWHypergraph, [][]uint32) {
-	r, _ := core.CollapseNodesAndEdges(g.engine(), g.h)
+	r, _ := core.CollapseNodesAndEdges(g.engine(), g.hg())
 	return Wrap(r.H), r.Classes
 }
 
 // EdgeSizeDist returns the histogram of hyperedge sizes: dist[d] counts
 // hyperedges with exactly d members (edge_size_dist()).
-func (g *NWHypergraph) EdgeSizeDist() []int { return core.EdgeSizeDist(g.h) }
+func (g *NWHypergraph) EdgeSizeDist() []int { return core.EdgeSizeDist(g.hg()) }
 
 // NodeDegreeDist returns the histogram of hypernode degrees.
-func (g *NWHypergraph) NodeDegreeDist() []int { return core.NodeDegreeDist(g.h) }
+func (g *NWHypergraph) NodeDegreeDist() []int { return core.NodeDegreeDist(g.hg()) }
 
 // RestrictToEdges returns the sub-hypergraph induced by the given
 // hyperedges (renumbered in the given order).
 func (g *NWHypergraph) RestrictToEdges(edgeIDs []uint32) *NWHypergraph {
-	return Wrap(core.RestrictToEdges(g.h, edgeIDs))
+	return Wrap(core.RestrictToEdges(g.hg(), edgeIDs))
 }
 
 // RestrictToNodes returns the sub-hypergraph induced by the given
 // hypernodes (renumbered in the given order).
 func (g *NWHypergraph) RestrictToNodes(nodeIDs []uint32) *NWHypergraph {
-	return Wrap(core.RestrictToNodes(g.h, nodeIDs))
+	return Wrap(core.RestrictToNodes(g.hg(), nodeIDs))
 }
 
 // Validate checks structural invariants of the representation.
-func (g *NWHypergraph) Validate() error { return g.h.Validate() }
+func (g *NWHypergraph) Validate() error { return g.hg().Validate() }
 
 // SetNumThreads sets the worker count of the shared engine's pool, the
 // analogue of constraining oneTBB's concurrency. n < 1 resets to GOMAXPROCS.
@@ -384,7 +412,7 @@ func NumThreads() int { return parallel.NumWorkers() }
 // context is cancelled the result is nil; use CliqueExpansionCtx to observe
 // the error.
 func (g *NWHypergraph) CliqueExpansion() []sparse.Edge {
-	pairs, _ := slinegraph.CliqueExpansion(g.engine(), g.h, slinegraph.Options{})
+	pairs, _ := slinegraph.CliqueExpansion(g.engine(), g.hg(), slinegraph.Options{})
 	return pairs
 }
 
@@ -392,5 +420,5 @@ func (g *NWHypergraph) CliqueExpansion() []sparse.Edge {
 // aborts at the next grain boundary once ctx is cancelled and returns
 // ctx.Err().
 func (g *NWHypergraph) CliqueExpansionCtx(ctx context.Context) ([]sparse.Edge, error) {
-	return slinegraph.CliqueExpansion(g.engine().WithContext(ctx), g.h, slinegraph.Options{})
+	return slinegraph.CliqueExpansion(g.engine().WithContext(ctx), g.hg(), slinegraph.Options{})
 }

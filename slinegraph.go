@@ -123,10 +123,21 @@ func (o ConstructOptions) internal() slinegraph.Options {
 }
 
 // SLineGraph is a materialized s-line graph handle exposing the s-metric
-// queries of the Python API (Listing 5).
+// queries of the Python API (Listing 5). It remembers the snapshot epoch it
+// was built from, so RefreshSLineGraph can patch it incrementally after
+// mutations instead of rebuilding.
 type SLineGraph struct {
 	*smetrics.SLineGraph
+	// epoch and del identify the snapshot the graph was built from.
+	epoch, del uint64
+	// overEdges records the edges=true orientation — the only one the
+	// incremental patch path covers (the dual's ID space shifts with node
+	// mutations).
+	overEdges bool
 }
+
+// Epoch reports the snapshot epoch the handle was built from.
+func (l *SLineGraph) Epoch() uint64 { return l.epoch }
 
 // SLineGraph constructs the s-line graph of the hypergraph with the default
 // (hashmap) algorithm. With edges=true the line graph is over hyperedges
@@ -153,9 +164,13 @@ func (g *NWHypergraph) SLineGraphCtx(ctx context.Context, s int, edges bool, o C
 }
 
 func (g *NWHypergraph) slgOn(eng *Engine, s int, edges bool, o ConstructOptions) (*SLineGraph, error) {
-	h := g.h
+	snap := g.snap()
+	h := snap.h
 	if !edges {
-		h = g.h.Dual()
+		h = snap.h.Dual()
+	}
+	stamp := func(l *smetrics.SLineGraph) *SLineGraph {
+		return &SLineGraph{SLineGraph: l, epoch: snap.epoch, del: snap.del, overEdges: edges}
 	}
 	var (
 		pairs []sparse.Edge
@@ -197,12 +212,12 @@ func (g *NWHypergraph) slgOn(eng *Engine, s int, edges bool, o ConstructOptions)
 		if berr != nil {
 			return nil, berr
 		}
-		return &SLineGraph{l}, nil
+		return stamp(l), nil
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &SLineGraph{smetrics.BuildWith(g.engine(), h, s, pairs)}, nil
+	return stamp(smetrics.BuildWith(g.engine(), h, s, pairs)), nil
 }
 
 // WeightedSLineGraph is the strength-annotated s-line graph handle: every
@@ -223,7 +238,7 @@ func (g *NWHypergraph) SLineGraphWeighted(s int) *WeightedSLineGraph {
 // Algorithm field is ignored: the weighted emit mode runs the one kernel
 // body under whatever Strategy and Schedule select.
 func (g *NWHypergraph) SLineGraphWeightedWith(s int, o ConstructOptions) *WeightedSLineGraph {
-	l, _ := smetrics.BuildWeightedOptions(g.engine(), g.h, s, o.internal())
+	l, _ := smetrics.BuildWeightedOptions(g.engine(), g.hg(), s, o.internal())
 	return &WeightedSLineGraph{l}
 }
 
@@ -233,7 +248,7 @@ func (g *NWHypergraph) SLineGraphWeightedWith(s int, o ConstructOptions) *Weight
 // (without ctx), so subsequent queries are not affected by an expired
 // deadline.
 func (g *NWHypergraph) SLineGraphWeightedCtx(ctx context.Context, s int, o ConstructOptions) (*WeightedSLineGraph, error) {
-	l, err := smetrics.BuildWeightedOptions(g.engine().WithContext(ctx), g.h, s, o.internal())
+	l, err := smetrics.BuildWeightedOptions(g.engine().WithContext(ctx), g.hg(), s, o.internal())
 	if err != nil {
 		return nil, err
 	}
@@ -245,16 +260,20 @@ func (g *NWHypergraph) SLineGraphWeightedCtx(ctx context.Context, s int, o Const
 // s in one queue-driven pass; with useAdjoin it runs directly on the
 // adjoin representation.
 func (g *NWHypergraph) SLineGraphEnsembleQueue(ss []int, useAdjoin bool) map[int]*SLineGraph {
+	snap := g.snap()
 	var in slinegraph.Input
 	if useAdjoin {
 		in = slinegraph.FromAdjoin(g.Adjoin())
 	} else {
-		in = slinegraph.FromHypergraph(g.h)
+		in = slinegraph.FromHypergraph(snap.h)
 	}
 	byS, _ := slinegraph.EnsembleQueue(g.engine(), in, ss, slinegraph.Options{})
 	out := make(map[int]*SLineGraph, len(ss))
 	for s, pairs := range byS {
-		out[s] = &SLineGraph{smetrics.BuildWith(g.engine(), g.h, s, pairs)}
+		out[s] = &SLineGraph{
+			SLineGraph: smetrics.BuildWith(g.engine(), snap.h, s, pairs),
+			epoch:      snap.epoch, del: snap.del, overEdges: true,
+		}
 	}
 	return out
 }
@@ -273,12 +292,13 @@ func (g *NWHypergraph) SConnectedComponentsDirect(s int) []uint32 {
 // ctx: the queue drain stops at the next chunk boundary once ctx is
 // cancelled and ctx.Err() is returned.
 func (g *NWHypergraph) SConnectedComponentsDirectCtx(ctx context.Context, s int) ([]uint32, error) {
+	h := g.hg()
 	eng := g.engine().WithContext(ctx)
-	labels, err := slinegraph.SComponentsDirect(eng, slinegraph.FromHypergraph(g.h), s, slinegraph.Options{})
+	labels, err := slinegraph.SComponentsDirect(eng, slinegraph.FromHypergraph(h), s, slinegraph.Options{})
 	if err != nil {
 		return nil, err
 	}
-	return labels[:g.NumEdges()], nil
+	return labels[:h.NumEdges()], nil
 }
 
 // SConnectedComponentsFrontier computes the s-connected components of the
@@ -296,25 +316,30 @@ func (g *NWHypergraph) SConnectedComponentsFrontier(s int) []uint32 {
 // ctx: the propagation stops between frontier rounds once ctx is cancelled
 // and ctx.Err() is returned.
 func (g *NWHypergraph) SConnectedComponentsFrontierCtx(ctx context.Context, s int) ([]uint32, error) {
+	h := g.hg()
 	eng := g.engine().WithContext(ctx)
-	labels, err := slinegraph.SComponentsFrontier(eng, slinegraph.FromHypergraph(g.h), s, slinegraph.Options{})
+	labels, err := slinegraph.SComponentsFrontier(eng, slinegraph.FromHypergraph(h), s, slinegraph.Options{})
 	if err != nil {
 		return nil, err
 	}
-	return labels[:g.NumEdges()], nil
+	return labels[:h.NumEdges()], nil
 }
 
 // SLineGraphEnsemble constructs the s-line graphs for several values of s
 // in one counting pass.
 func (g *NWHypergraph) SLineGraphEnsemble(ss []int, edges bool) map[int]*SLineGraph {
-	h := g.h
+	snap := g.snap()
+	h := snap.h
 	if !edges {
-		h = g.h.Dual()
+		h = snap.h.Dual()
 	}
 	byS, _ := slinegraph.Ensemble(g.engine(), h, ss, slinegraph.Options{})
 	out := make(map[int]*SLineGraph, len(ss))
 	for s, pairs := range byS {
-		out[s] = &SLineGraph{smetrics.BuildWith(g.engine(), h, s, pairs)}
+		out[s] = &SLineGraph{
+			SLineGraph: smetrics.BuildWith(g.engine(), h, s, pairs),
+			epoch:      snap.epoch, del: snap.del, overEdges: edges,
+		}
 	}
 	return out
 }
