@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -39,7 +40,10 @@ func TestListMode(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list exited %d", code)
 	}
-	for _, name := range []string{"engine-first", "no-naked-goroutine", "atomic-mixing", "ctx-at-rounds", "tls-recycle"} {
+	for _, name := range []string{
+		"engine-first", "no-naked-goroutine", "atomic-mixing", "ctx-at-rounds", "tls-recycle",
+		"ctx-propagation", "locks-balanced", "statebox-discipline", "ctx-first-handler",
+	} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output missing %s:\n%s", name, stdout)
 		}
@@ -66,5 +70,64 @@ func TestModuleIsClean(t *testing.T) {
 	}
 	if stdout != "" {
 		t.Errorf("expected no diagnostics, got:\n%s", stdout)
+	}
+}
+
+// TestChecksSubset runs a named subset over the module; a clean tree stays
+// clean under any subset, and unused-suppression reporting is disabled for
+// partial runs.
+func TestChecksSubset(t *testing.T) {
+	code, stdout, stderr := runLint(t, "-checks", "engine-first,locks-balanced,ctx-propagation", "./...")
+	if code != 0 {
+		t.Errorf("subset lint exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("expected no diagnostics, got:\n%s", stdout)
+	}
+}
+
+// TestJSONCleanModule pins the machine-readable contract CI keys on: a
+// clean tree emits exactly an empty JSON array on stdout.
+func TestJSONCleanModule(t *testing.T) {
+	code, stdout, stderr := runLint(t, "-json", "./...")
+	if code != 0 {
+		t.Errorf("-json lint exited %d\nstderr:\n%s", code, stderr)
+	}
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Errorf("-json clean output = %q, want []", stdout)
+	}
+}
+
+// TestJSONDiagnostics lints a scratch module with a seeded violation and
+// checks the JSON shape end to end: exit 1, one object, the right check.
+func TestJSONDiagnostics(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgDir := filepath.Join(dir, "internal", "core")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "package core\n\nfunc fire(done chan struct{}) {\n\tgo close(done)\n}\n"
+	if err := os.WriteFile(filepath.Join(pkgDir, "core.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(dir)
+	code, stdout, stderr := runLint(t, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("seeded violation exited %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	var out []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout)
+	}
+	if len(out) != 1 || out[0].Check != "no-naked-goroutine" || out[0].Line != 4 {
+		t.Fatalf("diagnostics = %+v, want one no-naked-goroutine at line 4", out)
 	}
 }

@@ -83,7 +83,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	eng := nwhy.NewEngine(*threads)
 	reg := server.NewRegistry()
 	if *dataDir != "" {
-		names, err := reg.WarmStart(ctx, eng, *dataDir)
+		names, err := reg.WarmStart(ctx, eng.WithContext(ctx), *dataDir)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,70 @@
+package nwhy
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestSLineGraphCtxHandleDetached pins the slgOn contract: construction —
+// the kernel, the CSR assembly, and the pair-list build alike — runs on the
+// ctx-bound engine, but the returned handle is rebound to the handle's own
+// engine, so queries survive the request deadline expiring. AlgoHashmap
+// exercises the kernel/BuildCSR path and AlgoNaive the pair-list/BuildWith
+// path (the two sites that used to build on the unbound engine).
+func TestSLineGraphCtxHandleDetached(t *testing.T) {
+	g := engineTestHypergraph(t)
+	for _, algo := range []Algorithm{AlgoHashmap, AlgoNaive} {
+		ctx, cancel := context.WithCancel(context.Background())
+		lg, err := g.SLineGraphCtx(ctx, 2, true, ConstructOptions{Algorithm: algo})
+		if err != nil {
+			t.Fatalf("algo %v: %v", algo, err)
+		}
+		cancel()
+		if err := lg.Engine().Err(); err != nil {
+			t.Fatalf("algo %v: handle engine still bound to the request ctx: %v", algo, err)
+		}
+		if cc := lg.SConnectedComponents(); len(cc) == 0 {
+			t.Fatalf("algo %v: query after deadline expiry returned nothing", algo)
+		}
+	}
+}
+
+// TestRefreshSLineGraphCtxDetached pins the incremental-refresh contract:
+// the delta and the merged rebuild run on the ctx-bound engine (a cancelled
+// ctx aborts the patch with its error), and the patched handle does not
+// retain the request deadline.
+func TestRefreshSLineGraphCtxDetached(t *testing.T) {
+	g := mutBase()
+	lg := g.SLineGraph(2, true)
+	if err := g.Mutate(func(m *Mutation) error {
+		_, err := m.AddEdge([]uint32{1, 2, 5})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	patched, how, err := g.RefreshSLineGraphCtx(ctx, lg, ConstructOptions{})
+	if err != nil || how != RefreshPatched {
+		t.Fatalf("refresh: how=%v err=%v", how, err)
+	}
+	cancel()
+	if err := patched.Engine().Err(); err != nil {
+		t.Fatalf("patched handle still bound to the request ctx: %v", err)
+	}
+	if cc := patched.SConnectedComponents(); len(cc) == 0 {
+		t.Fatal("query on patched handle after deadline expiry returned nothing")
+	}
+
+	if err := g.Mutate(func(m *Mutation) error {
+		_, err := m.AddEdge([]uint32{0, 3, 6})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	if _, _, err := g.RefreshSLineGraphCtx(cancelled, patched, ConstructOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled refresh err = %v, want Canceled", err)
+	}
+}

@@ -1,22 +1,35 @@
 // Package analysis is NWHy-Go's zero-dependency static-analysis framework:
-// a multi-pass AST analyzer runner with file/line diagnostics and
+// a type-aware, module-wide analyzer runner with file/line diagnostics and
 // //nwhy:nolint suppressions, built on the standard library only (go/ast,
-// go/parser, go/token — no golang.org/x/tools).
+// go/parser, go/token, go/types with a source importer — no
+// golang.org/x/tools).
 //
 // The framework exists to machine-enforce the engine and concurrency
-// invariants PRs 1–2 established by convention: every kernel threads an
+// invariants the repo established by convention: every kernel threads an
 // explicit *parallel.Engine, all concurrency flows through the pool, shared
 // state inside parallel regions goes through atomics, multi-round drivers
-// observe cancellation, and arena scratch is recycled. Each invariant is a
-// registered Check; cmd/nwhy-lint runs them all over the module.
+// observe cancellation, arena scratch is recycled, serving paths thread the
+// request context, locks balance, and the facade's snapshot box is only
+// touched through its accessors. Each invariant is a registered Check;
+// cmd/nwhy-lint runs them all over the module.
+//
+// Loading happens in two tiers. The Loader parses the module's package DAG
+// and type-checks it bottom-up (stdlib dependencies come from a shared
+// source importer), attaching go/types information to every File. Checks
+// consume types when present and degrade to the original AST name-matching
+// when a file failed to type-check — golden fixtures with deliberate type
+// errors keep working.
 package analysis
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
+
+	"nwhy/internal/parallel"
 )
 
 // Diagnostic is one finding: a position, the check that produced it, and a
@@ -38,21 +51,23 @@ type File struct {
 	Test bool // *_test.go
 	// Imports maps each import's local name (alias or path base) to its
 	// import path, so checks can resolve selector expressions like
-	// parallel.MinU32 without type information.
+	// parallel.MinU32 without type information. Files with identical
+	// import blocks share one table.
 	Imports map[string]string
+	// Info is the go/types information for the checking unit this file was
+	// type-checked in (nil when the package was loaded without types).
+	// Non-test files share the package's lib unit; in-package and external
+	// test files each get their own unit.
+	Info *types.Info
 
+	importedAs   map[string]string // reverse of Imports: path → local name
 	suppressions []suppression
 }
 
 // ImportsAs reports the local name path is imported under in this file
 // ("" if not imported).
 func (f *File) ImportsAs(path string) string {
-	for name, p := range f.Imports {
-		if p == path {
-			return name
-		}
-	}
-	return ""
+	return f.importedAs[path]
 }
 
 // Package is one directory's worth of parsed files (test files included,
@@ -63,6 +78,15 @@ type Package struct {
 	Name   string
 	Fset   *token.FileSet
 	Files  []*File
+
+	// Types and TypesInfo carry the type-checked form of the package's
+	// non-test files; nil for AST-only loads. TypeErrors collects every
+	// soft error the checker reported — fixture packages type-check
+	// best-effort, and checks fall back to name matching where resolution
+	// failed.
+	Types      *types.Package
+	TypesInfo  *types.Info
+	TypeErrors []error
 }
 
 // Check is one registered invariant: a stable name (the key used in
@@ -73,10 +97,13 @@ type Check struct {
 	Run  func(*Pass)
 }
 
-// Pass is one (check, package) run handed to Check.Run.
+// Pass is one (check, package) run handed to Check.Run. Mod gives
+// interprocedural checks the module-wide view (every package of the Run,
+// plus the lazily built call graph).
 type Pass struct {
 	Check *Check
 	Pkg   *Package
+	Mod   *Module
 	diags *[]Diagnostic
 }
 
@@ -125,6 +152,10 @@ type Options struct {
 	// that suppressed nothing. Set when running the full check suite (a
 	// partial run can legitimately leave suppressions unused).
 	ReportUnusedSuppressions bool
+	// Engine, when set, analyzes packages in parallel on the given engine
+	// (each package's checks still run sequentially, so per-package state
+	// never races). Nil runs everything on the calling goroutine.
+	Engine *parallel.Engine
 }
 
 // Run executes the checks over the packages, applies //nwhy:nolint
@@ -132,11 +163,23 @@ type Options struct {
 // Malformed suppressions (unknown check, missing reason) surface as
 // diagnostics of the pseudo-check "nolint" and cannot be suppressed.
 func Run(pkgs []*Package, checks []*Check, opts Options) []Diagnostic {
-	var raw []Diagnostic
-	for _, pkg := range pkgs {
+	mod := NewModule(pkgs)
+	perPkg := make([][]Diagnostic, len(pkgs))
+	analyze := func(i int) {
 		for _, c := range checks {
-			c.Run(&Pass{Check: c, Pkg: pkg, diags: &raw})
+			c.Run(&Pass{Check: c, Pkg: pkgs[i], Mod: mod, diags: &perPkg[i]})
 		}
+	}
+	if opts.Engine != nil {
+		opts.Engine.ForEach(len(pkgs), analyze)
+	} else {
+		for i := range pkgs {
+			analyze(i)
+		}
+	}
+	var raw []Diagnostic
+	for _, ds := range perPkg {
+		raw = append(raw, ds...)
 	}
 
 	var out []Diagnostic

@@ -85,6 +85,12 @@ func TestGoldenFixtures(t *testing.T) {
 		{"ctx-first-handler/clean", "ctx-first-handler", "ctxhandler/clean", "nwhy/internal/server"},
 		{"tls-recycle/bad", "tls-recycle", "tlsrecycle/bad", "nwhy/internal/graph"},
 		{"tls-recycle/clean", "tls-recycle", "tlsrecycle/clean", "nwhy/internal/graph"},
+		{"ctx-propagation/bad", "ctx-propagation", "ctxprop/bad", "nwhy/internal/server"},
+		{"ctx-propagation/clean", "ctx-propagation", "ctxprop/clean", "nwhy/internal/server"},
+		{"locks-balanced/bad", "locks-balanced", "locks/bad", "nwhy/internal/server"},
+		{"locks-balanced/clean", "locks-balanced", "locks/clean", "nwhy/internal/server"},
+		{"statebox-discipline/bad", "statebox-discipline", "statebox/bad", "nwhy"},
+		{"statebox-discipline/clean", "statebox-discipline", "statebox/clean", "nwhy"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -145,10 +151,14 @@ func TestDiagnosticString(t *testing.T) {
 	}
 }
 
-// TestChecksRegistered pins the check vocabulary: the five invariants must
+// TestChecksRegistered pins the check vocabulary: the nine invariants must
 // all be registered, sorted, and uniquely named.
 func TestChecksRegistered(t *testing.T) {
-	want := []string{"atomic-mixing", "ctx-at-rounds", "ctx-first-handler", "engine-first", "no-naked-goroutine", "tls-recycle"}
+	want := []string{
+		"atomic-mixing", "ctx-at-rounds", "ctx-first-handler",
+		"ctx-propagation", "engine-first", "locks-balanced",
+		"no-naked-goroutine", "statebox-discipline", "tls-recycle",
+	}
 	var got []string
 	for _, c := range Checks() {
 		got = append(got, c.Name)

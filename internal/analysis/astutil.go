@@ -76,10 +76,11 @@ func selectorCall(call *ast.CallExpr) (base, name string) {
 }
 
 // regionMethods are the method names that schedule their function-literal
-// arguments onto pool workers. The match is by name, not type — the
-// framework deliberately avoids go/types — which is sound in this module
-// because these names are only used by the parallel runtime, the frontier
-// substrate, and their adopters.
+// arguments onto pool workers. With type information the receiver is
+// verified (real method-set resolution on *parallel.Engine / frontier
+// State); this name table is the fallback for unresolved calls, sound in
+// this module because the names are only used by the parallel runtime, the
+// frontier substrate, and their adopters.
 var regionMethods = map[string]bool{
 	"For": true, "ForN": true, "ForEach": true,
 	"ForCyclic": true, "ForCyclicNeighbor": true,
@@ -90,23 +91,27 @@ var regionMethods = map[string]bool{
 // schedule their closure arguments onto pool workers.
 var regionParallelFuncs = map[string]bool{
 	"For": true, "ForEach": true, "Reduce": true, "ReduceWith": true,
+	"Drain": true,
 }
 
 // isParallelRegionCall reports whether call hands work to pool workers, and
-// returns the function-literal arguments that will run there.
+// returns the function-literal arguments that will run there. Resolution is
+// typed-first: a resolved callee is classified by its actual package and
+// receiver; only unresolved calls fall back to the name tables.
 func isParallelRegionCall(f *File, call *ast.CallExpr) (closures []*ast.FuncLit, ok bool) {
-	base, name := selectorCall(call)
-	if base == "" && name == "" {
-		return nil, false
-	}
 	isRegion := false
-	if base != "" {
-		if f.Imports[base] == parallelPkg || (f.Imports[base] == "" && base == "parallel") {
-			// Package-level parallel.For / parallel.Reduce / parallel.ReduceWith.
-			isRegion = regionParallelFuncs[name]
-		} else if f.Imports[base] == "" {
-			// Method call on a value (engine, pool, frontier state, …).
-			isRegion = regionMethods[name]
+	if fn := typedCallee(f, call); fn != nil {
+		isRegion = typedRegionFunc(fn)
+	} else {
+		base, name := selectorCall(call)
+		if base != "" {
+			if f.Imports[base] == parallelPkg || (f.Imports[base] == "" && base == "parallel") {
+				// Package-level parallel.For / parallel.Reduce / parallel.Drain.
+				isRegion = regionParallelFuncs[name]
+			} else if f.Imports[base] == "" {
+				// Method call on a value (engine, pool, frontier state, …).
+				isRegion = regionMethods[name]
+			}
 		}
 	}
 	if !isRegion {
@@ -120,10 +125,24 @@ func isParallelRegionCall(f *File, call *ast.CallExpr) (closures []*ast.FuncLit,
 	return closures, true
 }
 
-// atomicFuncs maps the two atomic vocabularies — sync/atomic and
-// internal/parallel's helpers — to the argument indices that are addresses
-// of shared memory. All of them take the address first.
+// parallelAtomicHelpers are internal/parallel's atomic vocabulary; all take
+// the shared address first, like sync/atomic.
+var parallelAtomicHelpers = map[string]bool{
+	"MinU32": true, "MinU64": true, "CASU32": true,
+	"LoadU32": true, "StoreU32": true, "AddI64": true,
+}
+
+// isAtomicCall reports whether call is an atomic access through either
+// vocabulary — sync/atomic or internal/parallel's helpers. Typed-first,
+// with the import-table name match as fallback.
 func isAtomicCall(f *File, call *ast.CallExpr) bool {
+	if fn := typedCallee(f, call); fn != nil {
+		pkg := funcPkgPath(fn)
+		if pkg == "sync/atomic" && recvTypeName(fn) == "" {
+			return true
+		}
+		return isParallelModulePkg(pkg) && parallelAtomicHelpers[fn.Name()]
+	}
 	base, name := selectorCall(call)
 	if base == "" {
 		return false
@@ -134,40 +153,42 @@ func isAtomicCall(f *File, call *ast.CallExpr) bool {
 			strings.HasPrefix(name, "Add") || strings.HasPrefix(name, "Swap") ||
 			strings.HasPrefix(name, "CompareAndSwap")
 	case parallelPkg:
-		switch name {
-		case "MinU32", "MinU64", "CASU32", "LoadU32", "StoreU32", "AddI64":
-			return true
-		}
+		return parallelAtomicHelpers[name]
 	}
 	return false
 }
 
 // cancellationNames are the method names whose call counts as observing
-// cancellation: Engine.Err / Engine.Cancelled / context.Context.Err.
+// cancellation when the callee cannot be resolved: Engine.Err /
+// Engine.Cancelled / context.Context.Err.
 var cancellationNames = map[string]bool{"Err": true, "Cancelled": true}
 
 // containsCancellationCheck reports whether any node under root calls a
 // cancellation observer.
-func containsCancellationCheck(root ast.Node) bool {
+func containsCancellationCheck(f *File, root ast.Node) bool {
 	found := false
 	ast.Inspect(root, func(n ast.Node) bool {
 		if found {
 			return false
 		}
-		if call, ok := n.(*ast.CallExpr); ok {
-			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && cancellationNames[sel.Sel.Name] {
-				found = true
-				return false
-			}
+		if call, ok := n.(*ast.CallExpr); ok && isCancellationObserver(f, call) {
+			found = true
+			return false
 		}
 		return true
 	})
 	return found
 }
 
-// isEnginePtrType reports whether t is *parallel.Engine under the file's
-// import table.
+// isEnginePtrType reports whether the type expression t is
+// *parallel.Engine: by its checked type when available, by the file's
+// import table otherwise.
 func isEnginePtrType(f *File, t ast.Expr) bool {
+	if f.Info != nil {
+		if tv, ok := f.Info.Types[t]; ok && tv.Type != nil {
+			return isEngineType(tv.Type)
+		}
+	}
 	star, ok := t.(*ast.StarExpr)
 	if !ok {
 		return false

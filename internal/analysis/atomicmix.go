@@ -10,7 +10,7 @@ func init() {
 	Register(&Check{
 		Name: "atomic-mixing",
 		Doc: "a slice accessed atomically inside a parallel region must not " +
-			"also be plainly indexed in the same region",
+			"also be plainly indexed in the same region, aliases included",
 		Run: runAtomicMixing,
 	})
 }
@@ -20,20 +20,25 @@ func init() {
 // internal/parallel atomic helpers in one place and plainly read or
 // written elsewhere in the same parallel region. The scope is one region —
 // the union of all function literals passed to a single Engine.For*/
-// Invoke/Go/EdgeMap/parallel.Reduce* call — because that is exactly where
-// concurrent execution overlaps; the ubiquitous and race-free
+// Invoke/Go/EdgeMap/parallel.Reduce*/Drain call — because that is exactly
+// where concurrent execution overlaps; the ubiquitous and race-free
 // initialize-plainly-then-claim-atomically-in-a-later-phase pattern
 // (phases are separated by the loop's barrier) is deliberately not
 // flagged.
 //
-// The analysis is name-based (dotted selector paths like "state" or
-// "r.Level"); aliasing through extra assignments is out of scope, as is
-// proving that a flagged access is dominated by a successful CAS.
+// Base identity is typed: a selector chain resolves to its go/types
+// objects, and simple aliases (view := state, d := r.dist — anywhere in
+// the enclosing function, including other closures) are unified, so
+// renaming a slice no longer hides the mix. Chains that fail to resolve
+// (type errors, untyped loads) fall back to the rendered path string, as
+// before. Proving that a flagged access is dominated by a successful CAS
+// remains out of scope.
 func runAtomicMixing(p *Pass) {
 	if isParallelPkg(p.Pkg.Path) {
 		return
 	}
 	p.funcDecls(func(f *File, d *ast.FuncDecl) {
+		aliases := collectAliases(f, d)
 		ast.Inspect(d, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -43,16 +48,65 @@ func runAtomicMixing(p *Pass) {
 			if !isRegion || len(closures) == 0 {
 				return true
 			}
-			checkRegion(p, f, closures)
+			checkRegion(p, f, closures, aliases)
 			return true
 		})
 	})
 }
 
+// aliasSets is a union-find over base keys, fed by plain chain-to-chain
+// assignments in the enclosing function.
+type aliasSets struct {
+	parent map[string]string
+}
+
+func (a *aliasSets) find(k string) string {
+	if a == nil || a.parent == nil {
+		return k
+	}
+	root := k
+	for {
+		p, ok := a.parent[root]
+		if !ok || p == root {
+			return root
+		}
+		root = p
+	}
+}
+
+func (a *aliasSets) union(k1, k2 string) {
+	r1, r2 := a.find(k1), a.find(k2)
+	if r1 != r2 {
+		a.parent[r1] = r2
+	}
+}
+
+// collectAliases unifies the two sides of every assignment of the shape
+// lhsChain = rhsChain (x := y, d = r.dist) under d, so a region accessing
+// the slice under either name is analyzed as one base.
+func collectAliases(f *File, d *ast.FuncDecl) *aliasSets {
+	a := &aliasSets{parent: map[string]string{}}
+	ast.Inspect(d, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			lk, _ := memKey(f, as.Lhs[i])
+			rk, _ := memKey(f, as.Rhs[i])
+			if lk != "" && rk != "" {
+				a.union(lk, rk)
+			}
+		}
+		return true
+	})
+	return a
+}
+
 // checkRegion inspects the closures of one parallel region together.
-func checkRegion(p *Pass, f *File, closures []*ast.FuncLit) {
+func checkRegion(p *Pass, f *File, closures []*ast.FuncLit, aliases *aliasSets) {
 	// Pass 1: find atomic accesses — &base or &base[...] arguments to an
-	// atomic call — recording the bases and the argument spans.
+	// atomic call — recording the canonical bases and the argument spans.
 	atomicBases := map[string]bool{}
 	type span struct{ lo, hi token.Pos }
 	var atomicArgSpans []span
@@ -68,14 +122,14 @@ func checkRegion(p *Pass, f *File, closures []*ast.FuncLit) {
 					continue
 				}
 				target := ast.Unparen(un.X)
-				base := ""
+				var key string
 				if ix, ok := target.(*ast.IndexExpr); ok {
-					base = pathOf(ix.X)
+					key, _ = memKey(f, ix.X)
 				} else {
-					base = pathOf(target)
+					key, _ = memKey(f, target)
 				}
-				if base != "" {
-					atomicBases[base] = true
+				if key != "" {
+					atomicBases[aliases.find(key)] = true
 					atomicArgSpans = append(atomicArgSpans, span{un.Pos(), un.End()})
 				}
 			}
@@ -93,30 +147,39 @@ func checkRegion(p *Pass, f *File, closures []*ast.FuncLit) {
 		}
 		return false
 	}
-	// Pass 2: find plain element accesses of the same bases.
-	plain := map[string]token.Pos{}
+	// Pass 2: find plain element accesses of the same canonical bases.
+	type hit struct {
+		pos  token.Pos
+		path string
+	}
+	plain := map[string]hit{}
 	for _, cl := range closures {
 		ast.Inspect(cl, func(n ast.Node) bool {
 			ix, ok := n.(*ast.IndexExpr)
 			if !ok {
 				return true
 			}
-			base := pathOf(ix.X)
-			if base == "" || !atomicBases[base] || inAtomicArg(ix.Pos()) {
+			key, path := memKey(f, ix.X)
+			if key == "" || path == "" {
 				return true
 			}
-			if cur, seen := plain[base]; !seen || ix.Pos() < cur {
-				plain[base] = ix.Pos()
+			key = aliases.find(key)
+			if !atomicBases[key] || inAtomicArg(ix.Pos()) {
+				return true
+			}
+			if cur, seen := plain[key]; !seen || ix.Pos() < cur.pos {
+				plain[key] = hit{ix.Pos(), path}
 			}
 			return true
 		})
 	}
-	bases := make([]string, 0, len(plain))
-	for base := range plain {
-		bases = append(bases, base)
+	keys := make([]string, 0, len(plain))
+	for key := range plain {
+		keys = append(keys, key)
 	}
-	sort.Strings(bases)
-	for _, base := range bases {
-		p.Reportf(plain[base], "%s is accessed atomically in this parallel region; this plain element access races with those atomics", base)
+	sort.Strings(keys)
+	for _, key := range keys {
+		h := plain[key]
+		p.Reportf(h.pos, "%s is accessed atomically in this parallel region; this plain element access races with those atomics", h.path)
 	}
 }

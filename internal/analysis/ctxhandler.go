@@ -44,7 +44,7 @@ func runCtxFirstHandler(p *Pass) {
 	}
 	p.walkFiles(func(f *File) {
 		ctxName := f.ImportsAs("context")
-		if ctxName == "" {
+		if ctxName == "" && f.Info == nil {
 			return
 		}
 		for _, decl := range f.AST.Decls {
@@ -58,6 +58,15 @@ func runCtxFirstHandler(p *Pass) {
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
 				if !ok {
+					return true
+				}
+				if fn := typedCallee(f, call); fn != nil {
+					if funcPkgPath(fn) == "context" && recvTypeName(fn) == "" &&
+						(fn.Name() == "Background" || fn.Name() == "TODO") {
+						p.Reportf(call.Pos(),
+							"context.%s() on a request path; thread the caller's ctx instead",
+							fn.Name())
+					}
 					return true
 				}
 				sel, ok := call.Fun.(*ast.SelectorExpr)

@@ -17,20 +17,23 @@ func init() {
 // cancellation between rounds, otherwise a cancelled engine merely stops
 // scheduling grains while the driver keeps spinning rounds forever.
 //
-// "Launches parallel work" is computed package-locally: a function is
-// parallel if it contains a region call (Engine.For*/Invoke/Go/EdgeMap,
-// parallel.Reduce*) or calls another function of the same package that is,
-// transitively. A loop whose body (or condition) contains a parallel call
-// then needs a cancellation observer — a call to Err or Cancelled — in its
-// condition or body. Cross-package kernel calls (e.g. core driving
-// graph.CCAfforest) are resolved by name against the known region
-// vocabulary only, so the check under-approximates across packages rather
-// than guessing.
+// "Launches parallel work" resolves through the module call graph when
+// type information is available: a loop is parallel if it contains a
+// region call or a statically resolved call — cross-package and method
+// calls included — to a function that transitively schedules on pool
+// workers. Untyped files keep the original package-local name closure, so
+// fixtures with deliberate type errors degrade rather than break. The
+// cancellation observer is typed too: Engine.Err/Cancelled or
+// context.Context.Err/Done, verified by receiver.
 func runCtxAtRounds(p *Pass) {
 	if !isKernelPkg(p.Pkg.Path) {
 		return
 	}
 	parallelFns := packageParallelFuncs(p)
+	var cg *CallGraph
+	if p.Mod != nil {
+		cg = p.Mod.CallGraph()
+	}
 	p.funcDecls(func(f *File, d *ast.FuncDecl) {
 		ast.Inspect(d, func(n ast.Node) bool {
 			var body *ast.BlockStmt
@@ -43,10 +46,10 @@ func runCtxAtRounds(p *Pass) {
 			default:
 				return true
 			}
-			if !launchesParallelWork(f, body, parallelFns) {
+			if !launchesParallelWork(f, cg, body, parallelFns) {
 				return true
 			}
-			if containsCancellationCheck(body) || (cond != nil && containsCancellationCheck(cond)) {
+			if containsCancellationCheck(f, body) || (cond != nil && containsCancellationCheck(f, cond)) {
 				return true
 			}
 			p.Reportf(n.Pos(), "round loop launches parallel work but never observes cancellation; check eng.Err()/eng.Cancelled() each round")
@@ -56,7 +59,7 @@ func runCtxAtRounds(p *Pass) {
 }
 
 // packageParallelFuncs computes the transitive closure of package-local
-// functions that launch parallel work.
+// functions that launch parallel work — the untyped fallback vocabulary.
 func packageParallelFuncs(p *Pass) map[string]bool {
 	type fn struct {
 		decl *ast.FuncDecl
@@ -118,9 +121,11 @@ func containsRegionCall(f *File, root ast.Node) bool {
 	return found
 }
 
-// launchesParallelWork reports whether root contains a region call or a
-// call to a package-local parallel function.
-func launchesParallelWork(f *File, root ast.Node, parallelFns map[string]bool) bool {
+// launchesParallelWork reports whether root contains a region call, a
+// statically resolved call to a function the call graph marks parallel, or
+// (for unresolved calls) a call to a package-local parallel function by
+// name.
+func launchesParallelWork(f *File, cg *CallGraph, root ast.Node, parallelFns map[string]bool) bool {
 	found := false
 	ast.Inspect(root, func(n ast.Node) bool {
 		if found {
@@ -133,6 +138,14 @@ func launchesParallelWork(f *File, root ast.Node, parallelFns map[string]bool) b
 		if _, ok := isParallelRegionCall(f, call); ok {
 			found = true
 			return false
+		}
+		if cg != nil {
+			if callee := typedCallee(f, call); callee != nil {
+				if cg.LaunchesParallel(callee) {
+					found = true
+				}
+				return !found
+			}
 		}
 		if base, callee := selectorCall(call); base == "" && parallelFns[callee] {
 			found = true

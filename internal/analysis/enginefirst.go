@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 func init() {
@@ -39,6 +40,14 @@ func runEngineFirst(p *Pass) {
 				if !ok || sel.Sel.Name != "SharedEngine" {
 					return true
 				}
+				if f.Info != nil {
+					if fn, isFn := f.Info.Uses[sel.Sel].(*types.Func); isFn {
+						if isParallelModulePkg(funcPkgPath(fn)) {
+							p.Reportf(sel.Pos(), "parallel.SharedEngine is confined to the facade package; take a *parallel.Engine from the caller instead")
+						}
+						return true
+					}
+				}
 				if base := pathOf(sel.X); base != "" && f.Imports[base] == parallelPkg {
 					p.Reportf(sel.Pos(), "parallel.SharedEngine is confined to the facade package; take a *parallel.Engine from the caller instead")
 				}
@@ -68,23 +77,39 @@ func runEngineFirst(p *Pass) {
 						p.Reportf(vs.Pos(), "package-level *parallel.Engine variable; kernels must receive their engine per call")
 					}
 					for _, v := range vs.Values {
-						if call, ok := ast.Unparen(v).(*ast.CallExpr); ok {
-							if base, name := selectorCall(call); f.Imports[base] == parallelPkg &&
-								(name == "SharedEngine" || name == "NewEngine") {
-								p.Reportf(vs.Pos(), "package-level engine binding (%s.%s); kernels must receive their engine per call", base, name)
+						call, ok := ast.Unparen(v).(*ast.CallExpr)
+						if !ok {
+							continue
+						}
+						if fn := typedCallee(f, call); fn != nil {
+							if isParallelModulePkg(funcPkgPath(fn)) &&
+								(fn.Name() == "SharedEngine" || fn.Name() == "NewEngine") {
+								p.Reportf(vs.Pos(), "package-level engine binding (parallel.%s); kernels must receive their engine per call", fn.Name())
 							}
+							continue
+						}
+						if base, name := selectorCall(call); f.Imports[base] == parallelPkg &&
+							(name == "SharedEngine" || name == "NewEngine") {
+							p.Reportf(vs.Pos(), "package-level engine binding (%s.%s); kernels must receive their engine per call", base, name)
 						}
 					}
 				}
 			}
 		}
-		// Default-pool loop entry points bypass the caller's engine.
+		// Default-pool loop entry points bypass the caller's engine
+		// (ReduceWith and Drain take an explicit engine and are fine).
 		ast.Inspect(f.AST, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			if base, name := selectorCall(call); base != "" && f.Imports[base] == parallelPkg && regionParallelFuncs[name] && name != "ReduceWith" {
+			if fn := typedCallee(f, call); fn != nil {
+				if isParallelModulePkg(funcPkgPath(fn)) && recvTypeName(fn) == "" && defaultPoolFuncNames[fn.Name()] {
+					p.Reportf(call.Pos(), "parallel.%s schedules on the process default pool; run the loop on the caller's engine", fn.Name())
+				}
+				return true
+			}
+			if base, name := selectorCall(call); base != "" && f.Imports[base] == parallelPkg && defaultPoolFuncNames[name] {
 				p.Reportf(call.Pos(), "parallel.%s schedules on the process default pool; run the loop on the caller's engine", name)
 			}
 			return true

@@ -10,20 +10,25 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 )
 
-// Load parses the packages matched by patterns (directories, optionally
-// with a /... suffix) relative to the module root and returns them ready
-// for Run. Directories named testdata or vendor and hidden directories are
-// skipped, matching the go tool's convention.
+// Load parses and type-checks the packages matched by patterns
+// (directories, optionally with a /... suffix) relative to the module root
+// and returns them ready for Run. Directories named testdata or vendor and
+// hidden directories are skipped, matching the go tool's convention.
 func Load(root string, patterns []string) ([]*Package, error) {
-	module, err := modulePath(root)
+	l, err := NewLoader(root)
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
+	return l.Load(patterns)
+}
+
+// matchPatterns resolves the pattern list to module import paths.
+func (l *Loader) matchPatterns(patterns []string) ([]string, error) {
 	seen := map[string]bool{}
-	var pkgs []*Package
+	var out []string
 	add := func(dir string) error {
 		abs := filepath.Clean(dir)
 		if seen[abs] {
@@ -34,19 +39,15 @@ func Load(root string, patterns []string) ([]*Package, error) {
 		if err != nil || !ok {
 			return err
 		}
-		rel, err := filepath.Rel(root, abs)
+		rel, err := filepath.Rel(l.Root, abs)
 		if err != nil {
 			return err
 		}
-		importPath := module
+		importPath := l.Module
 		if rel != "." {
-			importPath = path.Join(module, filepath.ToSlash(rel))
+			importPath = path.Join(l.Module, filepath.ToSlash(rel))
 		}
-		pkg, err := LoadDir(fset, abs, importPath, module)
-		if err != nil {
-			return err
-		}
-		pkgs = append(pkgs, pkg)
+		out = append(out, importPath)
 		return nil
 	}
 	for _, pat := range patterns {
@@ -61,7 +62,7 @@ func Load(root string, patterns []string) ([]*Package, error) {
 		}
 		dir := pat
 		if !filepath.IsAbs(dir) {
-			dir = filepath.Join(root, pat)
+			dir = filepath.Join(l.Root, pat)
 		}
 		if !recursive {
 			if err := add(dir); err != nil {
@@ -87,12 +88,32 @@ func Load(root string, patterns []string) ([]*Package, error) {
 			return nil, err
 		}
 	}
-	return pkgs, nil
+	return out, nil
 }
 
 // LoadDir parses every .go file of one directory as a single Package with
-// the given import path. Test files are included and marked.
+// the given import path, then type-checks it best-effort: module-internal
+// imports resolve against the enclosing module on disk, and type errors
+// (fixtures carry some deliberately) are collected on Package.TypeErrors
+// rather than failing the load. Test files are included and marked.
 func LoadDir(fset *token.FileSet, dir, importPath, module string) (*Package, error) {
+	pkg, err := parseDir(fset, dir, importPath, module)
+	if err != nil {
+		return nil, err
+	}
+	if root, rerr := FindModuleRoot(dir); rerr == nil {
+		l := &Loader{Fset: fset, Root: root, Module: module}
+		l.seed(pkg)
+		if _, err := l.libPkg(importPath); err != nil {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		}
+		l.checkTests(pkg)
+	}
+	return pkg, nil
+}
+
+// parseDir is the parse-only tier of LoadDir.
+func parseDir(fset *token.FileSet, dir, importPath, module string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -108,11 +129,11 @@ func LoadDir(fset *token.FileSet, dir, importPath, module string) (*Package, err
 			return nil, err
 		}
 		f := &File{
-			Name:    name,
-			AST:     astFile,
-			Test:    strings.HasSuffix(e.Name(), "_test.go"),
-			Imports: importTable(astFile),
+			Name: name,
+			AST:  astFile,
+			Test: strings.HasSuffix(e.Name(), "_test.go"),
 		}
+		f.Imports, f.importedAs = importTables(astFile)
 		f.suppressions = parseSuppressions(fset, astFile)
 		if pkg.Name == "" && !f.Test {
 			pkg.Name = astFile.Name.Name
@@ -128,9 +149,37 @@ func LoadDir(fset *token.FileSet, dir, importPath, module string) (*Package, err
 	return pkg, nil
 }
 
-// importTable maps each import's local name to its path.
-func importTable(f *ast.File) map[string]string {
-	out := map[string]string{}
+// importCache dedupes import tables across files: most files of a package
+// (and many across packages) share the same import block, so both lookup
+// maps are built once per distinct block and shared read-only.
+var importCache struct {
+	sync.Mutex
+	tables map[string]*importTable
+}
+
+type importTable struct {
+	byName map[string]string // local name → import path
+	byPath map[string]string // import path → local name
+}
+
+// importTables returns the (name→path, path→name) lookup tables for f's
+// imports, from cache when an identical import block was seen before.
+func importTables(f *ast.File) (byName, byPath map[string]string) {
+	var key strings.Builder
+	for _, imp := range f.Imports {
+		if imp.Name != nil {
+			key.WriteString(imp.Name.Name)
+		}
+		key.WriteByte(' ')
+		key.WriteString(imp.Path.Value)
+		key.WriteByte('\n')
+	}
+	importCache.Lock()
+	defer importCache.Unlock()
+	if t, ok := importCache.tables[key.String()]; ok {
+		return t.byName, t.byPath
+	}
+	t := &importTable{byName: map[string]string{}, byPath: map[string]string{}}
 	for _, imp := range f.Imports {
 		p, err := strconv.Unquote(imp.Path.Value)
 		if err != nil {
@@ -143,9 +192,16 @@ func importTable(f *ast.File) map[string]string {
 		if name == "_" || name == "." {
 			continue
 		}
-		out[name] = p
+		t.byName[name] = p
+		if _, dup := t.byPath[p]; !dup {
+			t.byPath[p] = name
+		}
 	}
-	return out
+	if importCache.tables == nil {
+		importCache.tables = map[string]*importTable{}
+	}
+	importCache.tables[key.String()] = t
+	return t.byName, t.byPath
 }
 
 // modulePath reads the module declaration from root/go.mod.

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+func init() {
+	Register(&Check{
+		Name: "statebox-discipline",
+		Doc: "the facade's atomic stateBox is only touched through " +
+			"mutation.go's accessors, and every CAS publish result is checked",
+		Run: runStateboxDiscipline,
+	})
+}
+
+// runStateboxDiscipline machine-checks the epoch-swap protocol the facade's
+// mutation tier established: the current snapshot lives in stateBox.cur (an
+// atomic.Pointer), readers go through the snap() load helper, and commits
+// publish via CompareAndSwap so a racing commit surfaces as
+// ErrMutationConflict instead of silently clobbering. Two rules, typed
+// (files without type information are skipped):
+//
+//   - any selection of the cur field on the package's stateBox type outside
+//     mutation.go is a diagnostic — new code must use the accessors, which
+//     keeps the protocol swappable (epoch counters, seqlocks) behind two
+//     functions;
+//   - a CompareAndSwap call on stateBox.cur whose result is discarded is a
+//     diagnostic anywhere, mutation.go included: an unchecked CAS publish
+//     is exactly the lost-update bug the protocol exists to prevent.
+//
+// The check applies to the facade package only (fixture packages with a
+// stateBox type of their own get the same treatment).
+func runStateboxDiscipline(p *Pass) {
+	if p.Pkg.Path != p.Pkg.Module {
+		return
+	}
+	p.walkFiles(func(f *File) {
+		if f.Info == nil {
+			return
+		}
+		inAccessorFile := filepath.Base(f.Name) == "mutation.go"
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && isStateboxCASCall(p, f, call) {
+					p.Reportf(call.Pos(), "stateBox CAS publish result is discarded; check the swap and surface ErrMutationConflict (or retry) on failure")
+				}
+			case *ast.SelectorExpr:
+				if !inAccessorFile && isStateboxCurField(p, f, n) {
+					p.Reportf(n.Sel.Pos(), "direct stateBox access outside mutation.go; read through snap() and publish through the CAS commit path")
+				}
+			}
+			return true
+		})
+	})
+}
+
+// isStateboxCurField reports whether sel selects the cur field of the
+// facade package's stateBox type.
+func isStateboxCurField(p *Pass, f *File, sel *ast.SelectorExpr) bool {
+	s := f.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return false
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || v.Name() != "cur" {
+		return false
+	}
+	rt := types.Unalias(s.Recv())
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = types.Unalias(ptr.Elem())
+	}
+	named, ok := rt.(*types.Named)
+	return ok && named.Obj().Name() == "stateBox" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == p.Pkg.Path
+}
+
+// isStateboxCASCall reports whether call is a CompareAndSwap publish on a
+// stateBox.cur field.
+func isStateboxCASCall(p *Pass, f *File, call *ast.CallExpr) bool {
+	fn := typedCallee(f, call)
+	if fn == nil || fn.Name() != "CompareAndSwap" ||
+		funcPkgPath(fn) != "sync/atomic" || recvTypeName(fn) != "Pointer" {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	return ok && isStateboxCurField(p, f, inner)
+}

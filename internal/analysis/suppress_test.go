@@ -17,7 +17,8 @@ func loadSourcePkg(t *testing.T, importPath, src string) *Package {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	f := &File{Name: name, AST: astFile, Imports: importTable(astFile)}
+	f := &File{Name: name, AST: astFile}
+	f.Imports, f.importedAs = importTables(astFile)
 	f.suppressions = parseSuppressions(fset, astFile)
 	return &Package{Path: importPath, Module: "nwhy", Name: astFile.Name.Name, Fset: fset, Files: []*File{f}}
 }

@@ -20,3 +20,17 @@ func Claim(eng *parallel.Engine, state []int32, n int) {
 		}
 	})
 }
+
+// ClaimAliased hides the same mix behind a rename: view aliases state, so
+// the plain read through view races with the atomic claims of state.
+func ClaimAliased(eng *parallel.Engine, state []int32, n int) {
+	view := state
+	eng.ForN(n, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if view[v] != 0 { // want atomic-mixing
+				continue
+			}
+			atomic.StoreInt32(&state[v], 1)
+		}
+	})
+}

@@ -23,3 +23,20 @@ func Claim(eng *parallel.Engine, state []int32, n int) {
 		}
 	})
 }
+
+// PhasedAlias initializes plainly through an alias in one region and
+// claims atomically in a later one; the barrier between regions separates
+// the phases, alias or not.
+func PhasedAlias(eng *parallel.Engine, state []int32, n int) {
+	view := state
+	eng.ForN(n, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			view[v] = 0
+		}
+	})
+	eng.ForN(n, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			atomic.StoreInt32(&state[v], 1)
+		}
+	})
+}

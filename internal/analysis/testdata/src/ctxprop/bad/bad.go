@@ -1,0 +1,35 @@
+// Package bad receives a request context and then drops it: kernels are
+// launched on an unrelated engine and called with a freshly minted context.
+package bad
+
+import (
+	"context"
+
+	"nwhy/internal/parallel"
+)
+
+func kernel(eng *parallel.Engine, n int) int {
+	sum := 0
+	eng.ForEach(n, func(i int) { sum += i })
+	return sum
+}
+
+func kernelCtx(ctx context.Context, n int) error {
+	return ctx.Err()
+}
+
+// Handle has a perfectly good ctx but the engine it builds is not derived
+// from it, and the second kernel gets a fresh root context.
+func Handle(ctx context.Context, n int) error {
+	eng := parallel.NewEngine(2)
+	kernel(eng, n)                      // want ctx-propagation
+	return kernelCtx(context.TODO(), n) // want ctx-propagation
+}
+
+// Rebuild receives a ctx-bound engine and then reaches for a new one for
+// the second phase.
+func Rebuild(eng *parallel.Engine, n int) int {
+	a := kernel(eng, n)
+	b := kernel(parallel.NewEngine(2), n) // want ctx-propagation
+	return a + b
+}

@@ -1,0 +1,46 @@
+// Package clean threads the received context everywhere it goes: engines
+// are derived with WithContext, child contexts are derived from the parent,
+// and the serving wrapper's shadowing closure parameter is trusted.
+package clean
+
+import (
+	"context"
+
+	"nwhy/internal/parallel"
+)
+
+func kernel(eng *parallel.Engine, n int) int {
+	sum := 0
+	eng.ForEach(n, func(i int) { sum += i })
+	return sum
+}
+
+func kernelCtx(ctx context.Context, n int) error {
+	return ctx.Err()
+}
+
+func do(ctx context.Context, fn func(ctx context.Context) error) error {
+	return fn(ctx)
+}
+
+// Handle derives everything from the ctx it received.
+func Handle(ctx context.Context, eng *parallel.Engine, n int) error {
+	bound := eng.WithContext(ctx)
+	kernel(bound, n)
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if err := kernelCtx(child, n); err != nil {
+		return err
+	}
+	// The wrapper pattern: the closure parameter shadows ctx under a
+	// distinct object, bound by do to a value derived from the outer one.
+	return do(ctx, func(ctx context.Context) error {
+		return kernelCtx(ctx, n)
+	})
+}
+
+// NoCtx has no context or engine parameter and is exempt: convenience
+// wrappers legitimately start from a fresh engine.
+func NoCtx(n int) int {
+	return kernel(parallel.NewEngine(2), n)
+}

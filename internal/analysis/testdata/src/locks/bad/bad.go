@@ -1,0 +1,51 @@
+// Package bad violates both lock disciplines: locks without a matching
+// unlock, leak paths that return with the lock held, and serving-layer
+// stalls where parallel work or channel operations run under the lock.
+package bad
+
+import (
+	"sync"
+
+	"nwhy/internal/parallel"
+)
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+	ch chan int
+}
+
+// leak never unlocks.
+func (s *store) leak() {
+	s.mu.Lock() // want locks-balanced
+	s.n++
+}
+
+// earlyReturn exits with the lock held on the error path.
+func (s *store) earlyReturn(bad bool) int {
+	s.mu.Lock()
+	if bad {
+		return -1 // want locks-balanced
+	}
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+// heldAcross schedules a parallel region and performs channel operations
+// while holding the lock: every request sharing s.mu stalls behind the
+// pool.
+func (s *store) heldAcross(eng *parallel.Engine) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	eng.ForEach(4, func(i int) { _ = i }) // want locks-balanced
+	s.ch <- 1                             // want locks-balanced
+	<-s.ch                                // want locks-balanced
+}
+
+// rleak takes the read lock and never releases it.
+func (s *store) rleak() int {
+	s.rw.RLock() // want locks-balanced
+	return s.n
+}

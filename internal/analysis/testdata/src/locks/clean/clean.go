@@ -1,0 +1,66 @@
+// Package clean holds its locks correctly: deferred unlocks, plain
+// lock/unlock spans with the blocking work outside them, closures with
+// their own balanced pairs, and a deferred literal carrying the unlock.
+package clean
+
+import (
+	"sync"
+
+	"nwhy/internal/parallel"
+)
+
+type store struct {
+	mu sync.Mutex
+	n  int
+	ch chan int
+}
+
+// get pairs with a defer.
+func (s *store) get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// update releases the lock before the parallel region and the channel
+// send: the hazards sit outside the held span.
+func (s *store) update(eng *parallel.Engine) {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	eng.ForEach(n, func(i int) { _ = i })
+	s.ch <- n
+}
+
+// each carries a balanced pair inside its own closure scope.
+func (s *store) each(fn func()) {
+	helper := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		fn()
+	}
+	helper()
+}
+
+// reset defers a literal whose body performs the unlock at function exit.
+func (s *store) reset() {
+	s.mu.Lock()
+	defer func() {
+		s.n = 0
+		s.mu.Unlock()
+	}()
+	s.n++
+}
+
+// loopStep unlocks at the top of the next iteration; the unlock sits
+// lexically before the lock but still pairs.
+func (s *store) loopStep(rounds int) {
+	for i := 0; i < rounds; i++ {
+		if i > 0 {
+			s.mu.Unlock()
+		}
+		s.mu.Lock()
+		s.n++
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,7 @@
+package bad
+
+// Epoch reads the atomic pointer directly instead of going through snap(),
+// pinning the raw protocol outside the accessor file.
+func Epoch(b *stateBox) uint64 {
+	return b.cur.Load().epoch // want statebox-discipline
+}

@@ -1,0 +1,32 @@
+// Package bad breaks the stateBox protocol: a CAS publish whose result is
+// thrown away (here, in the accessor file itself) and a reader in another
+// file that bypasses snap().
+package bad
+
+import "sync/atomic"
+
+type snapshot struct{ epoch uint64 }
+
+// stateBox holds the current snapshot behind one atomic pointer.
+type stateBox struct {
+	cur atomic.Pointer[snapshot]
+}
+
+func newStateBox() *stateBox {
+	st := &stateBox{}
+	st.cur.Store(&snapshot{})
+	return st
+}
+
+func (b *stateBox) snap() *snapshot { return b.cur.Load() }
+
+// commitRacy publishes without checking the swap: a racing commit is
+// silently lost instead of surfacing as a conflict.
+func (b *stateBox) commitRacy(old, next *snapshot) {
+	b.cur.CompareAndSwap(old, next) // want statebox-discipline
+}
+
+// commit is the correct shape.
+func (b *stateBox) commit(old, next *snapshot) bool {
+	return b.cur.CompareAndSwap(old, next)
+}

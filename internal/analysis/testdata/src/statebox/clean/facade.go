@@ -1,0 +1,16 @@
+package clean
+
+// Epoch reads through the snap() accessor.
+func Epoch(b *stateBox) uint64 {
+	return b.snap().epoch
+}
+
+// Publish retries through the checked commit path.
+func Publish(b *stateBox) {
+	for {
+		old := b.snap()
+		if b.commit(old, &snapshot{epoch: old.epoch + 1}) {
+			return
+		}
+	}
+}

@@ -1,0 +1,24 @@
+// Package clean follows the stateBox protocol: cur is only touched in
+// mutation.go, readers use snap(), and the CAS publish result is checked.
+package clean
+
+import "sync/atomic"
+
+type snapshot struct{ epoch uint64 }
+
+type stateBox struct {
+	cur atomic.Pointer[snapshot]
+}
+
+func newStateBox() *stateBox {
+	st := &stateBox{}
+	st.cur.Store(&snapshot{})
+	return st
+}
+
+func (b *stateBox) snap() *snapshot { return b.cur.Load() }
+
+// commit surfaces a lost race to the caller.
+func (b *stateBox) commit(old, next *snapshot) bool {
+	return b.cur.CompareAndSwap(old, next)
+}

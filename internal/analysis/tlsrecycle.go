@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 func init() {
@@ -55,9 +56,9 @@ func runTLSRecycle(p *Pass) {
 		ast.Inspect(d.Body, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.SelectorExpr:
-				if grabNames[n.Sel.Name] {
+				if isArenaSel(f, n, grabNames) {
 					grabs = append(grabs, n.Pos())
-				} else if recycleNames[n.Sel.Name] {
+				} else if isArenaSel(f, n, recycleNames) {
 					recycles = append(recycles, n.Pos())
 				}
 			case *ast.CallExpr:
@@ -116,11 +117,11 @@ func arenaWrappers(p *Pass) (grabLike, recycleLike map[string]bool) {
 	for changed := true; changed; {
 		changed = false
 		for name, fd := range decls {
-			if !grabLike[name] && returnsGrabbedScratch(fd.decl, grabLike) {
+			if !grabLike[name] && returnsGrabbedScratch(fd.file, fd.decl, grabLike) {
 				grabLike[name] = true
 				changed = true
 			}
-			if !recycleLike[name] && mentionsRecycle(fd.decl, recycleLike) {
+			if !recycleLike[name] && mentionsRecycle(fd.file, fd.decl, recycleLike) {
 				recycleLike[name] = true
 				changed = true
 			}
@@ -132,7 +133,7 @@ func arenaWrappers(p *Pass) (grabLike, recycleLike map[string]bool) {
 // returnsGrabbedScratch reports whether a grab result reaches a return
 // statement of d: a return expression containing a grab call directly, or
 // containing an identifier previously assigned from one.
-func returnsGrabbedScratch(d *ast.FuncDecl, grabLike map[string]bool) bool {
+func returnsGrabbedScratch(f *File, d *ast.FuncDecl, grabLike map[string]bool) bool {
 	if d.Type.Results == nil || len(d.Type.Results.List) == 0 {
 		return false
 	}
@@ -141,8 +142,11 @@ func returnsGrabbedScratch(d *ast.FuncDecl, grabLike map[string]bool) bool {
 		if !ok {
 			return false
 		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return isArenaSel(f, sel, grabNames)
+		}
 		base, name := selectorCall(call)
-		return (base != "" && grabNames[name]) || (base == "" && grabLike[name])
+		return base == "" && grabLike[name]
 	}
 	// Identifiers assigned (directly or through a pointer) from a grab.
 	tainted := map[string]bool{}
@@ -205,7 +209,7 @@ func returnsGrabbedScratch(d *ast.FuncDecl, grabLike map[string]bool) bool {
 
 // mentionsRecycle reports whether d contains a recycle selector or a call
 // to a recycleLike package-local function.
-func mentionsRecycle(d *ast.FuncDecl, recycleLike map[string]bool) bool {
+func mentionsRecycle(f *File, d *ast.FuncDecl, recycleLike map[string]bool) bool {
 	found := false
 	ast.Inspect(d.Body, func(n ast.Node) bool {
 		if found {
@@ -213,7 +217,7 @@ func mentionsRecycle(d *ast.FuncDecl, recycleLike map[string]bool) bool {
 		}
 		switch n := n.(type) {
 		case *ast.SelectorExpr:
-			if recycleNames[n.Sel.Name] {
+			if isArenaSel(f, n, recycleNames) {
 				found = true
 			}
 		case *ast.CallExpr:
@@ -224,4 +228,26 @@ func mentionsRecycle(d *ast.FuncDecl, recycleLike map[string]bool) bool {
 		return true
 	})
 	return found
+}
+
+// isArenaSel reports whether sel mentions one of the arena protocol names.
+// When the selector resolves, the callee must actually belong to the
+// parallel runtime or the frontier substrate — an unrelated method that
+// happens to be called Stash no longer satisfies a grab. Unresolved
+// selectors (type errors, untyped loads) are accepted by name, as before.
+func isArenaSel(f *File, sel *ast.SelectorExpr, names map[string]bool) bool {
+	if !names[sel.Sel.Name] {
+		return false
+	}
+	if f != nil && f.Info != nil {
+		if obj := f.Info.Uses[sel.Sel]; obj != nil {
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				return false
+			}
+			pkg := funcPkgPath(fn)
+			return isParallelModulePkg(pkg) || isFrontierPkg(pkg)
+		}
+	}
+	return true
 }

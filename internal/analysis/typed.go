@@ -1,0 +1,456 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"nwhy/internal/parallel"
+)
+
+// The typed loader turns the parse-only tier into full go/types packages
+// without leaving the standard library: module-internal imports are
+// resolved by type-checking the imported directory from source, and
+// everything else (stdlib) goes through go/importer's source-mode importer.
+// Type-checking is error-tolerant — fixtures with deliberate type errors
+// still load, with the errors collected on Package.TypeErrors and the
+// affected identifiers simply absent from the Info maps (checks fall back
+// to name matching there).
+
+// stdlib is the process-wide cache in front of the source-mode stdlib
+// importer. srcimporter is not safe for concurrent use and re-checking the
+// standard library per Loader would dominate load time, so one instance
+// (with its own FileSet — stdlib positions are never reported) serves every
+// Loader behind a mutex.
+var stdlib struct {
+	mu   sync.Mutex
+	imp  types.Importer
+	pkgs map[string]*types.Package
+	errs map[string]error
+}
+
+func stdImport(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	stdlib.mu.Lock()
+	defer stdlib.mu.Unlock()
+	if stdlib.imp == nil {
+		stdlib.imp = importer.ForCompiler(token.NewFileSet(), "source", nil)
+		stdlib.pkgs = map[string]*types.Package{}
+		stdlib.errs = map[string]error{}
+	}
+	if p, ok := stdlib.pkgs[path]; ok {
+		return p, nil
+	}
+	if err, ok := stdlib.errs[path]; ok {
+		return nil, err
+	}
+	p, err := stdlib.imp.Import(path)
+	if err != nil {
+		stdlib.errs[path] = err
+		return nil, err
+	}
+	stdlib.pkgs[path] = p
+	return p, nil
+}
+
+// Loader parses and type-checks packages of one module. Each import path is
+// checked at most once per Loader, so every consumer of a package sees the
+// same *types.Package — object identity is what the call graph and the
+// typed checks key on.
+type Loader struct {
+	Fset   *token.FileSet
+	Root   string // module root directory
+	Module string // module import path
+	// Engine, when set, type-checks the packages of each DAG level in
+	// parallel (levels are dependency-complete, so checks never race on an
+	// import).
+	Engine *parallel.Engine
+
+	mu     sync.Mutex
+	parsed map[string]*Package
+	states map[string]*pkgState
+}
+
+// pkgState serializes the one-time lib-unit check of a package. Module
+// import cycles would already fail `go build`, so the once-per-path
+// recursion through the importer terminates.
+type pkgState struct {
+	once sync.Once
+	pkg  *Package
+	err  error
+}
+
+// NewLoader builds a Loader rooted at the module containing root/go.mod.
+func NewLoader(root string) (*Loader, error) {
+	module, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{Fset: token.NewFileSet(), Root: root, Module: module}, nil
+}
+
+func (l *Loader) stateFor(path string) *pkgState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.states == nil {
+		l.states = map[string]*pkgState{}
+	}
+	st := l.states[path]
+	if st == nil {
+		st = &pkgState{}
+		l.states[path] = st
+	}
+	return st
+}
+
+// dirFor maps a module-internal import path to its directory on disk.
+func (l *Loader) dirFor(importPath string) string {
+	if importPath == l.Module {
+		return l.Root
+	}
+	return filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(importPath, l.Module+"/")))
+}
+
+func (l *Loader) isModulePath(p string) bool {
+	return p == l.Module || strings.HasPrefix(p, l.Module+"/")
+}
+
+// parsedPkg returns the parsed (but not necessarily type-checked) package
+// for importPath, parsing its directory on first use.
+func (l *Loader) parsedPkg(importPath string) (*Package, error) {
+	l.mu.Lock()
+	if p, ok := l.parsed[importPath]; ok {
+		l.mu.Unlock()
+		return p, nil
+	}
+	l.mu.Unlock()
+	pkg, err := parseDir(l.Fset, l.dirFor(importPath), importPath, l.Module)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.parsed == nil {
+		l.parsed = map[string]*Package{}
+	}
+	if p, ok := l.parsed[importPath]; ok {
+		return p, nil // lost a parse race; keep the first
+	}
+	l.parsed[importPath] = pkg
+	return pkg, nil
+}
+
+// seed registers an already-parsed package (fixture loading parses the
+// target directory itself and resolves its imports against the real
+// module).
+func (l *Loader) seed(pkg *Package) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.parsed == nil {
+		l.parsed = map[string]*Package{}
+	}
+	l.parsed[pkg.Path] = pkg
+}
+
+// libPkg returns importPath's package with its lib unit (non-test files)
+// type-checked exactly once.
+func (l *Loader) libPkg(importPath string) (*Package, error) {
+	st := l.stateFor(importPath)
+	st.once.Do(func() {
+		pkg, err := l.parsedPkg(importPath)
+		if err != nil {
+			st.err = err
+			return
+		}
+		l.checkLib(pkg)
+		st.pkg = pkg
+	})
+	return st.pkg, st.err
+}
+
+// newTypesInfo allocates every Info map the checks consume, Instances
+// included so generic call sites resolve.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// check runs one type-checking unit, collecting errors softly onto pkg.
+// Each package is checked by exactly one goroutine, so the append is safe.
+func (l *Loader) check(pkg *Package, path string, files []*ast.File, info *types.Info) *types.Package {
+	conf := types.Config{
+		Importer:    (*loaderImporter)(l),
+		FakeImportC: true,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	tp, _ := conf.Check(path, l.Fset, files, info)
+	return tp
+}
+
+// checkLib type-checks the package's non-test files (the canonical unit
+// other packages import) and attaches the Info to those files.
+func (l *Loader) checkLib(pkg *Package) {
+	info := newTypesInfo()
+	var files []*ast.File
+	var libFiles []*File
+	for _, f := range pkg.Files {
+		if !f.Test {
+			files = append(files, f.AST)
+			libFiles = append(libFiles, f)
+		}
+	}
+	pkg.Types = l.check(pkg, pkg.Path, files, info)
+	pkg.TypesInfo = info
+	for _, f := range libFiles {
+		f.Info = info
+	}
+}
+
+// checkTests type-checks the package's test files: in-package tests are
+// re-checked together with the lib files in a fresh unit (only the test
+// files keep that Info — non-test files stay on the canonical lib unit),
+// and external _test packages are checked as their own unit, importing the
+// canonical package like any other consumer.
+func (l *Loader) checkTests(pkg *Package) {
+	var lib, intest, xtest []*File
+	for _, f := range pkg.Files {
+		switch {
+		case !f.Test:
+			lib = append(lib, f)
+		case f.AST.Name.Name == pkg.Name:
+			intest = append(intest, f)
+		default:
+			xtest = append(xtest, f)
+		}
+	}
+	asts := func(fs []*File) []*ast.File {
+		out := make([]*ast.File, len(fs))
+		for i, f := range fs {
+			out[i] = f.AST
+		}
+		return out
+	}
+	if len(intest) > 0 {
+		info := newTypesInfo()
+		l.check(pkg, pkg.Path, append(asts(lib), asts(intest)...), info)
+		for _, f := range intest {
+			f.Info = info
+		}
+	}
+	if len(xtest) > 0 {
+		info := newTypesInfo()
+		l.check(pkg, pkg.Path+"_test", asts(xtest), info)
+		for _, f := range xtest {
+			f.Info = info
+		}
+	}
+}
+
+// loaderImporter adapts a Loader to types.Importer: module paths resolve by
+// source-checking the imported directory (memoized per Loader), everything
+// else comes from the shared stdlib importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if l.isModulePath(path) {
+		pkg, err := l.libPkg(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("analysis: no type information for %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return stdImport(path)
+}
+
+// Load parses and type-checks the packages matched by patterns plus their
+// module-internal dependency closure, bottom-up over the import DAG (levels
+// in parallel when an Engine is set), and returns the matched packages
+// ready for Run.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	paths, err := l.matchPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	result := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.parsedPkg(p)
+		if err != nil {
+			return nil, err
+		}
+		result = append(result, pkg)
+	}
+
+	// Module-internal dependency closure (test imports included: test units
+	// need their imports checked too).
+	closure := map[string]*Package{}
+	queue := append([]string(nil), paths...)
+	for _, p := range paths {
+		closure[p], _ = l.parsedPkg(p)
+	}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		pkg := closure[p]
+		for _, dep := range l.moduleImports(pkg, true) {
+			if _, ok := closure[dep]; ok {
+				continue
+			}
+			dpkg, err := l.parsedPkg(dep)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: resolving import %s of %s: %w", dep, p, err)
+			}
+			closure[dep] = dpkg
+			queue = append(queue, dep)
+		}
+	}
+
+	levels, err := l.topoLevels(closure)
+	if err != nil {
+		return nil, err
+	}
+
+	// Prewarm the stdlib cache serially so the parallel level checks spend
+	// their time on module packages, not convoying on the stdlib mutex.
+	l.prewarmStdlib(closure)
+
+	runEach := func(paths []string, fn func(p string)) {
+		if l.Engine != nil && len(paths) > 1 {
+			l.Engine.ForEach(len(paths), func(i int) { fn(paths[i]) })
+		} else {
+			for _, p := range paths {
+				fn(p)
+			}
+		}
+	}
+	for _, level := range levels {
+		runEach(level, func(p string) { l.libPkg(p) })
+	}
+	// Test units, once every lib unit they could import exists.
+	resultPaths := paths
+	runEach(resultPaths, func(p string) {
+		if pkg := closure[p]; pkg != nil {
+			l.checkTests(pkg)
+		}
+	})
+	return result, nil
+}
+
+// moduleImports lists pkg's module-internal imports (optionally including
+// test files'), deduplicated and sorted.
+func (l *Loader) moduleImports(pkg *Package, includeTests bool) []string {
+	seen := map[string]bool{}
+	for _, f := range pkg.Files {
+		if f.Test && !includeTests {
+			continue
+		}
+		for _, p := range f.Imports {
+			if l.isModulePath(p) && p != pkg.Path {
+				seen[p] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// topoLevels layers the closure by lib-unit import depth: level 0 has no
+// module-internal imports, level n imports only lower levels. A cycle is a
+// hard error (it would also fail `go build`).
+func (l *Loader) topoLevels(closure map[string]*Package) ([][]string, error) {
+	depth := map[string]int{}
+	var visit func(p string, stack map[string]bool) (int, error)
+	visit = func(p string, stack map[string]bool) (int, error) {
+		if d, ok := depth[p]; ok {
+			return d, nil
+		}
+		if stack[p] {
+			return 0, fmt.Errorf("analysis: import cycle through %s", p)
+		}
+		stack[p] = true
+		defer delete(stack, p)
+		d := 0
+		pkg := closure[p]
+		if pkg == nil {
+			return 0, nil
+		}
+		for _, dep := range l.moduleImports(pkg, false) {
+			dd, err := visit(dep, stack)
+			if err != nil {
+				return 0, err
+			}
+			if dd+1 > d {
+				d = dd + 1
+			}
+		}
+		depth[p] = d
+		return d, nil
+	}
+	paths := make([]string, 0, len(closure))
+	for p := range closure {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	maxDepth := 0
+	for _, p := range paths {
+		d, err := visit(p, map[string]bool{})
+		if err != nil {
+			return nil, err
+		}
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	levels := make([][]string, maxDepth+1)
+	for _, p := range paths {
+		levels[depth[p]] = append(levels[depth[p]], p)
+	}
+	return levels, nil
+}
+
+// prewarmStdlib imports every non-module dependency of the closure once,
+// serially (transitive stdlib imports are handled inside the importer).
+func (l *Loader) prewarmStdlib(closure map[string]*Package) {
+	seen := map[string]bool{}
+	for _, pkg := range closure {
+		for _, f := range pkg.Files {
+			for _, p := range f.Imports {
+				if !l.isModulePath(p) && !seen[p] {
+					seen[p] = true
+				}
+			}
+		}
+	}
+	paths := make([]string, 0, len(seen))
+	for p := range seen {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		stdImport(p) // failures resurface as positioned type errors later
+	}
+}

@@ -80,6 +80,18 @@ func (e *Engine) WithContext(ctx context.Context) *Engine {
 	return &Engine{sh: e.sh, ctx: ctx}
 }
 
+// Detach returns a handle on the same pool with no bound context — the
+// inverse of WithContext. It is for the boundary where a request- or
+// boot-bound engine constructs state that must outlive its deadline
+// (serving handles, caches): build on the bound engine, rebind the result
+// to the detached one.
+func (e *Engine) Detach() *Engine {
+	if e.ctx == nil {
+		return e
+	}
+	return &Engine{sh: e.sh}
+}
+
 // Context returns the bound context (context.Background() if none).
 func (e *Engine) Context() context.Context {
 	if e.ctx != nil {

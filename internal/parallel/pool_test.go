@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -346,5 +347,33 @@ func TestManySequentialParallelFors(t *testing.T) {
 		if n.Load() != 37 {
 			t.Fatalf("round %d: covered %d of 37", round, n.Load())
 		}
+	}
+}
+
+func TestEngineDetach(t *testing.T) {
+	eng := NewEngine(2)
+	defer eng.Close()
+	// Detaching an unbound engine is the identity.
+	if eng.Detach() != eng {
+		t.Fatal("Detach of an unbound engine returned a new handle")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	bound := eng.WithContext(ctx)
+	if bound.Err() == nil {
+		t.Fatal("bound engine does not observe the cancelled ctx")
+	}
+	d := bound.Detach()
+	if err := d.Err(); err != nil {
+		t.Fatalf("detached engine still observes the ctx: %v", err)
+	}
+	if d.NumWorkers() != eng.NumWorkers() {
+		t.Fatal("detached engine is not on the same pool")
+	}
+	// The detached handle actually schedules work.
+	var n atomic.Int32
+	d.ForEach(8, func(int) { n.Add(1) })
+	if n.Load() != 8 {
+		t.Fatalf("ForEach on detached engine ran %d/8 grains", n.Load())
 	}
 }

@@ -148,7 +148,10 @@ func (s *Server) Mutate(ctx context.Context, req MutateRequest) (MutateResult, e
 		ms.staged += len(req.Ops)
 		out = MutateResult{Dataset: req.Dataset, Added: added, Removed: removed}
 		if req.Commit || ms.staged >= s.compactEvery {
-			if err := ms.pending.CommitCtx(ctx); err != nil {
+			// ms.mu is the per-dataset single-writer serialization: holding
+			// it across the commit is the design (CommitCtx CAS-fails on
+			// concurrent writers; queries never take this lock).
+			if err := ms.pending.CommitCtx(ctx); err != nil { //nwhy:nolint(locks-balanced) single-writer lock held across commit by design
 				ms.pending, ms.staged = nil, 0
 				return err
 			}
@@ -189,7 +192,7 @@ func (s *Server) Compact(ctx context.Context, dataset string) (CompactResult, er
 		}
 		if ms.pending != nil {
 			flushed := ms.staged
-			if err := ms.pending.CommitCtx(ctx); err != nil {
+			if err := ms.pending.CommitCtx(ctx); err != nil { //nwhy:nolint(locks-balanced) single-writer lock held across commit by design
 				ms.pending, ms.staged = nil, 0
 				return err
 			}

@@ -79,10 +79,12 @@ var warmExts = []string{".nwhyb", ".mtx"}
 // WarmStart loads every recognized hypergraph file directly under dir —
 // .nwhyb binary snapshots (the fast path: deserialization skips parse and
 // dedup entirely) and .mtx Matrix Market text — registering each under its
-// basename without extension. Every handle binds eng directly via
-// LoadOptions.Engine; ctx is observed between files, so a cancelled warm
-// start keeps what it already loaded. Returns the names loaded, sorted by
-// load order.
+// basename without extension. Loading runs on eng as given — pass a
+// ctx-bound engine (eng.WithContext(ctx)) so cancellation also aborts a
+// parallel parse mid-file; ctx is observed between files either way, so a
+// cancelled warm start keeps what it already loaded. Registered handles
+// are rebound to the detached engine and never retain the boot deadline.
+// Returns the names loaded, sorted by load order.
 func (r *Registry) WarmStart(ctx context.Context, eng *nwhy.Engine, dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -113,7 +115,10 @@ func (r *Registry) WarmStart(ctx context.Context, eng *nwhy.Engine, dir string) 
 			return loaded, fmt.Errorf("warm start %s: %w", path, err)
 		}
 		name := strings.TrimSuffix(e.Name(), filepath.Ext(e.Name()))
-		r.Add(name, g, path)
+		// The caller's engine may be bound to the boot context so that
+		// cancellation aborts a long parallel load; the handle must not
+		// stay on that deadline once it is serving.
+		r.Add(name, g.WithEngine(eng.Detach()), path)
 		loaded = append(loaded, name)
 	}
 	return loaded, nil

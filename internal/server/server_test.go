@@ -362,8 +362,8 @@ func TestRegistryWarmStart(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Get: %v", err)
 	}
-	// LoadOptions.Engine binds the warm-started handle to the serving engine
-	// directly — no WithEngine copy after the fact.
+	// An unbound engine passes through Detach unchanged, so the handle is
+	// bound to the serving engine itself.
 	if g.Engine() != eng {
 		t.Fatal("warm-started handle is not bound to the serving engine")
 	}
@@ -500,5 +500,34 @@ func TestStatsAndToplexes(t *testing.T) {
 	}
 	if tp.Count != len(tp.Toplexes) || tp.Count == 0 {
 		t.Fatalf("toplexes = %+v", tp)
+	}
+}
+
+// TestWarmStartBootEngineDetached pins the boot contract: loading runs on
+// the boot-ctx-bound engine (so a signal aborts a long parallel parse), but
+// the registered handles are rebound to the detached engine and keep
+// serving after the boot context is cancelled.
+func TestWarmStartBootEngineDetached(t *testing.T) {
+	dir := t.TempDir()
+	eng := nwhy.NewEngine(2)
+	seed := nwhy.FromSets(twoIslands(), 8)
+	if err := seed.SaveSnapshot(filepath.Join(dir, "islands.nwhyb")); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	boot, cancel := context.WithCancel(context.Background())
+	reg := NewRegistry()
+	if _, err := reg.WarmStart(boot, eng.WithContext(boot), dir); err != nil {
+		t.Fatalf("WarmStart: %v", err)
+	}
+	cancel()
+	g, err := reg.Get("islands")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if err := g.Engine().Err(); err != nil {
+		t.Fatalf("warm-started handle retained the boot deadline: %v", err)
+	}
+	if lg := g.SLineGraph(1, true); lg == nil || lg.NumVertices() == 0 {
+		t.Fatal("query on warm-started handle failed after boot ctx cancel")
 	}
 }

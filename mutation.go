@@ -29,6 +29,19 @@ type stateBox struct {
 	cur atomic.Pointer[snapshot]
 }
 
+// newStateBox seals h into a fresh epoch-0 box. This constructor and snap
+// are the only direct readers of the atomic pointer; every later version
+// is published through Commit's compare-and-swap below.
+func newStateBox(h *core.Hypergraph) *stateBox {
+	st := &stateBox{}
+	st.cur.Store(&snapshot{h: h})
+	return st
+}
+
+// snap loads the current snapshot. Methods reading the hypergraph more than
+// once bind the result to a local so one call never straddles a Commit.
+func (g *NWHypergraph) snap() *snapshot { return g.state.cur.Load() }
+
 // snapshot is one frozen version of the hypergraph: the immutable CSR pair
 // plus the mutation metadata incremental consumers key on. Snapshots are
 // immutable once stored; Commit replaces the pointer, never the contents.
@@ -347,8 +360,11 @@ func (g *NWHypergraph) RefreshSLineGraphCtx(ctx context.Context, lg *SLineGraph,
 			if err := eng.Err(); err != nil {
 				return nil, RefreshRebuilt, err
 			}
-			nl := smetrics.BuildWith(g.engine(), snap.h, s, pairs)
-			return &SLineGraph{SLineGraph: nl, epoch: snap.epoch, del: snap.del, overEdges: true},
+			nl := smetrics.BuildWith(eng, snap.h, s, pairs)
+			if err := eng.Err(); err != nil {
+				return nil, RefreshRebuilt, err
+			}
+			return &SLineGraph{SLineGraph: nl.WithEngine(g.engine()), epoch: snap.epoch, del: snap.del, overEdges: true},
 				RefreshPatched, nil
 		}
 	}

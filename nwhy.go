@@ -86,14 +86,8 @@ type lazyState struct {
 // engine at call time). Every constructor funnels through it so the state
 // and lazy boxes exist before any copy of the handle escapes.
 func newHandle(h *core.Hypergraph, eng *Engine) *NWHypergraph {
-	st := &stateBox{}
-	st.cur.Store(&snapshot{h: h})
-	return &NWHypergraph{state: st, eng: eng, lazy: &lazyState{}}
+	return &NWHypergraph{state: newStateBox(h), eng: eng, lazy: &lazyState{}}
 }
-
-// snap loads the current snapshot. Methods reading the hypergraph more than
-// once bind the result to a local so one call never straddles a Commit.
-func (g *NWHypergraph) snap() *snapshot { return g.state.cur.Load() }
 
 // hg returns the current frozen hypergraph.
 func (g *NWHypergraph) hg() *core.Hypergraph { return g.snap().h }

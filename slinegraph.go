@@ -208,16 +208,23 @@ func (g *NWHypergraph) slgOn(eng *Engine, s int, edges bool, o ConstructOptions)
 		if cerr != nil {
 			return nil, cerr
 		}
-		l, berr := smetrics.BuildCSR(g.engine(), h, s, csr)
+		// Assemble on the same (possibly ctx-bound) engine the kernel ran
+		// on, then rebind the handle to the handle's engine so later
+		// queries outlive the request deadline.
+		l, berr := smetrics.BuildCSR(eng, h, s, csr)
 		if berr != nil {
 			return nil, berr
 		}
-		return stamp(l), nil
+		return stamp(l.WithEngine(g.engine())), nil
 	}
 	if err != nil {
 		return nil, err
 	}
-	return stamp(smetrics.BuildWith(g.engine(), h, s, pairs)), nil
+	nl := smetrics.BuildWith(eng, h, s, pairs)
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	return stamp(nl.WithEngine(g.engine())), nil
 }
 
 // WeightedSLineGraph is the strength-annotated s-line graph handle: every
