@@ -15,6 +15,7 @@
 //	nwhy-bench -exp ingest -threads 1,2,4 -ingest-out BENCH_ingest.json
 //	nwhy-bench -exp serve -clients 8 -serve-out BENCH_serve.json
 //	nwhy-bench -exp mutate -s 2 -mutate-out BENCH_mutate.json
+//	nwhy-bench -exp partition -k 4 -partition-out BENCH_partition.json
 //	nwhy-bench -exp all
 package main
 
@@ -44,11 +45,13 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("nwhy-bench", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment: table1 | fig7 | fig8 | fig9 | frontier | ablation | soverlap | ingest | serve | mutate | all")
+		exp       = fs.String("exp", "all", "experiment: table1 | fig7 | fig8 | fig9 | frontier | ablation | soverlap | ingest | serve | mutate | partition | all")
 		outJSON   = fs.String("out", "BENCH_soverlap.json", "JSON report path for -exp soverlap")
 		ingestOut = fs.String("ingest-out", "BENCH_ingest.json", "JSON report path for -exp ingest")
 		serveOut  = fs.String("serve-out", "BENCH_serve.json", "JSON report path for -exp serve")
 		mutateOut = fs.String("mutate-out", "BENCH_mutate.json", "JSON report path for -exp mutate")
+		partOut   = fs.String("partition-out", "BENCH_partition.json", "JSON report path for -exp partition")
+		kParts    = fs.Int("k", 4, "shard count for -exp partition")
 		clients   = fs.Int("clients", 8, "concurrent clients for -exp serve")
 		scale     = fs.Float64("scale", 0.5, "dataset scale factor")
 		threads   = fs.String("threads", "", "comma-separated thread counts (default 1,2,..,max(4,GOMAXPROCS))")
@@ -99,9 +102,12 @@ func run(args []string, w io.Writer) error {
 		"ingest":   func() error { return ingest(w, *scale, threadList, *reps, *ingestOut) },
 		"serve":    func() error { return serve(w, presets, *scale, sList, *clients, *serveOut) },
 		"mutate":   func() error { return mutate(w, presets, *scale, sList, *mutateOut) },
+		"partition": func() error {
+			return partitionBench(w, *scale, sList, *reps, *kParts, *partOut)
+		},
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "fig7", "fig8", "fig9", "frontier", "ablation", "soverlap", "ingest", "serve", "mutate"} {
+		for _, name := range []string{"table1", "fig7", "fig8", "fig9", "frontier", "ablation", "soverlap", "ingest", "serve", "mutate", "partition"} {
 			if err := known[name](); err != nil {
 				return err
 			}

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"nwhy"
+	"nwhy/internal/core"
+	"nwhy/internal/gen"
+	"nwhy/internal/partition"
+)
+
+// partitionReport is the BENCH_partition.json schema: one entry per dataset
+// with the cut quality of the partitioner against the random baseline, the
+// locality speedup of part-contiguous relabeling on the s-overlap and
+// frontier kernels, and the sharded vs direct s-CC comparison.
+type partitionReport struct {
+	Scale   float64           `json:"scale"`
+	K       int               `json:"k"`
+	Reps    int               `json:"reps"`
+	Workers int               `json:"workers"`
+	Results []partitionResult `json:"results"`
+}
+
+type partitionResult struct {
+	Dataset         string             `json:"dataset"`
+	NumEdges        int                `json:"num_edges"`
+	NumNodes        int                `json:"num_nodes"`
+	PartitionNanos  int64              `json:"partition_ns"`
+	CutLambdaMinus1 int64              `json:"cut_lambda_minus_1"`
+	CutRandom       int64              `json:"cut_random"`
+	CutImproved     bool               `json:"cut_improved"`
+	Imbalance       float64            `json:"imbalance"`
+	ShardOwnedEdges []int              `json:"shard_owned_edges"`
+	ShardBalance    float64            `json:"shard_balance"`
+	Kernels         []partitionKernel  `json:"kernels"`
+	ShardedSCC      []shardedSCCResult `json:"sharded_scc"`
+}
+
+// partitionKernel compares one kernel on the original handle against the
+// same kernel on the RelabelByPartition handle (identical work, different
+// ID locality).
+type partitionKernel struct {
+	Kernel      string  `json:"kernel"`
+	OriginalNS  int64   `json:"original_ns"`
+	RelabeledNS int64   `json:"relabeled_ns"`
+	Speedup     float64 `json:"speedup"`
+}
+
+type shardedSCCResult struct {
+	S                  int   `json:"s"`
+	DirectNS           int64 `json:"direct_ns"`
+	ShardedNS          int64 `json:"sharded_ns"`
+	ShardedLabelsEqual bool  `json:"sharded_labels_equal"`
+}
+
+// partitionInputs are the locality-sweep inputs: a planted-community
+// hypergraph (where a good partitioner recovers near-disjoint parts) and a
+// skewed bipartite power-law graph with no planted structure. The power-law
+// incidence budget keeps mean hyperedge size near 6 at every scale.
+func partitionInputs(scale float64) []struct {
+	name string
+	h    *core.Hypergraph
+} {
+	ne, nv := int(8000*scale), int(10000*scale)
+	return []struct {
+		name string
+		h    *core.Hypergraph
+	}{
+		{"community", gen.Community(gen.CommunityConfig{
+			NumEdges: ne, NumNodes: nv, MeanEdgeSize: 6, SizeSkew: 1.5, MemberSkew: 0.3, Seed: 7,
+		})},
+		{"powerlaw-1.6", gen.BipartitePowerLaw(ne, nv, ne*6, 1.6, 7)},
+	}
+}
+
+// partitionBench measures, per dataset: the k-way partition build time and
+// its λ−1 cut against the hashed random baseline, node imbalance, per-shard
+// owned-hyperedge balance, the relabeling speedup on the s-overlap
+// construction and frontier BFS kernels, and sharded vs direct s-CC (with a
+// label-equality check). The machine-readable report goes to outPath.
+func partitionBench(w io.Writer, scale float64, sList []int, reps, k int, outPath string) error {
+	fmt.Fprintf(w, "== Partition: cut quality, locality relabeling, k-shard s-CC (scale %.2f, k=%d) ==\n", scale, k)
+	report := partitionReport{Scale: scale, K: k, Reps: reps, Workers: runtime.GOMAXPROCS(0)}
+	for _, in := range partitionInputs(scale) {
+		g := nwhy.Wrap(in.h)
+		eng := g.Engine()
+		res := partitionResult{Dataset: in.name, NumEdges: g.NumEdges(), NumNodes: g.NumNodes()}
+		fmt.Fprintf(w, "-- %s (|E|=%d |V|=%d) --\n", in.name, g.NumEdges(), g.NumNodes())
+
+		// Time the internal partitioner: the facade caches per epoch, which
+		// would turn every rep after the first into a map lookup.
+		d := measure(reps, func() {
+			if _, err := partition.Partition(eng, in.h, partition.Options{K: k}); err != nil {
+				panic(err)
+			}
+		})
+		p, err := g.Partition(nwhy.PartitionOptions{K: k})
+		if err != nil {
+			return err
+		}
+		res.PartitionNanos = d.Nanoseconds()
+		res.CutLambdaMinus1 = p.Cut()
+		res.CutRandom = partition.ConnectivityCut(eng, in.h, partition.BaselineParts(g.NumNodes(), k), k)
+		res.CutImproved = res.CutLambdaMinus1 < res.CutRandom
+		res.Imbalance = partition.Imbalance(p.NodeParts(), k)
+		fmt.Fprintf(w, "  partition %12s   cut %d vs random %d (%.2fx)   imbalance %.3f\n",
+			d.Round(time.Microsecond), res.CutLambdaMinus1, res.CutRandom,
+			float64(res.CutRandom)/float64(maxInt64(res.CutLambdaMinus1, 1)), res.Imbalance)
+
+		sm, err := partition.BuildShardMap(eng, in.h, &partition.Result{
+			K: p.K(), NodeParts: p.NodeParts(), EdgeParts: p.EdgeParts(), Cut: p.Cut(),
+		})
+		if err != nil {
+			return err
+		}
+		maxOwned := 0
+		for _, sh := range sm.Shards {
+			res.ShardOwnedEdges = append(res.ShardOwnedEdges, sh.NumOwned)
+			if sh.NumOwned > maxOwned {
+				maxOwned = sh.NumOwned
+			}
+		}
+		res.ShardBalance = float64(maxOwned) * float64(k) / float64(maxInt(g.NumEdges(), 1))
+		fmt.Fprintf(w, "  shard owned edges %v (balance %.3f)\n", res.ShardOwnedEdges, res.ShardBalance)
+
+		rg, rl, err := g.RelabelByPartition(p)
+		if err != nil {
+			return err
+		}
+		src := maxDegreeEdge(g)
+		kernels := []struct {
+			name string
+			run  func(h *nwhy.NWHypergraph, relabeled bool)
+		}{
+			{"soverlap-construct-s2", func(h *nwhy.NWHypergraph, _ bool) {
+				h.SLineGraphWith(2, true, nwhy.ConstructOptions{})
+			}},
+			{"frontier-bfs", func(h *nwhy.NWHypergraph, relabeled bool) {
+				s := src
+				if relabeled {
+					s = int(rl.EdgeInv[src])
+				}
+				h.BFS(s, nwhy.BFSTopDown)
+			}},
+		}
+		for _, kn := range kernels {
+			orig := measure(reps, func() { kn.run(g, false) })
+			rel := measure(reps, func() { kn.run(rg, true) })
+			e := partitionKernel{
+				Kernel: kn.name, OriginalNS: orig.Nanoseconds(), RelabeledNS: rel.Nanoseconds(),
+				Speedup: float64(orig.Nanoseconds()) / float64(maxInt64(rel.Nanoseconds(), 1)),
+			}
+			res.Kernels = append(res.Kernels, e)
+			fmt.Fprintf(w, "  %-24s original %12s  relabeled %12s  (%.2fx)\n",
+				kn.name, orig.Round(time.Microsecond), rel.Round(time.Microsecond), e.Speedup)
+		}
+
+		for _, s := range sList {
+			var want, got []uint32
+			dd := measure(reps, func() { want = g.SConnectedComponentsDirect(s) })
+			ds := measure(reps, func() {
+				var err error
+				got, err = g.SConnectedComponentsSharded(s, k)
+				if err != nil {
+					panic(err)
+				}
+			})
+			entry := shardedSCCResult{
+				S: s, DirectNS: dd.Nanoseconds(), ShardedNS: ds.Nanoseconds(),
+				ShardedLabelsEqual: labelsEqual(want, got),
+			}
+			res.ShardedSCC = append(res.ShardedSCC, entry)
+			fmt.Fprintf(w, "  s-CC s=%d direct %12s  sharded(k=%d) %12s  labels equal: %v\n",
+				s, dd.Round(time.Microsecond), k, ds.Round(time.Microsecond), entry.ShardedLabelsEqual)
+		}
+		report.Results = append(report.Results, res)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "report written to %s\n\n", outPath)
+	return nil
+}
+
+func labelsEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

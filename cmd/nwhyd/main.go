@@ -8,6 +8,9 @@
 // -compact-every policy), POST /compact flushes staged operations into a
 // fresh snapshot on demand, and /scc?incremental=true serves connectivity
 // from the maintained union-find view across insert-only commits.
+// /scc?sharded=true runs k-shard execution (partitioned sub-hypergraphs on
+// dedicated engines, halo merge); -partition name=k sets the per-dataset
+// default shard count, overridable per request with &parts=k.
 //
 // Usage:
 //
@@ -15,6 +18,7 @@
 //	nwhyd -dataset dblp=dblp.nwhyb web.mtx         # name=path and positional
 //	nwhyd -preset dblp-mini -scale 0.5             # built-in generator preset
 //	nwhyd -data ./snapshots -compact-every 64      # batch mutations 64 ops/commit
+//	nwhyd -data ./snapshots -partition dblp=4      # shard hint for /scc?sharded=true
 //
 // Query endpoints (GET, JSON): /healthz, /metrics, /datasets, /stats,
 // /toplexes, /slinegraph, /scc, /sdistance, /spath, /centrality.
@@ -76,6 +80,19 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		named = append(named, v)
 		return nil
 	})
+	hints := map[string]int{}
+	fs.Func("partition", "per-dataset shard-count hint as name=k for /scc?sharded=true (repeatable)", func(v string) error {
+		name, ks, ok := strings.Cut(v, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("want name=k, got %q", v)
+		}
+		var k int
+		if _, err := fmt.Sscanf(ks, "%d", &k); err != nil || k < 1 {
+			return fmt.Errorf("want a positive shard count, got %q", ks)
+		}
+		hints[name] = k
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -117,12 +134,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	srv, err := server.New(server.Config{
-		Engine:       eng,
-		MaxInFlight:  *inflight,
-		MaxQueue:     *queue,
-		QueueWait:    *queueWait,
-		CacheEntries: *cacheSize,
-		CompactEvery: *compactN,
+		Engine:         eng,
+		MaxInFlight:    *inflight,
+		MaxQueue:       *queue,
+		QueueWait:      *queueWait,
+		CacheEntries:   *cacheSize,
+		CompactEvery:   *compactN,
+		PartitionHints: hints,
 	}, reg)
 	if err != nil {
 		return err

@@ -1,0 +1,24 @@
+package core
+
+import "nwhy/internal/sparse"
+
+// Relabel returns a hypergraph whose hyperedge and hypernode ID spaces are
+// permuted: hyperedge newID of the result is hyperedge edgePerm[newID] of the
+// input, and likewise for hypernodes under nodePerm (perm[newID] = oldID in
+// both). Either permutation may be nil for identity. Both sides of the
+// mutually indexed biadjacency pair are rewritten through one
+// sparse.ApplyPerm each, so the result satisfies Validate's mutual-transpose
+// invariant by construction.
+func Relabel(h *Hypergraph, edgePerm, nodePerm []uint32) *Hypergraph {
+	var edgeInv, nodeInv []uint32
+	if edgePerm != nil {
+		edgeInv = sparse.InvertPerm(edgePerm)
+	}
+	if nodePerm != nil {
+		nodeInv = sparse.InvertPerm(nodePerm)
+	}
+	return &Hypergraph{
+		Edges: h.Edges.ApplyPerm(edgePerm, nodeInv),
+		Nodes: h.Nodes.ApplyPerm(nodePerm, edgeInv),
+	}
+}

@@ -24,6 +24,13 @@ func RadixSort64On[T any](e *Engine, s []T, key func(T) uint64) {
 
 const radixSerialCutoff = 1 << 13
 
+// RadixSerialCutoff is the input size below which RadixSort64 sorts serially
+// (sort.SliceStable) instead of scheduling parallel passes. Callers inside a
+// parallel loop body may sort slices shorter than this without deadlock risk:
+// the serial path never submits pool work, whereas a parallel pass submitted
+// from a pool worker would wait on the very pool it is occupying.
+const RadixSerialCutoff = radixSerialCutoff
+
 func radixSort64[T any](p *Pool, e *Engine, s []T, key func(T) uint64) {
 	n := len(s)
 	if n < radixSerialCutoff || p.NumWorkers() < 2 {

@@ -1,0 +1,96 @@
+package partition
+
+import (
+	"testing"
+
+	"nwhy/internal/gen"
+	"nwhy/internal/parallel"
+	"nwhy/internal/slinegraph"
+)
+
+// FuzzPartition drives random hypergraphs through the full pipeline and
+// checks the partition invariants: every node assigned to exactly one
+// in-range part, the balance bound respected, every hyperedge owned by
+// exactly one shard, the relabeling permutation a bijection, and the
+// sharded s-CC labels identical to the single-engine result.
+func FuzzPartition(f *testing.F) {
+	f.Add(uint8(40), uint8(30), uint8(3), uint8(2), int64(1))
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(1), int64(2))
+	f.Add(uint8(200), uint8(120), uint8(5), uint8(7), int64(3))
+	f.Fuzz(func(t *testing.T, ne8, nv8, size8, k8 uint8, seed int64) {
+		ne := int(ne8)%200 + 1
+		nv := int(nv8)%150 + 1
+		size := int(size8)%6 + 1
+		k := int(k8)%8 + 1
+		h := gen.Uniform(ne, nv, size, seed)
+		eng := parallel.NewEngine(2)
+		defer eng.Close()
+		r, err := Partition(eng, h, Options{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.NodeParts) != nv || len(r.EdgeParts) != ne {
+			t.Fatalf("assignment sizes %d/%d, want %d/%d", len(r.NodeParts), len(r.EdgeParts), nv, ne)
+		}
+		capacity := (int(float64(nv)*1.05) + k) / k
+		w := make([]int, k)
+		for _, p := range r.NodeParts {
+			if int(p) >= k {
+				t.Fatalf("node part %d out of range [0,%d)", p, k)
+			}
+			w[p]++
+		}
+		for _, x := range w {
+			if x > capacity+1 {
+				t.Fatalf("part weight %d exceeds capacity %d", x, capacity)
+			}
+		}
+		perm, inv := PermFromParts(eng, r.NodeParts)
+		seen := make([]bool, nv)
+		for newID, oldID := range perm {
+			if seen[oldID] {
+				t.Fatalf("perm maps old ID %d twice", oldID)
+			}
+			seen[oldID] = true
+			if inv[oldID] != uint32(newID) {
+				t.Fatalf("inv[%d] = %d, want %d", oldID, inv[oldID], newID)
+			}
+		}
+		sm, err := BuildShardMap(eng, h, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ownedSeen := make([]bool, ne)
+		for p, sh := range sm.Shards {
+			if err := sh.H.Validate(); err != nil {
+				t.Fatalf("shard %d invalid: %v", p, err)
+			}
+			for le := 0; le < sh.NumOwned; le++ {
+				ge := sh.Edges[le]
+				if ownedSeen[ge] {
+					t.Fatalf("edge %d owned twice", ge)
+				}
+				ownedSeen[ge] = true
+			}
+		}
+		for e, ok := range ownedSeen {
+			if !ok {
+				t.Fatalf("edge %d owned by no shard", e)
+			}
+		}
+		s := int(seed&1) + 1
+		want, err := slinegraph.SComponentsDirect(eng, slinegraph.FromHypergraph(h), s, slinegraph.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SComponentsSharded(eng, sm, s, slinegraph.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := range want {
+			if got[e] != want[e] {
+				t.Fatalf("s=%d: sharded label[%d] = %d, want %d", s, e, got[e], want[e])
+			}
+		}
+	})
+}

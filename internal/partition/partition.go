@@ -1,0 +1,481 @@
+// Package partition implements a lightweight, engine-first, cancellable
+// k-way hypergraph partitioner in the spirit of the label-propagation tier
+// of multilevel partitioners (Mt-KaHyPar): parallel label-propagation
+// coarsening over the bipartite CSR pair, balanced greedy seed assignment of
+// the discovered clusters, and boundary-refinement passes that greedily
+// minimize the connectivity cut Σ_e (λ(e) − 1). Every phase breaks ties
+// deterministically (smallest label, smallest part index, ascending ID), so
+// a partition is reproducible across runs and worker counts.
+//
+// The result is consumed two ways: PermFromParts turns an assignment into a
+// part-contiguous relabeling permutation (cache locality for CSR kernels),
+// and BuildShardMap cuts the hypergraph into k engine-independent shards
+// with halo boundaries for sharded execution (shard.go).
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"nwhy/internal/core"
+	"nwhy/internal/countmap"
+	"nwhy/internal/parallel"
+	"nwhy/internal/sparse"
+)
+
+// maxK bounds the part count: refinement keeps a per-hyperedge array of k
+// part counts, so memory is Θ(|E|·k).
+const maxK = 4096
+
+// Options configure Partition.
+type Options struct {
+	// K is the number of parts. Required; 1 <= K <= 4096.
+	K int
+	// CoarsenRounds bounds the label-propagation rounds (<= 0: 8).
+	CoarsenRounds int
+	// RefineRounds bounds the boundary-refinement passes (<= 0: 4).
+	RefineRounds int
+	// ImbalanceTol is the allowed imbalance epsilon: every part holds at
+	// most ceil(|V|/K · (1+tol)) hypernodes (<= 0: 0.05).
+	ImbalanceTol float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.CoarsenRounds <= 0 {
+		o.CoarsenRounds = 8
+	}
+	if o.RefineRounds <= 0 {
+		o.RefineRounds = 4
+	}
+	if o.ImbalanceTol <= 0 {
+		o.ImbalanceTol = 0.05
+	}
+	return o
+}
+
+// Result is a k-way partition of a hypergraph's hypernode and hyperedge ID
+// spaces.
+type Result struct {
+	K int
+	// NodeParts[v] is hypernode v's part, in [0, K).
+	NodeParts []uint32
+	// EdgeParts[e] is hyperedge e's owner: the part holding a plurality of
+	// its pins, ties to the smaller part index. Pinless hyperedges go to
+	// part 0.
+	EdgeParts []uint32
+	// Cut is the connectivity metric Σ_e (λ(e) − 1) of NodeParts, where
+	// λ(e) counts the distinct parts among e's pins.
+	Cut int64
+}
+
+// Partition computes a balanced k-way partition of h's hypernodes and
+// derives hyperedge owners from it. The run is deterministic for a given
+// (hypergraph, options) pair regardless of eng's worker count. Cancellation
+// of eng's context is observed between rounds; a cancelled run returns the
+// context error.
+func Partition(eng *parallel.Engine, h *core.Hypergraph, o Options) (*Result, error) {
+	o = o.withDefaults()
+	if o.K < 1 || o.K > maxK {
+		return nil, fmt.Errorf("partition: K must be in [1, %d], got %d", maxK, o.K)
+	}
+	nv, ne := h.NumNodes(), h.NumEdges()
+	k := o.K
+	capacity := int(math.Ceil(float64(nv) * (1 + o.ImbalanceTol) / float64(k)))
+	if capacity < 1 {
+		capacity = 1
+	}
+	labels := coarsen(eng, h, o.CoarsenRounds)
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	parts, weight := seedParts(eng, labels, k, capacity)
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	cnt := refine(eng, h, parts, weight, k, o.RefineRounds, capacity)
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	return &Result{
+		K:         k,
+		NodeParts: parts,
+		EdgeParts: ownerParts(eng, cnt, ne, k),
+		Cut:       cutFromCounts(eng, cnt, ne, k),
+	}, nil
+}
+
+// coarsen runs synchronous label propagation over the bipartite pair:
+// hyperedges adopt the plurality label of their pins, then hypernodes adopt
+// the plurality label of their incident hyperedges, double-buffered so each
+// half-step reads only frozen state — the result is independent of worker
+// count. Converged (or round-capped) node labels name the clusters.
+func coarsen(eng *parallel.Engine, h *core.Hypergraph, rounds int) []uint32 {
+	nv, ne := h.NumNodes(), h.NumEdges()
+	nodeLab := make([]uint32, nv)
+	for i := range nodeLab {
+		nodeLab[i] = uint32(i)
+	}
+	next := make([]uint32, nv)
+	edgeLab := make([]uint32, ne)
+	pool := sync.Pool{New: func() any { return countmap.New(32) }}
+	for r := 0; r < rounds; r++ {
+		if eng.Cancelled() {
+			break
+		}
+		eng.ForN(ne, func(_, lo, hi int) {
+			cnt := pool.Get().(*countmap.Map)
+			for e := lo; e < hi; e++ {
+				pins := h.Edges.Row(e)
+				if len(pins) == 0 {
+					edgeLab[e] = 0
+					continue
+				}
+				cnt.Clear()
+				for _, v := range pins {
+					cnt.Inc(nodeLab[v], 1)
+				}
+				edgeLab[e] = pluralityLabel(cnt)
+			}
+			pool.Put(cnt)
+		})
+		if eng.Err() != nil {
+			break
+		}
+		changed := parallel.ReduceWith(eng, nv, 0, func(lo, hi, acc int) int {
+			cnt := pool.Get().(*countmap.Map)
+			for v := lo; v < hi; v++ {
+				inc := h.Nodes.Row(v)
+				if len(inc) == 0 {
+					next[v] = nodeLab[v]
+					continue
+				}
+				cnt.Clear()
+				for _, e := range inc {
+					cnt.Inc(edgeLab[e], 1)
+				}
+				next[v] = pluralityLabel(cnt)
+				if next[v] != nodeLab[v] {
+					acc++
+				}
+			}
+			pool.Put(cnt)
+			return acc
+		}, func(a, b int) int { return a + b })
+		nodeLab, next = next, nodeLab
+		if changed == 0 || eng.Err() != nil {
+			break
+		}
+	}
+	return nodeLab
+}
+
+// pluralityLabel picks the most frequent key; ties take the smallest key, so
+// the choice does not depend on the map's iteration order.
+func pluralityLabel(cnt *countmap.Map) uint32 {
+	var best uint32
+	bestCnt := int32(0)
+	first := true
+	cnt.Range(func(k uint32, c int32) {
+		if first || c > bestCnt || (c == bestCnt && k < best) {
+			best, bestCnt, first = k, c, false
+		}
+	})
+	return best
+}
+
+// seedParts assigns whole clusters greedily: clusters in size-descending
+// (then ID-ascending) order each go to the currently lightest part (ties to
+// the smaller index), splitting a cluster only when it would overflow the
+// part's capacity. Returns the assignment and the per-part node weights.
+func seedParts(eng *parallel.Engine, nodeLab []uint32, k, capacity int) ([]uint32, []int64) {
+	nv := len(nodeLab)
+	parts := make([]uint32, nv)
+	counts := make([]int32, nv)
+	for _, l := range nodeLab {
+		counts[l]++
+	}
+	clusters := make([]uint32, 0, 64)
+	maxSize := int32(0)
+	for l, c := range counts {
+		if c > 0 {
+			clusters = append(clusters, uint32(l))
+			if c > maxSize {
+				maxSize = c
+			}
+		}
+	}
+	parallel.RadixSort64On(eng, clusters, func(l uint32) uint64 {
+		return uint64(uint32(maxSize-counts[l]))<<32 | uint64(l)
+	})
+	// Bucket members by cluster rank; scanning nodes in ascending ID keeps
+	// each bucket ID-ascending.
+	rankOf := make([]uint32, nv)
+	offs := make([]int64, len(clusters)+1)
+	for r, l := range clusters {
+		rankOf[l] = uint32(r)
+		offs[r+1] = offs[r] + int64(counts[l])
+	}
+	members := make([]uint32, nv)
+	cursor := make([]int64, len(clusters))
+	copy(cursor, offs[:len(clusters)])
+	for v, l := range nodeLab {
+		r := rankOf[l]
+		members[cursor[r]] = uint32(v)
+		cursor[r]++
+	}
+	weight := make([]int64, k)
+	for r := range clusters {
+		seg := members[offs[r]:offs[r+1]]
+		for len(seg) > 0 {
+			p := lightestPart(weight)
+			t := int64(len(seg))
+			if room := int64(capacity) - weight[p]; room < t {
+				t = room
+			}
+			if t <= 0 {
+				// Capacity rounding can leave every part "full" before the
+				// last few nodes land; overflow into the lightest part.
+				t = int64(len(seg))
+			}
+			for _, v := range seg[:t] {
+				parts[v] = uint32(p)
+			}
+			weight[p] += t
+			seg = seg[t:]
+		}
+	}
+	return parts, weight
+}
+
+func lightestPart(weight []int64) int {
+	best := 0
+	for p := 1; p < len(weight); p++ {
+		if weight[p] < weight[best] {
+			best = p
+		}
+	}
+	return best
+}
+
+// refine runs boundary-refinement passes over parts in place: candidate
+// moves are computed in parallel against the frozen assignment (per-edge
+// part counts make the λ−1 gain of moving v from p to q a per-incidence
+// lookup), then applied serially in ascending node ID with the gain
+// revalidated against live counts — deterministic regardless of worker
+// count. Returns the final per-hyperedge part-count matrix cnt[e·k+p].
+func refine(eng *parallel.Engine, h *core.Hypergraph, parts []uint32, weight []int64, k, rounds, capacity int) []int32 {
+	ne, nv := h.NumEdges(), h.NumNodes()
+	cnt := make([]int32, ne*k)
+	eng.ForN(ne, func(_, lo, hi int) {
+		for e := lo; e < hi; e++ {
+			row := cnt[e*k : e*k+k]
+			for _, v := range h.Edges.Row(e) {
+				row[parts[v]]++
+			}
+		}
+	})
+	type move struct {
+		v        uint32
+		from, to uint32
+	}
+	for r := 0; r < rounds; r++ {
+		if eng.Cancelled() {
+			break
+		}
+		tls := parallel.NewTLSFor(eng, func() []move { return nil })
+		scratch := parallel.NewTLSFor(eng, func() []int32 { return make([]int32, k) })
+		eng.ForN(nv, func(w, lo, hi int) {
+			pen := *scratch.Get(w)
+			buf := tls.Get(w)
+			for v := lo; v < hi; v++ {
+				inc := h.Nodes.Row(v)
+				if len(inc) == 0 {
+					continue
+				}
+				from := parts[v]
+				saves := int32(0)
+				for q := 0; q < k; q++ {
+					pen[q] = 0
+				}
+				for _, e := range inc {
+					row := cnt[int(e)*k : int(e)*k+k]
+					if row[from] == 1 {
+						saves++
+					}
+					for q := 0; q < k; q++ {
+						if row[q] == 0 {
+							pen[q]++
+						}
+					}
+				}
+				bestQ, bestGain := -1, int32(0)
+				for q := 0; q < k; q++ {
+					if uint32(q) == from || weight[q] >= int64(capacity) {
+						continue
+					}
+					if g := saves - pen[q]; g > bestGain {
+						bestQ, bestGain = q, g
+					}
+				}
+				if bestQ >= 0 {
+					*buf = append(*buf, move{uint32(v), from, uint32(bestQ)})
+				}
+			}
+		})
+		if eng.Err() != nil {
+			break
+		}
+		var moves []move
+		tls.All(func(ms *[]move) { moves = append(moves, *ms...) })
+		if len(moves) == 0 {
+			break
+		}
+		parallel.RadixSort64On(eng, moves, func(m move) uint64 { return uint64(m.v) })
+		applied := 0
+		for _, m := range moves {
+			if weight[m.to] >= int64(capacity) {
+				continue
+			}
+			g := int32(0)
+			for _, e := range h.Nodes.Row(int(m.v)) {
+				row := cnt[int(e)*k : int(e)*k+k]
+				if row[m.from] == 1 {
+					g++
+				}
+				if row[m.to] == 0 {
+					g--
+				}
+			}
+			if g <= 0 {
+				continue
+			}
+			for _, e := range h.Nodes.Row(int(m.v)) {
+				cnt[int(e)*k+int(m.from)]--
+				cnt[int(e)*k+int(m.to)]++
+			}
+			parts[m.v] = m.to
+			weight[m.from]--
+			weight[m.to]++
+			applied++
+		}
+		if applied == 0 {
+			break
+		}
+	}
+	return cnt
+}
+
+// ownerParts derives each hyperedge's owner from the part-count matrix: the
+// part with the most pins, ties to the smaller index.
+func ownerParts(eng *parallel.Engine, cnt []int32, ne, k int) []uint32 {
+	owners := make([]uint32, ne)
+	eng.ForN(ne, func(_, lo, hi int) {
+		for e := lo; e < hi; e++ {
+			row := cnt[e*k : e*k+k]
+			best, bestC := 0, int32(-1)
+			for q := 0; q < k; q++ {
+				if row[q] > bestC {
+					best, bestC = q, row[q]
+				}
+			}
+			owners[e] = uint32(best)
+		}
+	})
+	return owners
+}
+
+func cutFromCounts(eng *parallel.Engine, cnt []int32, ne, k int) int64 {
+	return parallel.ReduceWith(eng, ne, int64(0), func(lo, hi int, acc int64) int64 {
+		for e := lo; e < hi; e++ {
+			lambda := 0
+			for _, c := range cnt[e*k : e*k+k] {
+				if c > 0 {
+					lambda++
+				}
+			}
+			if lambda > 1 {
+				acc += int64(lambda - 1)
+			}
+		}
+		return acc
+	}, func(a, b int64) int64 { return a + b })
+}
+
+// ConnectivityCut computes Σ_e (λ(e) − 1) for an arbitrary assignment of
+// hypernodes to k parts — the yardstick benchmarks use to compare a
+// computed partition against BaselineParts.
+func ConnectivityCut(eng *parallel.Engine, h *core.Hypergraph, parts []uint32, k int) int64 {
+	sums := parallel.NewTLSFor(eng, func() int64 { return 0 })
+	stamps := parallel.NewTLSFor(eng, func() []int64 { return make([]int64, k) })
+	eng.ForN(h.NumEdges(), func(w, lo, hi int) {
+		st := *stamps.Get(w)
+		acc := sums.Get(w)
+		for e := lo; e < hi; e++ {
+			mark := int64(e) + 1
+			lambda := 0
+			for _, v := range h.Edges.Row(e) {
+				if q := parts[v]; st[q] != mark {
+					st[q] = mark
+					lambda++
+				}
+			}
+			if lambda > 1 {
+				*acc += int64(lambda - 1)
+			}
+		}
+	})
+	var cut int64
+	sums.All(func(v *int64) { cut += *v })
+	return cut
+}
+
+// Imbalance reports the largest part weight relative to perfect balance:
+// 1.0 is perfectly balanced, 2.0 means the heaviest part holds twice its
+// fair share.
+func Imbalance(parts []uint32, k int) float64 {
+	if len(parts) == 0 || k == 0 {
+		return 0
+	}
+	w := make([]int64, k)
+	for _, p := range parts {
+		w[p]++
+	}
+	var maxW int64
+	for _, x := range w {
+		if x > maxW {
+			maxW = x
+		}
+	}
+	return float64(maxW) * float64(k) / float64(len(parts))
+}
+
+// BaselineParts assigns n IDs to k parts by a fixed avalanche hash — the
+// deterministic stand-in for a uniform random assignment that cut-quality
+// comparisons measure against.
+func BaselineParts(n, k int) []uint32 {
+	parts := make([]uint32, n)
+	for i := range parts {
+		x := uint64(i)*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		parts[i] = uint32(x % uint64(k))
+	}
+	return parts
+}
+
+// PermFromParts orders an ID space part-contiguously: IDs sort by (part,
+// ID), so each part's IDs become one dense block and intra-part neighbors
+// stay ID-ascending. Returns perm[newID] = oldID and its inverse
+// inv[oldID] = newID, ready for sparse.ApplyPerm / core.Relabel.
+func PermFromParts(eng *parallel.Engine, parts []uint32) (perm, inv []uint32) {
+	perm = make([]uint32, len(parts))
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	parallel.RadixSort64On(eng, perm, func(id uint32) uint64 { return uint64(parts[id]) })
+	return perm, sparse.InvertPerm(perm)
+}

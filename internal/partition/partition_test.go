@@ -1,0 +1,243 @@
+package partition
+
+import (
+	"context"
+	"testing"
+
+	"nwhy/internal/core"
+	"nwhy/internal/gen"
+	"nwhy/internal/parallel"
+	"nwhy/internal/slinegraph"
+)
+
+func communityGraph(seed int64) *core.Hypergraph {
+	return gen.Community(gen.CommunityConfig{
+		NumEdges:     400,
+		NumNodes:     600,
+		MeanEdgeSize: 6,
+		SizeSkew:     1.5,
+		MemberSkew:   0.4,
+		Seed:         seed,
+	})
+}
+
+func TestPartitionDeterministicAcrossWorkerCounts(t *testing.T) {
+	h := communityGraph(7)
+	o := Options{K: 4}
+	e1 := parallel.NewEngine(1)
+	defer e1.Close()
+	e8 := parallel.NewEngine(8)
+	defer e8.Close()
+	r1, err := Partition(e1, h, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Partition(e8, h, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cut != r8.Cut {
+		t.Fatalf("cut differs across worker counts: %d vs %d", r1.Cut, r8.Cut)
+	}
+	for v := range r1.NodeParts {
+		if r1.NodeParts[v] != r8.NodeParts[v] {
+			t.Fatalf("NodeParts[%d] differs: %d vs %d", v, r1.NodeParts[v], r8.NodeParts[v])
+		}
+	}
+	for e := range r1.EdgeParts {
+		if r1.EdgeParts[e] != r8.EdgeParts[e] {
+			t.Fatalf("EdgeParts[%d] differs: %d vs %d", e, r1.EdgeParts[e], r8.EdgeParts[e])
+		}
+	}
+}
+
+func TestPartitionBalanceBound(t *testing.T) {
+	eng := parallel.NewEngine(4)
+	defer eng.Close()
+	for _, k := range []int{2, 3, 7} {
+		h := communityGraph(int64(k))
+		o := Options{K: k, ImbalanceTol: 0.05}
+		r, err := Partition(eng, h, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		capacity := (h.NumNodes()*105 + 100*k - 1) / (100 * k)
+		w := make([]int, k)
+		for _, p := range r.NodeParts {
+			if int(p) >= k {
+				t.Fatalf("part %d out of range for k=%d", p, k)
+			}
+			w[p]++
+		}
+		for p, x := range w {
+			if x > capacity {
+				t.Fatalf("k=%d: part %d holds %d nodes, capacity %d", k, p, x, capacity)
+			}
+		}
+		for _, p := range r.EdgeParts {
+			if int(p) >= k {
+				t.Fatalf("edge part %d out of range for k=%d", p, k)
+			}
+		}
+	}
+}
+
+func TestPartitionCutBeatsBaseline(t *testing.T) {
+	eng := parallel.NewEngine(4)
+	defer eng.Close()
+	h := communityGraph(11)
+	r, err := Partition(eng, h, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ConnectivityCut(eng, h, BaselineParts(h.NumNodes(), 4), 4)
+	if r.Cut > base {
+		t.Fatalf("partition cut %d worse than random baseline %d", r.Cut, base)
+	}
+	if got := ConnectivityCut(eng, h, r.NodeParts, r.K); got != r.Cut {
+		t.Fatalf("reported cut %d != recomputed cut %d", r.Cut, got)
+	}
+}
+
+func TestPartitionKValidation(t *testing.T) {
+	eng := parallel.NewEngine(2)
+	defer eng.Close()
+	h := gen.Uniform(10, 10, 3, 1)
+	if _, err := Partition(eng, h, Options{K: 0}); err == nil {
+		t.Fatal("K=0 should error")
+	}
+	if _, err := Partition(eng, h, Options{K: maxK + 1}); err == nil {
+		t.Fatal("K beyond maxK should error")
+	}
+}
+
+func TestPartitionCancelled(t *testing.T) {
+	eng := parallel.NewEngine(2)
+	defer eng.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h := communityGraph(3)
+	if _, err := Partition(eng.WithContext(ctx), h, Options{K: 2}); err == nil {
+		t.Fatal("cancelled partition should return the context error")
+	}
+}
+
+func TestPermFromPartsBijectionAndContiguity(t *testing.T) {
+	eng := parallel.NewEngine(4)
+	defer eng.Close()
+	h := communityGraph(5)
+	r, err := Partition(eng, h, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, inv := PermFromParts(eng, r.NodeParts)
+	seen := make([]bool, len(perm))
+	for newID, oldID := range perm {
+		if seen[oldID] {
+			t.Fatalf("old ID %d mapped twice", oldID)
+		}
+		seen[oldID] = true
+		if inv[oldID] != uint32(newID) {
+			t.Fatalf("inv[%d] = %d, want %d", oldID, inv[oldID], newID)
+		}
+	}
+	for newID := 1; newID < len(perm); newID++ {
+		prev, cur := r.NodeParts[perm[newID-1]], r.NodeParts[perm[newID]]
+		if cur < prev {
+			t.Fatalf("parts not contiguous at new ID %d: %d after %d", newID, cur, prev)
+		}
+		if cur == prev && perm[newID] < perm[newID-1] {
+			t.Fatalf("IDs not ascending within part at new ID %d", newID)
+		}
+	}
+}
+
+func TestShardMapInvariants(t *testing.T) {
+	eng := parallel.NewEngine(4)
+	defer eng.Close()
+	h := communityGraph(9)
+	r, err := Partition(eng, h, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := BuildShardMap(eng, h, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownedTotal := 0
+	ownedSeen := make([]bool, h.NumEdges())
+	for p, sh := range sm.Shards {
+		ownedTotal += sh.NumOwned
+		if err := sh.H.Validate(); err != nil {
+			t.Fatalf("shard %d invalid: %v", p, err)
+		}
+		if sh.H.NumEdges() != len(sh.Edges) || sh.H.NumNodes() != len(sh.Nodes) {
+			t.Fatalf("shard %d dimension mismatch", p)
+		}
+		for le, ge := range sh.Edges {
+			owned := le < sh.NumOwned
+			if owned != (sm.EdgeOwner[ge] == uint32(p)) {
+				t.Fatalf("shard %d: edge %d owned=%v but owner=%d", p, ge, owned, sm.EdgeOwner[ge])
+			}
+			if owned {
+				if ownedSeen[ge] {
+					t.Fatalf("edge %d owned by two shards", ge)
+				}
+				ownedSeen[ge] = true
+				// Owned hyperedges keep their full pin set.
+				if sh.H.Edges.Degree(le) != h.Edges.Degree(int(ge)) {
+					t.Fatalf("shard %d: owned edge %d lost pins", p, ge)
+				}
+			}
+			// Every local pin translates to a global pin of the same edge.
+			for _, lv := range sh.H.Edges.Row(le) {
+				if !h.Edges.HasEntry(int(ge), sh.Nodes[lv]) {
+					t.Fatalf("shard %d: edge %d has phantom pin %d", p, ge, sh.Nodes[lv])
+				}
+			}
+		}
+	}
+	if ownedTotal != h.NumEdges() {
+		t.Fatalf("owned edges total %d, want %d", ownedTotal, h.NumEdges())
+	}
+}
+
+func TestSComponentsShardedMatchesDirect(t *testing.T) {
+	eng := parallel.NewEngine(4)
+	defer eng.Close()
+	graphs := []*core.Hypergraph{
+		communityGraph(13),
+		gen.Uniform(120, 80, 4, 2),
+		gen.BipartitePowerLaw(200, 150, 900, 1.6, 3),
+	}
+	for gi, h := range graphs {
+		for _, k := range []int{1, 2, 4} {
+			r, err := Partition(eng, h, Options{K: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sm, err := BuildShardMap(eng, h, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range []int{1, 2, 3} {
+				want, err := slinegraph.SComponentsDirect(eng, slinegraph.FromHypergraph(h), s, slinegraph.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := SComponentsSharded(eng, sm, s, slinegraph.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("graph %d k=%d s=%d: label length %d, want %d", gi, k, s, len(got), len(want))
+				}
+				for e := range want {
+					if got[e] != want[e] {
+						t.Fatalf("graph %d k=%d s=%d: label[%d] = %d, want %d", gi, k, s, e, got[e], want[e])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package partition
+
+import (
+	"nwhy/internal/core"
+	"nwhy/internal/parallel"
+	"nwhy/internal/slinegraph"
+	"nwhy/internal/sparse"
+	"nwhy/internal/unionfind"
+)
+
+// Shard is one engine-independent sub-hypergraph of a ShardMap. Local
+// hyperedge IDs are [0, len(Edges)) with the NumOwned owned hyperedges
+// first, then the halo; local hypernode IDs are [0, len(Nodes)). Halo
+// hyperedges keep only the pins that fall inside the shard's node set, so
+// every s-overlap a shard certifies locally also holds globally.
+type Shard struct {
+	// H is the local sub-hypergraph over local IDs.
+	H *core.Hypergraph
+	// Edges maps local -> global hyperedge IDs, owned prefix first, each
+	// half ascending.
+	Edges []uint32
+	// Nodes maps local -> global hypernode IDs, ascending.
+	Nodes []uint32
+	// NumOwned counts the owned (non-halo) hyperedges.
+	NumOwned int
+}
+
+// ShardMap cuts a hypergraph into K engine-independent shards with halo
+// boundaries. Shard p owns the hyperedges whose EdgeParts is p; its node set
+// is the union of the owned hyperedges' pins; its halo is every non-owned
+// hyperedge incident to a shard node, pins restricted to the shard's node
+// set. The restriction loses nothing: for an owned hyperedge e and any
+// hyperedge f, e ∩ f is contained in e's pins and hence in the shard's node
+// set, so |e ∩ f| is exact in e's owner shard — every global s-overlap pair
+// is discovered by at least its owner, and no shard can certify a pair the
+// full hypergraph would reject.
+type ShardMap struct {
+	K      int
+	Shards []*Shard
+	// EdgeOwner[e] is the shard owning global hyperedge e.
+	EdgeOwner []uint32
+}
+
+// BuildShardMap materializes the K shards of partition result r. Each
+// shard's local hypergraph is assembled through the usual biadjacency
+// builders, so both CSRs of the pair satisfy the mutual-transpose invariant.
+// Cancellation is observed between shards.
+func BuildShardMap(eng *parallel.Engine, h *core.Hypergraph, r *Result) (*ShardMap, error) {
+	sm := &ShardMap{K: r.K, Shards: make([]*Shard, r.K), EdgeOwner: r.EdgeParts}
+	for p := 0; p < r.K; p++ {
+		if eng.Cancelled() {
+			break
+		}
+		sm.Shards[p] = buildShard(h, r.EdgeParts, uint32(p))
+	}
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	return sm, nil
+}
+
+func buildShard(h *core.Hypergraph, owner []uint32, p uint32) *Shard {
+	ne, nv := h.NumEdges(), h.NumNodes()
+	var owned []uint32
+	for e := 0; e < ne; e++ {
+		if owner[e] == p {
+			owned = append(owned, uint32(e))
+		}
+	}
+	nodeMark := make([]bool, nv)
+	for _, e := range owned {
+		for _, v := range h.Edges.Row(int(e)) {
+			nodeMark[v] = true
+		}
+	}
+	var nodes []uint32
+	localNode := make([]uint32, nv)
+	for v := 0; v < nv; v++ {
+		if nodeMark[v] {
+			localNode[v] = uint32(len(nodes))
+			nodes = append(nodes, uint32(v))
+		}
+	}
+	edgeMark := make([]bool, ne)
+	for _, v := range nodes {
+		for _, e := range h.Nodes.Row(int(v)) {
+			if owner[e] != p {
+				edgeMark[e] = true
+			}
+		}
+	}
+	edges := owned
+	for e := 0; e < ne; e++ {
+		if edgeMark[e] {
+			edges = append(edges, uint32(e))
+		}
+	}
+	bel := sparse.NewBiEdgeList(len(edges), len(nodes))
+	for le, ge := range edges {
+		for _, v := range h.Edges.Row(int(ge)) {
+			if nodeMark[v] {
+				bel.Add(uint32(le), localNode[v])
+			}
+		}
+	}
+	return &Shard{
+		H:        core.FromBiEdgeList(bel),
+		Edges:    edges,
+		Nodes:    nodes,
+		NumOwned: len(owned),
+	}
+}
+
+// SComponentsSharded computes exact s-connected components of the sharded
+// hypergraph: each shard runs the union-find s-overlap kernel on its own
+// dedicated parallel.Engine (workers split evenly across shards), then the
+// local forests are absorbed into one global forest across the halo — local
+// root edges union with their members translated back to global IDs. The
+// returned labels are identical to slinegraph.SComponentsDirect on the
+// unsharded hypergraph: every hyperedge labeled with its component's
+// minimum member ID.
+func SComponentsSharded(eng *parallel.Engine, sm *ShardMap, s int, o slinegraph.Options) ([]uint32, error) {
+	k := sm.K
+	per := eng.NumWorkers() / k
+	if per < 1 {
+		per = 1
+	}
+	forests := make([]*unionfind.Forest, k)
+	errs := make([]error, k)
+	fns := make([]func(), k)
+	for p := range fns {
+		p := p
+		fns[p] = func() {
+			if eng.Cancelled() {
+				errs[p] = eng.Err()
+				return
+			}
+			se := parallel.NewEngine(per)
+			defer se.Close()
+			forests[p], errs[p] = slinegraph.SComponentsForest(
+				se.WithContext(eng.Context()), slinegraph.FromHypergraph(sm.Shards[p].H), s, o)
+		}
+	}
+	// A dedicated coordinator pool drives the k shard engines. Shard kernels
+	// reach the process default pool (forest compression), so parking the
+	// caller's workers here could starve that pool into deadlock when eng is
+	// the shared engine; coordinator workers are never default-pool workers.
+	coord := parallel.NewEngine(k)
+	defer coord.Close()
+	coord.WithContext(eng.Context()).Invoke(fns...)
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	global := unionfind.New(len(sm.EdgeOwner))
+	for p := 0; p < k; p++ {
+		if eng.Cancelled() {
+			break
+		}
+		sh := sm.Shards[p]
+		labs := forests[p].Labels()
+		eng.ForN(len(sh.Edges), func(_, lo, hi int) {
+			for l := lo; l < hi; l++ {
+				if root := labs[l]; root != uint32(l) {
+					global.Union(sh.Edges[l], sh.Edges[root])
+				}
+			}
+		})
+	}
+	global.Compress()
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	return global.Labels(), nil
+}

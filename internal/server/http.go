@@ -228,6 +228,14 @@ func (s *Server) handleSCC(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	if req.Sharded, err = qBool(r, "sharded", false); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.Parts, err = qInt(r, "parts", 0); err != nil {
+		writeErr(w, err)
+		return
+	}
 	if req.WithLabels, err = qBool(r, "labels", false); err != nil {
 		writeErr(w, err)
 		return

@@ -79,6 +79,10 @@ type Config struct {
 	// Staged-but-uncommitted operations are invisible to queries; Compact
 	// flushes them on demand.
 	CompactEvery int
+	// PartitionHints maps dataset names to their preferred shard counts for
+	// sharded queries that do not name one (SCCRequest.Parts == 0). Entries
+	// may also be set after start with SetPartitionHint.
+	PartitionHints map[string]int
 }
 
 // Server is the serving core: registry + admission + cache + metrics behind
@@ -109,6 +113,11 @@ type Server struct {
 	// against a different dataset's pairs.
 	latestMu sync.Mutex
 	latest   map[latestKey]*nwhy.SLineGraph
+
+	// hintMu guards hints: per-dataset preferred shard counts for sharded
+	// queries that do not name one.
+	hintMu sync.Mutex
+	hints  map[string]int
 }
 
 // latestKey identifies one patch-source slot: the epoch-less request shape
@@ -158,6 +167,10 @@ func New(cfg Config, reg *Registry) (*Server, error) {
 	if reg == nil {
 		reg = NewRegistry()
 	}
+	hints := map[string]int{}
+	for name, k := range cfg.PartitionHints {
+		hints[name] = k
+	}
 	return &Server{
 		eng:          cfg.Engine,
 		reg:          reg,
@@ -169,7 +182,27 @@ func New(cfg Config, reg *Registry) (*Server, error) {
 		muts:         map[string]*mutState{},
 		sccs:         map[sccKey]*sccEntry{},
 		latest:       map[latestKey]*nwhy.SLineGraph{},
+		hints:        hints,
 	}, nil
+}
+
+// SetPartitionHint records dataset's preferred shard count for sharded
+// queries that do not name one (k < 1 removes the hint).
+func (s *Server) SetPartitionHint(dataset string, k int) {
+	s.hintMu.Lock()
+	defer s.hintMu.Unlock()
+	if k < 1 {
+		delete(s.hints, dataset)
+		return
+	}
+	s.hints[dataset] = k
+}
+
+// PartitionHint reports dataset's configured shard count, 0 when unset.
+func (s *Server) PartitionHint(dataset string) int {
+	s.hintMu.Lock()
+	defer s.hintMu.Unlock()
+	return s.hints[dataset]
 }
 
 // Registry returns the server's dataset registry.
@@ -410,6 +443,14 @@ type SCCRequest struct {
 	// call for repeated connectivity on a mutating dataset. Mutually
 	// exclusive with Direct.
 	Incremental bool
+	// Sharded runs the k-shard execution path: partition the dataset, run
+	// the union-find kernel per shard on dedicated engines, merge across
+	// halos. Labels match Direct exactly. Mutually exclusive with Direct
+	// and Incremental.
+	Sharded bool
+	// Parts is the shard count for Sharded (0: the dataset's configured
+	// partition hint, falling back to an engine-derived default).
+	Parts int
 	// WithLabels includes the full per-hyperedge label vector in the
 	// result (the summary is always computed).
 	WithLabels bool
@@ -425,8 +466,11 @@ type SCCResult struct {
 	CacheHit      bool   `json:"cache_hit"`
 	// Incremental reports that the maintained view answered without a full
 	// recompute (only meaningful on SCCRequest.Incremental).
-	Incremental bool     `json:"incremental,omitempty"`
-	Labels      []uint32 `json:"labels,omitempty"`
+	Incremental bool `json:"incremental,omitempty"`
+	// Sharded echoes the execution path; Parts is the shard count used.
+	Sharded bool     `json:"sharded,omitempty"`
+	Parts   int      `json:"parts,omitempty"`
+	Labels  []uint32 `json:"labels,omitempty"`
 }
 
 // SComponents computes s-connected components, via the cached s-line graph
@@ -440,12 +484,33 @@ func (s *Server) SComponents(ctx context.Context, req SCCRequest) (SCCResult, er
 		if req.Direct && req.Incremental {
 			return fmt.Errorf("%w: direct and incremental are mutually exclusive", ErrBadRequest)
 		}
+		if req.Sharded && (req.Direct || req.Incremental) {
+			return fmt.Errorf("%w: sharded is mutually exclusive with direct and incremental", ErrBadRequest)
+		}
+		if req.Parts < 0 || (req.Parts > 0 && !req.Sharded) {
+			return fmt.Errorf("%w: parts requires sharded=true and must be >= 0", ErrBadRequest)
+		}
 		var (
 			labels []uint32
 			hit    bool
 			inc    bool
+			parts  int
 		)
 		switch {
+		case req.Sharded:
+			g, err := s.dataset(req.Dataset)
+			if err != nil {
+				return err
+			}
+			k := req.Parts
+			if k < 1 {
+				k = s.PartitionHint(req.Dataset)
+			}
+			labels, err = g.SConnectedComponentsShardedCtx(ctx, req.S, k)
+			if err != nil {
+				return err
+			}
+			parts = k // 0 means the facade picked an engine-derived count
 		case req.Incremental:
 			g, err := s.dataset(req.Dataset)
 			if err != nil {
@@ -483,7 +548,7 @@ func (s *Server) SComponents(ctx context.Context, req SCCRequest) (SCCResult, er
 				largest = sizes[l]
 			}
 		}
-		out = SCCResult{Dataset: req.Dataset, S: req.S, NumComponents: len(sizes), LargestSize: largest, CacheHit: hit, Incremental: inc}
+		out = SCCResult{Dataset: req.Dataset, S: req.S, NumComponents: len(sizes), LargestSize: largest, CacheHit: hit, Incremental: inc, Sharded: req.Sharded, Parts: parts}
 		if req.WithLabels {
 			out.Labels = labels
 		}

@@ -531,3 +531,53 @@ func TestWarmStartBootEngineDetached(t *testing.T) {
 		t.Fatal("query on warm-started handle failed after boot ctx cancel")
 	}
 }
+
+func TestSComponentsShardedMatchesDirect(t *testing.T) {
+	s, _ := testServer(t, Config{PartitionHints: map[string]int{"tiny": 2}})
+	ctx := context.Background()
+
+	direct, err := s.SComponents(ctx, SCCRequest{Dataset: "tiny", S: 1, Direct: true, WithLabels: true})
+	if err != nil {
+		t.Fatalf("direct: %v", err)
+	}
+	// Explicit parts.
+	sharded, err := s.SComponents(ctx, SCCRequest{Dataset: "tiny", S: 1, Sharded: true, Parts: 2, WithLabels: true})
+	if err != nil {
+		t.Fatalf("sharded: %v", err)
+	}
+	if !sharded.Sharded || sharded.Parts != 2 {
+		t.Fatalf("sharded echo = (%v, %d), want (true, 2)", sharded.Sharded, sharded.Parts)
+	}
+	if sharded.NumComponents != direct.NumComponents || sharded.LargestSize != direct.LargestSize {
+		t.Fatalf("sharded summary (%d, %d) != direct (%d, %d)",
+			sharded.NumComponents, sharded.LargestSize, direct.NumComponents, direct.LargestSize)
+	}
+	for i := range direct.Labels {
+		if sharded.Labels[i] != direct.Labels[i] {
+			t.Fatalf("label[%d] = %d (sharded) vs %d (direct)", i, sharded.Labels[i], direct.Labels[i])
+		}
+	}
+	// Parts omitted: the configured hint applies.
+	hinted, err := s.SComponents(ctx, SCCRequest{Dataset: "tiny", S: 1, Sharded: true, WithLabels: true})
+	if err != nil {
+		t.Fatalf("hinted: %v", err)
+	}
+	if hinted.Parts != 2 {
+		t.Fatalf("hinted parts = %d, want 2 from PartitionHints", hinted.Parts)
+	}
+	for i := range direct.Labels {
+		if hinted.Labels[i] != direct.Labels[i] {
+			t.Fatalf("hinted label[%d] = %d, want %d", i, hinted.Labels[i], direct.Labels[i])
+		}
+	}
+	// Validation: sharded is exclusive with direct/incremental, parts needs sharded.
+	if _, err := s.SComponents(ctx, SCCRequest{Dataset: "tiny", S: 1, Sharded: true, Direct: true}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("sharded+direct err = %v, want ErrBadRequest", err)
+	}
+	if _, err := s.SComponents(ctx, SCCRequest{Dataset: "tiny", S: 1, Parts: 2}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("parts without sharded err = %v, want ErrBadRequest", err)
+	}
+	if _, err := s.SComponents(ctx, SCCRequest{Dataset: "tiny", S: 1, Sharded: true, Parts: -1}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("negative parts err = %v, want ErrBadRequest", err)
+	}
+}

@@ -3,6 +3,7 @@ package sparse
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"nwhy/internal/parallel"
 )
@@ -191,32 +192,56 @@ func AdoptSorted(nrows, ncols int, rowptr []int64, col []uint32, val []float64) 
 	return c, nil
 }
 
-// sortRows sorts each row's columns ascending (carrying weights along).
+// sortRows sorts each row's columns ascending (carrying weights along) via
+// the stable radix path. Rows shorter than parallel.RadixSerialCutoff take
+// RadixSort64's serial branch inline — submitting parallel passes from a pool
+// worker would wait on the pool it occupies — while the rare heavier rows are
+// collected during the sweep and sorted afterwards with full parallel passes.
 func (c *CSR) sortRows() {
+	var mu sync.Mutex
+	var big []int
 	parallel.For(c.nrows, func(_, lo, hi int) {
+		var local []int
 		for i := lo; i < hi; i++ {
-			s, e := c.RowPtr[i], c.RowPtr[i+1]
-			if c.Val == nil {
-				row := c.Col[s:e]
-				sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
-			} else {
-				row, val := c.Col[s:e], c.Val[s:e]
-				sort.Sort(&colValSorter{row, val})
+			if c.Degree(i) >= parallel.RadixSerialCutoff {
+				local = append(local, i)
+				continue
 			}
+			c.sortRow(i)
+		}
+		if len(local) > 0 {
+			mu.Lock()
+			big = append(big, local...)
+			mu.Unlock()
 		}
 	})
+	for _, i := range big {
+		c.sortRow(i)
+	}
 }
 
-type colValSorter struct {
-	col []uint32
-	val []float64
+// sortRow sorts one row. Weighted rows zip (col, val) so the weight rides the
+// sort; stability keeps duplicate columns' weights in input order.
+func (c *CSR) sortRow(i int) {
+	s, e := c.RowPtr[i], c.RowPtr[i+1]
+	if c.Val == nil {
+		parallel.RadixSort64(c.Col[s:e], func(v uint32) uint64 { return uint64(v) })
+		return
+	}
+	row, val := c.Col[s:e], c.Val[s:e]
+	zip := make([]colVal, len(row))
+	for k := range row {
+		zip[k] = colVal{row[k], val[k]}
+	}
+	parallel.RadixSort64(zip, func(cv colVal) uint64 { return uint64(cv.col) })
+	for k, cv := range zip {
+		row[k], val[k] = cv.col, cv.val
+	}
 }
 
-func (s *colValSorter) Len() int           { return len(s.col) }
-func (s *colValSorter) Less(a, b int) bool { return s.col[a] < s.col[b] }
-func (s *colValSorter) Swap(a, b int) {
-	s.col[a], s.col[b] = s.col[b], s.col[a]
-	s.val[a], s.val[b] = s.val[b], s.val[a]
+type colVal struct {
+	col uint32
+	val float64
 }
 
 // FromEdgeList builds a square CSR adjacency from a single-index-space edge

@@ -1,8 +1,6 @@
 package sparse
 
 import (
-	"sort"
-
 	"nwhy/internal/parallel"
 )
 
@@ -35,7 +33,8 @@ func (o Order) String() string {
 
 // DegreePerm computes the relabel-by-degree permutation for the given
 // degrees: perm[newID] = oldID, inv[oldID] = newID. Ties break by old ID so
-// the permutation is deterministic. NoOrder returns identity permutations.
+// the permutation is deterministic (the radix sort is stable over the
+// identity-initialized permutation). NoOrder returns identity permutations.
 func DegreePerm(degrees []int, order Order) (perm, inv []uint32) {
 	n := len(degrees)
 	perm = make([]uint32, n)
@@ -44,15 +43,76 @@ func DegreePerm(degrees []int, order Order) (perm, inv []uint32) {
 	}
 	switch order {
 	case Ascending:
-		sort.SliceStable(perm, func(a, b int) bool { return degrees[perm[a]] < degrees[perm[b]] })
+		parallel.RadixSort64(perm, func(id uint32) uint64 { return uint64(degrees[id]) })
 	case Descending:
-		sort.SliceStable(perm, func(a, b int) bool { return degrees[perm[a]] > degrees[perm[b]] })
+		// Key on maxDeg−deg rather than a bit flip so the pass count stays
+		// proportional to the degree range.
+		maxDeg := 0
+		for _, d := range degrees {
+			if d > maxDeg {
+				maxDeg = d
+			}
+		}
+		parallel.RadixSort64(perm, func(id uint32) uint64 { return uint64(maxDeg - degrees[id]) })
 	}
-	inv = make([]uint32, n)
+	return perm, InvertPerm(perm)
+}
+
+// InvertPerm returns the inverse of a permutation: inv[perm[i]] = i. With
+// perm[newID] = oldID the result reads inv[oldID] = newID.
+func InvertPerm(perm []uint32) []uint32 {
+	inv := make([]uint32, len(perm))
 	for newID, oldID := range perm {
 		inv[oldID] = uint32(newID)
 	}
-	return perm, inv
+	return inv
+}
+
+// ApplyPerm is the one permutation primitive every relabeling shares. It
+// returns a copy of c with its row space permuted by rowPerm (row newID of
+// the result is row rowPerm[newID] of the input) and every column value v
+// replaced by colInv[v], re-sorting rows when a column map is applied so the
+// sorted-rows invariant holds. Either argument may be nil for identity; both
+// nil degrades to Clone. rowPerm must be a permutation of [0, NumRows()) and
+// colInv a permutation of [0, NumCols()) — composing ApplyPerm(rowPerm,
+// colInv) with ApplyPerm(InvertPerm(rowPerm), InvertPerm(colInv)) yields a
+// CSR byte-identical to the input.
+func (c *CSR) ApplyPerm(rowPerm, colInv []uint32) *CSR {
+	out := &CSR{nrows: c.nrows, ncols: c.ncols}
+	out.RowPtr = make([]int64, c.nrows+1)
+	if rowPerm == nil {
+		copy(out.RowPtr, c.RowPtr)
+	} else {
+		for newID, oldID := range rowPerm {
+			out.RowPtr[newID+1] = out.RowPtr[newID] + int64(c.Degree(int(oldID)))
+		}
+	}
+	out.Col = make([]uint32, len(c.Col))
+	if c.Val != nil {
+		out.Val = make([]float64, len(c.Val))
+	}
+	parallel.For(c.nrows, func(_, lo, hi int) {
+		for newID := lo; newID < hi; newID++ {
+			oldID := newID
+			if rowPerm != nil {
+				oldID = int(rowPerm[newID])
+			}
+			dst := out.Col[out.RowPtr[newID]:out.RowPtr[newID+1]]
+			copy(dst, c.Row(oldID))
+			if colInv != nil {
+				for k, v := range dst {
+					dst[k] = colInv[v]
+				}
+			}
+			if c.Val != nil {
+				copy(out.Val[out.RowPtr[newID]:out.RowPtr[newID+1]], c.RowVal(oldID))
+			}
+		}
+	})
+	if colInv != nil {
+		out.sortRows()
+	}
+	return out
 }
 
 // RelabelHyperedges renames the hyperedge index space of a mutually indexed
@@ -65,8 +125,8 @@ func RelabelHyperedges(edges, nodes *CSR, order Order) (redges, rnodes *CSR, per
 		return edges, nodes, identityPerm(edges.NumRows())
 	}
 	perm, inv := DegreePerm(edges.Degrees(), order)
-	redges = permuteRows(edges, perm)
-	rnodes = mapColumns(nodes, inv)
+	redges = edges.ApplyPerm(perm, nil)
+	rnodes = nodes.ApplyPerm(nil, inv)
 	return redges, rnodes, perm
 }
 
@@ -77,9 +137,7 @@ func RelabelSquare(g *CSR, order Order) (*CSR, []uint32) {
 		return g, identityPerm(g.NumRows())
 	}
 	perm, inv := DegreePerm(g.Degrees(), order)
-	out := mapColumns(permuteRows(g, perm), inv)
-	out.sortRows()
-	return out, perm
+	return g.ApplyPerm(perm, inv), perm
 }
 
 func identityPerm(n int) []uint32 {
@@ -88,40 +146,4 @@ func identityPerm(n int) []uint32 {
 		p[i] = uint32(i)
 	}
 	return p
-}
-
-// permuteRows builds a CSR whose row newID is the input's row perm[newID].
-func permuteRows(c *CSR, perm []uint32) *CSR {
-	out := &CSR{nrows: c.nrows, ncols: c.ncols}
-	out.RowPtr = make([]int64, c.nrows+1)
-	for newID, oldID := range perm {
-		out.RowPtr[newID+1] = out.RowPtr[newID] + int64(c.Degree(int(oldID)))
-	}
-	out.Col = make([]uint32, len(c.Col))
-	if c.Val != nil {
-		out.Val = make([]float64, len(c.Val))
-	}
-	parallel.For(c.nrows, func(_, lo, hi int) {
-		for newID := lo; newID < hi; newID++ {
-			oldID := int(perm[newID])
-			copy(out.Col[out.RowPtr[newID]:out.RowPtr[newID+1]], c.Row(oldID))
-			if c.Val != nil {
-				copy(out.Val[out.RowPtr[newID]:out.RowPtr[newID+1]], c.RowVal(oldID))
-			}
-		}
-	})
-	return out
-}
-
-// mapColumns builds a CSR with every column value v replaced by inv[v],
-// re-sorting rows to keep them ascending.
-func mapColumns(c *CSR, inv []uint32) *CSR {
-	out := c.Clone()
-	parallel.For(len(out.Col), func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out.Col[i] = inv[out.Col[i]]
-		}
-	})
-	out.sortRows()
-	return out
 }

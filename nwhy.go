@@ -28,6 +28,7 @@ import (
 	"nwhy/internal/core"
 	"nwhy/internal/mmio"
 	"nwhy/internal/parallel"
+	"nwhy/internal/partition"
 	"nwhy/internal/slinegraph"
 	"nwhy/internal/sparse"
 )
@@ -80,6 +81,15 @@ type lazyState struct {
 	// Commit moves the epoch and invalidates it implicitly.
 	adjoin      *core.AdjoinGraph
 	adjoinEpoch uint64
+	// part caches the k-way partition of the snapshot at partEpoch, keyed by
+	// the resolved options; shards caches the shard map derived from it.
+	// Both follow the adjoin discipline: epoch-keyed, built under mu, never
+	// cached from a cancelled engine.
+	part        *partition.Result
+	partEpoch   uint64
+	partOpts    partition.Options
+	shards      *partition.ShardMap
+	shardsEpoch uint64
 }
 
 // newHandle builds a facade handle around h bound to eng (nil = shared

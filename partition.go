@@ -1,0 +1,206 @@
+package nwhy
+
+import (
+	"context"
+	"fmt"
+
+	"nwhy/internal/core"
+	"nwhy/internal/partition"
+	"nwhy/internal/slinegraph"
+)
+
+// PartitionOptions configure Partition and the sharded execution paths
+// built on it. The zero value of every field but K selects the partitioner
+// defaults.
+type PartitionOptions struct {
+	// K is the number of parts (required, >= 1).
+	K int
+	// CoarsenRounds bounds the label-propagation coarsening rounds (0: 8).
+	CoarsenRounds int
+	// RefineRounds bounds the boundary-refinement passes (0: 4).
+	RefineRounds int
+	// ImbalanceTol is the allowed node imbalance epsilon: every part holds
+	// at most ceil(|V|/K · (1+tol)) hypernodes (0: 0.05).
+	ImbalanceTol float64
+}
+
+func (o PartitionOptions) internal() partition.Options {
+	return partition.Options{
+		K:             o.K,
+		CoarsenRounds: o.CoarsenRounds,
+		RefineRounds:  o.RefineRounds,
+		ImbalanceTol:  o.ImbalanceTol,
+	}
+}
+
+// HyperPartition is a computed k-way partition of a handle's snapshot,
+// pinned to the mutation epoch it was computed from.
+type HyperPartition struct {
+	res   *partition.Result
+	epoch uint64
+}
+
+// K reports the part count.
+func (p *HyperPartition) K() int { return p.res.K }
+
+// Cut reports the connectivity metric Σ_e (λ(e) − 1) of the partition.
+func (p *HyperPartition) Cut() int64 { return p.res.Cut }
+
+// Epoch reports the mutation epoch the partition was computed from.
+func (p *HyperPartition) Epoch() uint64 { return p.epoch }
+
+// NodeParts returns the per-hypernode part assignment. The slice aliases
+// the partition's storage and must not be modified.
+func (p *HyperPartition) NodeParts() []uint32 { return p.res.NodeParts }
+
+// EdgeParts returns the per-hyperedge owner assignment (plurality of pins).
+// The slice aliases the partition's storage and must not be modified.
+func (p *HyperPartition) EdgeParts() []uint32 { return p.res.EdgeParts }
+
+// Partition computes (or serves from the epoch-keyed cache) a balanced,
+// connectivity-minimizing k-way partition of the hypergraph: parallel
+// label-propagation coarsening, greedy balanced seeding, and λ−1
+// boundary refinement, deterministic across runs and worker counts.
+func (g *NWHypergraph) Partition(o PartitionOptions) (*HyperPartition, error) {
+	return g.PartitionCtx(context.Background(), o)
+}
+
+// PartitionCtx is Partition bounded by ctx: coarsening and refinement
+// observe cancellation between rounds. A cancelled build is not cached.
+func (g *NWHypergraph) PartitionCtx(ctx context.Context, o PartitionOptions) (*HyperPartition, error) {
+	snap := g.snap()
+	eng := g.engine().WithContext(ctx)
+	opts := o.internal()
+	lz := g.lazy
+	if lz == nil {
+		res, err := partition.Partition(eng, snap.h, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &HyperPartition{res: res, epoch: snap.epoch}, nil
+	}
+	lz.mu.Lock()
+	defer lz.mu.Unlock()
+	if lz.part == nil || lz.partEpoch != snap.epoch || lz.partOpts != opts {
+		res, err := partition.Partition(eng, snap.h, opts)
+		if err != nil {
+			return nil, err
+		}
+		if eng.Err() != nil {
+			return &HyperPartition{res: res, epoch: snap.epoch}, nil
+		}
+		lz.part = res
+		lz.partEpoch = snap.epoch
+		lz.partOpts = opts
+		// A new partition invalidates any shard map derived from the old one.
+		lz.shards = nil
+	}
+	return &HyperPartition{res: lz.part, epoch: snap.epoch}, nil
+}
+
+// Relabeling records the permutations RelabelByPartition applied, for
+// mapping query results between the old and new ID spaces:
+// EdgePerm[newID] = oldID and EdgeInv[oldID] = newID (likewise for nodes).
+type Relabeling struct {
+	EdgePerm, EdgeInv []uint32
+	NodePerm, NodeInv []uint32
+}
+
+// RelabelByPartition returns a new handle over a copy of the hypergraph
+// whose hyperedge and hypernode IDs are renumbered part-contiguously in p's
+// partition order: each part's IDs form one dense block, making CSR
+// neighborhoods cache-contiguous for traversals and the s-overlap kernel.
+// The original handle is untouched; the returned Relabeling maps results
+// between the two ID spaces. p must come from this handle's current epoch.
+func (g *NWHypergraph) RelabelByPartition(p *HyperPartition) (*NWHypergraph, *Relabeling, error) {
+	snap := g.snap()
+	if p == nil || p.epoch != snap.epoch {
+		return nil, nil, fmt.Errorf("nwhy: partition is stale (epoch %d, handle at %d)", p.Epoch(), snap.epoch)
+	}
+	eng := g.engine()
+	edgePerm, edgeInv := partition.PermFromParts(eng, p.res.EdgeParts)
+	nodePerm, nodeInv := partition.PermFromParts(eng, p.res.NodeParts)
+	rh := core.Relabel(snap.h, edgePerm, nodePerm)
+	return newHandle(rh, g.eng), &Relabeling{
+		EdgePerm: edgePerm, EdgeInv: edgeInv,
+		NodePerm: nodePerm, NodeInv: nodeInv,
+	}, nil
+}
+
+// shardMap returns the epoch-keyed cached shard map for k parts, building
+// the partition (default options) and shard set on first use.
+func (g *NWHypergraph) shardMap(ctx context.Context, k int) (*partition.ShardMap, error) {
+	snap := g.snap()
+	eng := g.engine().WithContext(ctx)
+	build := func() (*partition.ShardMap, error) {
+		res, err := partition.Partition(eng, snap.h, partition.Options{K: k})
+		if err != nil {
+			return nil, err
+		}
+		return partition.BuildShardMap(eng, snap.h, res)
+	}
+	lz := g.lazy
+	if lz == nil {
+		return build()
+	}
+	lz.mu.Lock()
+	defer lz.mu.Unlock()
+	if lz.shards == nil || lz.shardsEpoch != snap.epoch || lz.shards.K != k {
+		sm, err := build()
+		if err != nil {
+			return nil, err
+		}
+		if eng.Err() != nil {
+			return sm, nil
+		}
+		lz.shards = sm
+		lz.shardsEpoch = snap.epoch
+	}
+	return lz.shards, nil
+}
+
+// SConnectedComponentsSharded computes the exact s-connected components of
+// the hyperedges by cutting the hypergraph into k shards (halo boundaries
+// included), running the union-find s-overlap kernel on one dedicated
+// engine per shard, and absorbing the local forests across the halos.
+// Labels are identical to SConnectedComponentsDirect: component = minimum
+// member hyperedge ID. k < 1 picks a shard count from the engine's worker
+// budget. The shard map is cached per (epoch, k).
+func (g *NWHypergraph) SConnectedComponentsSharded(s, k int) ([]uint32, error) {
+	return g.SConnectedComponentsShardedCtx(context.Background(), s, k)
+}
+
+// SConnectedComponentsShardedCtx is SConnectedComponentsSharded bounded by
+// ctx: partitioning, shard construction, and every per-shard kernel observe
+// cancellation and return ctx's error.
+func (g *NWHypergraph) SConnectedComponentsShardedCtx(ctx context.Context, s, k int) ([]uint32, error) {
+	eng := g.engine().WithContext(ctx)
+	if k < 1 {
+		k = eng.NumWorkers()
+		if k > 8 {
+			k = 8
+		}
+		if k < 2 {
+			k = 2
+		}
+	}
+	sm, err := g.shardMap(ctx, k)
+	if err != nil {
+		return nil, err
+	}
+	return partition.SComponentsSharded(eng, sm, s, slinegraph.Options{})
+}
+
+// ApplyRelabeling re-expresses a label vector computed in a relabeled
+// handle's hyperedge ID space back in the original space: out[oldID] =
+// EdgePerm[labels[EdgeInv[oldID]]]. Labels that are themselves hyperedge
+// IDs (component representatives) are mapped through EdgePerm too, so each
+// class keeps one consistent representative in the original ID space — not
+// necessarily the class's minimum original ID.
+func (r *Relabeling) ApplyRelabeling(labels []uint32) []uint32 {
+	out := make([]uint32, len(labels))
+	for oldID := range out {
+		out[oldID] = r.EdgePerm[labels[r.EdgeInv[oldID]]]
+	}
+	return out
+}

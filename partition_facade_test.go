@@ -1,0 +1,144 @@
+package nwhy
+
+import (
+	"context"
+	"testing"
+
+	"nwhy/internal/gen"
+)
+
+func partitionTestGraph() *NWHypergraph {
+	return Wrap(gen.Community(gen.CommunityConfig{
+		NumEdges: 300, NumNodes: 400, MeanEdgeSize: 5, SizeSkew: 1.5, MemberSkew: 0.3, Seed: 21,
+	}))
+}
+
+func TestFacadePartitionCachedPerEpochAndOptions(t *testing.T) {
+	g := partitionTestGraph()
+	p1, err := g.Partition(PartitionOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := g.Partition(PartitionOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.res != p2.res {
+		t.Fatal("same-epoch same-options partition not served from cache")
+	}
+	p3, err := g.Partition(PartitionOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.res == p1.res || p3.K() != 2 {
+		t.Fatal("different K must rebuild")
+	}
+	m, err := g.BeginMutation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddEdge([]uint32{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.RelabelByPartition(p3); err == nil {
+		t.Fatal("stale partition must be rejected after a commit")
+	}
+	p4, err := g.Partition(PartitionOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4.res == p3.res || p4.Epoch() != g.Epoch() {
+		t.Fatal("commit must invalidate the cached partition")
+	}
+}
+
+func TestRelabelByPartitionPreservesAnalytics(t *testing.T) {
+	g := partitionTestGraph()
+	p, err := g.Partition(PartitionOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, rl, err := g.RelabelByPartition(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.hg().Validate(); err != nil {
+		t.Fatalf("relabeled hypergraph invalid: %v", err)
+	}
+	if rg.NumEdges() != g.NumEdges() || rg.NumNodes() != g.NumNodes() {
+		t.Fatal("relabeling changed dimensions")
+	}
+	// Part-contiguity: new hyperedge IDs walk the parts in order.
+	parts := p.EdgeParts()
+	for newID := 1; newID < len(rl.EdgePerm); newID++ {
+		if parts[rl.EdgePerm[newID]] < parts[rl.EdgePerm[newID-1]] {
+			t.Fatal("hyperedge IDs not part-contiguous after relabeling")
+		}
+	}
+	for _, s := range []int{1, 2} {
+		want, err := g.SConnectedComponentsDirectCtx(context.Background(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rg.SConnectedComponentsDirectCtx(context.Background(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mapped-back labels must induce the same partition of hyperedges
+		// (representatives are consistent per class, not necessarily the
+		// original minimum).
+		back := rl.ApplyRelabeling(got)
+		fwd := make(map[uint32]uint32)
+		rev := make(map[uint32]uint32)
+		for e := range want {
+			if b, ok := fwd[want[e]]; ok && b != back[e] {
+				t.Fatalf("s=%d: component %d split by relabeling at hyperedge %d", s, want[e], e)
+			}
+			if w, ok := rev[back[e]]; ok && w != want[e] {
+				t.Fatalf("s=%d: components merged by relabeling at hyperedge %d", s, e)
+			}
+			fwd[want[e]] = back[e]
+			rev[back[e]] = want[e]
+			// The representative must at least be a member of the class.
+			if want[back[e]] != want[e] {
+				t.Fatalf("s=%d: representative %d not in hyperedge %d's component", s, back[e], e)
+			}
+		}
+	}
+}
+
+func TestSConnectedComponentsShardedMatchesDirect(t *testing.T) {
+	g := partitionTestGraph()
+	for _, s := range []int{1, 2} {
+		for _, k := range []int{0, 1, 3} {
+			want, err := g.SConnectedComponentsDirectCtx(context.Background(), s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := g.SConnectedComponentsSharded(s, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("s=%d k=%d: %d labels, want %d", s, k, len(got), len(want))
+			}
+			for e := range want {
+				if got[e] != want[e] {
+					t.Fatalf("s=%d k=%d: label[%d] = %d, want %d", s, k, e, got[e], want[e])
+				}
+			}
+		}
+	}
+}
+
+func TestShardedSCCCancelled(t *testing.T) {
+	g := partitionTestGraph()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.SConnectedComponentsShardedCtx(ctx, 2, 2); err == nil {
+		t.Fatal("cancelled sharded s-CC must return the context error")
+	}
+}
