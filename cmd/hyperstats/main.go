@@ -32,6 +32,7 @@ func run(args []string, stdout io.Writer) error {
 		scale      = fs.Float64("scale", 1.0, "preset scale factor")
 		components = fs.Bool("components", false, "also compute connected components")
 		toplexes   = fs.Bool("toplexes", false, "also count toplexes")
+		scc        = fs.Int("scc", 0, "also compute s-connected components at this s (0 = off)")
 		dists      = fs.Bool("dists", false, "also print degree distribution tails")
 		serial     = fs.Bool("serial-parse", false, "parse Matrix Market input single-threaded")
 		snapOut    = fs.String("save-snapshot", "", "also write the loaded hypergraph as a .nwhyb snapshot")
@@ -79,7 +80,17 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "connected components: %d\n", cc.NumComponents())
 	}
 	if *toplexes {
+		// Served from the facade's epoch-keyed toplex cache; a following
+		// -scc pass reuses the warm cache for its toplex-pruned kernel run.
 		fmt.Fprintf(stdout, "toplexes: %d of %d hyperedges are maximal\n", len(g.Toplexes()), g.NumEdges())
+	}
+	if *scc > 0 {
+		labels := g.SConnectedComponentsPruned(*scc, nwhy.PruneAuto)
+		distinct := map[uint32]bool{}
+		for _, c := range labels {
+			distinct[c] = true
+		}
+		fmt.Fprintf(stdout, "%d-connected components: %d\n", *scc, len(distinct))
 	}
 	if *dists {
 		printTail(stdout, "edge-size", g.EdgeSizeDist())

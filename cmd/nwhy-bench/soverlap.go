@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"slices"
 	"time"
 
 	"nwhy"
@@ -33,12 +34,23 @@ type soverlapResult struct {
 	LineEdges int             `json:"line_edges"`
 	Sweep     []soverlapEntry `json:"sweep"`
 	Alloc     soverlapAlloc   `json:"alloc"`
+	// Connectivity-intent prune sweep: s-connected-components timing at each
+	// prune level, with every pruned labelling pinned bit-identical to the
+	// unpruned baseline (PrunedLabelsEqual is the CI assertion).
+	NumComponents     int                  `json:"num_components"`
+	PruneSweep        []soverlapPruneEntry `json:"prune_sweep"`
+	PrunedLabelsEqual bool                 `json:"pruned_labels_equal"`
 }
 
 type soverlapEntry struct {
 	Strategy string `json:"strategy"`
 	Schedule string `json:"schedule"`
 	Nanos    int64  `json:"ns"`
+}
+
+type soverlapPruneEntry struct {
+	Prune string `json:"prune"`
+	Nanos int64  `json:"ns"`
 }
 
 // soverlapAlloc compares heap traffic of the two smetrics build paths for
@@ -50,9 +62,11 @@ type soverlapAlloc struct {
 	DirectCSRBytes uint64 `json:"direct_csr_bytes"`
 }
 
-// soverlapInputs are the skewed-degree sweep inputs: bipartite power-law
-// hypergraphs at two skew exponents, where work-per-hyperedge varies enough
-// for the schedule axis to matter.
+// soverlapInputs are the sweep inputs: bipartite power-law hypergraphs at
+// two skew exponents (mean edge degree ~6), where work-per-hyperedge varies
+// enough for the schedule axis to matter, plus a containment-rich shape
+// where most hyperedges nest inside a base toplex — the case toplex pruning
+// targets.
 func soverlapInputs(scale float64) []struct {
 	name string
 	h    *core.Hypergraph
@@ -62,8 +76,12 @@ func soverlapInputs(scale float64) []struct {
 		name string
 		h    *core.Hypergraph
 	}{
-		{"powerlaw-1.6", gen.BipartitePowerLaw(ne, nv, 6, 1.6, 42)},
-		{"powerlaw-2.0", gen.BipartitePowerLaw(ne, nv, 6, 2.0, 42)},
+		{"powerlaw-1.6", gen.BipartitePowerLaw(ne, nv, 6*ne, 1.6, 42)},
+		{"powerlaw-2.0", gen.BipartitePowerLaw(ne, nv, 6*ne, 2.0, 42)},
+		{"containment", gen.Containment(gen.ContainmentConfig{
+			NumBase: int(2400 * scale), NumNodes: int(16000 * scale),
+			BaseSize: 24, SubsPerBase: 7, MemberSkew: 0.45, Seed: 43,
+		})},
 	}
 }
 
@@ -128,6 +146,31 @@ func soverlap(w io.Writer, scale float64, sList []int, reps int, outPath string)
 			fmt.Fprintf(w, "  alloc: pairs-path %d B, direct-CSR %d B (%.2fx)\n",
 				res.Alloc.PairsPathBytes, res.Alloc.DirectCSRBytes,
 				float64(res.Alloc.DirectCSRBytes)/float64(max64(res.Alloc.PairsPathBytes, 1)))
+			// Connectivity-intent prune sweep: s-CC at each prune level, with
+			// the unpruned run as the label baseline. PruneToplex warms the
+			// facade's toplex cache on its first rep; min-of-reps then shows
+			// the steady (warm-cache) cost at reps > 1.
+			prunes := []nwhy.Prune{nwhy.PruneNone, nwhy.PruneDegree, nwhy.PruneConnectivity, nwhy.PruneToplex}
+			var base []uint32
+			res.PrunedLabelsEqual = true
+			fmt.Fprintf(w, "  scc prune:")
+			for _, p := range prunes {
+				var labels []uint32
+				d := measure(reps, func() { labels = g.SConnectedComponentsPruned(s, p) })
+				if p == nwhy.PruneNone {
+					base = labels
+					distinct := map[uint32]bool{}
+					for _, c := range labels {
+						distinct[c] = true
+					}
+					res.NumComponents = len(distinct)
+				} else if !slices.Equal(labels, base) {
+					res.PrunedLabelsEqual = false
+				}
+				res.PruneSweep = append(res.PruneSweep, soverlapPruneEntry{Prune: p.String(), Nanos: d.Nanoseconds()})
+				fmt.Fprintf(w, " %s=%s", p, d.Round(time.Microsecond))
+			}
+			fmt.Fprintf(w, " (labels_equal=%v)\n", res.PrunedLabelsEqual)
 			report.Results = append(report.Results, res)
 		}
 	}

@@ -45,7 +45,8 @@ func run(args []string, stdout io.Writer) error {
 		adjoin     = fs.Bool("adjoin", false, "feed queue algorithms the adjoin representation")
 		threads    = fs.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
 		reps       = fs.Int("reps", 3, "repetitions (min time reported)")
-		components = fs.Bool("components", false, "also report s-connected components (direct union-find)")
+		components = fs.Bool("components", false, "also report s-connected components (pruned union-find)")
+		pruneName  = fs.String("prune", "auto", "pruning heuristics: auto | none | degree | connectivity | toplex")
 		serial     = fs.Bool("serial-parse", false, "parse Matrix Market input single-threaded")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -89,6 +90,17 @@ func run(args []string, stdout io.Writer) error {
 	if !ok {
 		return fmt.Errorf("unknown schedule %q", *schedule)
 	}
+	prunes := map[string]nwhy.Prune{
+		"auto":         nwhy.PruneAuto,
+		"none":         nwhy.PruneNone,
+		"degree":       nwhy.PruneDegree,
+		"connectivity": nwhy.PruneConnectivity,
+		"toplex":       nwhy.PruneToplex,
+	}
+	prune, ok := prunes[*pruneName]
+	if !ok {
+		return fmt.Errorf("unknown prune %q", *pruneName)
+	}
 
 	var g *nwhy.NWHypergraph
 	switch {
@@ -119,7 +131,7 @@ func run(args []string, stdout io.Writer) error {
 
 	opts := nwhy.ConstructOptions{
 		Algorithm: algo, Strategy: strat, Schedule: sched,
-		Cyclic: *cyclic, Relabel: order, UseAdjoin: *adjoin,
+		Cyclic: *cyclic, Relabel: order, UseAdjoin: *adjoin, Prune: prune,
 	}
 	best := time.Duration(1 << 62)
 	var edges int
@@ -139,17 +151,17 @@ func run(args []string, stdout io.Writer) error {
 		label = "weighted kernel"
 	}
 	fmt.Fprintf(stdout, "input: |E|=%d |V|=%d incidences=%d\n", g.NumEdges(), g.NumNodes(), g.NumIncidences())
-	fmt.Fprintf(stdout, "%d-line graph via %s (strategy=%s schedule=%s partition=%s relabel=%s adjoin=%v, %d threads): %d edges in %v\n",
-		*s, label, strat, sched, partitionName(*cyclic), order, *adjoin, g.Engine().NumWorkers(), edges, best.Round(time.Microsecond))
+	fmt.Fprintf(stdout, "%d-line graph via %s (strategy=%s schedule=%s partition=%s relabel=%s adjoin=%v prune=%s, %d threads): %d edges in %v\n",
+		*s, label, strat, sched, partitionName(*cyclic), order, *adjoin, prune, g.Engine().NumWorkers(), edges, best.Round(time.Microsecond))
 	if *components {
 		t0 := time.Now()
-		labels := g.SConnectedComponentsDirect(*s)
+		labels := g.SConnectedComponentsPruned(*s, prune)
 		distinct := map[uint32]bool{}
 		for _, c := range labels {
 			distinct[c] = true
 		}
-		fmt.Fprintf(stdout, "%d-connected components (direct union-find): %d in %v\n",
-			*s, len(distinct), time.Since(t0).Round(time.Microsecond))
+		fmt.Fprintf(stdout, "%d-connected components (prune=%s union-find): %d in %v\n",
+			*s, prune, len(distinct), time.Since(t0).Round(time.Microsecond))
 	}
 	return nil
 }

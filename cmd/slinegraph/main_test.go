@@ -43,11 +43,40 @@ func TestSlinegraphOptionsAndComponents(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := out.String()
-	if !strings.Contains(s, "partition=cyclic relabel=descending adjoin=true") {
+	if !strings.Contains(s, "partition=cyclic relabel=descending adjoin=true prune=auto") {
 		t.Fatalf("options not echoed: %q", s)
 	}
-	if !strings.Contains(s, "2-connected components (direct union-find):") {
+	if !strings.Contains(s, "2-connected components (prune=auto union-find):") {
 		t.Fatalf("components line missing: %q", s)
+	}
+}
+
+// TestSlinegraphPruneLevelsAgree: the -components count is identical at
+// every -prune level.
+func TestSlinegraphPruneLevelsAgree(t *testing.T) {
+	count := func(prune string) string {
+		t.Helper()
+		var out bytes.Buffer
+		err := run([]string{
+			"-preset", "containment-mini", "-scale", "0.1", "-s", "2",
+			"-reps", "1", "-components", "-prune", prune,
+		}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := out.String()
+		i := strings.Index(s, "union-find): ")
+		if i < 0 {
+			t.Fatalf("components line missing: %q", s)
+		}
+		rest := s[i+len("union-find): "):]
+		return rest[:strings.Index(rest, " ")]
+	}
+	want := count("none")
+	for _, p := range []string{"auto", "degree", "connectivity", "toplex"} {
+		if got := count(p); got != want {
+			t.Errorf("prune=%s components = %s, want %s", p, got, want)
+		}
 	}
 }
 
@@ -58,6 +87,7 @@ func TestSlinegraphErrors(t *testing.T) {
 		{"-relabel", "nope", "-preset", "rand1-mini"},
 		{"-strategy", "nope", "-preset", "rand1-mini"},
 		{"-schedule", "nope", "-preset", "rand1-mini"},
+		{"-prune", "nope", "-preset", "rand1-mini"},
 		{"-preset", "nope"},
 		{"-in", "/nonexistent.mtx"},
 	}

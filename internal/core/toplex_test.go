@@ -102,6 +102,124 @@ func TestToplexCoverInvariant(t *testing.T) {
 	}
 }
 
+func TestToplexCoverAgreesWithToplexes(t *testing.T) {
+	// The toplex list from ToplexCover must match Toplexes exactly, and
+	// cover[e] == e must hold iff e is a toplex.
+	f := func(seed int64) bool {
+		h := randomHypergraph(25, 12, 5, seed)
+		tops, cover := ToplexCover(teng, h)
+		if !reflect.DeepEqual(tops, tToplexes(h)) {
+			return false
+		}
+		isTop := map[uint32]bool{}
+		for _, e := range tops {
+			isTop[e] = true
+		}
+		for e := 0; e < h.NumEdges(); e++ {
+			if (cover[e] == uint32(e)) != isTop[uint32(e)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToplexCoverWitnesses(t *testing.T) {
+	// A non-toplex's witness must strictly dominate it: a superset of no
+	// smaller degree (a strict superset, or an equal set with smaller ID).
+	f := func(seed int64) bool {
+		h := randomHypergraph(20, 10, 4, seed)
+		_, cover := ToplexCover(teng, h)
+		for e := 0; e < h.NumEdges(); e++ {
+			c := cover[e]
+			if c == uint32(e) {
+				continue
+			}
+			if h.EdgeDegree(e) > 0 && !subsetSorted(h.EdgeIncidence(e), h.EdgeIncidence(int(c))) {
+				return false
+			}
+			de, dc := h.EdgeDegree(e), h.EdgeDegree(int(c))
+			if dc < de || (dc == de && c > uint32(e)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToplexCoverChainsTerminate(t *testing.T) {
+	// Following cover links from any hyperedge must reach a toplex without
+	// cycling: each hop strictly increases (degree, -ID).
+	f := func(seed int64) bool {
+		h := randomHypergraph(25, 12, 5, seed)
+		_, cover := ToplexCover(teng, h)
+		for e := 0; e < h.NumEdges(); e++ {
+			cur, hops := uint32(e), 0
+			for cover[cur] != cur {
+				cur = cover[cur]
+				hops++
+				if hops > h.NumEdges() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToplexCoverChain(t *testing.T) {
+	// Nested chain: every link's witness has strictly larger degree, and the
+	// chain resolves to the unique toplex.
+	h := FromSets([][]uint32{{0}, {0, 1}, {0, 1, 2}, {0, 1, 2, 3}}, 4)
+	tops, cover := ToplexCover(teng, h)
+	if !reflect.DeepEqual(tops, []uint32{3}) {
+		t.Fatalf("tops = %v, want [3]", tops)
+	}
+	for e := 0; e < 3; e++ {
+		cur := uint32(e)
+		for cover[cur] != cur {
+			cur = cover[cur]
+		}
+		if cur != 3 {
+			t.Fatalf("edge %d resolves to %d, want 3", e, cur)
+		}
+	}
+}
+
+func TestToplexCoverDuplicates(t *testing.T) {
+	// Duplicate sets: the smallest ID is the toplex, the copy points at it.
+	h := FromSets([][]uint32{{0, 1}, {0, 1}, {2}}, 3)
+	tops, cover := ToplexCover(teng, h)
+	if !reflect.DeepEqual(tops, []uint32{0, 2}) {
+		t.Fatalf("tops = %v, want [0 2]", tops)
+	}
+	if cover[1] != 0 {
+		t.Fatalf("cover[1] = %d, want 0", cover[1])
+	}
+}
+
+func TestToplexCoverEmptyEdges(t *testing.T) {
+	// An empty edge is never its own cover when a non-empty edge exists; its
+	// witness is the first disqualifier (any other hyperedge dominates it).
+	h := FromSets([][]uint32{{}, {0}}, 1)
+	tops, cover := ToplexCover(teng, h)
+	if !reflect.DeepEqual(tops, []uint32{1}) {
+		t.Fatalf("tops = %v, want [1]", tops)
+	}
+	if cover[0] == 0 {
+		t.Fatal("empty edge should not be its own cover")
+	}
+}
+
 func TestSubsetSorted(t *testing.T) {
 	cases := []struct {
 		a, b []uint32

@@ -159,6 +159,74 @@ func BipartitePowerLaw(ne, nv, m int, skew float64, seed int64) *core.Hypergraph
 	return core.FromBiEdgeList(bel)
 }
 
+// ContainmentConfig parameterizes the containment-rich generator.
+type ContainmentConfig struct {
+	NumBase  int // number of base (intended-toplex) hyperedges
+	NumNodes int // number of hypernodes
+	// BaseSize is the size of each base hyperedge (members drawn without
+	// replacement, with MemberSkew bias so bases overlap and stay connected).
+	BaseSize int
+	// SubsPerBase nested hyperedges are carved out of each base hyperedge as
+	// random proper subsets — these are non-maximal by construction, so the
+	// toplex fraction is roughly 1/(1+SubsPerBase).
+	SubsPerBase int
+	// MemberSkew in [0, 1) biases base membership toward low-ID hypernodes
+	// (same knob as CommunityConfig), keeping the base edges s-overlapping.
+	MemberSkew float64
+	Seed       int64
+}
+
+// Containment generates a containment-rich hypergraph: NumBase large base
+// hyperedges plus SubsPerBase proper subsets nested inside each. Most
+// hyperedges are therefore non-maximal and covered by a base edge — the
+// shape where toplex-pruned s-overlap construction shines, standing in for
+// set-valued datasets (shopping baskets, tag sets) whose small records are
+// usually contained in larger ones. Base edges come first (IDs
+// [0, NumBase)), subsets after, so tests can tell the strata apart.
+func Containment(cfg ContainmentConfig) *core.Hypergraph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.BaseSize < 2 {
+		cfg.BaseSize = 2
+	}
+	if cfg.BaseSize > cfg.NumNodes {
+		cfg.BaseSize = cfg.NumNodes
+	}
+	ne := cfg.NumBase * (1 + cfg.SubsPerBase)
+	bel := sparse.NewBiEdgeList(ne, cfg.NumNodes)
+	bases := make([][]uint32, cfg.NumBase)
+	scratch := make(map[uint32]bool, cfg.BaseSize)
+	for b := 0; b < cfg.NumBase; b++ {
+		clear(scratch)
+		for len(scratch) < cfg.BaseSize {
+			scratch[pickMember(rng, cfg.NumNodes, cfg.MemberSkew)] = true
+		}
+		members := make([]uint32, 0, cfg.BaseSize)
+		for v := range scratch {
+			members = append(members, v)
+		}
+		bases[b] = members
+		for _, v := range members {
+			bel.Edges = append(bel.Edges, sparse.Edge{U: uint32(b), V: v})
+		}
+	}
+	e := uint32(cfg.NumBase)
+	for b := 0; b < cfg.NumBase; b++ {
+		members := bases[b]
+		for k := 0; k < cfg.SubsPerBase; k++ {
+			// Proper subset: size in [1, |base|-1], first `size` of a shuffle.
+			size := 1 + rng.Intn(len(members)-1)
+			rng.Shuffle(len(members), func(i, j int) {
+				members[i], members[j] = members[j], members[i]
+			})
+			for _, v := range members[:size] {
+				bel.Edges = append(bel.Edges, sparse.Edge{U: e, V: v})
+			}
+			e++
+		}
+	}
+	return core.FromBiEdgeList(bel)
+}
+
 // RMAT generates a hypergraph whose incidence matrix is drawn from the
 // R-MAT (recursive matrix) distribution used by Graph500-style workload
 // generators: each of m incidences picks its (hyperedge, hypernode) cell by
@@ -327,6 +395,19 @@ func Presets() []Preset {
 				nv := scaleInt(44000, s)
 				ne := scaleInt(20000, s)
 				return BipartitePowerLaw(ne, nv, scaleInt(220000, s), 1.7, 105)
+			},
+		},
+		{
+			Name: "containment-mini", PaperV: "-", PaperE: "-",
+			// Not a Table I row: a containment-rich shape (most hyperedges
+			// nested inside a base toplex) for exercising toplex pruning.
+			Build: func(s float64) *core.Hypergraph {
+				return Containment(ContainmentConfig{
+					NumBase:  scaleInt(1200, s),
+					NumNodes: scaleInt(8000, s),
+					BaseSize: 24, SubsPerBase: 7,
+					MemberSkew: 0.45, Seed: 107,
+				})
 			},
 		},
 		{

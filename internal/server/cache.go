@@ -21,7 +21,13 @@ type CacheKey struct {
 	Edges    bool
 	Weighted bool
 	Strategy nwhy.Strategy
-	Epoch    uint64
+	// Prune is the requested pruning level — the prune-axis fingerprint.
+	// Like Strategy it never changes what a materializing construction
+	// builds (the facade clamps levels that would), but keying on it keeps
+	// the entry's provenance explicit and future-proofs result-shaping
+	// levels.
+	Prune nwhy.Prune
+	Epoch uint64
 }
 
 // base strips the epoch off the key: the identity of the request independent

@@ -155,6 +155,24 @@ func qStrategy(r *http.Request) (nwhy.Strategy, error) {
 	}
 }
 
+// qPrune parses the prune parameter onto the kernel's pruning axis.
+func qPrune(r *http.Request) (nwhy.Prune, error) {
+	switch v := r.URL.Query().Get("prune"); v {
+	case "", "auto":
+		return nwhy.PruneAuto, nil
+	case "none":
+		return nwhy.PruneNone, nil
+	case "degree":
+		return nwhy.PruneDegree, nil
+	case "connectivity":
+		return nwhy.PruneConnectivity, nil
+	case "toplex":
+		return nwhy.PruneToplex, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown prune %q (want auto|none|degree|connectivity|toplex)", ErrBadRequest, v)
+	}
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.Health())
 }
@@ -205,6 +223,10 @@ func (s *Server) handleSLine(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	if req.Prune, err = qPrune(r); err != nil {
+		writeErr(w, err)
+		return
+	}
 	out, err := s.SLine(r.Context(), req)
 	if err != nil {
 		writeErr(w, err)
@@ -241,6 +263,10 @@ func (s *Server) handleSCC(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Strategy, err = qStrategy(r); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.Prune, err = qPrune(r); err != nil {
 		writeErr(w, err)
 		return
 	}

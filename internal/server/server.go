@@ -332,6 +332,11 @@ type SLineRequest struct {
 	Weighted bool
 	Strategy nwhy.Strategy
 	Schedule nwhy.Schedule
+	// Prune selects the kernel's pruning level. Materializing constructions
+	// clamp anything above the (result-invariant) degree prefilter, so every
+	// level yields the same graph; the level still enters the cache key as
+	// the prune fingerprint.
+	Prune nwhy.Prune
 }
 
 func (r SLineRequest) validate() error {
@@ -348,7 +353,7 @@ func (r SLineRequest) validate() error {
 // part of the key: it only affects construction scheduling, never the
 // resulting graph.
 func (r SLineRequest) key() CacheKey {
-	return CacheKey{Dataset: r.Dataset, S: r.S, Edges: r.Edges, Weighted: r.Weighted, Strategy: r.Strategy}
+	return CacheKey{Dataset: r.Dataset, S: r.S, Edges: r.Edges, Weighted: r.Weighted, Strategy: r.Strategy, Prune: r.Prune}
 }
 
 // SLineResult summarizes one constructed (or cache-served) s-line graph.
@@ -384,7 +389,7 @@ func (s *Server) slineGraph(ctx context.Context, req SLineRequest) (*nwhy.SLineG
 	}
 	key := req.key()
 	key.Epoch = g.Epoch()
-	opts := nwhy.ConstructOptions{Strategy: req.Strategy, Schedule: req.Schedule}
+	opts := nwhy.ConstructOptions{Strategy: req.Strategy, Schedule: req.Schedule, Prune: req.Prune}
 	return s.cache.Get(ctx, key, func() (*nwhy.SLineGraph, *nwhy.WeightedSLineGraph, error) {
 		if req.Weighted {
 			wlg, err := g.SLineGraphWeightedCtx(ctx, req.S, opts)
@@ -454,7 +459,15 @@ type SCCRequest struct {
 	// WithLabels includes the full per-hyperedge label vector in the
 	// result (the summary is always computed).
 	WithLabels bool
-	Strategy   nwhy.Strategy
+	// Strategy selects the overlap counter for the legacy line-graph path;
+	// the default pruned path auto-resolves it from the handle's memoized
+	// degree statistics.
+	Strategy nwhy.Strategy
+	// Prune selects the pruning level for the default path (PruneAuto: the
+	// connectivity arsenal, upgrading to toplex-only once the dataset's
+	// toplex cache is warm; PruneNone: the unpruned baseline). Labels are
+	// identical at every level.
+	Prune nwhy.Prune
 }
 
 // SCCResult summarizes the s-component structure.
@@ -473,8 +486,11 @@ type SCCResult struct {
 	Labels  []uint32 `json:"labels,omitempty"`
 }
 
-// SComponents computes s-connected components, via the cached s-line graph
-// by default or the direct union-find kernel on request.
+// SComponents computes s-connected components. The default path is the
+// intent-aware pruned union-find kernel (no s-line graph is ever
+// materialized; the prune level comes from req.Prune); Direct forces the
+// unpruned-era direct kernel, Incremental the maintained view, Sharded the
+// k-shard execution path. Labels agree across all of them.
 func (s *Server) SComponents(ctx context.Context, req SCCRequest) (SCCResult, error) {
 	var out SCCResult
 	err := s.do(ctx, "scc", func(ctx context.Context) error {
@@ -530,15 +546,18 @@ func (s *Server) SComponents(ctx context.Context, req SCCRequest) (SCCResult, er
 				return err
 			}
 		default:
-			lg, _, h, err := s.slineGraph(ctx, SLineRequest{Dataset: req.Dataset, S: req.S, Edges: true, Strategy: req.Strategy})
+			// The pruned connectivity path: never materializes the s-line
+			// graph, unions s-incident pairs under the full pruning arsenal
+			// (degree prefilter, connected short-circuit, and — once the
+			// dataset's toplex cache is warm — toplex-only construction).
+			g, err := s.dataset(req.Dataset)
 			if err != nil {
 				return err
 			}
-			labels, err = lg.SConnectedComponentsCtx(ctx)
+			labels, err = g.SConnectedComponentsPrunedCtx(ctx, req.S, req.Prune)
 			if err != nil {
 				return err
 			}
-			hit = h
 		}
 		sizes := map[uint32]int{}
 		largest := 0

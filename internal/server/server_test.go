@@ -87,6 +87,52 @@ func TestSLineValidation(t *testing.T) {
 	}
 }
 
+// TestSCCPruneLevels: every prune level yields identical component labels
+// through the serving layer, and the HTTP prune parameter round-trips
+// (bogus values map to 400).
+func TestSCCPruneLevels(t *testing.T) {
+	s, _ := testServer(t, Config{})
+	ctx := context.Background()
+
+	base, err := s.SComponents(ctx, SCCRequest{Dataset: "tiny", S: 1, Direct: true, WithLabels: true})
+	if err != nil {
+		t.Fatalf("direct: %v", err)
+	}
+	for _, p := range []nwhy.Prune{nwhy.PruneAuto, nwhy.PruneNone, nwhy.PruneDegree, nwhy.PruneConnectivity, nwhy.PruneToplex} {
+		r, err := s.SComponents(ctx, SCCRequest{Dataset: "tiny", S: 1, Prune: p, WithLabels: true})
+		if err != nil {
+			t.Fatalf("prune=%v: %v", p, err)
+		}
+		if r.NumComponents != base.NumComponents {
+			t.Fatalf("prune=%v: %d components, want %d", p, r.NumComponents, base.NumComponents)
+		}
+		for i := range base.Labels {
+			if r.Labels[i] != base.Labels[i] {
+				t.Fatalf("prune=%v: label[%d] = %d, want %d", p, i, r.Labels[i], base.Labels[i])
+			}
+		}
+	}
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	for path, want := range map[string]int{
+		"/scc?dataset=tiny&s=1&prune=toplex":        200,
+		"/scc?dataset=tiny&s=1&prune=none":          200,
+		"/scc?dataset=tiny&s=1&prune=bogus":         400,
+		"/slinegraph?dataset=tiny&s=1&prune=degree": 200,
+		"/slinegraph?dataset=tiny&s=1&prune=nope":   400,
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s status = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
 func TestSComponentsCachedMatchesDirect(t *testing.T) {
 	s, eng := testServer(t, Config{})
 	ctx := context.Background()

@@ -6,6 +6,7 @@ import (
 	"nwhy/internal/countmap"
 	"nwhy/internal/frontier"
 	"nwhy/internal/parallel"
+	"nwhy/internal/unionfind"
 )
 
 // SComponentsDirect computes the s-connected components of the hyperedges
@@ -24,6 +25,52 @@ func SComponentsDirect(eng *parallel.Engine, in Input, s int, o Options) ([]uint
 	if err != nil {
 		return nil, err
 	}
+	return forest.Labels(), nil
+}
+
+// SComponentsToplex computes the s-connected components through the
+// toplex-only construction, the companion paper's strongest connectivity
+// cut: the kernel runs over the maximal hyperedges only (tops, with the
+// eligibility bitset confining candidates to the same subset), then every
+// non-maximal hyperedge clearing the degree filter is attached to its
+// containment witness cover[e] (both from core.ToplexCover).
+//
+// Soundness of the expansion: e ⊆ cover[e] means |e ∩ cover[e]| = deg(e),
+// so an eligible non-toplex s-overlaps each link of its cover chain, which
+// terminates at a toplex of no smaller degree. Completeness: if e₁ and e₂
+// s-overlap, their covering toplexes T₁ ⊇ e₁ and T₂ ⊇ e₂ satisfy
+// |T₁ ∩ T₂| ≥ |e₁ ∩ e₂| ≥ s, so the toplex-restricted kernel connects
+// them directly. The resulting partition — and the minimum-member labels —
+// is therefore bit-identical to SComponentsDirect over the full set.
+func SComponentsToplex(eng *parallel.Engine, in Input, s int, tops, cover []uint32, o Options) ([]uint32, error) {
+	forest := unionfind.New(in.IDSpace())
+	if o.Schedule == DefaultSchedule {
+		o.Schedule = QueueSchedule
+	}
+	o.Intent = IntentConnectivity
+	o.Prune = ToplexPrune
+	o.Subset = tops
+	o.forest = forest
+	if err := construct(eng, in, s, o, false, func(_ int, e, f uint32, _ int32) {
+		forest.Union(e, f)
+	}); err != nil {
+		return nil, err
+	}
+	// Expand: attach eligible non-maximal hyperedges to their covers. The
+	// max(s, 1) floor keeps s = 0 parity with the direct kernel, which only
+	// ever connects hyperedges sharing at least one node.
+	floor := max(s, 1)
+	eng.ForN(len(cover), func(_, lo, hi int) {
+		for e := lo; e < hi; e++ {
+			if c := cover[e]; c != uint32(e) && in.EdgeDegree(uint32(e)) >= floor {
+				forest.Union(uint32(e), c)
+			}
+		}
+	})
+	if err := eng.Err(); err != nil {
+		return nil, err
+	}
+	forest.Compress()
 	return forest.Labels(), nil
 }
 

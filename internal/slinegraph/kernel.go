@@ -94,8 +94,10 @@ type overlapCounter interface {
 	// the counter is bound to a worker.
 	reset(in Input)
 	// process visits hyperedge e, yielding each (f, count) with f > e,
-	// deg(f) ≥ s and |e ∩ f| ≥ s.
-	process(in Input, e uint32, s int, exact bool, yield func(f uint32, c int32))
+	// deg(f) ≥ s and |e ∩ f| ≥ s. pr supplies the run's pruning state:
+	// candidate eligibility (degree prefilter / toplex restriction) and the
+	// connected short-circuit.
+	process(in Input, e uint32, s int, exact bool, pr *pruneState, yield func(f uint32, c int32))
 }
 
 // tallyCounter counts overlaps through the two-level incidence walk into a
@@ -107,17 +109,17 @@ type tallyCounter struct {
 
 func (t *tallyCounter) reset(in Input) { t.c.Reset(in.IDSpace()) }
 
-func (t *tallyCounter) process(in Input, e uint32, s int, _ bool, yield func(f uint32, c int32)) {
+func (t *tallyCounter) process(in Input, e uint32, s int, _ bool, pr *pruneState, yield func(f uint32, c int32)) {
 	t.c.Clear()
 	for _, v := range in.Incidence(e) { // Alg 1, line 9
 		for _, f := range in.EdgesOf(v) { // line 10: (i < j)
-			if f > e && in.EdgeDegree(f) >= s {
+			if f > e && pr.ok(in, f, s) {
 				t.c.Inc(f, 1) // line 11
 			}
 		}
 	}
 	t.c.Range(func(f uint32, c int32) { // lines 12-14
-		if int(c) >= s {
+		if int(c) >= s && !pr.connected(e, f) {
 			yield(f, c)
 		}
 	})
@@ -140,7 +142,7 @@ func (ic *intersectionCounter) reset(in Input) {
 	}
 }
 
-func (ic *intersectionCounter) process(in Input, e uint32, s int, exact bool, yield func(f uint32, c int32)) {
+func (ic *intersectionCounter) process(in Input, e uint32, s int, exact bool, pr *pruneState, yield func(f uint32, c int32)) {
 	ic.epoch++
 	if ic.epoch == 0 { // stamp wraparound: hard reset
 		for i := range ic.stamp {
@@ -152,7 +154,7 @@ func (ic *intersectionCounter) process(in Input, e uint32, s int, exact bool, yi
 	re := in.Incidence(e)
 	for _, v := range re {
 		for _, f := range in.EdgesOf(v) {
-			if f <= e || in.EdgeDegree(f) < s || ic.stamp[f] == ic.epoch {
+			if f <= e || ic.stamp[f] == ic.epoch || !pr.ok(in, f, s) {
 				continue
 			}
 			ic.stamp[f] = ic.epoch
@@ -160,6 +162,9 @@ func (ic *intersectionCounter) process(in Input, e uint32, s int, exact bool, yi
 		}
 	}
 	for _, f := range ic.cand {
+		if pr.connected(e, f) {
+			continue // already one s-component; the merge would be a no-op
+		}
 		var c int
 		var ok bool
 		if exact {
@@ -276,7 +281,13 @@ func resolveAxes(in Input, s int, ids []uint32, o Options) (Counter, Schedule) {
 		}
 	}
 	if ctr == AutoCounter || sched == AutoSchedule {
-		mean, max := degreeStats(in, ids)
+		var mean float64
+		var max int
+		if o.Stats != nil {
+			mean, max = o.Stats.Mean, o.Stats.Max
+		} else {
+			mean, max = degreeStats(in, ids)
+		}
 		if ctr == AutoCounter {
 			switch {
 			case s >= 2 && float64(s) >= mean/2:
@@ -328,6 +339,12 @@ func sortByDegree(ids []uint32, in Input, ord sparse.Order) []uint32 {
 // surface mid-run cancellation.
 func construct(eng *parallel.Engine, in Input, s int, o Options, exact bool, emit func(w int, e, f uint32, c int32)) error {
 	ids := in.EdgeIDs()
+	// Axis 4 first: the prefiltered work span feeds the schedule and, when
+	// Stats is unset, the axis-resolution scan only visits eligible edges.
+	pr, ids := buildPrune(eng, in, s, o, ids)
+	if err := eng.Err(); err != nil {
+		return err
+	}
 	ctr, sched := resolveAxes(in, s, ids, o)
 	if sched == QueueSchedule {
 		ids = orderQueue(eng, ids, in, o)
@@ -336,11 +353,11 @@ func construct(eng *parallel.Engine, in Input, s int, o Options, exact bool, emi
 	}
 	tls, release := counterTLS(eng, ctr)
 	body := func(w int, e uint32) {
-		if in.EdgeDegree(e) < s { // Alg 1, line 6: degree filter
+		if !pr.ok(in, e, s) { // Alg 1, line 6 (pre-checked under the prefilter)
 			return
 		}
 		cnt := getCounter(eng, tls, w, ctr, in)
-		cnt.process(in, e, s, exact, func(f uint32, c int32) { emit(w, e, f, c) })
+		cnt.process(in, e, s, exact, pr, func(f uint32, c int32) { emit(w, e, f, c) })
 	}
 	switch sched {
 	case QueueSchedule:

@@ -42,7 +42,14 @@ func (f *Forest) Grow(n int) {
 
 // Union merges the sets containing u and v with lock-free hooking by
 // minimum root (the Afforest link operation).
-func (f *Forest) Union(u, v uint32) {
+func (f *Forest) Union(u, v uint32) { f.TryUnion(u, v) }
+
+// TryUnion merges the sets containing u and v, reporting whether this call
+// performed the link. A false return means the two were already one set
+// (possibly merged concurrently by another caller an instant earlier) —
+// the signal the kernel's connected short-circuit and the tests use to
+// count productive unions. Lock-free, same hooking discipline as Union.
+func (f *Forest) TryUnion(u, v uint32) bool {
 	p1 := parallel.LoadU32(&f.parent[u])
 	p2 := parallel.LoadU32(&f.parent[v])
 	for p1 != p2 {
@@ -52,14 +59,15 @@ func (f *Forest) Union(u, v uint32) {
 		}
 		pHigh := parallel.LoadU32(&f.parent[high])
 		if pHigh == low {
-			return
+			return false
 		}
 		if pHigh == high && parallel.CASU32(&f.parent[high], high, low) {
-			return
+			return true
 		}
 		p1 = parallel.LoadU32(&f.parent[parallel.LoadU32(&f.parent[high])])
 		p2 = parallel.LoadU32(&f.parent[low])
 	}
+	return false
 }
 
 // Find returns the current root of x's set (with path halving). Between a
@@ -114,3 +122,26 @@ func (f *Forest) NumSets() int {
 
 // Same reports whether u and v are currently in one set (quiescent use).
 func (f *Forest) Same(u, v uint32) bool { return f.Find(u) == f.Find(v) }
+
+// SameSet reports whether u and v are in one set, safely during concurrent
+// Union bursts: a true result is definitive (both Finds reached a common
+// element, and connectivity only ever grows), while a false result may be
+// stale the instant it returns. That asymmetry is exactly what the kernel's
+// connected short-circuit tolerates — a false negative costs one redundant
+// overlap count; a false positive would lose a component merge and cannot
+// happen. The loop retries while the roots it observed were concurrently
+// hooked under something else, so false negatives are confined to genuinely
+// racing unions.
+func (f *Forest) SameSet(u, v uint32) bool {
+	for {
+		ru := f.Find(u)
+		rv := f.Find(v)
+		if ru == rv {
+			return true
+		}
+		if parallel.LoadU32(&f.parent[ru]) == ru {
+			return false
+		}
+		u, v = ru, rv
+	}
+}

@@ -3,6 +3,7 @@ package unionfind
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -143,6 +144,126 @@ func TestConcurrentUnionsRandom(t *testing.T) {
 	for x := 0; x < n; x++ {
 		if int(f.Labels()[x]) != o.find(x) {
 			t.Fatalf("label[%d] = %d, oracle %d", x, f.Labels()[x], o.find(x))
+		}
+	}
+}
+
+func TestTryUnion(t *testing.T) {
+	f := New(4)
+	if !f.TryUnion(0, 2) {
+		t.Fatal("first union of distinct singletons should report a merge")
+	}
+	if f.TryUnion(0, 2) || f.TryUnion(2, 0) {
+		t.Fatal("re-union of the same set should report no merge")
+	}
+	if f.TryUnion(1, 1) {
+		t.Fatal("self-union should report no merge")
+	}
+	if !f.TryUnion(2, 3) {
+		t.Fatal("union through a non-root member should still merge")
+	}
+	f.Compress()
+	if f.NumSets() != 2 {
+		t.Fatalf("NumSets = %d, want 2", f.NumSets())
+	}
+}
+
+func TestTryUnionCountsMerges(t *testing.T) {
+	// Across any interleaving, successful TryUnions = n - NumSets: each true
+	// return is exactly one merge.
+	const n = 4000
+	f := New(n)
+	rng := rand.New(rand.NewSource(11))
+	edges := make([][2]uint32, 12000)
+	for i := range edges {
+		edges[i] = [2]uint32{uint32(rng.Intn(n)), uint32(rng.Intn(n))}
+	}
+	var merges atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(edges); i += 8 {
+				if f.TryUnion(edges[i][0], edges[i][1]) {
+					merges.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	f.Compress()
+	if got, want := merges.Load(), int64(n-f.NumSets()); got != want {
+		t.Fatalf("merges = %d, want %d (n - NumSets)", got, want)
+	}
+}
+
+func TestSameSet(t *testing.T) {
+	f := New(6)
+	if f.SameSet(0, 1) {
+		t.Fatal("fresh singletons reported connected")
+	}
+	f.Union(0, 2)
+	f.Union(2, 4)
+	if !f.SameSet(0, 4) || !f.SameSet(4, 0) {
+		t.Fatal("SameSet missed a union chain")
+	}
+	if f.SameSet(0, 1) {
+		t.Fatal("SameSet connected disjoint sets")
+	}
+	if !f.SameSet(3, 3) {
+		t.Fatal("SameSet(x, x) must be true")
+	}
+}
+
+// TestSameSetNeverFalsePositive: under concurrent unions, SameSet may be
+// stale (report false for a freshly merged pair) but must never report true
+// for elements in different residue classes, which no union ever connects.
+func TestSameSetNeverFalsePositive(t *testing.T) {
+	const n = 8000
+	f := New(n)
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := g; i+4 < n; i += 4 {
+				f.Union(uint32(i), uint32(i+4)) // stays within residue class mod 4
+			}
+		}(g)
+	}
+	var bad atomic.Bool
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a := uint32(rng.Intn(n))
+				b := uint32(rng.Intn(n))
+				if a%4 != b%4 && f.SameSet(a, b) {
+					bad.Store(true)
+					return
+				}
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if bad.Load() {
+		t.Fatal("SameSet reported true across disjoint residue classes")
+	}
+	f.Compress()
+	for x := 0; x < n; x++ {
+		if f.Labels()[x] != uint32(x%4) {
+			t.Fatalf("label[%d] = %d, want %d", x, f.Labels()[x], x%4)
 		}
 	}
 }

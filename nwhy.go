@@ -90,6 +90,19 @@ type lazyState struct {
 	partOpts    partition.Options
 	shards      *partition.ShardMap
 	shardsEpoch uint64
+	// dstats caches the hyperedge degree statistics of the snapshot at
+	// dstatsEpoch — the numbers resolveAxes and the degree prefilter consume
+	// on every construction, memoized so repeated queries skip the scan.
+	dstats      *slinegraph.DegreeStats
+	dstatsEpoch uint64
+	// tops/cover cache Algorithm 3's output (toplex IDs plus the containment
+	// map) of the snapshot at topsEpoch, shared by Toplexes, Toplexify, and
+	// the toplex-only s-component path. topsValid distinguishes a cached
+	// empty result from a cold cache.
+	tops      []uint32
+	cover     []uint32
+	topsEpoch uint64
+	topsValid bool
 }
 
 // newHandle builds a facade handle around h bound to eng (nil = shared
@@ -338,23 +351,102 @@ func (g *NWHypergraph) Adjoin() *core.AdjoinGraph {
 	return lz.adjoin
 }
 
-// Toplexes returns the IDs of the maximal hyperedges (paper Algorithm 3).
-func (g *NWHypergraph) Toplexes() []uint32 { return core.Toplexes(g.engine(), g.hg()) }
+// degreeStats returns the memoized hyperedge degree statistics of the
+// current snapshot, computing them engine-parallel on eng on first use. The
+// cache follows the adjoin discipline: epoch-keyed, built under mu, never
+// populated from a cancelled engine (nil is returned instead and the kernel
+// falls back to its own scan).
+func (g *NWHypergraph) degreeStats(eng *Engine) *slinegraph.DegreeStats {
+	snap := g.snap()
+	lz := g.lazy
+	if lz == nil {
+		// Zero-value handle (no constructor ran): compute uncached.
+		st := slinegraph.ComputeDegreeStats(eng, slinegraph.FromHypergraph(snap.h))
+		if eng.Err() != nil {
+			return nil
+		}
+		return &st
+	}
+	lz.mu.Lock()
+	defer lz.mu.Unlock()
+	if lz.dstats == nil || lz.dstatsEpoch != snap.epoch {
+		st := slinegraph.ComputeDegreeStats(eng, slinegraph.FromHypergraph(snap.h))
+		if eng.Err() != nil {
+			return nil
+		}
+		lz.dstats = &st
+		lz.dstatsEpoch = snap.epoch
+	}
+	return lz.dstats
+}
+
+// toplexCover returns the memoized (toplexes, containment map) of the
+// current snapshot, computing core.ToplexCover on eng on first use. Same
+// cache discipline as Adjoin: epoch-keyed (a Commit invalidates it), built
+// under mu, never populated from a cancelled engine. The returned slices
+// alias the cache — internal consumers only read them; public accessors
+// copy.
+func (g *NWHypergraph) toplexCover(eng *Engine) (tops, cover []uint32, err error) {
+	snap := g.snap()
+	lz := g.lazy
+	if lz == nil {
+		tops, cover = core.ToplexCover(eng, snap.h)
+		return tops, cover, eng.Err()
+	}
+	lz.mu.Lock()
+	defer lz.mu.Unlock()
+	if !lz.topsValid || lz.topsEpoch != snap.epoch {
+		tops, cover = core.ToplexCover(eng, snap.h)
+		if err := eng.Err(); err != nil {
+			return nil, nil, err
+		}
+		lz.tops, lz.cover = tops, cover
+		lz.topsEpoch, lz.topsValid = snap.epoch, true
+	}
+	return lz.tops, lz.cover, nil
+}
+
+// toplexCacheWarm reports whether the toplex cache already holds the
+// current snapshot's containment map — the signal PruneAuto uses to take
+// the toplex-only path only when it costs nothing extra.
+func (g *NWHypergraph) toplexCacheWarm() bool {
+	lz := g.lazy
+	if lz == nil {
+		return false
+	}
+	snap := g.snap()
+	lz.mu.Lock()
+	defer lz.mu.Unlock()
+	return lz.topsValid && lz.topsEpoch == snap.epoch
+}
+
+// Toplexes returns the IDs of the maximal hyperedges (paper Algorithm 3),
+// served from an epoch-keyed cache shared with Toplexify and the
+// toplex-only s-component path; a committed mutation invalidates it like
+// the adjoin graph.
+func (g *NWHypergraph) Toplexes() []uint32 {
+	tops, _, err := g.toplexCover(g.engine())
+	if err != nil {
+		return nil
+	}
+	return append([]uint32(nil), tops...)
+}
 
 // ToplexesCtx is Toplexes bounded by ctx: the scan aborts at the next grain
 // boundary once ctx is cancelled and returns ctx.Err().
 func (g *NWHypergraph) ToplexesCtx(ctx context.Context) ([]uint32, error) {
-	eng := g.engine().WithContext(ctx)
-	out := core.Toplexes(eng, g.hg())
-	if err := eng.Err(); err != nil {
+	tops, _, err := g.toplexCover(g.engine().WithContext(ctx))
+	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	return append([]uint32(nil), tops...), nil
 }
 
-// Toplexify returns the hypergraph restricted to its toplexes.
+// Toplexify returns the hypergraph restricted to its toplexes (IDs from the
+// shared epoch-keyed toplex cache).
 func (g *NWHypergraph) Toplexify() *NWHypergraph {
-	return Wrap(core.Toplexify(g.engine(), g.hg())).WithEngine(g.engine())
+	tops, _, _ := g.toplexCover(g.engine())
+	return Wrap(core.RestrictToEdges(g.hg(), tops)).WithEngine(g.engine())
 }
 
 // CollapseEdges merges duplicate hyperedges into representatives, returning

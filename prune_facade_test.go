@@ -1,0 +1,129 @@
+package nwhy
+
+import (
+	"context"
+	"slices"
+	"testing"
+)
+
+func containmentFacade() *NWHypergraph {
+	// Base toplexes {0..5}, {4..9}, {8..13} plus nested subsets of each.
+	return FromSets([][]uint32{
+		{0, 1, 2, 3, 4, 5},
+		{4, 5, 6, 7, 8, 9},
+		{8, 9, 10, 11, 12, 13},
+		{0, 1, 2},
+		{2, 3, 4, 5},
+		{5, 6, 7},
+		{8, 9},
+		{10, 11, 12, 13},
+		{14, 15}, // isolated toplex
+	}, 16)
+}
+
+func TestSConnectedComponentsPrunedMatchesDirect(t *testing.T) {
+	g := containmentFacade()
+	for s := 1; s <= 4; s++ {
+		want := g.SConnectedComponentsDirect(s)
+		for _, p := range []Prune{PruneAuto, PruneNone, PruneDegree, PruneConnectivity, PruneToplex} {
+			got := g.SConnectedComponentsPruned(s, p)
+			if !slices.Equal(got, want) {
+				t.Fatalf("s=%d prune=%v: pruned labels diverge from direct", s, p)
+			}
+		}
+	}
+}
+
+func TestPruneAutoUpgradesOnWarmToplexCache(t *testing.T) {
+	g := containmentFacade()
+	if g.toplexCacheWarm() {
+		t.Fatal("fresh handle should have a cold toplex cache")
+	}
+	want := g.SConnectedComponentsPruned(2, PruneAuto)
+	// Cold cache: PruneAuto must not have paid for toplexes speculatively.
+	if g.toplexCacheWarm() {
+		t.Fatal("PruneAuto warmed the toplex cache on a cold handle")
+	}
+	// PruneToplex forces and caches the cover; PruneAuto then upgrades.
+	g.SConnectedComponentsPruned(2, PruneToplex)
+	if !g.toplexCacheWarm() {
+		t.Fatal("PruneToplex should warm the toplex cache")
+	}
+	if got := g.SConnectedComponentsPruned(2, PruneAuto); !slices.Equal(got, want) {
+		t.Fatal("warm-cache PruneAuto labels diverge from cold-cache run")
+	}
+}
+
+func TestToplexCacheInvalidatedByCommit(t *testing.T) {
+	g := containmentFacade()
+	before := g.Toplexes()
+	if !g.toplexCacheWarm() {
+		t.Fatal("Toplexes should warm the cache")
+	}
+	m, err := g.BeginMutation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A new 3-node hyperedge strictly containing {14,15} demotes that toplex.
+	if _, err := m.AddEdge([]uint32{14, 15, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if g.toplexCacheWarm() {
+		t.Fatal("Commit should invalidate the toplex cache")
+	}
+	after := g.Toplexes()
+	if slices.Contains(after, 8) {
+		t.Fatalf("edge 8 should no longer be maximal after commit: %v", after)
+	}
+	if slices.Equal(before, after) {
+		t.Fatal("toplex set should change after the commit")
+	}
+	// Pruned components still match direct on the new snapshot.
+	if !slices.Equal(g.SConnectedComponentsPruned(1, PruneToplex), g.SConnectedComponentsDirect(1)) {
+		t.Fatal("post-commit toplex-pruned labels diverge from direct")
+	}
+}
+
+func TestToplexesReturnsCopy(t *testing.T) {
+	g := containmentFacade()
+	a := g.Toplexes()
+	if len(a) == 0 {
+		t.Fatal("expected toplexes")
+	}
+	a[0] = 999
+	if b := g.Toplexes(); b[0] == 999 {
+		t.Fatal("Toplexes exposed the cached slice")
+	}
+}
+
+func TestSConnectedComponentsPrunedCtxCancel(t *testing.T) {
+	g := containmentFacade()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, p := range []Prune{PruneAuto, PruneDegree, PruneToplex} {
+		if _, err := g.SConnectedComponentsPrunedCtx(ctx, 2, p); err == nil {
+			t.Fatalf("prune=%v: cancelled run returned nil error", p)
+		}
+	}
+	// The cancelled toplex attempt must not have poisoned the cache.
+	if g.toplexCacheWarm() {
+		t.Fatal("cancelled run populated the toplex cache")
+	}
+	if labels, err := g.SConnectedComponentsPrunedCtx(context.Background(), 2, PruneToplex); err != nil || len(labels) != g.NumEdges() {
+		t.Fatalf("post-cancel retry failed: %v", err)
+	}
+}
+
+func TestPruneStrings(t *testing.T) {
+	for want, p := range map[string]Prune{
+		"auto": PruneAuto, "none": PruneNone, "degree": PruneDegree,
+		"connectivity": PruneConnectivity, "toplex": PruneToplex,
+	} {
+		if p.String() != want {
+			t.Fatalf("String() = %q, want %q", p.String(), want)
+		}
+	}
+}

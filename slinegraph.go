@@ -82,6 +82,35 @@ const (
 
 func (s Schedule) String() string { return slinegraph.Schedule(s).String() }
 
+// Prune selects the intent-aware pruning heuristics — the fourth kernel
+// axis (the companion paper's algorithmic cuts). The heuristics compose in
+// order; levels that drop pairs (connectivity, toplex) only ever apply to
+// connectivity-intent runs (the SConnectedComponents* family) and silently
+// degrade to the result-identical degree prefilter everywhere else.
+type Prune int
+
+const (
+	// PruneAuto resolves from the query intent: the degree prefilter for
+	// pair-list constructions, the connectivity arsenal for component
+	// queries (upgrading to the toplex-only path when the handle's toplex
+	// cache is already warm).
+	PruneAuto Prune = iota
+	// PruneNone disables every heuristic — the benchmark baseline.
+	PruneNone
+	// PruneDegree prefilters the work list to hyperedges with deg ≥ s once
+	// up front (engine-parallel bitset + filtered span).
+	PruneDegree
+	// PruneConnectivity adds the union-find connected short-circuit:
+	// candidate pairs already in one s-component skip counting.
+	PruneConnectivity
+	// PruneToplex additionally restricts construction to the maximal
+	// hyperedges, expanding labels through the containment map; forcing it
+	// computes (and caches) the toplex cover if cold.
+	PruneToplex
+)
+
+func (p Prune) String() string { return slinegraph.Prune(p).String() }
+
 // ConstructOptions configure s-line-graph construction. The one options
 // struct covers every variant — unweighted, weighted, queue or not: the
 // Strategy and Schedule axes select the kernel configuration, while the
@@ -106,6 +135,11 @@ type ConstructOptions struct {
 	// non-queue algorithms, which require the bipartite form's contiguous
 	// ID space).
 	UseAdjoin bool
+	// Prune selects the pruning heuristics (kernel axis 4). Zero value:
+	// auto-resolve from the query intent. Pair-list constructions clamp
+	// levels above PruneDegree, since dropping pairs is only sound for
+	// component queries.
+	Prune Prune
 }
 
 func (o ConstructOptions) internal() slinegraph.Options {
@@ -119,6 +153,7 @@ func (o ConstructOptions) internal() slinegraph.Options {
 		Relabel:   o.Relabel,
 		Counter:   slinegraph.Counter(o.Strategy),
 		Schedule:  slinegraph.Schedule(o.Schedule),
+		Prune:     slinegraph.Prune(o.Prune),
 	}
 }
 
@@ -177,6 +212,11 @@ func (g *NWHypergraph) slgOn(eng *Engine, s int, edges bool, o ConstructOptions)
 		err   error
 	)
 	opts := o.internal()
+	if edges {
+		// The memoized degree statistics only describe the hyperedge side;
+		// dual (edges=false) constructions fall back to the kernel's scan.
+		opts.Stats = g.degreeStats(eng)
+	}
 	switch o.Algorithm {
 	case AlgoNaive:
 		pairs, err = slinegraph.Naive(eng, h, s)
@@ -245,7 +285,11 @@ func (g *NWHypergraph) SLineGraphWeighted(s int) *WeightedSLineGraph {
 // Algorithm field is ignored: the weighted emit mode runs the one kernel
 // body under whatever Strategy and Schedule select.
 func (g *NWHypergraph) SLineGraphWeightedWith(s int, o ConstructOptions) *WeightedSLineGraph {
-	l, _ := smetrics.BuildWeightedOptions(g.engine(), g.hg(), s, o.internal())
+	eng := g.engine()
+	opts := o.internal()
+	opts.Intent = slinegraph.IntentExact
+	opts.Stats = g.degreeStats(eng)
+	l, _ := smetrics.BuildWeightedOptions(eng, g.hg(), s, opts)
 	return &WeightedSLineGraph{l}
 }
 
@@ -255,7 +299,11 @@ func (g *NWHypergraph) SLineGraphWeightedWith(s int, o ConstructOptions) *Weight
 // (without ctx), so subsequent queries are not affected by an expired
 // deadline.
 func (g *NWHypergraph) SLineGraphWeightedCtx(ctx context.Context, s int, o ConstructOptions) (*WeightedSLineGraph, error) {
-	l, err := smetrics.BuildWeightedOptions(g.engine().WithContext(ctx), g.hg(), s, o.internal())
+	eng := g.engine().WithContext(ctx)
+	opts := o.internal()
+	opts.Intent = slinegraph.IntentExact
+	opts.Stats = g.degreeStats(eng)
+	l, err := smetrics.BuildWeightedOptions(eng, g.hg(), s, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -297,11 +345,59 @@ func (g *NWHypergraph) SConnectedComponentsDirect(s int) []uint32 {
 
 // SConnectedComponentsDirectCtx is SConnectedComponentsDirect bounded by
 // ctx: the queue drain stops at the next chunk boundary once ctx is
-// cancelled and ctx.Err() is returned.
+// cancelled and ctx.Err() is returned. The run declares connectivity
+// intent, so the kernel's degree prefilter and connected short-circuit
+// apply automatically (labels are identical either way); the axis
+// resolution reads the handle's memoized degree statistics.
 func (g *NWHypergraph) SConnectedComponentsDirectCtx(ctx context.Context, s int) ([]uint32, error) {
 	h := g.hg()
 	eng := g.engine().WithContext(ctx)
-	labels, err := slinegraph.SComponentsDirect(eng, slinegraph.FromHypergraph(h), s, slinegraph.Options{})
+	opts := slinegraph.Options{Stats: g.degreeStats(eng)}
+	labels, err := slinegraph.SComponentsDirect(eng, slinegraph.FromHypergraph(h), s, opts)
+	if err != nil {
+		return nil, err
+	}
+	return labels[:h.NumEdges()], nil
+}
+
+// SConnectedComponentsPruned computes the s-connected components through
+// the intent-aware pruned kernel: prune selects the heuristic level (see
+// Prune). Labels are bit-identical to SConnectedComponentsDirect at every
+// level — the differential tests pin this — only the work done differs.
+func (g *NWHypergraph) SConnectedComponentsPruned(s int, prune Prune) []uint32 {
+	labels, _ := g.SConnectedComponentsPrunedCtx(context.Background(), s, prune)
+	return labels
+}
+
+// SConnectedComponentsPrunedCtx is SConnectedComponentsPruned bounded by
+// ctx. PruneAuto runs the connectivity arsenal (degree prefilter +
+// connected short-circuit) and upgrades to the toplex-only path when the
+// handle's toplex cache is already warm for this snapshot — computing the
+// containment map from cold costs about one kernel pass, so Auto never
+// pays for it speculatively. PruneToplex forces the toplex path, computing
+// and caching the cover if needed (profitable when many component queries
+// hit one snapshot, the serving tier's pattern).
+func (g *NWHypergraph) SConnectedComponentsPrunedCtx(ctx context.Context, s int, prune Prune) ([]uint32, error) {
+	h := g.hg()
+	eng := g.engine().WithContext(ctx)
+	in := slinegraph.FromHypergraph(h)
+	if prune == PruneAuto && g.toplexCacheWarm() {
+		prune = PruneToplex
+	}
+	opts := slinegraph.Options{Stats: g.degreeStats(eng)}
+	if prune == PruneToplex {
+		tops, cover, err := g.toplexCover(eng)
+		if err != nil {
+			return nil, err
+		}
+		labels, err := slinegraph.SComponentsToplex(eng, in, s, tops, cover, opts)
+		if err != nil {
+			return nil, err
+		}
+		return labels[:h.NumEdges()], nil
+	}
+	opts.Prune = slinegraph.Prune(prune)
+	labels, err := slinegraph.SComponentsDirect(eng, in, s, opts)
 	if err != nil {
 		return nil, err
 	}
